@@ -1,0 +1,182 @@
+// Command benchgen lists and inspects the 106 synthetic workloads that
+// stand in for the paper's application traces: their profile parameters
+// and measured stream characteristics (instruction mix, value widths,
+// branch behaviour, address locality).
+//
+// Usage:
+//
+//	benchgen -list
+//	benchgen -inspect mcf [-n 200000]
+//	benchgen -record mcf -out mcf.trace [-n 200000]
+//	benchgen -replay mcf.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermalherd/internal/core"
+	"thermalherd/internal/isa"
+	"thermalherd/internal/stats"
+	"thermalherd/internal/trace"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list all workloads")
+		inspect = flag.String("inspect", "", "inspect one workload's generated stream")
+		n       = flag.Int("n", 200_000, "instructions to sample/record")
+		record  = flag.String("record", "", "record a workload's stream to -out")
+		out     = flag.String("out", "workload.trace", "output file for -record")
+		replay  = flag.String("replay", "", "summarize a recorded trace file")
+	)
+	flag.Parse()
+	var err error
+	switch {
+	case *list:
+		listWorkloads()
+	case *inspect != "":
+		err = inspectWorkload(*inspect, *n)
+	case *record != "":
+		err = recordWorkload(*record, *out, *n)
+	case *replay != "":
+		err = replayTrace(*replay)
+	default:
+		flag.Usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func listWorkloads() {
+	t := stats.NewTable("Workload", "Group", "WS", "Hot", "LowW", "Ptr", "Hard", "Static")
+	for _, p := range trace.Suite() {
+		t.AddRow(p.Name, p.Group.String(),
+			fmtBytes(p.WorkingSet),
+			fmt.Sprintf("%.2f", p.HotFrac),
+			fmt.Sprintf("%.2f", p.LowWidthStaticFrac),
+			fmt.Sprintf("%.2f", p.PtrLoadFrac),
+			fmt.Sprintf("%.2f", p.HardBranchFrac),
+			fmt.Sprintf("%d", p.StaticInsts))
+	}
+	fmt.Print(t)
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	default:
+		return fmt.Sprintf("%dKB", b>>10)
+	}
+}
+
+func inspectWorkload(name string, n int) error {
+	p, err := trace.ProfileByName(name)
+	if err != nil {
+		return err
+	}
+	g := trace.NewGenerator(p)
+	classCount := map[isa.Class]int{}
+	var intResults, lowResults int
+	var pv core.PVStats
+	memo := core.NewAddressMemo()
+	var branches, taken int
+	for i := 0; i < n; i++ {
+		in, _ := g.Next()
+		classCount[in.Class]++
+		if in.HasIntDest() && in.Class != isa.ClassJump {
+			intResults++
+			if core.IsLowWidth(in.Result) {
+				lowResults++
+			}
+		}
+		if in.Class == isa.ClassLoad {
+			pv.Observe(core.ClassifyPartialValue(in.Result, in.MemAddr))
+		}
+		if in.IsMem() {
+			memo.Broadcast(in.MemAddr, in.Class == isa.ClassStore)
+		}
+		if in.Class == isa.ClassBranch {
+			branches++
+			if in.Taken {
+				taken++
+			}
+		}
+	}
+	fmt.Printf("%s (%s): %d instructions sampled\n", p.Name, p.Group, n)
+	t := stats.NewTable("Class", "Count", "Fraction")
+	for _, c := range []isa.Class{isa.ClassALU, isa.ClassShift, isa.ClassMulDiv,
+		isa.ClassLoad, isa.ClassStore, isa.ClassBranch, isa.ClassJump,
+		isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv} {
+		t.AddRow(c.String(), fmt.Sprintf("%d", classCount[c]),
+			fmt.Sprintf("%.3f", float64(classCount[c])/float64(n)))
+	}
+	fmt.Print(t)
+	fmt.Printf("low-width results: %.3f of %d int results\n",
+		float64(lowResults)/float64(max(intResults, 1)), intResults)
+	fmt.Printf("load partial values: low %.3f (zeros-only %.3f, PVAddr %.3f)\n",
+		pv.LowFraction(), pv.ZeroOnlyFraction(),
+		float64(pv.Counts[core.PVAddr])/float64(max(pv.Total(), 1)))
+	fmt.Printf("PAM hit rate: %.3f over %d broadcasts\n", memo.HitRate(), memo.Broadcasts())
+	fmt.Printf("branches: %d, taken %.3f\n", branches, float64(taken)/float64(max(branches, 1)))
+	return nil
+}
+
+func recordWorkload(name, path string, n int) error {
+	p, err := trace.ProfileByName(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	written, err := trace.Write(f, trace.NewGenerator(p), n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d instructions of %s to %s\n", written, name, path)
+	return nil
+}
+
+func replayTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	classCount := map[isa.Class]int{}
+	n := 0
+	for {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		classCount[in.Class]++
+		n++
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d instructions\n", path, n)
+	for _, c := range []isa.Class{isa.ClassALU, isa.ClassLoad, isa.ClassStore, isa.ClassBranch, isa.ClassJump} {
+		fmt.Printf("  %-7s %d\n", c, classCount[c])
+	}
+	return nil
+}
+
+func max[T int | uint64](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}

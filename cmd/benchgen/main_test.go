@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestInspectWorkloadSmoke(t *testing.T) {
+	if err := inspectWorkload("gzip", 20_000); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := inspectWorkload("nonesuch", 1000); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.trace")
+	if err := recordWorkload("adpcmenc", path, 10_000); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() < 10_000 {
+		t.Errorf("trace file suspiciously small: %d bytes", info.Size())
+	}
+	if err := replayTrace(path); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := replayTrace(filepath.Join(t.TempDir(), "missing.trace")); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	if fmtBytes(64<<10) != "64KB" || fmtBytes(8<<20) != "8MB" {
+		t.Errorf("fmtBytes wrong: %s %s", fmtBytes(64<<10), fmtBytes(8<<20))
+	}
+}

@@ -1,0 +1,215 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section and prints them alongside the paper's reported
+// values. This is the one-shot reproduction driver; expect it to run for
+// several minutes at the default simulation depth.
+//
+// Usage:
+//
+//	repro [-quick] [-only table2|fig8|fig9|fig10|density|width|ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"thermalherd/internal/config"
+	"thermalherd/internal/experiments"
+	"thermalherd/internal/viz"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "use shallow simulation depths (fast, less faithful)")
+		only  = flag.String("only", "", "run only one experiment: table1, table2, fig8, fig9, fig10, density, width, extensions, ablations")
+	)
+	flag.Parse()
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	r := experiments.NewRunner(opts)
+	want := func(name string) bool { return *only == "" || *only == name }
+	start := time.Now()
+	var failed bool
+	runSection := func(name string, f func() error) {
+		if !want(name) {
+			return
+		}
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
+			failed = true
+			return
+		}
+		fmt.Printf("[%s done in %s]\n\n", name, time.Since(t0).Round(time.Second))
+	}
+
+	runSection("table1", func() error {
+		header("Table 1: baseline machine parameters")
+		fmt.Print(experiments.Table1())
+		return nil
+	})
+
+	runSection("table2", func() error {
+		header("Table 2: block latencies, 2D vs 3D (paper: wakeup-select -32%, ALU+bypass -36%, clock +47.9%)")
+		fmt.Print(experiments.Table2())
+		return nil
+	})
+
+	runSection("fig8", func() error {
+		header("Figure 8: performance (paper: 3D speedup 7%..77%, mean +47.0%; SPECfp +29.5%, others 49.4-51.5%)")
+		f, err := experiments.Figure8(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println("(a) geometric-mean IPC per group:")
+		fmt.Print(f.Render("ipc"))
+		fmt.Println("\n(b) instructions per nanosecond:")
+		fmt.Print(f.Render("ipns"))
+		fmt.Println("\n(c) speedup over Base:")
+		fmt.Print(f.Render("speedup"))
+		minN, minV, maxN, maxV := f.MinMaxSpeedup()
+		fmt.Printf("\nmin speedup %s %+.1f%% (paper: mcf +7%%)   max %s %+.1f%% (paper: patricia +77%%)\n",
+			minN, 100*(minV-1), maxN, 100*(maxV-1))
+		fmt.Printf("mean-of-means 3D speedup: %+.1f%% (paper: +47.0%%)\n", 100*(f.MoMSpeedup["3D"]-1))
+		fmt.Println()
+		fmt.Print(viz.GroupedBars("3D speedup by group (bar view):", f.Groups, []string{"3D"},
+			func(g, s string) float64 { return f.Speedup[g][s] }, 40))
+		return nil
+	})
+
+	runSection("fig9", func() error {
+		header("Figure 9: power (paper: 90 W -> 72.7 W -> 64.3 W; savings 15% yacr2 .. 30% susan)")
+		f, err := experiments.Figure9(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+		fmt.Printf("\nper-benchmark 3D-TH savings: min %s %.1f%%  max %s %.1f%%\n",
+			f.MinBench, 100*f.MinSaving, f.MaxBench, 100*f.MaxSaving)
+		return nil
+	})
+
+	runSection("fig10", func() error {
+		header("Figure 10: thermals (paper: 360 K planar / 377 K 3D / 372 K 3D+TH; hotspot RS -> D-cache)")
+		f, err := experiments.Figure10(r, "mpeg2enc")
+		if err != nil {
+			return err
+		}
+		fmt.Println("(a-c) worst case across the suite:")
+		fmt.Print(f.Render())
+		fmt.Printf("\n(d-f) same application (%s):\n", f.SameAppName)
+		for _, name := range []string{"Base", "3D-noTH", "3D"} {
+			p := f.SameApp[name]
+			fmt.Printf("  %-8s peak %.1f K  hotspot %-8s  ROB peak %.1f K\n",
+				name, p.PeakK, p.Hotspot, f.ROBPeak[name])
+		}
+		return nil
+	})
+
+	runSection("density", func() error {
+		header("Section 5.3 density study (paper: same 90 W in the stack -> 418 K, +58 K)")
+		planar, density, err := experiments.DensityStudy(r, "mpeg2enc")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("planar peak %.1f K -> 4x-density stack peak %.1f K (+%.1f K)\n",
+			planar, density, density-planar)
+		return nil
+	})
+
+	runSection("width", func() error {
+		header("Section 3.8 width prediction accuracy (paper: 97%)")
+		wa, err := experiments.WidthAccuracy(r)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("suite-wide width prediction accuracy: %.1f%%\n", 100*wa)
+		return nil
+	})
+
+	runSection("extensions", func() error {
+		header("Extensions: perf-to-power conversion, mixed pairs, width census, transient")
+		pts, ref, err := experiments.PerfToPower(r, "susan_s", 5)
+		if err != nil {
+			return err
+		}
+		fmt.Println("3D frequency sweep (converting performance into power/thermal headroom):")
+		fmt.Print(experiments.RenderPerfToPower(pts, ref))
+		mixed, err := experiments.MixedPair(r, config.ThreeD(), "susan_s", "yacr2")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nheterogeneous pair susan_s+yacr2 on 3D: %.1f W, peak %.1f K (hotspot %s, core %d)\n",
+			mixed.TotalW, mixed.PeakK, mixed.Hotspot, mixed.HotCore)
+		census, err := experiments.ValueWidthCensus(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nvalue-width census per group (Section 3 premise):")
+		fmt.Print(census)
+		tr, err := experiments.ThermalTransient(r, "mpeg2enc", 30.0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nthermal transient (mpeg2enc, 3D): peak %.1f K after %.0f s; settles (±1 K) in %.1f s\n",
+			tr.PeakK[len(tr.PeakK)-1], tr.TimesS[len(tr.TimesS)-1], tr.TimeToWithin(1.0))
+		fmt.Print(viz.Series("  peak(t)", tr.PeakK, true))
+		lf, err := experiments.LeakageFeedback(r, config.ThreeD(), "mpeg2enc")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("leakage-temperature feedback (mpeg2enc, 3D): %s\n", lf)
+		return nil
+	})
+
+	runSection("ablations", func() error {
+		header("Ablations (DESIGN.md)")
+		wp, err := experiments.AblationWidthPolicy(r, "mpeg2enc")
+		if err != nil {
+			return err
+		}
+		fmt.Println("width prediction policy (mpeg2enc, 3D):")
+		fmt.Print(wp)
+		al, err := experiments.AblationAllocator(r, "mpeg2enc")
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nscheduler allocation policy (mpeg2enc, 3D):")
+		fmt.Print(al)
+		pv, err := experiments.AblationPVEncoding(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\npartial value encoding coverage per group:")
+		fmt.Print(pv)
+		pam, err := experiments.AblationPAM(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\npartial address memoization per group:")
+		fmt.Print(pam)
+		d2d, err := experiments.AblationD2DResistance(r, "mpeg2enc",
+			[]float64{0.05, 0.10, 0.25, 0.50})
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nd2d via-field Cu occupancy sweep (mpeg2enc, 3D):")
+		fmt.Print(d2d)
+		return nil
+	})
+
+	fmt.Printf("total time: %s\n", time.Since(start).Round(time.Second))
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func header(s string) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(s)
+	fmt.Println(strings.Repeat("=", 72))
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestConfigByName(t *testing.T) {
+	for _, name := range []string{"Base", "TH", "Pipe", "Fast", "3D", "3D-noTH"} {
+		cfg, err := configByName(name)
+		if err != nil {
+			t.Errorf("configByName(%s): %v", name, err)
+			continue
+		}
+		if cfg.Name != name {
+			t.Errorf("configByName(%s).Name = %s", name, cfg.Name)
+		}
+	}
+	if _, err := configByName("bogus"); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	// A tiny end-to-end run through the CLI path, including the power
+	// and thermal models.
+	if err := run("adpcmenc", "3D", 50_000, 10_000, 20_000, true, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	if err := run("nonesuch", "3D", 0, 0, 1000, false, false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunRejectsUnknownConfig(t *testing.T) {
+	if err := run("gzip", "frob", 0, 0, 1000, false, false); err == nil {
+		t.Error("unknown config accepted")
+	}
+}

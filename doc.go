@@ -1,0 +1,9 @@
+// Package thermalherd is a from-scratch Go reproduction of Puttaswamy &
+// Loh, "Thermal Herding: Microarchitecture Techniques for Controlling
+// Hotspots in High-Performance 3D-Integrated Processors" (HPCA 2007).
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// testing.B benchmark per table and figure of the paper's evaluation.
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory) and the runnable entry points under cmd/ and examples/.
+package thermalherd

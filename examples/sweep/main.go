@@ -1,0 +1,54 @@
+// Sweep explores how the 3D processor's speedup over the planar
+// baseline varies with a workload's memory-boundedness — the crossover
+// the paper's Figure 8 shows between patricia (+77%) and mcf (+7%).
+// It sweeps the working-set size of a synthetic workload and prints the
+// speedup curve.
+//
+// Run with: go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"thermalherd/internal/config"
+	"thermalherd/internal/cpu"
+	"thermalherd/internal/trace"
+)
+
+func main() {
+	base := config.Baseline()
+	threeD := config.ThreeD()
+
+	fmt.Println("3D speedup vs working-set size (synthetic SPECint-like workload)")
+	fmt.Printf("%-10s %-10s %-10s %-9s %s\n", "WS", "Base IPC", "3D IPC", "speedup", "")
+	for _, wsMB := range []uint64{1, 4, 16, 64, 256} {
+		prof, err := trace.ProfileByName("gzip")
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof.Name = fmt.Sprintf("sweep-%dMB", wsMB)
+		prof.WorkingSet = wsMB << 20
+		prof.HotFrac = 0.7
+
+		measure := func(cfg config.Machine) *cpu.Stats {
+			c, err := cpu.New(cfg, trace.NewGenerator(prof))
+			if err != nil {
+				log.Fatal(err)
+			}
+			c.FastForward(2_000_000)
+			c.Warmup(100_000)
+			return c.Run(150_000)
+		}
+		sb := measure(base)
+		s3 := measure(threeD)
+		speedup := s3.IPns(threeD.ClockGHz) / sb.IPns(base.ClockGHz)
+		bar := strings.Repeat("#", int(50*(speedup-1)))
+		fmt.Printf("%-10s %-10.3f %-10.3f %+8.1f%% %s\n",
+			fmt.Sprintf("%dMB", wsMB), sb.IPC(), s3.IPC(), 100*(speedup-1), bar)
+	}
+	fmt.Println("\nCompute-bound workloads ride the full +47.9% clock gain (plus")
+	fmt.Println("pipeline optimizations); DRAM-bound workloads see little, because")
+	fmt.Println("main-memory latency in nanoseconds does not improve.")
+}

@@ -1,0 +1,70 @@
+// Widthpred demonstrates the paper's core premise on real computation:
+// it runs the TH64 benchmark kernels on the functional emulator and
+// reports value-width behaviour, width-prediction accuracy, partial
+// value encoding coverage, and PAM address locality for each.
+//
+// Run with: go run ./examples/widthpred
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermalherd/internal/core"
+	"thermalherd/internal/emu"
+	"thermalherd/internal/isa"
+	"thermalherd/internal/kernels"
+	"thermalherd/internal/stats"
+)
+
+func main() {
+	t := stats.NewTable("Kernel", "Insts", "LowWidth", "PredAcc", "PV low", "PAM hit")
+	for _, k := range kernels.All() {
+		machine := emu.New(k.Program)
+		insts, err := machine.Run(2_000_000)
+		if err != nil {
+			log.Fatalf("%s: %v", k.Name, err)
+		}
+		if got := machine.IntRegs[k.ResultReg]; got != k.Expected {
+			log.Fatalf("%s: wrong result %d, want %d", k.Name, got, k.Expected)
+		}
+
+		pred := core.NewWidthPredictor(4096)
+		memo := core.NewAddressMemo()
+		var pv core.PVStats
+		var intResults, low int
+		for i := range insts {
+			in := &insts[i]
+			if in.HasIntDest() && in.Class != isa.ClassJump {
+				intResults++
+				actualLow := core.IsLowWidth(in.Result)
+				if actualLow {
+					low++
+				}
+				p := pred.Predict(in.PC)
+				pred.Resolve(in.PC, p, actualLow)
+			}
+			if in.Class == isa.ClassLoad && in.MemSize == 8 {
+				pv.Observe(core.ClassifyPartialValue(in.Result, in.MemAddr))
+			}
+			if in.IsMem() {
+				memo.Broadcast(in.MemAddr, in.Class == isa.ClassStore)
+			}
+		}
+		pvLow := "-"
+		if pv.Total() > 0 {
+			pvLow = fmt.Sprintf("%.3f", pv.LowFraction())
+		}
+		t.AddRow(k.Name,
+			fmt.Sprintf("%d", len(insts)),
+			fmt.Sprintf("%.3f", float64(low)/float64(intResults)),
+			fmt.Sprintf("%.3f", pred.Accuracy()),
+			pvLow,
+			fmt.Sprintf("%.3f", memo.HitRate()))
+	}
+	fmt.Println("Value-width behaviour of real TH64 kernels (functional emulation):")
+	fmt.Print(t)
+	fmt.Println("\nThe paper's premise: integer code is overwhelmingly low-width and")
+	fmt.Println("highly predictable per PC; pointer chases expose PVAddr locality;")
+	fmt.Println("memory addresses share upper bits (high PAM hit rates).")
+}

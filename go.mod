@@ -1,0 +1,3 @@
+module thermalherd
+
+go 1.22

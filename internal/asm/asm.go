@@ -1,0 +1,492 @@
+// Package asm assembles TH64 assembly text into isa.Programs. It exists
+// so the benchmark kernels used by the examples and by the emulator-based
+// validation tests can be written legibly rather than as encoded word
+// lists.
+//
+// Syntax:
+//
+//	; comment (also # and //)
+//	.base 0x1000          ; code base address (default 0x1000)
+//	.data 0x8000 42       ; initialize a 64-bit memory word
+//	loop:                 ; label
+//	    addi r1, r1, -1
+//	    ld   r2, 8(r30)   ; displacement addressing
+//	    fadd f1, f2, f3   ; FP registers spelled fN
+//	    bne  r1, r0, loop ; branch targets are labels or literals
+//	    jal  r31, func
+//	    halt
+//
+// Immediates are decimal or 0x-prefixed hex, optionally negative. Branch
+// and jal targets given as labels are converted to signed word offsets
+// relative to PC+4.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"thermalherd/internal/isa"
+)
+
+// DefaultBase is the code base address used when no .base directive
+// appears.
+const DefaultBase = 0x1000
+
+// Assemble translates TH64 assembly source into a Program.
+func Assemble(src string) (*isa.Program, error) {
+	a := &assembler{
+		prog: &isa.Program{
+			Base:   DefaultBase,
+			Data:   make(map[uint64]uint64),
+			Labels: make(map[string]uint64),
+		},
+	}
+	if err := a.firstPass(src); err != nil {
+		return nil, err
+	}
+	if err := a.secondPass(); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+// MustAssemble is Assemble that panics on error, for known-good kernels
+// embedded in tests and examples.
+func MustAssemble(src string) *isa.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type pendingInst struct {
+	line   int
+	mnem   string
+	fields []string
+}
+
+type assembler struct {
+	prog  *isa.Program
+	insts []pendingInst
+}
+
+func stripComment(line string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(line, marker); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+// firstPass collects labels, directives, and raw instructions.
+func (a *assembler) firstPass(src string) error {
+	baseSet := false
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return fmt.Errorf("asm: line %d: bad label %q", lineno+1, label)
+			}
+			if _, dup := a.prog.Labels[label]; dup {
+				return fmt.Errorf("asm: line %d: duplicate label %q", lineno+1, label)
+			}
+			a.prog.Labels[label] = a.prog.Base + uint64(4*len(a.insts))
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".base":
+				if len(fields) != 2 {
+					return fmt.Errorf("asm: line %d: .base wants one operand", lineno+1)
+				}
+				if len(a.insts) > 0 || baseSet {
+					return fmt.Errorf("asm: line %d: .base must appear once, before code", lineno+1)
+				}
+				v, err := parseUint(fields[1])
+				if err != nil {
+					return fmt.Errorf("asm: line %d: %v", lineno+1, err)
+				}
+				if v%4 != 0 {
+					return fmt.Errorf("asm: line %d: .base must be 4-byte aligned", lineno+1)
+				}
+				a.prog.Base = v
+				baseSet = true
+			case ".data":
+				if len(fields) != 3 {
+					return fmt.Errorf("asm: line %d: .data wants address and value", lineno+1)
+				}
+				addr, err := parseUint(fields[1])
+				if err != nil {
+					return fmt.Errorf("asm: line %d: %v", lineno+1, err)
+				}
+				val, err := parseValue(fields[2])
+				if err != nil {
+					return fmt.Errorf("asm: line %d: %v", lineno+1, err)
+				}
+				a.prog.Data[addr] = val
+			default:
+				return fmt.Errorf("asm: line %d: unknown directive %s", lineno+1, fields[0])
+			}
+			continue
+		}
+		mnem, rest, _ := strings.Cut(line, " ")
+		var fields []string
+		for _, f := range strings.Split(rest, ",") {
+			f = strings.TrimSpace(f)
+			if f != "" {
+				fields = append(fields, f)
+			}
+		}
+		expanded, err := expandPseudo(lineno+1, mnem, fields)
+		if err != nil {
+			return err
+		}
+		a.insts = append(a.insts, expanded...)
+	}
+	return nil
+}
+
+// expandPseudo rewrites assembler pseudo-instructions into real TH64
+// instructions. Every expansion has a fixed length, so label arithmetic
+// in the first pass stays exact.
+//
+//	mv   rd, rs        -> addi rd, rs, 0
+//	neg  rd, rs        -> sub  rd, r0, rs
+//	ret                -> jalr r0, r31, 0
+//	call label         -> jal  r31, label
+//	b    label         -> beq  r0, r0, label
+//	bgt  ra, rb, label -> blt  rb, ra, label
+//	ble  ra, rb, label -> bge  rb, ra, label
+//	li32 rd, imm32     -> lui rd, hi16 ; ori rd, rd, lo16
+func expandPseudo(line int, mnem string, fields []string) ([]pendingInst, error) {
+	mk := func(m string, f ...string) pendingInst {
+		return pendingInst{line: line, mnem: m, fields: f}
+	}
+	need := func(n int) error {
+		if len(fields) != n {
+			return fmt.Errorf("asm: line %d: %s wants %d operands, got %d", line, mnem, n, len(fields))
+		}
+		return nil
+	}
+	switch mnem {
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return []pendingInst{mk("addi", fields[0], fields[1], "0")}, nil
+	case "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return []pendingInst{mk("sub", fields[0], "r0", fields[1])}, nil
+	case "ret":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return []pendingInst{mk("jalr", "r0", "r31", "0")}, nil
+	case "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return []pendingInst{mk("jal", "r31", fields[0])}, nil
+	case "b":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return []pendingInst{mk("beq", "r0", "r0", fields[0])}, nil
+	case "bgt":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return []pendingInst{mk("blt", fields[1], fields[0], fields[2])}, nil
+	case "ble":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return []pendingInst{mk("bge", fields[1], fields[0], fields[2])}, nil
+	case "li32":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseUint(fields[1], 0, 32)
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: bad 32-bit literal %q", line, fields[1])
+		}
+		hi := fmt.Sprintf("%d", (v>>16)&0xffff)
+		lo := fmt.Sprintf("%d", v&0xffff)
+		return []pendingInst{
+			mk("lui", fields[0], hi),
+			mk("ori", fields[0], fields[0], lo),
+		}, nil
+	}
+	return []pendingInst{{line: line, mnem: mnem, fields: fields}}, nil
+}
+
+// secondPass encodes instructions now that all label addresses are known.
+func (a *assembler) secondPass() error {
+	for idx, pi := range a.insts {
+		pc := a.prog.Base + uint64(4*idx)
+		in, err := a.encodeOne(pi, pc)
+		if err != nil {
+			return fmt.Errorf("asm: line %d: %v", pi.line, err)
+		}
+		w, err := isa.Encode(in)
+		if err != nil {
+			return fmt.Errorf("asm: line %d: %v", pi.line, err)
+		}
+		a.prog.Code = append(a.prog.Code, w)
+	}
+	return nil
+}
+
+func (a *assembler) encodeOne(pi pendingInst, pc uint64) (isa.Instruction, error) {
+	op, ok := isa.OpcodeByName(pi.mnem)
+	if !ok {
+		return isa.Instruction{}, fmt.Errorf("unknown mnemonic %q", pi.mnem)
+	}
+	in := isa.Instruction{Op: op}
+	need := func(n int) error {
+		if len(pi.fields) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", pi.mnem, n, len(pi.fields))
+		}
+		return nil
+	}
+	var err error
+	switch {
+	case op == isa.OpNop || op == isa.OpHalt:
+		return in, need(0)
+
+	case op == isa.OpLui:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(pi.fields[0], op.IsFP()); err != nil {
+			return in, err
+		}
+		in.Imm, err = parseImm(pi.fields[1])
+		return in, err
+
+	case op.Class() == isa.ClassLoad || op.Class() == isa.ClassStore:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(pi.fields[0], op.IsFP()); err != nil {
+			return in, err
+		}
+		in.Imm, in.Rs1, err = parseDisp(pi.fields[1])
+		return in, err
+
+	case op.Class() == isa.ClassBranch:
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(pi.fields[0], false); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = parseReg(pi.fields[1], false); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.parseTarget(pi.fields[2], pc)
+		return in, err
+
+	case op == isa.OpJal:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(pi.fields[0], false); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.parseTarget(pi.fields[1], pc)
+		return in, err
+
+	case op == isa.OpJalr:
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(pi.fields[0], false); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = parseReg(pi.fields[1], false); err != nil {
+			return in, err
+		}
+		in.Imm, err = parseImm(pi.fields[2])
+		return in, err
+
+	case op == isa.OpI2F:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(pi.fields[0], true); err != nil {
+			return in, err
+		}
+		in.Rs1, err = parseReg(pi.fields[1], false)
+		return in, err
+
+	case op == isa.OpF2I:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(pi.fields[0], false); err != nil {
+			return in, err
+		}
+		in.Rs1, err = parseReg(pi.fields[1], true)
+		return in, err
+
+	case op == isa.OpFSqrt:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(pi.fields[0], true); err != nil {
+			return in, err
+		}
+		in.Rs1, err = parseReg(pi.fields[1], true)
+		return in, err
+
+	case op.HasImm():
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(pi.fields[0], op.IsFP()); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = parseReg(pi.fields[1], op.IsFP()); err != nil {
+			return in, err
+		}
+		in.Imm, err = parseImm(pi.fields[2])
+		return in, err
+
+	default: // three-register format
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(pi.fields[0], op.IsFP()); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = parseReg(pi.fields[1], op.IsFP()); err != nil {
+			return in, err
+		}
+		in.Rs2, err = parseReg(pi.fields[2], op.IsFP())
+		return in, err
+	}
+}
+
+// parseTarget resolves a branch/jal target, either a label or a literal
+// word offset, into the signed word displacement from pc+4.
+func (a *assembler) parseTarget(s string, pc uint64) (int16, error) {
+	if addr, ok := a.prog.Labels[s]; ok {
+		delta := int64(addr) - int64(pc+4)
+		if delta%4 != 0 {
+			return 0, fmt.Errorf("misaligned target %q", s)
+		}
+		words := delta / 4
+		if words < -32768 || words > 32767 {
+			return 0, fmt.Errorf("target %q out of branch range", s)
+		}
+		return int16(words), nil
+	}
+	return parseImm(s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseReg(s string, fp bool) (uint8, error) {
+	want := byte('r')
+	if fp {
+		want = 'f'
+	}
+	if len(s) < 2 || s[0] != want {
+		return 0, fmt.Errorf("expected %c-register, got %q", want, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumIntRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseDisp parses "imm(rN)" displacement operands.
+func parseDisp(s string) (int16, uint8, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("expected disp(reg), got %q", s)
+	}
+	imm := int16(0)
+	if open > 0 {
+		v, err := parseImm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		imm = v
+	}
+	reg, err := parseReg(s[open+1:len(s)-1], false)
+	if err != nil {
+		return 0, 0, err
+	}
+	return imm, reg, nil
+}
+
+func parseImm(s string) (int16, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -32768 || v > 65535 {
+		return 0, fmt.Errorf("immediate %d out of 16-bit range", v)
+	}
+	return int16(v), nil // values 32768..65535 wrap to their bit pattern
+}
+
+func parseUint(s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	return v, nil
+}
+
+// parseValue parses a 64-bit data word, allowing negative decimals.
+func parseValue(s string) (uint64, error) {
+	if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return v, nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return uint64(v), nil
+}

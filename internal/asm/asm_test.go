@@ -1,0 +1,274 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"thermalherd/internal/isa"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	p, err := Assemble(`
+		; a trivial counted loop
+		.base 0x2000
+		.data 0x8000 42
+		    addi r1, r0, 3
+		loop:
+		    addi r1, r1, -1
+		    bne  r1, r0, loop
+		    halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base != 0x2000 {
+		t.Errorf("base = %#x, want 0x2000", p.Base)
+	}
+	if len(p.Code) != 4 {
+		t.Fatalf("code words = %d, want 4", len(p.Code))
+	}
+	if p.Data[0x8000] != 42 {
+		t.Errorf("data[0x8000] = %d, want 42", p.Data[0x8000])
+	}
+	if got := p.Labels["loop"]; got != 0x2004 {
+		t.Errorf("label loop = %#x, want 0x2004", got)
+	}
+	// The bne at 0x2008 targets 0x2004: offset = (0x2004 - 0x200c)/4 = -2.
+	in, err := isa.Decode(p.Code[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.OpBne || in.Imm != -2 {
+		t.Errorf("bne decoded as %v imm=%d, want imm=-2", in.Op, in.Imm)
+	}
+}
+
+func TestAssembleDisplacement(t *testing.T) {
+	p := MustAssemble(`
+		ld r2, 16(r30)
+		st r2, -8(r5)
+		fld f1, 0(r4)
+	`)
+	in0, _ := isa.Decode(p.Code[0])
+	if in0.Op != isa.OpLd || in0.Rd != 2 || in0.Rs1 != 30 || in0.Imm != 16 {
+		t.Errorf("ld decoded wrong: %+v", in0)
+	}
+	in1, _ := isa.Decode(p.Code[1])
+	if in1.Op != isa.OpSt || in1.Imm != -8 || in1.Rs1 != 5 {
+		t.Errorf("st decoded wrong: %+v", in1)
+	}
+	in2, _ := isa.Decode(p.Code[2])
+	if in2.Op != isa.OpFLd || in2.Rd != 1 || in2.Rs1 != 4 {
+		t.Errorf("fld decoded wrong: %+v", in2)
+	}
+}
+
+func TestAssembleForwardLabel(t *testing.T) {
+	p := MustAssemble(`
+		beq r0, r0, done
+		addi r1, r0, 1
+		done: halt
+	`)
+	in, _ := isa.Decode(p.Code[0])
+	// beq at base, target base+8: offset = (8-4)/4 = 1.
+	if in.Imm != 1 {
+		t.Errorf("forward branch imm = %d, want 1", in.Imm)
+	}
+}
+
+func TestAssembleJalAndJalr(t *testing.T) {
+	p := MustAssemble(`
+		jal r31, fn
+		halt
+		fn: jalr r0, r31, 0
+	`)
+	in0, _ := isa.Decode(p.Code[0])
+	if in0.Op != isa.OpJal || in0.Rd != 31 || in0.Imm != 1 {
+		t.Errorf("jal decoded wrong: %+v", in0)
+	}
+	in2, _ := isa.Decode(p.Code[2])
+	if in2.Op != isa.OpJalr || in2.Rs1 != 31 {
+		t.Errorf("jalr decoded wrong: %+v", in2)
+	}
+}
+
+func TestAssembleFPAndConversions(t *testing.T) {
+	p := MustAssemble(`
+		fadd f1, f2, f3
+		fsqrt f4, f5
+		i2f f6, r7
+		f2i r8, f9
+	`)
+	in0, _ := isa.Decode(p.Code[0])
+	if in0.Op != isa.OpFAdd || in0.Rd != 1 || in0.Rs1 != 2 || in0.Rs2 != 3 {
+		t.Errorf("fadd decoded wrong: %+v", in0)
+	}
+	in1, _ := isa.Decode(p.Code[1])
+	if in1.Op != isa.OpFSqrt || in1.Rd != 4 || in1.Rs1 != 5 {
+		t.Errorf("fsqrt decoded wrong: %+v", in1)
+	}
+	in2, _ := isa.Decode(p.Code[2])
+	if in2.Op != isa.OpI2F || in2.Rd != 6 || in2.Rs1 != 7 {
+		t.Errorf("i2f decoded wrong: %+v", in2)
+	}
+	in3, _ := isa.Decode(p.Code[3])
+	if in3.Op != isa.OpF2I || in3.Rd != 8 || in3.Rs1 != 9 {
+		t.Errorf("f2i decoded wrong: %+v", in3)
+	}
+}
+
+func TestAssembleCommentStyles(t *testing.T) {
+	p := MustAssemble(`
+		addi r1, r0, 1 ; semicolon
+		addi r2, r0, 2 # hash
+		addi r3, r0, 3 // slashes
+	`)
+	if len(p.Code) != 3 {
+		t.Errorf("code words = %d, want 3", len(p.Code))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown mnemonic", "frob r1, r2, r3", "unknown mnemonic"},
+		{"bad register", "add r1, r2, r99", "bad register"},
+		{"fp reg for int op", "add f1, r2, r3", "expected r-register"},
+		{"int reg for fp op", "fadd r1, f2, f3", "expected f-register"},
+		{"wrong arity", "add r1, r2", "wants 3 operands"},
+		{"undefined label", "beq r0, r0, nowhere", "bad immediate"},
+		{"duplicate label", "x: nop\nx: nop", "duplicate label"},
+		{"bad label", "9lives: nop", "bad label"},
+		{"imm out of range", "addi r1, r0, 70000", "out of 16-bit range"},
+		{"bad directive", ".bogus 1", "unknown directive"},
+		{"misaligned base", ".base 0x1002\nnop", "4-byte aligned"},
+		{"late base", "nop\n.base 0x2000", "before code"},
+		{"bad disp", "ld r1, r2", "expected disp(reg)"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatalf("Assemble(%q) succeeded, want error containing %q", c.src, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestAssembleNegativeData(t *testing.T) {
+	p := MustAssemble(".data 0x100 -7\nnop")
+	if p.Data[0x100] != ^uint64(6) {
+		t.Errorf("data = %#x, want two's complement -7", p.Data[0x100])
+	}
+}
+
+func TestAssembleLabelOnlyLines(t *testing.T) {
+	p := MustAssemble(`
+		a:
+		b: c: nop
+		halt
+	`)
+	if p.Labels["a"] != p.Labels["b"] || p.Labels["b"] != p.Labels["c"] {
+		t.Error("stacked labels should share one address")
+	}
+	if len(p.Code) != 2 {
+		t.Errorf("code words = %d, want 2", len(p.Code))
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble with bad source did not panic")
+		}
+	}()
+	MustAssemble("frob")
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := MustAssemble(`
+		li32 r5, 0xdeadbeef
+		mv   r6, r5
+		neg  r7, r6
+		bgt  r6, r7, over
+		nop
+	over:
+		ble  r7, r6, done
+		nop
+	done:
+		call fn
+		b    end
+		nop
+	fn:	ret
+	end:	halt
+	`)
+	// li32 expands to two instructions; all others to one.
+	wantInsts := 2 + 1 + 1 + 1 + 1 + 1 + 1 + 1 + 1 + 1 + 1 + 1
+	if len(p.Code) != wantInsts {
+		t.Fatalf("code words = %d, want %d", len(p.Code), wantInsts)
+	}
+	in0, _ := isa.Decode(p.Code[0])
+	in1, _ := isa.Decode(p.Code[1])
+	if in0.Op != isa.OpLui || in1.Op != isa.OpOri {
+		t.Errorf("li32 expanded to %v/%v", in0.Op, in1.Op)
+	}
+	if in0.Imm != int16(0xdead-0x10000) || uint16(in1.Imm) != 0xbeef {
+		t.Errorf("li32 halves = %#x/%#x", uint16(in0.Imm), uint16(in1.Imm))
+	}
+	// bgt swaps operands into blt.
+	var bltSeen, bgeSeen bool
+	for _, w := range p.Code {
+		in, _ := isa.Decode(w)
+		if in.Op == isa.OpBlt {
+			bltSeen = true
+			if in.Rd != 7 || in.Rs1 != 6 {
+				t.Errorf("bgt swap wrong: blt r%d, r%d", in.Rd, in.Rs1)
+			}
+		}
+		if in.Op == isa.OpBge {
+			bgeSeen = true
+		}
+	}
+	if !bltSeen || !bgeSeen {
+		t.Error("pseudo branches missing")
+	}
+}
+
+func TestPseudoInstructionsExecute(t *testing.T) {
+	// Pseudo-heavy program: compute |x| via neg + bgt, through a call.
+	p := MustAssemble(`
+		addi r1, r0, -9
+		call abs
+		mv   r10, r2
+		halt
+	abs:
+		mv   r2, r1
+		bgt  r2, r0, pos
+		neg  r2, r2
+	pos:	ret
+	`)
+	// Decode-level sanity: program assembles and all words decode.
+	for i, w := range p.Code {
+		if _, err := isa.Decode(w); err != nil {
+			t.Fatalf("word %d: %v", i, err)
+		}
+	}
+}
+
+func TestPseudoErrors(t *testing.T) {
+	cases := []string{
+		"mv r1",                // arity
+		"li32 r1, 0x1ffffffff", // out of 32-bit range
+		"ret r1",               // arity
+		"call",                 // arity
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}

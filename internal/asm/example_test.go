@@ -1,0 +1,32 @@
+package asm_test
+
+import (
+	"fmt"
+
+	"thermalherd/internal/asm"
+	"thermalherd/internal/emu"
+)
+
+// Assemble a TH64 program and execute it on the functional emulator.
+func ExampleAssemble() {
+	prog, err := asm.Assemble(`
+		addi r1, r0, 6     ; n
+		addi r2, r0, 1     ; acc
+	loop:
+		mul  r2, r2, r1    ; acc *= n
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`)
+	if err != nil {
+		fmt.Println("assemble:", err)
+		return
+	}
+	m := emu.New(prog)
+	if _, err := m.Run(1000); err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Println("6! =", m.IntRegs[2])
+	// Output: 6! = 720
+}

@@ -1,0 +1,28 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble checks the assembler never panics on arbitrary source
+// text and that whatever it accepts stays within encoding invariants.
+func FuzzAssemble(f *testing.F) {
+	f.Add("addi r1, r0, 5\nhalt")
+	f.Add(".base 0x2000\nloop: bne r1, r0, loop")
+	f.Add(".data 0x100 -9\nld r2, 0(r1)")
+	f.Add("x: y: nop ; stacked labels")
+	f.Add("jal r31, nowhere")
+	f.Add(".bogus\n\x00\xff")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if prog.Base%4 != 0 {
+			t.Fatalf("accepted misaligned base %#x", prog.Base)
+		}
+		for _, label := range prog.Labels {
+			if label < prog.Base || label > prog.Base+uint64(4*len(prog.Code)) {
+				t.Fatalf("label outside code segment: %#x", label)
+			}
+		}
+	})
+}

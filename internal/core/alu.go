@@ -1,0 +1,105 @@
+package core
+
+// ALU3D models the clock-gating behaviour of the significance-partitioned
+// arithmetic units of Section 3.2. The low 16 bits of the adder sit on
+// the top die; in the cycle before execution, the width prediction (and
+// the register file's memoization bits) decide whether to clock-gate the
+// upper 48 bits on the bottom three die.
+//
+// Two unsafe misprediction cases exist:
+//
+//   - Input-width misprediction: an operand turned out full-width while
+//     the unit was only partially enabled → one cycle stall to re-enable
+//     the upper 48 bits.
+//   - Output-width misprediction: two low-width operands produced a
+//     full-width result (e.g. 16-bit + 16-bit = 17-bit sum); for
+//     pipelined units this may surface cycles into the computation, so
+//     the instruction must re-execute.
+type ALU3D struct {
+	ops             uint64
+	gatedOps        uint64
+	inputMispredict uint64
+	outputMispred   uint64
+	activity        DieActivity
+}
+
+// ExecOutcome reports the timing consequences of one execution.
+type ExecOutcome struct {
+	// StallCycles is the number of extra cycles before the result is
+	// available (1 for an input-width unsafe misprediction).
+	StallCycles int
+	// Reexecute is true when an output-width unsafe misprediction
+	// forces the instruction to re-execute from issue.
+	Reexecute bool
+	// DiesActivated is the number of die that switched.
+	DiesActivated int
+}
+
+// Execute models one ALU operation. predictedLow is the width
+// predictor's call; op1Low/op2Low are the operands' actual width classes
+// (from RF memoization bits); resultLow is the actual width class of the
+// computed result.
+//
+// Gating decision per the paper: even with low-width operands, a
+// full-width *prediction* enables the whole adder, because two low-width
+// operands may generate a full-width result. Only a low-width prediction
+// gates the bottom three die.
+func (a *ALU3D) Execute(predictedLow, op1Low, op2Low, resultLow bool) ExecOutcome {
+	a.ops++
+	if !predictedLow {
+		// Fully enabled unit: no stalls possible.
+		a.activity.RecordFull()
+		return ExecOutcome{DiesActivated: NumDies}
+	}
+	// Unit starts gated to the top die.
+	if !op1Low || !op2Low {
+		// Input-width unsafe misprediction: re-enable the upper 48
+		// bits, costing one cycle; the full computation then runs.
+		a.inputMispredict++
+		a.activity.RecordFull()
+		return ExecOutcome{StallCycles: 1, DiesActivated: NumDies}
+	}
+	if !resultLow {
+		// Output-width unsafe misprediction: the gated computation
+		// produced a wrong (truncated) result; re-execute with the
+		// unit fully enabled.
+		a.outputMispred++
+		a.activity.RecordAccess(1) // the aborted gated pass
+		a.activity.RecordFull()    // the re-execution
+		return ExecOutcome{Reexecute: true, DiesActivated: NumDies + 1}
+	}
+	// Correctly herded low-width operation: top die only.
+	a.gatedOps++
+	a.activity.RecordAccess(1)
+	return ExecOutcome{DiesActivated: 1}
+}
+
+// AddWidthOutcome classifies an actual 64-bit addition: given the
+// operand values it returns whether each operand and the true sum are
+// low-width. It exists so callers can derive Execute's inputs from real
+// values (the emulator path) rather than trace annotations.
+func AddWidthOutcome(op1, op2 uint64) (op1Low, op2Low, resultLow bool) {
+	return IsLowWidth(op1), IsLowWidth(op2), IsLowWidth(op1 + op2)
+}
+
+// Ops returns the number of operations executed.
+func (a *ALU3D) Ops() uint64 { return a.ops }
+
+// GatedFraction returns the fraction of operations confined to the top
+// die. The paper's Section 5.2 notes Thermal Herding can gate roughly
+// 75% of a block's switching activity on such operations.
+func (a *ALU3D) GatedFraction() float64 {
+	if a.ops == 0 {
+		return 0
+	}
+	return float64(a.gatedOps) / float64(a.ops)
+}
+
+// Mispredictions returns (input-width, output-width) unsafe
+// misprediction counts.
+func (a *ALU3D) Mispredictions() (input, output uint64) {
+	return a.inputMispredict, a.outputMispred
+}
+
+// Activity returns the accumulated per-die switching activity.
+func (a *ALU3D) Activity() DieActivity { return a.activity }

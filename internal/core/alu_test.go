@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestALUGatedLowWidthOp(t *testing.T) {
+	var a ALU3D
+	out := a.Execute(true, true, true, true)
+	if out.StallCycles != 0 || out.Reexecute {
+		t.Errorf("correctly predicted low op incurred penalty: %+v", out)
+	}
+	if out.DiesActivated != 1 {
+		t.Errorf("dies = %d, want 1", out.DiesActivated)
+	}
+	if a.GatedFraction() != 1 {
+		t.Errorf("gated fraction = %g, want 1", a.GatedFraction())
+	}
+}
+
+func TestALUFullPredictionEnablesEverything(t *testing.T) {
+	var a ALU3D
+	// Even with low-width operands, a full prediction runs ungated (two
+	// low operands may produce a full result).
+	out := a.Execute(false, true, true, false)
+	if out.StallCycles != 0 || out.Reexecute {
+		t.Errorf("full-predicted op incurred penalty: %+v", out)
+	}
+	if out.DiesActivated != NumDies {
+		t.Errorf("dies = %d, want %d", out.DiesActivated, NumDies)
+	}
+}
+
+func TestALUInputWidthMisprediction(t *testing.T) {
+	var a ALU3D
+	out := a.Execute(true, false, true, false)
+	if out.StallCycles != 1 {
+		t.Errorf("input-width mispredict stall = %d, want 1", out.StallCycles)
+	}
+	if out.Reexecute {
+		t.Error("input-width mispredict must not force re-execution")
+	}
+	in, outc := a.Mispredictions()
+	if in != 1 || outc != 0 {
+		t.Errorf("mispredictions = (%d,%d), want (1,0)", in, outc)
+	}
+}
+
+func TestALUOutputWidthMisprediction(t *testing.T) {
+	var a ALU3D
+	// Both operands low but the result overflows 16 bits.
+	out := a.Execute(true, true, true, false)
+	if !out.Reexecute {
+		t.Error("output-width mispredict must force re-execution")
+	}
+	in, outc := a.Mispredictions()
+	if in != 0 || outc != 1 {
+		t.Errorf("mispredictions = (%d,%d), want (0,1)", in, outc)
+	}
+}
+
+func TestAddWidthOutcome(t *testing.T) {
+	cases := []struct {
+		op1, op2             uint64
+		w1Low, w2Low, resLow bool
+	}{
+		{5, 7, true, true, true},
+		{0xffff, 1, true, true, false}, // 16-bit + 16-bit = 17-bit sum
+		{1 << 20, 3, false, true, false},
+		{1, 1 << 50, true, false, false},
+	}
+	for _, c := range cases {
+		w1, w2, r := AddWidthOutcome(c.op1, c.op2)
+		if w1 != c.w1Low || w2 != c.w2Low || r != c.resLow {
+			t.Errorf("AddWidthOutcome(%#x,%#x) = (%v,%v,%v), want (%v,%v,%v)",
+				c.op1, c.op2, w1, w2, r, c.w1Low, c.w2Low, c.resLow)
+		}
+	}
+}
+
+func TestAddWidthOutcomeProperty(t *testing.T) {
+	// Whenever AddWidthOutcome says the result is low-width, the actual
+	// 64-bit sum must fit in 16 bits.
+	f := func(x, y uint16) bool {
+		op1, op2 := uint64(x), uint64(y)
+		_, _, resLow := AddWidthOutcome(op1, op2)
+		return resLow == (op1+op2 <= 0xffff)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestALUActivityAccounting(t *testing.T) {
+	var a ALU3D
+	a.Execute(true, true, true, true)     // 1 die
+	a.Execute(false, false, false, false) // 4 dies
+	act := a.Activity()
+	if act.Words[TopDie] != 2 {
+		t.Errorf("top die = %d, want 2", act.Words[TopDie])
+	}
+	if act.Total() != 1+NumDies {
+		t.Errorf("total = %d, want %d", act.Total(), 1+NumDies)
+	}
+	if a.Ops() != 2 {
+		t.Errorf("ops = %d, want 2", a.Ops())
+	}
+}
+
+func TestALUGatedFractionEmpty(t *testing.T) {
+	var a ALU3D
+	if a.GatedFraction() != 0 {
+		t.Error("gated fraction of idle ALU should be 0")
+	}
+}

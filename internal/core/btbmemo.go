@@ -1,0 +1,56 @@
+package core
+
+// TargetMemo implements the BTB target memoization of Section 3.7: most
+// branch targets lie close to the originating branch, so the BTB stores
+// only the low-order 16 target bits on the top die plus one target
+// memoization bit per entry. When the bit is clear, the predicted target
+// reuses the upper 48 bits of the branch's own PC; when set, the upper
+// bits must be fetched from the remaining three die, stalling the
+// prediction pipeline for one cycle.
+
+// TargetNeedsFullRead reports whether a branch at pc with the given
+// target requires the BTB's lower die (i.e. the target's upper 48 bits
+// differ from the branch PC's).
+func TargetNeedsFullRead(pc, target uint64) bool {
+	return Upper48(pc) != Upper48(target)
+}
+
+// ComposeTarget reconstructs a predicted target from the branch PC and
+// the stored low 16 bits when the memoization bit says the upper bits
+// match; otherwise fullUpper (read from the lower die) supplies them.
+func ComposeTarget(pc uint64, low16 uint16, memoBit bool, fullUpper uint64) uint64 {
+	if !memoBit {
+		return Assemble(Upper48(pc), low16)
+	}
+	return Assemble(fullUpper, low16)
+}
+
+// TargetMemoStats tracks how often target predictions stay on the top
+// die.
+type TargetMemoStats struct {
+	Lookups   uint64
+	FullReads uint64
+	Activity  DieActivity
+}
+
+// Observe records one BTB target lookup for a branch at pc predicting
+// target.
+func (s *TargetMemoStats) Observe(pc, target uint64) (needsFull bool) {
+	s.Lookups++
+	needsFull = TargetNeedsFullRead(pc, target)
+	if needsFull {
+		s.FullReads++
+		s.Activity.RecordFull()
+	} else {
+		s.Activity.RecordAccess(1)
+	}
+	return needsFull
+}
+
+// TopDieRate returns the fraction of lookups confined to the top die.
+func (s *TargetMemoStats) TopDieRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Lookups-s.FullReads) / float64(s.Lookups)
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTargetNeedsFullRead(t *testing.T) {
+	pc := uint64(0x0000_4000_1000)
+	if TargetNeedsFullRead(pc, pc+64) {
+		t.Error("nearby PC-relative target should not need a full read")
+	}
+	if !TargetNeedsFullRead(pc, 0x7fff_0000_0000) {
+		t.Error("far target must need a full read")
+	}
+	// Boundary: targets in a different 64KB-aligned upper region.
+	if !TargetNeedsFullRead(0xffff, 0x10000) {
+		t.Error("crossing the 16-bit boundary changes upper bits")
+	}
+}
+
+func TestComposeTargetRoundTrip(t *testing.T) {
+	f := func(pc, target uint64) bool {
+		needsFull := TargetNeedsFullRead(pc, target)
+		var upper uint64
+		if needsFull {
+			upper = Upper48(target)
+		}
+		return ComposeTarget(pc, Low16(target), needsFull, upper) == target
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTargetMemoStats(t *testing.T) {
+	var s TargetMemoStats
+	pc := uint64(0x40_0000)
+	// 9 near targets, 1 far.
+	for i := 0; i < 9; i++ {
+		if full := s.Observe(pc, pc+uint64(4*(i+1))); full {
+			t.Errorf("near target %d flagged as full read", i)
+		}
+	}
+	if full := s.Observe(pc, 0x9999_0000_0000); !full {
+		t.Error("far target not flagged")
+	}
+	if got, want := s.TopDieRate(), 0.9; got != want {
+		t.Errorf("top-die rate = %g, want %g", got, want)
+	}
+	if s.Activity.Words[TopDie] != 10 {
+		t.Errorf("top die accesses = %d, want 10", s.Activity.Words[TopDie])
+	}
+	if s.Activity.Words[1] != 1 {
+		t.Errorf("die-1 accesses = %d, want 1 (only the far target)", s.Activity.Words[1])
+	}
+}
+
+func TestTargetMemoStatsEmpty(t *testing.T) {
+	var s TargetMemoStats
+	if s.TopDieRate() != 0 {
+		t.Error("empty stats should report 0 top-die rate")
+	}
+}

@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"fmt"
+
+	"thermalherd/internal/core"
+)
+
+// The width predictor drives every herding decision: predict before the
+// register file access, resolve when the value is known.
+func ExampleWidthPredictor() {
+	p := core.NewWidthPredictor(1024)
+	pc := uint64(0x1000)
+	// Train: this instruction always produces small values.
+	for i := 0; i < 4; i++ {
+		pred := p.Predict(pc)
+		p.Resolve(pc, pred, true)
+	}
+	fmt.Println("predicts low-width:", p.Predict(pc))
+	// Output: predicts low-width: true
+}
+
+// The 2-bit partial value encoding covers small negatives and nearby
+// pointers, not just zero-extended values.
+func ExampleClassifyPartialValue() {
+	heap := uint64(0x2000_0000_1000)
+	fmt.Println(core.ClassifyPartialValue(42, heap))          // small positive
+	fmt.Println(core.ClassifyPartialValue(^uint64(4), heap))  // small negative
+	fmt.Println(core.ClassifyPartialValue(heap|0x2468, heap)) // nearby pointer
+	fmt.Println(core.ClassifyPartialValue(0xdead_beef_cafe_f00d, heap))
+	// Output:
+	// zeros
+	// ones
+	// addr
+	// full
+}
+
+// The herding allocator fills the die nearest the heat sink first.
+func ExampleHerdingAllocator() {
+	a := core.NewHerdingAllocator(32, core.AllocHerded)
+	for i := 0; i < 3; i++ {
+		e, _ := a.Allocate()
+		fmt.Printf("entry %d -> die %d\n", i, e.Die)
+	}
+	// Output:
+	// entry 0 -> die 0
+	// entry 1 -> die 0
+	// entry 2 -> die 0
+}
+
+// Partial address memoization confines LSQ broadcasts whose upper 48
+// address bits match the most recent store to the top die.
+func ExampleAddressMemo() {
+	m := core.NewAddressMemo()
+	stack := uint64(0x7fff_ffff_0000)
+	m.Broadcast(stack, true) // store establishes the reference
+	r := m.Broadcast(stack+64, false)
+	fmt.Println("memo hit:", r.MemoHit, "- dies driven:", r.DiesActivated)
+	// Output: memo hit: true - dies driven: 1
+}

@@ -1,0 +1,82 @@
+package core
+
+// AddressMemo implements partial address memoization (PAM) for the load
+// and store queues (Section 3.5). Memory addresses are almost always
+// full-width, but their upper bits rarely change: the LSQ broadcasts only
+// the low 16 address bits on the top die plus one extra bit indicating
+// whether the remaining 48 bits are identical to those of the most recent
+// store address. When the bit is set, the comparison completes on the top
+// die; otherwise the lower three die must participate.
+type AddressMemo struct {
+	// lastStoreUpper is the upper 48 bits of the most recently
+	// broadcast store address, the memoization reference.
+	lastStoreUpper uint64
+	valid          bool
+
+	broadcasts    uint64
+	memoHits      uint64
+	activity      DieActivity
+	fullBroadcast DieActivity // ablation baseline: always broadcast all 64 bits
+}
+
+// NewAddressMemo returns an empty memoizer; the first broadcast always
+// misses.
+func NewAddressMemo() *AddressMemo { return &AddressMemo{} }
+
+// BroadcastResult describes one LSQ address broadcast under PAM.
+type BroadcastResult struct {
+	// MemoHit is true when the upper 48 bits matched the memoized
+	// store address and the broadcast was confined to the top die.
+	MemoHit bool
+	// DiesActivated is the number of die the broadcast drove.
+	DiesActivated int
+}
+
+// Broadcast models one address broadcast into the LSQ CAMs. isStore
+// updates the memoization reference (the paper memoizes against the most
+// recent store address).
+func (m *AddressMemo) Broadcast(addr uint64, isStore bool) BroadcastResult {
+	m.broadcasts++
+	upper := Upper48(addr)
+	hit := m.valid && upper == m.lastStoreUpper
+	if isStore {
+		m.lastStoreUpper = upper
+		m.valid = true
+	}
+	m.fullBroadcast.RecordFull()
+	if hit {
+		m.memoHits++
+		m.activity.RecordAccess(1)
+		return BroadcastResult{MemoHit: true, DiesActivated: 1}
+	}
+	m.activity.RecordFull()
+	return BroadcastResult{DiesActivated: NumDies}
+}
+
+// HitRate returns the fraction of broadcasts confined to the top die.
+func (m *AddressMemo) HitRate() float64 {
+	if m.broadcasts == 0 {
+		return 0
+	}
+	return float64(m.memoHits) / float64(m.broadcasts)
+}
+
+// Broadcasts returns the total number of broadcasts observed.
+func (m *AddressMemo) Broadcasts() uint64 { return m.broadcasts }
+
+// Activity returns per-die activity under PAM.
+func (m *AddressMemo) Activity() DieActivity { return m.activity }
+
+// BaselineActivity returns per-die activity a PAM-less LSQ (full 64-bit
+// broadcast every time) would have incurred — the PAM ablation baseline.
+func (m *AddressMemo) BaselineActivity() DieActivity { return m.fullBroadcast }
+
+// ResetStats zeroes counters while keeping the memoized reference.
+func (m *AddressMemo) ResetStats() {
+	m.broadcasts, m.memoHits = 0, 0
+	m.activity = DieActivity{}
+	m.fullBroadcast = DieActivity{}
+}
+
+// Reset clears the memoization state and statistics.
+func (m *AddressMemo) Reset() { *m = AddressMemo{} }

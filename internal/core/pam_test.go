@@ -1,0 +1,105 @@
+package core
+
+import "testing"
+
+func TestAddressMemoFirstBroadcastMisses(t *testing.T) {
+	m := NewAddressMemo()
+	r := m.Broadcast(0x7fff_0000_1000, true)
+	if r.MemoHit {
+		t.Error("first broadcast cannot hit (no memoized store yet)")
+	}
+	if r.DiesActivated != NumDies {
+		t.Errorf("dies = %d, want %d", r.DiesActivated, NumDies)
+	}
+}
+
+func TestAddressMemoStackLocality(t *testing.T) {
+	m := NewAddressMemo()
+	stack := uint64(0x7fff_ffe0_0000)
+	m.Broadcast(stack, true) // establishes the reference
+	hits := 0
+	const n = 32
+	for i := 0; i < n; i++ {
+		// Subsequent stack accesses share upper 48 bits.
+		r := m.Broadcast(stack+uint64(8*i), i%2 == 0)
+		if r.MemoHit {
+			hits++
+			if r.DiesActivated != 1 {
+				t.Errorf("memo hit activated %d dies, want 1", r.DiesActivated)
+			}
+		}
+	}
+	if hits != n {
+		t.Errorf("stack-local broadcasts hit %d/%d, want all", hits, n)
+	}
+}
+
+func TestAddressMemoHeapStackAlternation(t *testing.T) {
+	m := NewAddressMemo()
+	stack := uint64(0x7fff_ffe0_0000)
+	heap := uint64(0x0000_1234_0000)
+	m.Broadcast(stack, true)
+	// A heap load doesn't match and doesn't update the reference (loads
+	// never update).
+	if r := m.Broadcast(heap, false); r.MemoHit {
+		t.Error("heap load matched stack reference")
+	}
+	// Stack store still matches the old reference.
+	if r := m.Broadcast(stack+8, true); !r.MemoHit {
+		t.Error("stack store should match the memoized stack upper bits")
+	}
+	// Now a heap store moves the reference.
+	m.Broadcast(heap, true)
+	if r := m.Broadcast(heap+16, false); !r.MemoHit {
+		t.Error("heap load should match after heap store updated the reference")
+	}
+	if r := m.Broadcast(stack, false); r.MemoHit {
+		t.Error("stack load should miss after heap store updated the reference")
+	}
+}
+
+func TestAddressMemoOnlyStoresUpdateReference(t *testing.T) {
+	m := NewAddressMemo()
+	a := uint64(0x1111_0000_0000)
+	b := uint64(0x2222_0000_0000)
+	m.Broadcast(a, true)
+	m.Broadcast(b, false) // load: must not move the reference
+	if r := m.Broadcast(a+8, false); !r.MemoHit {
+		t.Error("reference moved on a load broadcast")
+	}
+}
+
+func TestAddressMemoHitRateAndBaseline(t *testing.T) {
+	m := NewAddressMemo()
+	base := uint64(0x4000_0000_0000)
+	m.Broadcast(base, true)
+	for i := 1; i < 10; i++ {
+		m.Broadcast(base+uint64(i*8), false)
+	}
+	if got, want := m.HitRate(), 0.9; got != want {
+		t.Errorf("hit rate = %g, want %g", got, want)
+	}
+	if m.Broadcasts() != 10 {
+		t.Errorf("broadcasts = %d, want 10", m.Broadcasts())
+	}
+	// PAM activity must be strictly below the full-broadcast baseline.
+	if m.Activity().Total() >= m.BaselineActivity().Total() {
+		t.Errorf("PAM activity (%d) not below baseline (%d)",
+			m.Activity().Total(), m.BaselineActivity().Total())
+	}
+	if m.BaselineActivity().Total() != 10*NumDies {
+		t.Errorf("baseline total = %d, want %d", m.BaselineActivity().Total(), 10*NumDies)
+	}
+}
+
+func TestAddressMemoReset(t *testing.T) {
+	m := NewAddressMemo()
+	m.Broadcast(0x1000, true)
+	m.Reset()
+	if m.Broadcasts() != 0 || m.HitRate() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	if r := m.Broadcast(0x1000, false); r.MemoHit {
+		t.Error("hit against a reference that should have been cleared")
+	}
+}

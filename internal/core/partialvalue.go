@@ -1,0 +1,111 @@
+package core
+
+// PVEncoding is the two-bit partial value encoding the paper's Section
+// 3.6 stores alongside each L1 data cache word on the top die. It widens
+// the definition of "low-width" beyond all-zero upper bits so that more
+// loads and stores can be serviced entirely from the top die.
+type PVEncoding uint8
+
+// The four encodings of the upper 48 bits of a cached 64-bit value.
+const (
+	// PVZero: the upper 48 bits are all zeros (small non-negative value).
+	PVZero PVEncoding = 0b00
+	// PVOnes: the upper 48 bits are all ones (small negative value).
+	PVOnes PVEncoding = 0b01
+	// PVAddr: the upper 48 bits equal the upper 48 bits of the
+	// referencing address — the pointer-locality case where heap
+	// structures store pointers to nearby objects.
+	PVAddr PVEncoding = 0b10
+	// PVFull: the upper bits are not trivially encodable and must be
+	// read from the remaining three die.
+	PVFull PVEncoding = 0b11
+)
+
+// String names the encoding.
+func (e PVEncoding) String() string {
+	switch e {
+	case PVZero:
+		return "zeros"
+	case PVOnes:
+		return "ones"
+	case PVAddr:
+		return "addr"
+	case PVFull:
+		return "full"
+	}
+	return "invalid"
+}
+
+// IsLow reports whether the encoding lets a load complete from the top
+// die alone.
+func (e PVEncoding) IsLow() bool { return e != PVFull }
+
+const upper48Ones = (uint64(1) << 48) - 1
+
+// ClassifyPartialValue computes the PVEncoding for value v stored at (or
+// loaded from) address addr. The referencing address participates so the
+// PVAddr pointer case can be detected.
+func ClassifyPartialValue(v, addr uint64) PVEncoding {
+	upper := Upper48(v)
+	switch upper {
+	case 0:
+		return PVZero
+	case upper48Ones:
+		return PVOnes
+	case Upper48(addr):
+		return PVAddr
+	default:
+		return PVFull
+	}
+}
+
+// ExpandPartialValue reconstructs the full 64-bit value from its low
+// 16-bit word, its encoding, and the referencing address. For PVFull the
+// caller must supply the upper bits read from the lower die via upper48.
+func ExpandPartialValue(low16 uint16, enc PVEncoding, addr, upper48 uint64) uint64 {
+	switch enc {
+	case PVZero:
+		return uint64(low16)
+	case PVOnes:
+		return Assemble(upper48Ones, low16)
+	case PVAddr:
+		return Assemble(Upper48(addr), low16)
+	default:
+		return Assemble(upper48, low16)
+	}
+}
+
+// PVStats tallies how often each encoding occurs, quantifying the
+// coverage the 2-bit scheme buys over a 1-bit zero-only memoization
+// (the partial-value ablation in DESIGN.md).
+type PVStats struct {
+	Counts [4]uint64
+}
+
+// Observe records one classified value.
+func (s *PVStats) Observe(e PVEncoding) { s.Counts[e]++ }
+
+// Total returns the number of classified values.
+func (s *PVStats) Total() uint64 {
+	return s.Counts[0] + s.Counts[1] + s.Counts[2] + s.Counts[3]
+}
+
+// LowFraction returns the fraction of values servable from the top die
+// under the full 2-bit scheme.
+func (s *PVStats) LowFraction() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(t-s.Counts[PVFull]) / float64(t)
+}
+
+// ZeroOnlyFraction returns the fraction a 1-bit zeros-only memoization
+// would have covered — the ablation baseline.
+func (s *PVStats) ZeroOnlyFraction() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Counts[PVZero]) / float64(t)
+}

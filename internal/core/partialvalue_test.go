@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyPartialValue(t *testing.T) {
+	heapAddr := uint64(0x00007f12_3456_0000)
+	cases := []struct {
+		v, addr uint64
+		want    PVEncoding
+	}{
+		{0, heapAddr, PVZero},
+		{12345, heapAddr, PVZero},
+		{0xffff, heapAddr, PVZero},
+		{^uint64(0), heapAddr, PVOnes},
+		{^uint64(29999), heapAddr, PVOnes},
+		// A pointer to a nearby heap object: same upper 48 bits as the
+		// referencing address.
+		{heapAddr | 0x1234, heapAddr, PVAddr},
+		// Unrelated full-width value.
+		{0x1122_3344_5566_7788, heapAddr, PVFull},
+	}
+	for _, c := range cases {
+		if got := ClassifyPartialValue(c.v, c.addr); got != c.want {
+			t.Errorf("ClassifyPartialValue(%#x, %#x) = %v, want %v", c.v, c.addr, got, c.want)
+		}
+	}
+}
+
+func TestPartialValueRoundTrip(t *testing.T) {
+	f := func(v, addr uint64) bool {
+		enc := ClassifyPartialValue(v, addr)
+		// Upper bits are only supplied on a full read.
+		var upper uint64
+		if enc == PVFull {
+			upper = Upper48(v)
+		}
+		return ExpandPartialValue(Low16(v), enc, addr, upper) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPVEncodingIsLow(t *testing.T) {
+	for _, e := range []PVEncoding{PVZero, PVOnes, PVAddr} {
+		if !e.IsLow() {
+			t.Errorf("%v.IsLow() = false, want true", e)
+		}
+	}
+	if PVFull.IsLow() {
+		t.Error("PVFull.IsLow() = true, want false")
+	}
+}
+
+func TestPVEncodingZeroVsOnesDisjoint(t *testing.T) {
+	// Upper 48 cannot be simultaneously all-zero and all-one; the
+	// classifier must prefer the zero encoding only for genuinely
+	// zero-extended values.
+	if ClassifyPartialValue(0xffff, 0) != PVZero {
+		t.Error("0xffff should classify as PVZero")
+	}
+	if ClassifyPartialValue(0xffff_ffff_ffff_ffff, 0) != PVOnes {
+		t.Error("all-ones should classify as PVOnes")
+	}
+}
+
+func TestPVAddrBeatsFullWhenUpperMatches(t *testing.T) {
+	// When the value's upper bits happen to be all-zero AND match the
+	// address, zero wins (checked first, cheaper encoding).
+	if got := ClassifyPartialValue(0x42, 0x99); got != PVZero {
+		t.Errorf("got %v, want PVZero", got)
+	}
+}
+
+func TestPVStats(t *testing.T) {
+	var s PVStats
+	addr := uint64(0x5555_0000_0000)
+	values := []uint64{
+		0, 1, 2, // zeros x3
+		^uint64(4),            // ones
+		addr | 0x10,           // addr
+		0x1234_5678_9abc_def0, // full
+	}
+	for _, v := range values {
+		s.Observe(ClassifyPartialValue(v, addr))
+	}
+	if s.Total() != 6 {
+		t.Fatalf("total = %d, want 6", s.Total())
+	}
+	if got, want := s.LowFraction(), 5.0/6.0; got != want {
+		t.Errorf("LowFraction = %g, want %g", got, want)
+	}
+	if got, want := s.ZeroOnlyFraction(), 3.0/6.0; got != want {
+		t.Errorf("ZeroOnlyFraction = %g, want %g", got, want)
+	}
+	// The 2-bit scheme must dominate the 1-bit zeros-only scheme.
+	if s.LowFraction() < s.ZeroOnlyFraction() {
+		t.Error("2-bit encoding should cover at least as much as zeros-only")
+	}
+}
+
+func TestPVStatsEmpty(t *testing.T) {
+	var s PVStats
+	if s.LowFraction() != 0 || s.ZeroOnlyFraction() != 0 {
+		t.Error("empty stats should report zero fractions")
+	}
+}
+
+func TestPVEncodingStrings(t *testing.T) {
+	want := map[PVEncoding]string{PVZero: "zeros", PVOnes: "ones", PVAddr: "addr", PVFull: "full"}
+	for e, s := range want {
+		if e.String() != s {
+			t.Errorf("%d.String() = %q, want %q", e, e.String(), s)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWidthPredictorLearnsStableBehaviour(t *testing.T) {
+	p := NewWidthPredictor(1024)
+	pcLow := uint64(0x1000)
+	pcFull := uint64(0x1004) // adjacent instruction: distinct counter
+
+	// Train: pcLow always low-width, pcFull always full-width.
+	for i := 0; i < 8; i++ {
+		p.Resolve(pcLow, p.Predict(pcLow), true)
+		p.Resolve(pcFull, p.Predict(pcFull), false)
+	}
+	if !p.Predict(pcLow) {
+		t.Error("predictor failed to learn low-width PC")
+	}
+	if p.Predict(pcFull) {
+		t.Error("predictor failed to learn full-width PC")
+	}
+}
+
+func TestWidthPredictorHysteresis(t *testing.T) {
+	p := NewWidthPredictor(64)
+	pc := uint64(0x40)
+	// Saturate toward low.
+	for i := 0; i < 4; i++ {
+		p.Resolve(pc, true, true)
+	}
+	// One full-width outlier must not flip a saturated counter.
+	p.Resolve(pc, p.Predict(pc), false)
+	if !p.Predict(pc) {
+		t.Error("single outlier flipped a saturated two-bit counter")
+	}
+	// But two in a row must.
+	p.Resolve(pc, p.Predict(pc), false)
+	if p.Predict(pc) {
+		t.Error("two consecutive full-width outcomes failed to flip prediction")
+	}
+}
+
+func TestWidthPredictorUnsafeVsSafeAccounting(t *testing.T) {
+	p := NewWidthPredictor(64)
+	pc := uint64(0x80)
+	if unsafe := p.Resolve(pc, true, false); !unsafe {
+		t.Error("predicted-low/actual-full must be unsafe")
+	}
+	if unsafe := p.Resolve(pc, false, true); unsafe {
+		t.Error("predicted-full/actual-low must be safe")
+	}
+	if unsafe := p.Resolve(pc, true, true); unsafe {
+		t.Error("correct prediction must not be unsafe")
+	}
+	_, correct, unsafeN, safeN := p.Stats()
+	if correct != 1 || unsafeN != 1 || safeN != 1 {
+		t.Errorf("stats = (correct=%d, unsafe=%d, safe=%d), want (1,1,1)", correct, unsafeN, safeN)
+	}
+}
+
+func TestWidthPredictorCorrectOverride(t *testing.T) {
+	p := NewWidthPredictor(64)
+	pc := uint64(0x100)
+	for i := 0; i < 4; i++ {
+		p.Resolve(pc, true, true)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("setup: expected low prediction")
+	}
+	p.CorrectOverride(pc)
+	if p.Predict(pc) {
+		t.Error("CorrectOverride did not force full-width prediction")
+	}
+}
+
+func TestWidthPredictorAccuracyOnBiasedStream(t *testing.T) {
+	// The paper reports ~97% accuracy. On a synthetic stream where each
+	// static instruction has a strongly biased width behaviour, the
+	// two-bit counters should land well above 90%.
+	p := NewWidthPredictor(4096)
+	rng := rand.New(rand.NewSource(7))
+	const staticInsts = 256
+	bias := make([]float64, staticInsts)
+	for i := range bias {
+		// Most static instructions are heavily biased one way.
+		if rng.Float64() < 0.7 {
+			bias[i] = 0.97 // mostly low-width
+		} else {
+			bias[i] = 0.03 // mostly full-width
+		}
+	}
+	for i := 0; i < 200000; i++ {
+		s := rng.Intn(staticInsts)
+		pc := uint64(0x1000 + 4*s)
+		actualLow := rng.Float64() < bias[s]
+		p.Resolve(pc, p.Predict(pc), actualLow)
+	}
+	if acc := p.Accuracy(); acc < 0.93 {
+		t.Errorf("accuracy on biased stream = %.3f, want >= 0.93", acc)
+	}
+	if ur := p.UnsafeRate(); ur > 0.05 {
+		t.Errorf("unsafe rate = %.3f, want <= 0.05", ur)
+	}
+}
+
+func TestWidthPredictorReset(t *testing.T) {
+	p := NewWidthPredictor(64)
+	p.Resolve(0, true, false)
+	p.Reset()
+	if _, c, u, s := p.Stats(); c != 0 || u != 0 || s != 0 {
+		t.Error("Reset did not clear statistics")
+	}
+	if p.Accuracy() != 1 {
+		t.Error("Accuracy after reset should be 1 (vacuous)")
+	}
+}
+
+func TestWidthPredictorRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -8, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWidthPredictor(%d) did not panic", n)
+				}
+			}()
+			NewWidthPredictor(n)
+		}()
+	}
+}
+
+func TestOraclePolicyNames(t *testing.T) {
+	names := map[OraclePolicy]string{
+		PolicyTwoBit:     "2bit",
+		PolicyOracle:     "oracle",
+		PolicyAlwaysLow:  "always-low",
+		PolicyAlwaysFull: "always-full",
+	}
+	for p, want := range names {
+		if got := p.String(); got != want {
+			t.Errorf("policy %d String() = %q, want %q", p, got, want)
+		}
+	}
+}

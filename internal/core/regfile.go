@@ -1,0 +1,166 @@
+package core
+
+import "fmt"
+
+// RegFile3D models the word-partitioned physical register file of
+// Section 3.1. Each 64-bit entry is split across the four die with a
+// width memoization bit per entry on the top die that records whether the
+// remaining three die hold non-zero bits.
+//
+// A predicted-low read activates only the top die; if the memoization bit
+// disagrees (an unsafe width misprediction) the access stalls one cycle
+// while the remaining three die are enabled. In a superscalar group, all
+// unsafe mispredictions in the same access group are serviced together,
+// so a group induces at most one stall cycle regardless of how many of
+// its reads mispredicted.
+type RegFile3D struct {
+	entries []regEntry
+
+	activity DieActivity
+
+	reads          uint64
+	writes         uint64
+	lowWidthReads  uint64
+	lowWidthWrites uint64
+	unsafeReads    uint64
+}
+
+type regEntry struct {
+	value uint64
+	// memo is the width memoization bit: true when the upper 48 bits
+	// are all zero, i.e. only the top die holds live bits.
+	memo bool
+}
+
+// NewRegFile3D creates a register file with the given number of physical
+// entries. All entries start at zero (low-width).
+func NewRegFile3D(entries int) *RegFile3D {
+	if entries <= 0 {
+		panic("core: register file needs at least one entry")
+	}
+	rf := &RegFile3D{entries: make([]regEntry, entries)}
+	for i := range rf.entries {
+		rf.entries[i].memo = true
+	}
+	return rf
+}
+
+// Size returns the number of physical entries.
+func (rf *RegFile3D) Size() int { return len(rf.entries) }
+
+// Write stores v into entry idx, updating the memoization bit and
+// activating only as many die as the value requires (a store already
+// knows its width at writeback).
+func (rf *RegFile3D) Write(idx int, v uint64) {
+	e := &rf.entries[idx]
+	e.value = v
+	e.memo = IsLowWidth(v)
+	rf.writes++
+	if e.memo {
+		rf.lowWidthWrites++
+		rf.activity.RecordAccess(1)
+	} else {
+		rf.activity.RecordAccess(Width(v))
+	}
+}
+
+// ReadResult describes the outcome of a width-predicted register read.
+type ReadResult struct {
+	// Value is the full 64-bit register value.
+	Value uint64
+	// Unsafe is true when the access was predicted low-width but the
+	// entry is full-width: the pipeline must stall one cycle while the
+	// lower die are enabled.
+	Unsafe bool
+	// DiesActivated is how many die the access touched in total
+	// (including the recovery access on an unsafe misprediction).
+	DiesActivated int
+}
+
+// Read performs a width-predicted read of entry idx. predictedLow is the
+// width predictor's call for the consuming instruction.
+func (rf *RegFile3D) Read(idx int, predictedLow bool) ReadResult {
+	e := &rf.entries[idx]
+	rf.reads++
+	if e.memo {
+		rf.lowWidthReads++
+	}
+	switch {
+	case predictedLow && e.memo:
+		// Herded access: top die only.
+		rf.activity.RecordAccess(1)
+		return ReadResult{Value: e.value, DiesActivated: 1}
+	case predictedLow && !e.memo:
+		// Unsafe misprediction: the top-die access runs, detects the
+		// set memoization bit, then the remaining three die are
+		// enabled in the next cycle.
+		rf.unsafeReads++
+		rf.activity.RecordFull()
+		return ReadResult{Value: e.value, Unsafe: true, DiesActivated: NumDies}
+	default:
+		// Predicted full-width: all die read in parallel.
+		rf.activity.RecordFull()
+		return ReadResult{Value: e.value, DiesActivated: NumDies}
+	}
+}
+
+// Peek returns the entry value without modeling an access.
+func (rf *RegFile3D) Peek(idx int) uint64 { return rf.entries[idx].value }
+
+// Memo returns the memoization bit of entry idx.
+func (rf *RegFile3D) Memo(idx int) bool { return rf.entries[idx].memo }
+
+// Activity returns the accumulated per-die activity.
+func (rf *RegFile3D) Activity() DieActivity { return rf.activity }
+
+// Stats returns aggregate access statistics.
+func (rf *RegFile3D) Stats() RegFileStats {
+	return RegFileStats{
+		Reads:          rf.reads,
+		Writes:         rf.writes,
+		LowWidthReads:  rf.lowWidthReads,
+		LowWidthWrites: rf.lowWidthWrites,
+		UnsafeReads:    rf.unsafeReads,
+	}
+}
+
+// RegFileStats aggregates register file access behaviour. The paper's
+// Section 5.3 observes ~5x more low-width reads and ~2x more low-width
+// writes than full-width in the ROB/physical registers.
+type RegFileStats struct {
+	Reads          uint64
+	Writes         uint64
+	LowWidthReads  uint64
+	LowWidthWrites uint64
+	UnsafeReads    uint64
+}
+
+// LowReadRatio returns low-width reads / full-width reads (∞-safe: returns
+// 0 when there are no full-width reads).
+func (s RegFileStats) LowReadRatio() float64 {
+	full := s.Reads - s.LowWidthReads
+	if full == 0 {
+		return 0
+	}
+	return float64(s.LowWidthReads) / float64(full)
+}
+
+// String summarizes the stats.
+func (s RegFileStats) String() string {
+	return fmt.Sprintf("reads=%d (low %d, unsafe %d) writes=%d (low %d)",
+		s.Reads, s.LowWidthReads, s.UnsafeReads, s.Writes, s.LowWidthWrites)
+}
+
+// GroupReadStall models the paper's dispatch rule: within one register
+// file access group (the instructions reading the RF in the same cycle),
+// any number of unsafe mispredictions can be serviced in parallel in the
+// next cycle, so the group as a whole pays at most one stall cycle.
+// It returns 1 if any result in the group was unsafe, else 0.
+func GroupReadStall(results []ReadResult) int {
+	for _, r := range results {
+		if r.Unsafe {
+			return 1
+		}
+	}
+	return 0
+}

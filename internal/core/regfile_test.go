@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegFileReadWriteRoundTrip(t *testing.T) {
+	rf := NewRegFile3D(96)
+	f := func(idx uint8, v uint64) bool {
+		i := int(idx) % rf.Size()
+		rf.Write(i, v)
+		r := rf.Read(i, false)
+		return r.Value == v && rf.Memo(i) == IsLowWidth(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegFileHerdedLowWidthRead(t *testing.T) {
+	rf := NewRegFile3D(8)
+	rf.Write(3, 42)
+	r := rf.Read(3, true)
+	if r.Unsafe {
+		t.Error("low-width predicted read of low-width value flagged unsafe")
+	}
+	if r.DiesActivated != 1 {
+		t.Errorf("dies activated = %d, want 1 (top die only)", r.DiesActivated)
+	}
+	if r.Value != 42 {
+		t.Errorf("value = %d, want 42", r.Value)
+	}
+}
+
+func TestRegFileUnsafeMisprediction(t *testing.T) {
+	rf := NewRegFile3D(8)
+	rf.Write(5, 1<<40)
+	r := rf.Read(5, true)
+	if !r.Unsafe {
+		t.Error("predicted-low read of full-width value must be unsafe")
+	}
+	if r.DiesActivated != NumDies {
+		t.Errorf("dies activated = %d, want %d", r.DiesActivated, NumDies)
+	}
+	if r.Value != 1<<40 {
+		t.Errorf("value = %#x, want %#x (recovery must return full value)", r.Value, uint64(1)<<40)
+	}
+	if s := rf.Stats(); s.UnsafeReads != 1 {
+		t.Errorf("unsafe reads = %d, want 1", s.UnsafeReads)
+	}
+}
+
+func TestRegFileFullPredictedReadNeverStalls(t *testing.T) {
+	rf := NewRegFile3D(8)
+	rf.Write(1, 7)          // low-width value
+	rf.Write(2, 0xdead<<32) // full-width value
+	for _, idx := range []int{1, 2} {
+		if r := rf.Read(idx, false); r.Unsafe {
+			t.Errorf("full-width predicted read of entry %d flagged unsafe", idx)
+		}
+	}
+}
+
+func TestRegFileActivityHerding(t *testing.T) {
+	rf := NewRegFile3D(8)
+	rf.Write(0, 5) // low-width write: 1 word
+	rf.Read(0, true)
+	rf.Read(0, true)
+	a := rf.Activity()
+	if a.Words[TopDie] != 3 {
+		t.Errorf("top die words = %d, want 3", a.Words[TopDie])
+	}
+	for d := 1; d < NumDies; d++ {
+		if a.Words[d] != 0 {
+			t.Errorf("die %d words = %d, want 0 (fully herded)", d, a.Words[d])
+		}
+	}
+}
+
+func TestRegFileZeroInitializedLowWidth(t *testing.T) {
+	rf := NewRegFile3D(4)
+	for i := 0; i < rf.Size(); i++ {
+		if !rf.Memo(i) {
+			t.Errorf("fresh entry %d should be memoized low-width", i)
+		}
+	}
+}
+
+func TestRegFileStatsCounting(t *testing.T) {
+	rf := NewRegFile3D(8)
+	rf.Write(0, 1)     // low write
+	rf.Write(1, 1<<20) // full write
+	rf.Read(0, true)   // low read
+	rf.Read(1, false)  // full read
+	rf.Read(1, true)   // unsafe read
+	s := rf.Stats()
+	if s.Writes != 2 || s.LowWidthWrites != 1 {
+		t.Errorf("writes = %d low = %d, want 2/1", s.Writes, s.LowWidthWrites)
+	}
+	if s.Reads != 3 || s.LowWidthReads != 1 || s.UnsafeReads != 1 {
+		t.Errorf("reads = %d low = %d unsafe = %d, want 3/1/1", s.Reads, s.LowWidthReads, s.UnsafeReads)
+	}
+	if s.LowReadRatio() != 0.5 {
+		t.Errorf("LowReadRatio = %g, want 0.5", s.LowReadRatio())
+	}
+}
+
+func TestGroupReadStallAtMostOne(t *testing.T) {
+	// A group with multiple unsafe mispredictions still stalls only one
+	// cycle (serviced in parallel in the next cycle).
+	group := []ReadResult{{Unsafe: true}, {Unsafe: true}, {Unsafe: true}, {}}
+	if got := GroupReadStall(group); got != 1 {
+		t.Errorf("GroupReadStall = %d, want 1", got)
+	}
+	clean := []ReadResult{{}, {}, {}}
+	if got := GroupReadStall(clean); got != 0 {
+		t.Errorf("GroupReadStall(clean) = %d, want 0", got)
+	}
+	if got := GroupReadStall(nil); got != 0 {
+		t.Errorf("GroupReadStall(nil) = %d, want 0", got)
+	}
+}
+
+func TestRegFileRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRegFile3D(0) did not panic")
+		}
+	}()
+	NewRegFile3D(0)
+}

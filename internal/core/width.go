@@ -1,0 +1,157 @@
+// Package core implements the Thermal Herding techniques that are the
+// primary contribution of Puttaswamy & Loh, "Thermal Herding:
+// Microarchitecture Techniques for Controlling Hotspots in
+// High-Performance 3D-Integrated Processors" (HPCA 2007).
+//
+// The processor datapath is significance-partitioned across a stack of
+// four die, 16 bits per die, with bits 15..0 on the top die — the die
+// adjacent to the heat sink. The package provides:
+//
+//   - value width classification and per-die activity accounting
+//     (width.go),
+//   - the PC-indexed two-bit saturating-counter width predictor
+//     (predictor.go),
+//   - width memoization bits for the register file (regfile.go),
+//   - the 2-bit partial value encoding for the L1 data cache
+//     (partialvalue.go),
+//   - partial address memoization for the load/store queues (pam.go),
+//   - the target memoization scheme for the BTB (btbmemo.go),
+//   - the top-die-first ("herding") scheduler allocation policy
+//     (allocator.go).
+package core
+
+// The 3D stack geometry assumed throughout the paper: a 64-bit datapath
+// significance-partitioned across four die at 16 bits per die. Die 0 is
+// the top die, closest to the heat sink.
+const (
+	// NumDies is the number of stacked die.
+	NumDies = 4
+	// WordBits is the number of datapath bits per die.
+	WordBits = 16
+	// ValueBits is the full datapath width.
+	ValueBits = NumDies * WordBits
+	// TopDie is the index of the die adjacent to the heat sink.
+	TopDie = 0
+)
+
+// Width reports the number of 16-bit words needed to represent v as an
+// unsigned quantity: 1 if v fits in bits 15..0, up to 4 if bits 63..48
+// are non-zero. This matches the paper's register-file width memoization,
+// where a single bit records whether "the remaining three die contain
+// non-zero values".
+func Width(v uint64) int {
+	switch {
+	case v>>WordBits == 0:
+		return 1
+	case v>>(2*WordBits) == 0:
+		return 2
+	case v>>(3*WordBits) == 0:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// IsLowWidth reports whether v is a low-width value in the paper's sense:
+// representable in 16 or fewer bits, i.e. the upper 48 bits are all zero.
+// Negative (sign-extended) values are NOT low-width under the register
+// file's single memoization bit; the data cache's richer 2-bit partial
+// value encoding (see PartialValue) covers them.
+func IsLowWidth(v uint64) bool { return v>>WordBits == 0 }
+
+// DiesForWidth returns the number of die whose datapath word is active
+// when handling a value of the given word width under perfect gating.
+func DiesForWidth(w int) int {
+	if w < 1 {
+		return 1
+	}
+	if w > NumDies {
+		return NumDies
+	}
+	return w
+}
+
+// WordOf extracts the 16-bit word of v held on the given die (die 0 =
+// bits 15..0).
+func WordOf(v uint64, die int) uint16 {
+	return uint16(v >> (uint(die) * WordBits))
+}
+
+// Upper48 returns bits 63..16 of v, the portion stored on the bottom
+// three die.
+func Upper48(v uint64) uint64 { return v >> WordBits }
+
+// Low16 returns bits 15..0 of v, the portion stored on the top die.
+func Low16(v uint64) uint16 { return uint16(v) }
+
+// Assemble reconstructs a 64-bit value from its upper 48 bits and its low
+// 16-bit word; the inverse of (Upper48, Low16).
+func Assemble(upper48 uint64, low16 uint16) uint64 {
+	return upper48<<WordBits | uint64(low16)
+}
+
+// DieActivity accumulates, per die, how many word-accesses a structure
+// performed. It is the bridge between the microarchitectural herding
+// mechanisms and the power model: a correctly herded low-width operation
+// touches only die 0, a full-width operation touches all four.
+type DieActivity struct {
+	// Words[d] counts 16-bit word accesses performed on die d.
+	Words [NumDies]uint64
+}
+
+// RecordAccess adds one access that activates the given number of die,
+// counted from the top of the stack: dies=1 touches only die 0, dies=4
+// touches all four. Out-of-range values are clamped.
+func (a *DieActivity) RecordAccess(dies int) {
+	if dies < 1 {
+		dies = 1
+	}
+	if dies > NumDies {
+		dies = NumDies
+	}
+	for d := 0; d < dies; d++ {
+		a.Words[d]++
+	}
+}
+
+// RecordFull adds one access touching all four die.
+func (a *DieActivity) RecordFull() { a.RecordAccess(NumDies) }
+
+// Add accumulates another activity record into a.
+func (a *DieActivity) Add(b DieActivity) {
+	for d := range a.Words {
+		a.Words[d] += b.Words[d]
+	}
+}
+
+// Total returns the total word accesses across all die.
+func (a DieActivity) Total() uint64 {
+	var t uint64
+	for _, w := range a.Words {
+		t += w
+	}
+	return t
+}
+
+// TopDieShare returns the fraction of word accesses on the top die, the
+// quantity Thermal Herding maximizes. Returns 0 when no accesses have
+// been recorded.
+func (a DieActivity) TopDieShare() float64 {
+	t := a.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(a.Words[TopDie]) / float64(t)
+}
+
+// GatedFraction returns the fraction of word accesses avoided relative to
+// an ungated design in which every access would have touched all four
+// die. Accesses per die 0 define the access count. Returns 0 when idle.
+func (a DieActivity) GatedFraction() float64 {
+	accesses := a.Words[TopDie]
+	if accesses == 0 {
+		return 0
+	}
+	full := accesses * NumDies
+	return 1 - float64(a.Total())/float64(full)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidth(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 1},
+		{1, 1},
+		{0xffff, 1},
+		{0x10000, 2},
+		{0xffffffff, 2},
+		{0x1_0000_0000, 3},
+		{0xffff_ffff_ffff, 3},
+		{0x1_0000_0000_0000, 4},
+		{math.MaxUint64, 4},
+	}
+	for _, c := range cases {
+		if got := Width(c.v); got != c.want {
+			t.Errorf("Width(%#x) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestIsLowWidth(t *testing.T) {
+	for _, v := range []uint64{0, 1, 42, 0xffff} {
+		if !IsLowWidth(v) {
+			t.Errorf("IsLowWidth(%#x) = false, want true", v)
+		}
+	}
+	for _, v := range []uint64{0x10000, 1 << 32, math.MaxUint64} {
+		if IsLowWidth(v) {
+			t.Errorf("IsLowWidth(%#x) = true, want false", v)
+		}
+	}
+	// A small negative number sign-extended to 64 bits is NOT low-width
+	// under the register-file definition (upper bits are ones, not
+	// zeros).
+	if IsLowWidth(^uint64(0)) {
+		t.Error("IsLowWidth(-1) = true, want false (sign bits are non-zero)")
+	}
+}
+
+func TestWordOfAndAssembleRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		// Words must reassemble to the original value.
+		var r uint64
+		for d := NumDies - 1; d >= 0; d-- {
+			r = r<<WordBits | uint64(WordOf(v, d))
+		}
+		if r != v {
+			return false
+		}
+		return Assemble(Upper48(v), Low16(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidthMatchesDiesForWidth(t *testing.T) {
+	f := func(v uint64) bool {
+		w := Width(v)
+		d := DiesForWidth(w)
+		if d != w {
+			return false
+		}
+		// All words above the reported width must be zero.
+		for die := w; die < NumDies; die++ {
+			if WordOf(v, die) != 0 {
+				return false
+			}
+		}
+		// The highest word within the width must be non-zero unless
+		// the width is 1 (zero itself has width 1).
+		if w > 1 && WordOf(v, w-1) == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiesForWidthClamping(t *testing.T) {
+	if got := DiesForWidth(0); got != 1 {
+		t.Errorf("DiesForWidth(0) = %d, want 1", got)
+	}
+	if got := DiesForWidth(9); got != NumDies {
+		t.Errorf("DiesForWidth(9) = %d, want %d", got, NumDies)
+	}
+}
+
+func TestDieActivityRecording(t *testing.T) {
+	var a DieActivity
+	a.RecordAccess(1)
+	a.RecordAccess(1)
+	a.RecordAccess(1)
+	a.RecordFull()
+	if a.Words[0] != 4 {
+		t.Errorf("top die words = %d, want 4", a.Words[0])
+	}
+	for d := 1; d < NumDies; d++ {
+		if a.Words[d] != 1 {
+			t.Errorf("die %d words = %d, want 1", d, a.Words[d])
+		}
+	}
+	if got := a.Total(); got != 7 {
+		t.Errorf("Total = %d, want 7", got)
+	}
+	if got, want := a.TopDieShare(), 4.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("TopDieShare = %g, want %g", got, want)
+	}
+	// 4 accesses ungated would cost 16 word-accesses; we used 7.
+	if got, want := a.GatedFraction(), 1-7.0/16.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("GatedFraction = %g, want %g", got, want)
+	}
+}
+
+func TestDieActivityAdd(t *testing.T) {
+	var a, b DieActivity
+	a.RecordAccess(2)
+	b.RecordFull()
+	a.Add(b)
+	want := [NumDies]uint64{2, 2, 1, 1}
+	if a.Words != want {
+		t.Errorf("after Add, Words = %v, want %v", a.Words, want)
+	}
+}
+
+func TestDieActivityEmpty(t *testing.T) {
+	var a DieActivity
+	if a.TopDieShare() != 0 {
+		t.Error("TopDieShare of empty activity should be 0")
+	}
+	if a.GatedFraction() != 0 {
+		t.Error("GatedFraction of empty activity should be 0")
+	}
+}
+
+func TestDieActivityClamps(t *testing.T) {
+	var a DieActivity
+	a.RecordAccess(0)  // clamps to 1
+	a.RecordAccess(99) // clamps to NumDies
+	if a.Words[0] != 2 || a.Words[NumDies-1] != 1 {
+		t.Errorf("clamping failed: %v", a.Words)
+	}
+}

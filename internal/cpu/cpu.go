@@ -1,0 +1,1089 @@
+// Package cpu is a trace-driven, cycle-level timing model of the Table 1
+// out-of-order superscalar processor, standing in for the paper's
+// SimpleScalar/MASE infrastructure. It models fetch (branch prediction,
+// BTB, I-cache/ITLB), in-order dispatch into a ROB and reservation
+// stations, out-of-order issue constrained by functional units and memory
+// ports, the cache hierarchy, and in-order commit.
+//
+// When the configuration enables Thermal Herding, the model adds the
+// paper's Section 3 mechanisms and their costs: width prediction with
+// register-file group stalls, ALU input-width stalls and output-width
+// re-execution, data-cache partial-value stalls, BTB full-target-read
+// bubbles, the herded scheduler allocator, and partial address
+// memoization — while accounting switching activity per die for the
+// power and thermal models.
+package cpu
+
+import (
+	"fmt"
+
+	"thermalherd/internal/cache"
+	"thermalherd/internal/config"
+	"thermalherd/internal/core"
+	"thermalherd/internal/floorplan"
+	"thermalherd/internal/isa"
+	"thermalherd/internal/predictor"
+	"thermalherd/internal/trace"
+)
+
+const numArchRegs = 64 // 32 int + 32 fp in the shared rename space
+
+type robState uint8
+
+const (
+	stDispatched robState = iota
+	stIssued
+	stDone
+)
+
+type robEntry struct {
+	inst     trace.Inst
+	state    robState
+	rs       core.Entry
+	inRS     bool
+	complete uint64 // cycle the result is available
+
+	predictedLow bool
+	hasWidthPred bool
+	opAnyFull    bool // an integer operand was full-width (program order)
+	srcFull      [2]bool
+	resultLow    bool
+	mispredicted bool // branch direction/target misprediction
+	fpLoad       bool
+}
+
+type fetchSlot struct {
+	inst         trace.Inst
+	predictedLow bool
+	hasWidthPred bool
+	opAnyFull    bool
+	srcFull      [2]bool
+	resultLow    bool
+	mispredicted bool
+}
+
+// Core is one simulated processor core.
+type Core struct {
+	cfg config.Machine
+	src trace.Source
+
+	bpred *predictor.Hybrid
+	btb   *predictor.BTB
+	ibtb  *predictor.IndirectBTB
+	ras   *predictor.RAS
+	il1   *cache.Cache
+	itlb  *cache.TLB
+	dtlb  *cache.TLB
+	dmem  *cache.Hierarchy
+
+	wpred   *core.WidthPredictor
+	rsAlloc *core.HerdingAllocator
+	pam     *core.AddressMemo
+
+	rob      []robEntry
+	robHead  int
+	robTail  int
+	robCount int
+	ifq      []fetchSlot
+
+	// Compact mirrors of the hot ROB fields, scanned every cycle by
+	// the issue logic; keeping them in dense arrays (rather than
+	// walking the large robEntry structs) is a significant
+	// simulation-speed win.
+	robState    []robState
+	robComplete []uint64
+	robSrc      [][2]int16
+
+	regReady [numArchRegs]uint64
+	// regIsLow tracks, in program order at fetch time, whether each
+	// architectural register's latest value is low-width — the state
+	// the width memoization bits of the renamed physical registers
+	// would expose to each instruction's register read.
+	regIsLow [numArchRegs]bool
+
+	lqUsed, sqUsed int
+	// sqAddrs holds the 8-byte-aligned addresses of in-flight stores
+	// (dispatched, not yet committed) for store-to-load forwarding.
+	sqAddrs map[uint64]int
+
+	cycle            uint64
+	fetchResumeAt    uint64
+	dispatchBlockedU uint64
+	redirectPending  bool // a mispredicted branch is in flight; fetch stalled
+	srcDone          bool
+
+	// Non-pipelined units.
+	mulDivFree uint64
+	fpDivFree  uint64
+
+	stats         Stats
+	statCycleBase uint64
+}
+
+// Stats aggregates everything the experiments need from one run.
+type Stats struct {
+	Cycles uint64
+	Insts  uint64
+
+	// Front end.
+	BranchCount   uint64
+	BranchMispred uint64
+	BTBFullStalls uint64
+	ICacheMisses  uint64
+	DirAccuracy   float64
+	BTBHitRate    float64
+
+	// Thermal Herding events.
+	WidthPredictions uint64
+	WidthAccuracy    float64
+	WidthUnsafeRate  float64
+	RFGroupStalls    uint64
+	ALUInputStalls   uint64
+	ALUReexecutes    uint64
+	DCacheUnsafe     uint64
+	PAMHitRate       float64
+	PV               core.PVStats
+	RSTopDieShare    float64
+	MeanBroadcastDie float64
+
+	// Memory system.
+	L1DMissRate  float64
+	L2MissRate   float64
+	DRAMAccesses uint64
+	LoadCount    uint64
+	StoreCount   uint64
+	// ForwardedLoads counts loads satisfied by store-to-load forwarding
+	// from an in-flight older store in the store queue.
+	ForwardedLoads uint64
+
+	// Register (ROB/physical register) width behaviour (Section 5.3).
+	RegLowReads   uint64
+	RegFullReads  uint64
+	RegLowWrites  uint64
+	RegFullWrites uint64
+
+	// WidthWords[w] counts integer results needing w 16-bit words
+	// (w in 1..4) — the paper's Section 3 premise that most 64-bit
+	// integer values need 16 or fewer bits.
+	WidthWords [5]uint64
+
+	// Per-block activity for the power model: access counts and, for 3D
+	// configurations, the per-die word activity of each block.
+	BlockAccesses [floorplan.NumBlocks]uint64
+	BlockDie      [floorplan.NumBlocks]core.DieActivity
+
+	// Occupancy (averaged over cycles).
+	MeanROBOcc float64
+	MeanRSOcc  float64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+// IPns returns instructions per nanosecond at the given clock.
+func (s *Stats) IPns(clockGHz float64) float64 { return s.IPC() * clockGHz }
+
+// New builds a core for cfg consuming instructions from src.
+func New(cfg config.Machine, src trace.Source) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l1d := cache.New(cache.Config{Name: "l1d", Size: cfg.L1Size, Ways: cfg.L1Ways, LineSize: cfg.LineSize})
+	l2 := cache.New(cache.Config{Name: "l2", Size: cfg.L2Size, Ways: cfg.L2Ways, LineSize: cfg.LineSize})
+	c := &Core{
+		cfg:     cfg,
+		src:     src,
+		bpred:   predictor.NewHybrid(),
+		btb:     predictor.NewBTB(cfg.BTBEntries, cfg.BTBWays),
+		ibtb:    predictor.NewIndirectBTB(cfg.IBTBEntries, cfg.IBTBWays),
+		ras:     predictor.NewRAS(cfg.RASDepth),
+		il1:     cache.New(cache.Config{Name: "l1i", Size: cfg.L1Size, Ways: cfg.L1Ways, LineSize: cfg.LineSize}),
+		itlb:    cache.NewTLB("itlb", cfg.ITLBEntries, cfg.TLBWays),
+		dtlb:    cache.NewTLB("dtlb", cfg.DTLBEntries, cfg.TLBWays),
+		dmem:    cache.NewHierarchy(l1d, l2, cfg.L1Latency, cfg.L2Latency, cfg.DRAMCycles()),
+		wpred:   core.NewWidthPredictor(cfg.WidthPredEntries),
+		rsAlloc: core.NewHerdingAllocator(cfg.RSSize, cfg.AllocPolicy),
+		pam:     core.NewAddressMemo(),
+		rob:     make([]robEntry, cfg.ROBSize),
+		ifq:     make([]fetchSlot, 0, cfg.IFQSize),
+		sqAddrs: make(map[uint64]int, cfg.SQSize),
+
+		robState:    make([]robState, cfg.ROBSize),
+		robComplete: make([]uint64, cfg.ROBSize),
+		robSrc:      make([][2]int16, cfg.ROBSize),
+	}
+	for i := range c.regIsLow {
+		c.regIsLow[i] = true
+	}
+	return c, nil
+}
+
+// Run simulates until maxInsts further instructions commit or the
+// source is exhausted, and returns the statistics. Call Warmup first to
+// exclude cold-start effects from the measurement.
+func (c *Core) Run(maxInsts uint64) *Stats {
+	occROB, occRS := c.runLoop(c.stats.Insts + maxInsts)
+	c.finalizeStats(occROB, occRS)
+	return &c.stats
+}
+
+// Warmup runs n instructions through the full cycle-level model to warm
+// the caches, branch predictors, width predictor, and memoization state,
+// then discards all statistics so that measurement starts from a hot
+// microarchitectural state — the role SimPoint warmup plays in the
+// paper's methodology.
+func (c *Core) Warmup(n uint64) {
+	c.runLoop(c.stats.Insts + n)
+	c.ResetStats()
+}
+
+// FastForward functionally warms the microarchitectural state — caches,
+// TLBs, branch predictors, BTB, width predictor, PAM — by streaming n
+// instructions without cycle-level timing, the counterpart of
+// SimpleScalar's fast-forward mode. Statistics are discarded afterwards.
+// Follow with a short Warmup to also settle pipeline-occupancy state
+// before measuring.
+func (c *Core) FastForward(n uint64) {
+	for i := uint64(0); i < n && !c.srcDone; i++ {
+		in, ok := c.src.Next()
+		if !ok {
+			c.srcDone = true
+			break
+		}
+		c.il1.Access(in.PC, false)
+		c.itlb.Access(in.PC)
+		if in.IsCtrl() {
+			c.predictControl(&in)
+		}
+		if in.HasIntDest() && in.Class != isa.ClassJump {
+			low := core.IsLowWidth(in.Result)
+			if in.Class != isa.ClassLoad {
+				low = low && !c.operandFull(in.Src1) && !c.operandFull(in.Src2)
+			}
+			pred := c.wpred.Predict(in.PC)
+			if c.cfg.WidthPolicy == core.PolicyTwoBit {
+				c.wpred.Resolve(in.PC, pred, low)
+			}
+		}
+		if in.Dest != trace.RegNone {
+			c.regIsLow[in.Dest] = in.Dest < trace.FPBase && core.IsLowWidth(in.Result)
+		}
+		switch in.Class {
+		case isa.ClassLoad:
+			c.dtlb.Access(in.MemAddr)
+			c.dmem.Access(in.MemAddr, false)
+			c.pam.Broadcast(in.MemAddr, false)
+		case isa.ClassStore:
+			c.dtlb.Access(in.MemAddr)
+			c.dmem.Access(in.MemAddr, true)
+			c.pam.Broadcast(in.MemAddr, true)
+		}
+	}
+	c.ResetStats()
+}
+
+// ResetStats zeroes all statistics (including component counters) while
+// preserving every piece of learned microarchitectural state.
+func (c *Core) ResetStats() {
+	c.stats = Stats{}
+	c.statCycleBase = c.cycle
+	c.bpred.ResetStats()
+	c.btb.ResetStats()
+	c.ibtb.ResetStats()
+	c.il1.ResetStats()
+	c.itlb.ResetStats()
+	c.dtlb.ResetStats()
+	c.dmem.ResetStats()
+	c.wpred.ResetStats()
+	c.rsAlloc.ResetStats()
+	c.pam.ResetStats()
+}
+
+func (c *Core) runLoop(targetInsts uint64) (occROB, occRS uint64) {
+	startCycle := c.cycle
+	for c.stats.Insts < targetInsts {
+		c.commit()
+		c.issue()
+		c.dispatch()
+		c.fetch()
+		occROB += uint64(c.robCount)
+		occRS += uint64(c.rsAlloc.Capacity() - c.rsAlloc.Free())
+		c.rsAlloc.ObserveOccupancy()
+		c.cycle++
+		if c.srcDone && c.robCount == 0 && len(c.ifq) == 0 {
+			break
+		}
+		// Safety valve: a stuck pipeline is a bug, not a result.
+		if c.cycle-startCycle > 1000*targetInsts+1_000_000 {
+			panic(fmt.Sprintf("cpu: pipeline wedged at cycle %d with %d insts committed",
+				c.cycle, c.stats.Insts))
+		}
+	}
+	return occROB, occRS
+}
+
+func (c *Core) finalizeStats(occROB, occRS uint64) {
+	s := &c.stats
+	s.Cycles = c.cycle - c.statCycleBase
+	if s.Cycles > 0 {
+		s.MeanROBOcc = float64(occROB) / float64(s.Cycles)
+		s.MeanRSOcc = float64(occRS) / float64(s.Cycles)
+	}
+	s.DirAccuracy = c.bpred.Accuracy()
+	s.BTBHitRate = c.btb.HitRate()
+	s.WidthPredictions, _, _, _ = c.wpred.Stats()
+	s.WidthAccuracy = c.wpred.Accuracy()
+	s.WidthUnsafeRate = c.wpred.UnsafeRate()
+	s.PAMHitRate = c.pam.HitRate()
+	s.L1DMissRate = c.dmem.L1.MissRate()
+	s.L2MissRate = c.dmem.L2.MissRate()
+	s.DRAMAccesses = c.dmem.Served(cache.LevelMem)
+	s.RSTopDieShare = c.rsAlloc.TopDieAllocShare()
+	s.MeanBroadcastDie = c.rsAlloc.MeanBroadcastDies()
+	// Merge allocator broadcast activity into the RS block activity.
+	s.BlockDie[floorplan.BlkRS].Add(c.rsAlloc.Activity())
+}
+
+// threeDPartitioned reports whether the configuration's structures are
+// physically partitioned across four die.
+func (c *Core) threeDPartitioned() bool { return c.cfg.ThreeD }
+
+// herding reports whether Thermal Herding gating is active.
+func (c *Core) herding() bool { return c.cfg.ThermalHerding }
+
+// recordActivity charges one access to a block. dies is the number of
+// die activated counting from the top (ignored for planar
+// configurations, which record everything on die 0).
+func (c *Core) recordActivity(b floorplan.BlockID, dies int) {
+	c.stats.BlockAccesses[b]++
+	if c.threeDPartitioned() {
+		c.stats.BlockDie[b].RecordAccess(dies)
+	} else {
+		c.stats.BlockDie[b].RecordAccess(1)
+	}
+}
+
+// predictWidth applies the configured width-prediction policy.
+func (c *Core) predictWidth(pc uint64, actualLow bool) bool {
+	switch c.cfg.WidthPolicy {
+	case core.PolicyOracle:
+		return actualLow
+	case core.PolicyAlwaysLow:
+		return true
+	case core.PolicyAlwaysFull:
+		return false
+	default:
+		return c.wpred.Predict(pc)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+func (c *Core) fetch() {
+	if c.redirectPending || c.cycle < c.fetchResumeAt || c.srcDone {
+		return
+	}
+	for fetched := 0; fetched < c.cfg.FetchWidth && len(c.ifq) < c.cfg.IFQSize; fetched++ {
+		in, ok := c.src.Next()
+		if !ok {
+			c.srcDone = true
+			return
+		}
+		slot := fetchSlot{inst: in}
+
+		// I-cache and ITLB.
+		c.recordActivity(floorplan.BlkICache, core.NumDies)
+		if !c.itlb.Access(in.PC) {
+			c.fetchResumeAt = c.cycle + uint64(c.cfg.TLBMissPenalty)
+		}
+		c.recordActivity(floorplan.BlkITLB, core.NumDies)
+		if hit, _ := c.il1.Access(in.PC, false); !hit {
+			c.stats.ICacheMisses++
+			// Fetch stalls for the L2 round trip.
+			c.fetchResumeAt = c.cycle + uint64(c.cfg.L2Latency)
+		}
+		c.recordActivity(floorplan.BlkIFQ, core.NumDies)
+		// Decode dependence-check herding (Section 3.7, Figure 6(b)):
+		// within a fetch group, instruction i must compare against the
+		// i earlier instructions' destinations; the instruction with
+		// the most comparators is placed on the top die. The resulting
+		// activity gradient leans toward the heat sink.
+		if c.herding() {
+			c.recordActivity(floorplan.BlkDecode, c.cfg.FetchWidth-fetched)
+		} else {
+			c.recordActivity(floorplan.BlkDecode, core.NumDies)
+		}
+
+		// Operand widths are resolved in program order: this is exactly
+		// the state the width memoization bits of the renamed physical
+		// registers expose.
+		slot.srcFull[0] = c.operandFull(in.Src1)
+		slot.srcFull[1] = c.operandFull(in.Src2)
+		slot.opAnyFull = slot.srcFull[0] || slot.srcFull[1]
+		slot.resultLow = in.Dest != trace.RegNone && in.Dest < trace.FPBase &&
+			core.IsLowWidth(in.Result)
+		if in.HasIntDest() {
+			c.stats.WidthWords[core.Width(in.Result)]++
+		}
+
+		// Width prediction happens in the front end so gating control
+		// reaches the register file ahead of the access.
+		if actualLow, relevant := c.actualWidthClass(&slot); relevant {
+			slot.hasWidthPred = true
+			slot.predictedLow = c.predictWidth(in.PC, actualLow)
+			if c.cfg.WidthPolicy == core.PolicyTwoBit {
+				c.wpred.Resolve(in.PC, slot.predictedLow, actualLow)
+			}
+		}
+
+		// Advance the program-order width state past this instruction.
+		if in.Dest != trace.RegNone {
+			c.regIsLow[in.Dest] = slot.resultLow
+		}
+
+		// Control flow.
+		if in.IsCtrl() {
+			mispred, extraBubble := c.predictControl(&in)
+			slot.mispredicted = mispred
+			c.ifq = append(c.ifq, slot)
+			if mispred {
+				// Fetch stops until the branch resolves.
+				c.redirectPending = true
+				return
+			}
+			if in.Taken {
+				// Correctly predicted taken: fetch discontinuity ends
+				// the fetch group; a full-target BTB read adds a
+				// bubble cycle.
+				c.fetchResumeAt = c.cycle + 1 + extraBubble
+				return
+			}
+			continue
+		}
+		c.ifq = append(c.ifq, slot)
+	}
+}
+
+// predictControl runs the branch predictors for a control instruction,
+// trains them, and reports whether the front end mispredicted, plus any
+// extra fetch-bubble cycles (BTB full-target reads under 3D herding).
+func (c *Core) predictControl(in *trace.Inst) (mispred bool, extraBubble uint64) {
+	c.recordActivity(floorplan.BlkBPred, core.NumDies)
+	c.stats.BranchCount++
+
+	if in.Class == isa.ClassJump {
+		// Jumps are always taken; the question is the target. Returns
+		// come from the RAS; other indirect jumps from the iBTB; direct
+		// jumps from the BTB.
+		btbRes := c.btb.Lookup(in.PC)
+		c.recordBTBActivity(btbRes)
+		var predTarget uint64
+		havePred := false
+		if in.Op == isa.OpJalr {
+			if t, ok := c.ras.Pop(); ok {
+				predTarget, havePred = t, true
+			} else {
+				iTarget, iOK := c.ibtb.Predict(in.PC)
+				c.ibtb.Update(in.PC, in.Target, iTarget, iOK)
+				if iOK {
+					predTarget, havePred = iTarget, true
+				}
+			}
+		}
+		if !havePred && btbRes.Hit {
+			predTarget, havePred = btbRes.Target, true
+		}
+		if in.Op == isa.OpJal {
+			c.ras.Push(in.PC + 4)
+		}
+		c.btb.Update(in.PC, in.Target)
+		if !havePred || predTarget != in.Target {
+			c.stats.BranchMispred++
+			return true, 0
+		}
+		if c.herding() && btbRes.Hit && btbRes.NeedsFullRead {
+			c.stats.BTBFullStalls++
+			extraBubble = 1
+		}
+		return false, extraBubble
+	}
+
+	// Conditional branch.
+	predTaken := c.bpred.Predict(in.PC)
+	btbRes := c.btb.Lookup(in.PC)
+	c.recordBTBActivity(btbRes)
+	c.bpred.Update(in.PC, in.Taken, predTaken)
+	if in.Taken {
+		c.btb.Update(in.PC, in.Target)
+	}
+	if predTaken != in.Taken {
+		c.stats.BranchMispred++
+		return true, 0
+	}
+	if in.Taken {
+		if !btbRes.Hit || btbRes.Target != in.Target {
+			// Right direction, wrong/unknown target.
+			c.stats.BranchMispred++
+			return true, 0
+		}
+		if c.herding() && btbRes.NeedsFullRead {
+			c.stats.BTBFullStalls++
+			extraBubble = 1
+		}
+	}
+	return false, extraBubble
+}
+
+func (c *Core) recordBTBActivity(r predictor.LookupResult) {
+	dies := 1
+	if !c.herding() || (r.Hit && r.NeedsFullRead) {
+		dies = core.NumDies
+	}
+	c.recordActivity(floorplan.BlkBTB, dies)
+}
+
+// actualWidthClass returns whether the instruction is a low-width
+// instruction — the paper predicts whether an instruction "uses"
+// low-width values, covering both operands and result — and whether
+// width prediction applies to it at all. Loads are classified by their
+// loaded value alone (their address registers are handled by PAM, not by
+// width prediction); ALU-class instructions are low only if their result
+// and all integer operands are low.
+func (c *Core) actualWidthClass(slot *fetchSlot) (low, relevant bool) {
+	in := &slot.inst
+	if !in.HasIntDest() || in.Class == isa.ClassJump {
+		return false, false
+	}
+	low = slot.resultLow
+	if in.Class != isa.ClassLoad {
+		low = low && !slot.opAnyFull
+	}
+	return low, true
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+func (c *Core) dispatch() {
+	if c.cycle < c.dispatchBlockedU {
+		return
+	}
+	groupHadUnsafe := false
+	for n := 0; n < c.cfg.DecodeWidth && len(c.ifq) > 0; n++ {
+		slot := c.ifq[0]
+		in := &slot.inst
+		if c.robCount == c.cfg.ROBSize {
+			break
+		}
+		if in.Class == isa.ClassLoad && c.lqUsed == c.cfg.LQSize {
+			break
+		}
+		if in.Class == isa.ClassStore && c.sqUsed == c.cfg.SQSize {
+			break
+		}
+		rsEntry, ok := c.rsAlloc.Allocate()
+		if !ok {
+			break
+		}
+
+		// Register file read with width prediction (TH only): an
+		// operand whose architectural value is full-width read under a
+		// low prediction is unsafe; the group pays one stall cycle and
+		// the prediction is corrected in place, so the instruction
+		// proceeds with its execution unit fully enabled (no second
+		// stall at the ALU for the same misprediction).
+		// Loads are exempt: their prediction concerns the loaded value
+		// (gating the D-cache); the address-register read is performed
+		// full-width, as load/store addresses almost always are
+		// (Section 3.5 — PAM, not width prediction, covers them).
+		if c.herding() && slot.hasWidthPred && slot.predictedLow && slot.opAnyFull &&
+			in.Class != isa.ClassLoad {
+			groupHadUnsafe = true
+			slot.predictedLow = false
+			c.wpred.CorrectOverride(in.PC)
+		}
+		c.chargeRegisterRead(&slot, slot.predictedLow && c.herding())
+		c.recordActivity(floorplan.BlkRename, core.NumDies)
+
+		e := robEntry{
+			inst:         *in,
+			state:        stDispatched,
+			rs:           rsEntry,
+			inRS:         true,
+			predictedLow: slot.predictedLow,
+			hasWidthPred: slot.hasWidthPred,
+			opAnyFull:    slot.opAnyFull,
+			srcFull:      slot.srcFull,
+			resultLow:    slot.resultLow,
+			mispredicted: slot.mispredicted,
+			fpLoad:       in.Class == isa.ClassLoad && in.Dest >= trace.FPBase,
+		}
+		c.rob[c.robTail] = e
+		c.robState[c.robTail] = stDispatched
+		c.robSrc[c.robTail] = [2]int16{in.Src1, in.Src2}
+		c.robTail = (c.robTail + 1) % c.cfg.ROBSize
+		c.robCount++
+		// RS entry write: with herding, a low-width instruction's
+		// operand/tag state is confined to its entry's die; the entry
+		// itself lives on one die, so dispatch touches that die only.
+		// Without partitioning this is a full-structure access.
+		if c.threeDPartitioned() {
+			c.stats.BlockAccesses[floorplan.BlkRS]++
+			c.stats.BlockDie[floorplan.BlkRS].Words[rsEntry.Die]++
+		} else {
+			c.recordActivity(floorplan.BlkRS, 1)
+		}
+
+		switch in.Class {
+		case isa.ClassLoad:
+			c.lqUsed++
+		case isa.ClassStore:
+			c.sqUsed++
+			c.sqAddrs[in.MemAddr&^7]++
+		}
+		c.ifq = c.ifq[1:]
+	}
+	if groupHadUnsafe {
+		// The whole group stalls one cycle (at most one per group
+		// regardless of how many operands mispredicted), and the
+		// predictions are corrected in place.
+		c.stats.RFGroupStalls++
+		c.dispatchBlockedU = c.cycle + 2
+	}
+}
+
+// operandFull reports whether the architectural register's latest
+// program-order value (as of the current fetch point) is full-width.
+// Only valid during fetch, where state advances in program order.
+func (c *Core) operandFull(r int16) bool {
+	if r == trace.RegNone || r >= trace.FPBase {
+		return false // FP operands are not width-predicted
+	}
+	return !c.regIsLow[r]
+}
+
+// chargeRegisterRead accounts ROB/physical-register-file read activity
+// for an instruction's operands, with die gating when herded.
+func (c *Core) chargeRegisterRead(slot *fetchSlot, herdedLow bool) {
+	in := &slot.inst
+	for i, r := range [2]int16{in.Src1, in.Src2} {
+		if r == trace.RegNone {
+			continue
+		}
+		low := r < trace.FPBase && !slot.srcFull[i]
+		if low {
+			c.stats.RegLowReads++
+		} else {
+			c.stats.RegFullReads++
+		}
+		dies := core.NumDies
+		if herdedLow && low {
+			dies = 1
+		}
+		c.recordActivity(floorplan.BlkROB, dies)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Issue / execute
+// ---------------------------------------------------------------------
+
+// fu tracks per-cycle functional unit budgets.
+type fuBudget struct {
+	alu, shift, mulDiv  int
+	fpAdd, fpMul, fpDiv int
+	memPorts, loadPorts int
+}
+
+func (c *Core) issue() {
+	budget := fuBudget{
+		alu: c.cfg.IntALU, shift: c.cfg.IntShift, mulDiv: c.cfg.IntMulDiv,
+		fpAdd: c.cfg.FPAdd, fpMul: c.cfg.FPMul, fpDiv: c.cfg.FPDiv,
+		memPorts: c.cfg.MemPorts, loadPorts: c.cfg.LoadPorts,
+	}
+	issued := 0
+	size := c.cfg.ROBSize
+	for i, idx := 0, c.robHead; i < c.robCount && issued < c.cfg.IssueWidth; i++ {
+		if c.robState[idx] != stDispatched || !c.srcsReady(idx) {
+			idx++
+			if idx == size {
+				idx = 0
+			}
+			continue
+		}
+		e := &c.rob[idx]
+		if !c.takeFU(&budget, &e.inst) {
+			idx++
+			if idx == size {
+				idx = 0
+			}
+			continue
+		}
+		lat, ok := c.executeLatency(e)
+		if !ok {
+			idx++
+			if idx == size {
+				idx = 0
+			}
+			continue // non-pipelined unit busy
+		}
+		e.state = stIssued
+		c.robState[idx] = stIssued
+		e.complete = c.cycle + uint64(lat)
+		c.robComplete[idx] = e.complete
+		if e.inst.Dest != trace.RegNone {
+			c.regReady[e.inst.Dest] = e.complete
+		}
+		issued++
+
+		// Scheduler: issue frees the RS entry and broadcasts the tag.
+		if e.inRS {
+			c.rsAlloc.Release(e.rs)
+			e.inRS = false
+		}
+		c.rsAlloc.Broadcast()
+		if !c.threeDPartitioned() {
+			c.stats.BlockAccesses[floorplan.BlkRS]++
+			c.stats.BlockDie[floorplan.BlkRS].RecordAccess(1)
+		} else {
+			c.stats.BlockAccesses[floorplan.BlkRS]++
+			// Broadcast activity is merged from the allocator at the
+			// end of the run (it already tracks per-die gating).
+		}
+		c.chargeExecActivity(e)
+
+		if e.mispredicted {
+			// The branch resolves at e.complete; the front end
+			// restarts after the redirect penalty.
+			c.fetchResumeAt = e.complete + uint64(c.cfg.MispredictRedirect)
+			c.redirectPending = false
+		}
+		idx++
+		if idx == size {
+			idx = 0
+		}
+	}
+	// Advance ROB entry states whose completion time has arrived.
+	for i, idx := 0, c.robHead; i < c.robCount; i++ {
+		if c.robState[idx] == stIssued && c.robComplete[idx] <= c.cycle {
+			c.robState[idx] = stDone
+			e := &c.rob[idx]
+			e.state = stDone
+			c.writeback(e)
+		}
+		idx++
+		if idx == size {
+			idx = 0
+		}
+	}
+}
+
+// srcsReady reports whether the ROB entry's source operands are
+// available this cycle.
+func (c *Core) srcsReady(idx int) bool {
+	src := &c.robSrc[idx]
+	if src[0] != trace.RegNone && c.regReady[src[0]] > c.cycle {
+		return false
+	}
+	if src[1] != trace.RegNone && c.regReady[src[1]] > c.cycle {
+		return false
+	}
+	return true
+}
+
+func (c *Core) takeFU(b *fuBudget, in *trace.Inst) bool {
+	take := func(n *int) bool {
+		if *n > 0 {
+			*n--
+			return true
+		}
+		return false
+	}
+	switch in.Class {
+	case isa.ClassALU, isa.ClassBranch, isa.ClassJump, isa.ClassNop, isa.ClassHalt:
+		return take(&b.alu)
+	case isa.ClassShift:
+		return take(&b.shift) || take(&b.alu)
+	case isa.ClassMulDiv:
+		return take(&b.mulDiv)
+	case isa.ClassFPAdd:
+		return take(&b.fpAdd)
+	case isa.ClassFPMul:
+		return take(&b.fpMul)
+	case isa.ClassFPDiv:
+		return take(&b.fpDiv)
+	case isa.ClassLoad:
+		return take(&b.loadPorts) || take(&b.memPorts)
+	case isa.ClassStore:
+		return take(&b.memPorts)
+	}
+	return take(&b.alu)
+}
+
+// executeLatency computes the execution latency of an instruction at
+// issue, including cache access, TLB, width-misprediction penalties, and
+// non-pipelined unit availability. ok=false means the instruction cannot
+// start this cycle (busy non-pipelined unit).
+func (c *Core) executeLatency(e *robEntry) (lat int, ok bool) {
+	in := &e.inst
+	switch in.Class {
+	case isa.ClassALU, isa.ClassBranch, isa.ClassJump, isa.ClassNop, isa.ClassHalt:
+		lat = 1
+	case isa.ClassShift:
+		lat = 1
+	case isa.ClassMulDiv:
+		if c.mulDivFree > c.cycle {
+			return 0, false
+		}
+		if in.Op == isa.OpDiv || in.Op == isa.OpRem {
+			lat = 20
+			c.mulDivFree = c.cycle + uint64(lat) // divider not pipelined
+		} else {
+			lat = 3
+		}
+	case isa.ClassFPAdd:
+		lat = 3
+	case isa.ClassFPMul:
+		lat = 5
+	case isa.ClassFPDiv:
+		if c.fpDivFree > c.cycle {
+			return 0, false
+		}
+		lat = 20
+		c.fpDivFree = c.cycle + uint64(lat)
+	case isa.ClassLoad:
+		lat = c.loadLatency(e)
+	case isa.ClassStore:
+		// Address generation only; data is written at commit.
+		lat = 1
+		c.broadcastLSQ(in)
+	default:
+		lat = 1
+	}
+
+	// Width-misprediction execution penalties (integer units only).
+	// RF-detected mispredictions were already corrected at dispatch
+	// (predictedLow cleared), so only genuine surprises remain: an
+	// operand that bypassed in full-width, or a low×low operation whose
+	// result overflowed 16 bits.
+	if c.herding() && e.hasWidthPred && e.predictedLow && isIntExec(in.Class) {
+		switch {
+		case e.opAnyFull:
+			// The unit was not fully enabled: one cycle to re-enable
+			// the upper 48 bits.
+			c.stats.ALUInputStalls++
+			lat++
+		case !e.resultLow:
+			// Output-width misprediction: re-execute.
+			c.stats.ALUReexecutes++
+			lat *= 2
+		}
+	}
+	return lat, true
+}
+
+func isIntExec(cl isa.Class) bool {
+	return cl == isa.ClassALU || cl == isa.ClassShift || cl == isa.ClassMulDiv
+}
+
+// loadLatency models a load: DTLB, LSQ broadcast, cache hierarchy, and
+// the Thermal Herding partial-value behaviour of the L1 data cache.
+func (c *Core) loadLatency(e *robEntry) int {
+	in := &e.inst
+	c.stats.LoadCount++
+	lat := 0
+	if !c.dtlb.Access(in.MemAddr) {
+		lat += c.cfg.TLBMissPenalty
+	}
+	c.recordActivity(floorplan.BlkDTLB, core.NumDies)
+	c.broadcastLSQ(in)
+
+	// Store-to-load forwarding: a load whose address matches an
+	// in-flight older store takes its data straight from the store
+	// queue, skipping the cache. (The model's dependence resolution is
+	// conservative: an address match suffices; real designs also check
+	// age and size.)
+	if c.sqAddrs[in.MemAddr&^7] > 0 {
+		c.stats.ForwardedLoads++
+		lat += 2 // SQ read-out
+		// The forwarded value still drives the (herded) data bypass.
+		dies := core.NumDies
+		if c.herding() && e.predictedLow && e.hasWidthPred {
+			dies = 1
+		}
+		c.recordActivity(floorplan.BlkLSQ, dies)
+		if lat < c.cfg.L1Latency {
+			lat = c.cfg.L1Latency
+		}
+		if e.fpLoad {
+			lat += c.cfg.FPLoadExtraCycle
+		}
+		return lat
+	}
+
+	memLat, level := c.dmem.Access(in.MemAddr, false)
+	lat += memLat
+	c.chargeMemActivity(level)
+
+	// Partial value encoding (Section 3.6): classify the loaded value
+	// against the referencing address.
+	enc := core.ClassifyPartialValue(in.Result, in.MemAddr)
+	c.stats.PV.Observe(enc)
+	if c.herding() {
+		if level == cache.LevelL1 && e.predictedLow && e.hasWidthPred {
+			if enc.IsLow() {
+				// Herded load: top die only.
+				c.recordActivity(floorplan.BlkDCache, 1)
+			} else {
+				// Unsafe: stall the cache pipeline one cycle; the tag
+				// match already identified the way, so only one way of
+				// the lower die is read.
+				c.stats.DCacheUnsafe++
+				lat++
+				c.recordActivity(floorplan.BlkDCache, core.NumDies)
+			}
+		} else {
+			// Full-width predicted loads and all L2 fills access all
+			// four die.
+			c.recordActivity(floorplan.BlkDCache, core.NumDies)
+		}
+	} else {
+		c.recordActivity(floorplan.BlkDCache, core.NumDies)
+	}
+
+	// FP loads may pay an extra routing cycle in the planar design.
+	if e.fpLoad {
+		lat += c.cfg.FPLoadExtraCycle
+	}
+	if lat < c.cfg.L1Latency {
+		lat = c.cfg.L1Latency
+	}
+	return lat
+}
+
+// broadcastLSQ models the load/store queue address broadcast with
+// partial address memoization.
+func (c *Core) broadcastLSQ(in *trace.Inst) {
+	res := c.pam.Broadcast(in.MemAddr, in.Class == isa.ClassStore)
+	dies := core.NumDies
+	if c.herding() && res.MemoHit {
+		dies = res.DiesActivated
+	}
+	c.recordActivity(floorplan.BlkLSQ, dies)
+}
+
+func (c *Core) chargeMemActivity(level cache.Level) {
+	if level == cache.LevelL2 || level == cache.LevelMem {
+		c.recordActivity(floorplan.BlkL2, core.NumDies)
+	}
+	if level == cache.LevelMem {
+		c.stats.BlockAccesses[floorplan.BlkMemCtl]++
+		c.stats.BlockDie[floorplan.BlkMemCtl].RecordAccess(1)
+	}
+}
+
+// chargeExecActivity accounts execution-unit and bypass switching for an
+// issued instruction, with die gating for herded low-width operations.
+func (c *Core) chargeExecActivity(e *robEntry) {
+	in := &e.inst
+	resultLow := e.resultLow
+	gated := c.herding() && e.hasWidthPred && e.predictedLow &&
+		!e.opAnyFull && resultLow
+
+	switch {
+	case isIntExec(in.Class) || in.Class == isa.ClassBranch || in.Class == isa.ClassJump:
+		if gated {
+			c.recordActivity(floorplan.BlkIntExec, 1)
+			c.recordActivity(floorplan.BlkBypass, 1)
+		} else {
+			c.recordActivity(floorplan.BlkIntExec, core.NumDies)
+			dies := core.NumDies
+			if c.herding() && resultLow {
+				// A correctly low result only drives the top-die
+				// bypass wires even if the unit ran ungated.
+				dies = 1
+			}
+			c.recordActivity(floorplan.BlkBypass, dies)
+		}
+	case in.Class == isa.ClassFPAdd || in.Class == isa.ClassFPMul || in.Class == isa.ClassFPDiv:
+		c.recordActivity(floorplan.BlkFPExec, core.NumDies)
+		c.recordActivity(floorplan.BlkBypass, core.NumDies)
+	case in.Class == isa.ClassLoad:
+		dies := core.NumDies
+		if c.herding() && resultLow {
+			dies = 1
+		}
+		c.recordActivity(floorplan.BlkBypass, dies)
+	}
+}
+
+// writeback charges the result write into the ROB/physical registers.
+// The width state itself advanced in program order at fetch.
+func (c *Core) writeback(e *robEntry) {
+	in := &e.inst
+	if in.Dest == trace.RegNone {
+		return
+	}
+	low := e.resultLow
+	if low {
+		c.stats.RegLowWrites++
+	} else {
+		c.stats.RegFullWrites++
+	}
+	dies := core.NumDies
+	if c.herding() && low {
+		dies = 1
+	}
+	c.recordActivity(floorplan.BlkROB, dies)
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth && c.robCount > 0; n++ {
+		e := &c.rob[c.robHead]
+		if e.state != stDone {
+			return
+		}
+		in := &e.inst
+		switch in.Class {
+		case isa.ClassLoad:
+			c.lqUsed--
+		case isa.ClassStore:
+			c.sqUsed--
+			if n := c.sqAddrs[in.MemAddr&^7]; n > 1 {
+				c.sqAddrs[in.MemAddr&^7] = n - 1
+			} else {
+				delete(c.sqAddrs, in.MemAddr&^7)
+			}
+			c.stats.StoreCount++
+			// The store writes the cache at commit. A store knows its
+			// data width, so it never causes an unsafe misprediction.
+			_, level := c.dmem.Access(in.MemAddr, true)
+			c.chargeMemActivity(level)
+			dies := core.NumDies
+			if c.herding() && core.ClassifyPartialValue(in.StoreVal, in.MemAddr).IsLow() {
+				dies = 1
+			}
+			c.recordActivity(floorplan.BlkDCache, dies)
+			if !c.dtlb.Access(in.MemAddr) {
+				// Commit-time translation misses are rare (the issue
+				// access warmed the TLB); charge activity only.
+			}
+			c.recordActivity(floorplan.BlkDTLB, core.NumDies)
+		}
+		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+		c.robCount--
+		c.stats.Insts++
+	}
+}

@@ -1,0 +1,179 @@
+package cpu
+
+import (
+	"testing"
+
+	"thermalherd/internal/config"
+	"thermalherd/internal/floorplan"
+	"thermalherd/internal/isa"
+	"thermalherd/internal/trace"
+)
+
+const decodeBlock = floorplan.BlkDecode
+
+// Shorthands for building trace streams in tests.
+const (
+	opSt       = isa.OpSt
+	opLd       = isa.OpLd
+	classStore = isa.ClassStore
+	classLoad  = isa.ClassLoad
+)
+
+// TestFastForwardWarmsCaches: after fast-forwarding, the measured phase
+// should see far fewer cold misses than a cold start.
+func TestFastForwardWarmsCaches(t *testing.T) {
+	p, err := trace.ProfileByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(ff uint64) *Stats {
+		c, err := New(config.Baseline(), trace.NewGenerator(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.FastForward(ff)
+		return c.Run(60000)
+	}
+	cold := run(0)
+	warm := run(2_000_000)
+	if warm.DRAMAccesses >= cold.DRAMAccesses {
+		t.Errorf("fast-forward did not reduce DRAM accesses: %d vs %d",
+			warm.DRAMAccesses, cold.DRAMAccesses)
+	}
+	if warm.IPC() <= cold.IPC() {
+		t.Errorf("fast-forward did not improve measured IPC: %.3f vs %.3f",
+			warm.IPC(), cold.IPC())
+	}
+	if warm.DirAccuracy <= cold.DirAccuracy {
+		t.Errorf("fast-forward did not warm the branch predictor: %.3f vs %.3f",
+			warm.DirAccuracy, cold.DirAccuracy)
+	}
+}
+
+// TestFastForwardApproximatesCycleWarmup: both warming methods should
+// land the measured IPC in the same neighbourhood.
+func TestFastForwardApproximatesCycleWarmup(t *testing.T) {
+	p, err := trace.ProfileByName("susan_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFF := func() float64 {
+		c, _ := New(config.ThreeD(), trace.NewGenerator(p))
+		c.FastForward(600_000)
+		c.Warmup(50_000)
+		return c.Run(100_000).IPC()
+	}()
+	viaCycle := func() float64 {
+		c, _ := New(config.ThreeD(), trace.NewGenerator(p))
+		c.Warmup(650_000)
+		return c.Run(100_000).IPC()
+	}()
+	ratio := viaFF / viaCycle
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("FF-warmed IPC %.3f vs cycle-warmed %.3f (ratio %.3f), want within 10%%",
+			viaFF, viaCycle, ratio)
+	}
+}
+
+// TestFastForwardDiscardsStats: statistics must be clean after FF.
+func TestFastForwardDiscardsStats(t *testing.T) {
+	p, _ := trace.ProfileByName("gzip")
+	c, _ := New(config.ThreeD(), trace.NewGenerator(p))
+	c.FastForward(100_000)
+	s := c.Run(1000)
+	// Commit is up to 4-wide, so the run may overshoot the target by up
+	// to CommitWidth-1 instructions.
+	if s.Insts < 1000 || s.Insts > 1003 {
+		t.Errorf("measured insts = %d, want 1000..1003", s.Insts)
+	}
+	if s.Cycles == 0 || s.Cycles > 100_000 {
+		t.Errorf("measured cycles = %d look contaminated by the FF phase", s.Cycles)
+	}
+}
+
+// TestDecodeHerdingGradient: with herding, decode dependence-check
+// activity leans toward the top die; without, it is uniform.
+func TestDecodeHerdingGradient(t *testing.T) {
+	p, _ := trace.ProfileByName("gzip")
+	run := func(cfg config.Machine) *Stats {
+		c, _ := New(cfg, trace.NewGenerator(p))
+		return c.Run(50000)
+	}
+	th := run(config.ThreeD())
+	noTH := run(config.ThreeDNoTH())
+	thDecode := th.BlockDie[decodeBlock].TopDieShare()
+	noTHDecode := noTH.BlockDie[decodeBlock].TopDieShare()
+	if thDecode <= noTHDecode {
+		t.Errorf("herded decode top-die share (%.3f) not above uniform (%.3f)",
+			thDecode, noTHDecode)
+	}
+}
+
+// TestStoreToLoadForwarding: a load hitting an in-flight store's address
+// must be counted as forwarded and avoid the memory hierarchy.
+func TestStoreToLoadForwarding(t *testing.T) {
+	// Alternating store/load to the same address, far apart in the
+	// address space from anything else.
+	insts := make([]trace.Inst, 2000)
+	addr := uint64(0x7000_0000_0000)
+	for i := range insts {
+		if i%2 == 0 {
+			insts[i] = trace.Inst{
+				PC: 0x1000 + uint64(4*(i%64)), Op: opSt, Class: classStore,
+				Dest: -1, Src1: 1, Src2: 2,
+				MemAddr: addr, MemSize: 8, StoreVal: 7,
+			}
+		} else {
+			insts[i] = trace.Inst{
+				PC: 0x1000 + uint64(4*(i%64)), Op: opLd, Class: classLoad,
+				Dest: int16(1 + i%8), Src1: 1, Src2: -1,
+				MemAddr: addr, MemSize: 8, Result: 7,
+			}
+		}
+	}
+	c, err := New(config.Baseline(), trace.NewSliceSource(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Run(uint64(len(insts)))
+	if s.ForwardedLoads == 0 {
+		t.Error("no loads forwarded despite same-address in-flight stores")
+	}
+	if s.ForwardedLoads > s.LoadCount {
+		t.Errorf("forwarded (%d) exceeds loads (%d)", s.ForwardedLoads, s.LoadCount)
+	}
+}
+
+// TestIndirectBTBLearnsNonReturnTargets: indirect jumps with no matching
+// call (so the RAS cannot help) must be predicted by the iBTB once
+// trained.
+func TestIndirectBTBLearnsNonReturnTargets(t *testing.T) {
+	// A repeating pattern of jalr instructions, each PC with a fixed
+	// target, interleaved with filler ALU ops.
+	insts := make([]trace.Inst, 20000)
+	for i := range insts {
+		if i%4 == 3 {
+			slot := (i / 4) % 8
+			pc := uint64(0x2000 + 16*slot)
+			insts[i] = trace.Inst{
+				PC: pc, Op: isa.OpJalr, Class: isa.ClassJump,
+				Dest: -1, Src1: 5, Src2: -1,
+				Taken: true, Target: 0x9000 + uint64(64*slot),
+			}
+		} else {
+			insts[i] = trace.Inst{
+				PC: 0x1000 + uint64(4*(i%16)), Op: isa.OpAdd, Class: isa.ClassALU,
+				Dest: int16(1 + i%8), Src1: -1, Src2: -1, Result: 3,
+			}
+		}
+	}
+	c, err := New(config.Baseline(), trace.NewSliceSource(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Run(uint64(len(insts)))
+	mispredRate := float64(s.BranchMispred) / float64(s.BranchCount)
+	if mispredRate > 0.2 {
+		t.Errorf("indirect-jump mispredict rate = %.3f; iBTB should learn fixed targets", mispredRate)
+	}
+}

@@ -1,0 +1,361 @@
+// Package emu is a functional (architectural) emulator for the TH64 ISA.
+// It executes assembled programs and emits the dynamic instruction stream
+// (trace.Inst) that the timing simulator consumes, so the Thermal Herding
+// mechanisms can be validated against value-width and address-locality
+// behaviour arising from genuine computation rather than from synthetic
+// statistics.
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"thermalherd/internal/isa"
+	"thermalherd/internal/trace"
+)
+
+// Memory layout conventions used by the kernels in package kernels.
+const (
+	// StackTop is the initial stack pointer (r30). Its upper 48 bits
+	// are deliberately non-zero so stack addresses exhibit the
+	// full-width-address / stable-upper-bits behaviour PAM exploits.
+	StackTop = 0x0000_7fff_ffff_fff0
+	// SPReg and LinkReg are the software conventions for the stack
+	// pointer and the call return address.
+	SPReg   = 30
+	LinkReg = 31
+)
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Machine is the architectural state of one TH64 hart plus its memory.
+type Machine struct {
+	PC      uint64
+	IntRegs [isa.NumIntRegs]uint64
+	FPRegs  [isa.NumFPRegs]float64
+	Halted  bool
+
+	prog  *isa.Program
+	pages map[uint64]*[pageSize]byte
+
+	instsExecuted uint64
+}
+
+// New creates a machine loaded with prog: PC at the program base, the
+// data segment initialized, and the stack pointer set to StackTop.
+func New(prog *isa.Program) *Machine {
+	m := &Machine{
+		PC:    prog.Base,
+		prog:  prog,
+		pages: make(map[uint64]*[pageSize]byte),
+	}
+	m.IntRegs[SPReg] = StackTop
+	for addr, val := range prog.Data {
+		m.WriteMem(addr, 8, val)
+	}
+	return m
+}
+
+// InstsExecuted returns the number of instructions retired so far.
+func (m *Machine) InstsExecuted() uint64 { return m.instsExecuted }
+
+func (m *Machine) page(addr uint64) *[pageSize]byte {
+	key := addr >> pageBits
+	p, ok := m.pages[key]
+	if !ok {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// ReadMem reads size bytes (1, 4, or 8) little-endian at addr.
+func (m *Machine) ReadMem(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		b := m.page(a)[a&(pageSize-1)]
+		v |= uint64(b) << (8 * uint(i))
+	}
+	return v
+}
+
+// WriteMem writes the low size bytes of val little-endian at addr.
+func (m *Machine) WriteMem(addr uint64, size int, val uint64) {
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		m.page(a)[a&(pageSize-1)] = byte(val >> (8 * uint(i)))
+	}
+}
+
+func signExtend(v uint64, bits uint) uint64 {
+	shift := 64 - bits
+	return uint64(int64(v<<shift) >> shift)
+}
+
+// Step executes one instruction and returns its dynamic record. ok is
+// false when the machine has halted (the halt instruction itself is
+// reported with ok=true; subsequent calls return ok=false).
+func (m *Machine) Step() (trace.Inst, bool, error) {
+	if m.Halted {
+		return trace.Inst{}, false, nil
+	}
+	in, err := m.prog.InstAt(m.PC)
+	if err != nil {
+		return trace.Inst{}, false, fmt.Errorf("emu: fetch at pc=%#x: %w", m.PC, err)
+	}
+	dyn := trace.Inst{PC: m.PC, Op: in.Op, Class: in.Op.Class(),
+		Dest: trace.RegNone, Src1: trace.RegNone, Src2: trace.RegNone}
+	nextPC := m.PC + 4
+
+	reg := func(i uint8) uint64 { return m.IntRegs[i] }
+	setInt := func(i uint8, v uint64) {
+		if i != 0 {
+			m.IntRegs[i] = v
+		}
+		dyn.Dest = int16(i)
+		dyn.Result = v
+		if i == 0 {
+			dyn.Result = 0
+		}
+	}
+	setFP := func(i uint8, v float64) {
+		m.FPRegs[i] = v
+		dyn.Dest = trace.FPBase + int16(i)
+		dyn.Result = math.Float64bits(v)
+	}
+	srcInt := func(i uint8) uint64 { dynAddSrc(&dyn, int16(i)); return reg(i) }
+	srcFP := func(i uint8) float64 { dynAddSrc(&dyn, trace.FPBase+int16(i)); return m.FPRegs[i] }
+	imm := int64(in.Imm)
+
+	switch in.Op {
+	case isa.OpNop:
+
+	case isa.OpAdd:
+		setInt(in.Rd, srcInt(in.Rs1)+srcInt(in.Rs2))
+	case isa.OpSub:
+		setInt(in.Rd, srcInt(in.Rs1)-srcInt(in.Rs2))
+	case isa.OpAnd:
+		setInt(in.Rd, srcInt(in.Rs1)&srcInt(in.Rs2))
+	case isa.OpOr:
+		setInt(in.Rd, srcInt(in.Rs1)|srcInt(in.Rs2))
+	case isa.OpXor:
+		setInt(in.Rd, srcInt(in.Rs1)^srcInt(in.Rs2))
+	case isa.OpSll:
+		setInt(in.Rd, srcInt(in.Rs1)<<(srcInt(in.Rs2)&63))
+	case isa.OpSrl:
+		setInt(in.Rd, srcInt(in.Rs1)>>(srcInt(in.Rs2)&63))
+	case isa.OpSra:
+		setInt(in.Rd, uint64(int64(srcInt(in.Rs1))>>(srcInt(in.Rs2)&63)))
+	case isa.OpMul:
+		setInt(in.Rd, srcInt(in.Rs1)*srcInt(in.Rs2))
+	case isa.OpDiv:
+		a, b := int64(srcInt(in.Rs1)), int64(srcInt(in.Rs2))
+		if b == 0 {
+			setInt(in.Rd, ^uint64(0)) // divide-by-zero yields all ones, RISC-V style
+		} else {
+			setInt(in.Rd, uint64(a/b))
+		}
+	case isa.OpRem:
+		a, b := int64(srcInt(in.Rs1)), int64(srcInt(in.Rs2))
+		if b == 0 {
+			setInt(in.Rd, uint64(a))
+		} else {
+			setInt(in.Rd, uint64(a%b))
+		}
+	case isa.OpSlt:
+		v := uint64(0)
+		if int64(srcInt(in.Rs1)) < int64(srcInt(in.Rs2)) {
+			v = 1
+		}
+		setInt(in.Rd, v)
+	case isa.OpSltu:
+		v := uint64(0)
+		if srcInt(in.Rs1) < srcInt(in.Rs2) {
+			v = 1
+		}
+		setInt(in.Rd, v)
+
+	case isa.OpAddi:
+		setInt(in.Rd, srcInt(in.Rs1)+uint64(imm))
+	case isa.OpAndi:
+		// Logical immediates zero-extend (MIPS-style), unlike addi.
+		setInt(in.Rd, srcInt(in.Rs1)&uint64(uint16(in.Imm)))
+	case isa.OpOri:
+		setInt(in.Rd, srcInt(in.Rs1)|uint64(uint16(in.Imm)))
+	case isa.OpXori:
+		setInt(in.Rd, srcInt(in.Rs1)^uint64(uint16(in.Imm)))
+	case isa.OpSlli:
+		setInt(in.Rd, srcInt(in.Rs1)<<(uint64(uint16(in.Imm))&63))
+	case isa.OpSrli:
+		setInt(in.Rd, srcInt(in.Rs1)>>(uint64(uint16(in.Imm))&63))
+	case isa.OpSrai:
+		setInt(in.Rd, uint64(int64(srcInt(in.Rs1))>>(uint64(uint16(in.Imm))&63)))
+	case isa.OpSlti:
+		v := uint64(0)
+		if int64(srcInt(in.Rs1)) < imm {
+			v = 1
+		}
+		setInt(in.Rd, v)
+	case isa.OpLui:
+		setInt(in.Rd, uint64(uint16(in.Imm))<<16)
+
+	case isa.OpLd, isa.OpLw, isa.OpLb:
+		addr := srcInt(in.Rs1) + uint64(imm)
+		size := in.MemBytes()
+		v := m.ReadMem(addr, size)
+		switch in.Op {
+		case isa.OpLw:
+			v = signExtend(v, 32)
+		case isa.OpLb:
+			v = signExtend(v, 8)
+		}
+		dyn.MemAddr, dyn.MemSize = addr, uint8(size)
+		setInt(in.Rd, v)
+	case isa.OpSt, isa.OpSw, isa.OpSb:
+		addr := srcInt(in.Rs1) + uint64(imm)
+		size := in.MemBytes()
+		v := reg(in.Rd)
+		dynAddSrc(&dyn, int16(in.Rd)) // the stored register is a source
+		m.WriteMem(addr, size, v)
+		dyn.MemAddr, dyn.MemSize = addr, uint8(size)
+		dyn.StoreVal = v
+
+	case isa.OpFLd:
+		addr := srcInt(in.Rs1) + uint64(imm)
+		bits := m.ReadMem(addr, 8)
+		dyn.MemAddr, dyn.MemSize = addr, 8
+		setFP(in.Rd, math.Float64frombits(bits))
+	case isa.OpFSt:
+		addr := srcInt(in.Rs1) + uint64(imm)
+		bits := math.Float64bits(m.FPRegs[in.Rd])
+		dynAddSrc(&dyn, trace.FPBase+int16(in.Rd))
+		m.WriteMem(addr, 8, bits)
+		dyn.MemAddr, dyn.MemSize = addr, 8
+		dyn.StoreVal = bits
+
+	case isa.OpFAdd:
+		setFP(in.Rd, srcFP(in.Rs1)+srcFP(in.Rs2))
+	case isa.OpFSub:
+		setFP(in.Rd, srcFP(in.Rs1)-srcFP(in.Rs2))
+	case isa.OpFMul:
+		setFP(in.Rd, srcFP(in.Rs1)*srcFP(in.Rs2))
+	case isa.OpFDiv:
+		setFP(in.Rd, srcFP(in.Rs1)/srcFP(in.Rs2))
+	case isa.OpFSqrt:
+		setFP(in.Rd, math.Sqrt(srcFP(in.Rs1)))
+	case isa.OpFCmpLt:
+		v := 0.0
+		if srcFP(in.Rs1) < srcFP(in.Rs2) {
+			v = 1.0
+		}
+		setFP(in.Rd, v)
+	case isa.OpI2F:
+		setFP(in.Rd, float64(int64(srcInt(in.Rs1))))
+	case isa.OpF2I:
+		setInt(in.Rd, uint64(int64(srcFP(in.Rs1))))
+
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		a, b := srcInt(in.Rd), srcInt(in.Rs1)
+		var taken bool
+		switch in.Op {
+		case isa.OpBeq:
+			taken = a == b
+		case isa.OpBne:
+			taken = a != b
+		case isa.OpBlt:
+			taken = int64(a) < int64(b)
+		case isa.OpBge:
+			taken = int64(a) >= int64(b)
+		}
+		target := uint64(int64(m.PC+4) + 4*imm)
+		dyn.Taken, dyn.Target = taken, target
+		if taken {
+			nextPC = target
+		}
+	case isa.OpJal:
+		target := uint64(int64(m.PC+4) + 4*imm)
+		setInt(in.Rd, m.PC+4)
+		dyn.Taken, dyn.Target = true, target
+		nextPC = target
+	case isa.OpJalr:
+		target := (srcInt(in.Rs1) + uint64(imm)) &^ 3
+		setInt(in.Rd, m.PC+4)
+		dyn.Taken, dyn.Target = true, target
+		nextPC = target
+
+	case isa.OpHalt:
+		m.Halted = true
+
+	default:
+		return trace.Inst{}, false, fmt.Errorf("emu: unimplemented opcode %v at pc=%#x", in.Op, m.PC)
+	}
+
+	m.PC = nextPC
+	m.instsExecuted++
+	return dyn, true, nil
+}
+
+func dynAddSrc(d *trace.Inst, r int16) {
+	// Register 0 is hardwired zero: not a real dependence.
+	if r == 0 {
+		return
+	}
+	if d.Src1 == trace.RegNone {
+		d.Src1 = r
+	} else if d.Src2 == trace.RegNone && d.Src1 != r {
+		d.Src2 = r
+	}
+}
+
+// Run executes until halt or maxInsts instructions, returning the dynamic
+// stream.
+func (m *Machine) Run(maxInsts int) ([]trace.Inst, error) {
+	out := make([]trace.Inst, 0, 1024)
+	for len(out) < maxInsts && !m.Halted {
+		dyn, ok, err := m.Step()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, dyn)
+	}
+	return out, nil
+}
+
+// Source adapts the machine to the trace.Source interface, emitting
+// instructions as they execute and stopping at halt, error, or after max
+// instructions (0 = unlimited).
+type Source struct {
+	m     *Machine
+	max   uint64
+	count uint64
+	err   error
+}
+
+// NewSource wraps m as a trace.Source producing at most max instructions
+// (0 for unlimited).
+func NewSource(m *Machine, max uint64) *Source { return &Source{m: m, max: max} }
+
+// Next implements trace.Source.
+func (s *Source) Next() (trace.Inst, bool) {
+	if s.err != nil || (s.max > 0 && s.count >= s.max) {
+		return trace.Inst{}, false
+	}
+	dyn, ok, err := s.m.Step()
+	if err != nil {
+		s.err = err
+		return trace.Inst{}, false
+	}
+	if !ok {
+		return trace.Inst{}, false
+	}
+	s.count++
+	return dyn, true
+}
+
+// Err returns the first execution error encountered, if any.
+func (s *Source) Err() error { return s.err }

@@ -1,0 +1,389 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"thermalherd/internal/asm"
+	"thermalherd/internal/isa"
+	"thermalherd/internal/trace"
+)
+
+func run(t *testing.T, src string, maxInsts int) (*Machine, []trace.Inst) {
+	t.Helper()
+	m := New(asm.MustAssemble(src))
+	insts, err := m.Run(maxInsts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, insts
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	// Sum 1..10 into r2.
+	m, _ := run(t, `
+		addi r1, r0, 10
+		addi r2, r0, 0
+	loop:
+		add  r2, r2, r1
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`, 1000)
+	if m.IntRegs[2] != 55 {
+		t.Errorf("sum = %d, want 55", m.IntRegs[2])
+	}
+	if !m.Halted {
+		t.Error("machine should have halted")
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m, insts := run(t, `
+		.data 0x8000 1234
+		lui  r5, 0
+		ori  r5, r5, 0x8000
+		ld   r1, 0(r5)
+		addi r1, r1, 1
+		st   r1, 8(r5)
+		ld   r2, 8(r5)
+		halt
+	`, 100)
+	if m.IntRegs[2] != 1235 {
+		t.Errorf("r2 = %d, want 1235", m.IntRegs[2])
+	}
+	// Check dynamic records carry memory metadata.
+	var loads, stores int
+	for i := range insts {
+		switch insts[i].Class {
+		case isa.ClassLoad:
+			loads++
+			if insts[i].MemSize != 8 {
+				t.Errorf("load size = %d, want 8", insts[i].MemSize)
+			}
+		case isa.ClassStore:
+			stores++
+			if insts[i].StoreVal != 1235 {
+				t.Errorf("store value = %d, want 1235", insts[i].StoreVal)
+			}
+		}
+	}
+	if loads != 2 || stores != 1 {
+		t.Errorf("loads/stores = %d/%d, want 2/1", loads, stores)
+	}
+}
+
+func TestSubWordMemory(t *testing.T) {
+	m, _ := run(t, `
+		addi r1, r0, 0x7f
+		sb   r1, 0(r0)
+		lb   r2, 0(r0)
+		addi r3, r0, -1
+		sw   r3, 8(r0)
+		lw   r4, 8(r0)
+		halt
+	`, 100)
+	if m.IntRegs[2] != 0x7f {
+		t.Errorf("lb = %#x, want 0x7f", m.IntRegs[2])
+	}
+	if m.IntRegs[4] != ^uint64(0) {
+		t.Errorf("lw sign extension = %#x, want all ones", m.IntRegs[4])
+	}
+}
+
+func TestByteSignExtension(t *testing.T) {
+	m, _ := run(t, `
+		addi r1, r0, 0xff
+		sb   r1, 0(r0)
+		lb   r2, 0(r0)
+		halt
+	`, 100)
+	if m.IntRegs[2] != ^uint64(0) {
+		t.Errorf("lb(0xff) = %#x, want sign-extended -1", m.IntRegs[2])
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	m, _ := run(t, `
+		addi r0, r0, 99
+		add  r1, r0, r0
+		halt
+	`, 100)
+	if m.IntRegs[0] != 0 || m.IntRegs[1] != 0 {
+		t.Errorf("r0 = %d r1 = %d, want both 0", m.IntRegs[0], m.IntRegs[1])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	m, _ := run(t, `
+		addi r1, r0, 5
+		jal  r31, double
+		add  r3, r2, r0
+		halt
+	double:
+		add  r2, r1, r1
+		jalr r0, r31, 0
+	`, 100)
+	if m.IntRegs[3] != 10 {
+		t.Errorf("result = %d, want 10", m.IntRegs[3])
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	m, _ := run(t, `
+		addi r1, r0, 5
+		addi r2, r0, 5
+		addi r10, r0, 0
+		beq  r1, r2, b1
+		addi r10, r10, 1 ; skipped
+	b1:	bne  r1, r0, b2
+		addi r10, r10, 2 ; skipped
+	b2:	addi r3, r0, -1
+		blt  r3, r0, b3
+		addi r10, r10, 4 ; skipped
+	b3:	bge  r1, r2, b4
+		addi r10, r10, 8 ; skipped
+	b4:	halt
+	`, 100)
+	if m.IntRegs[10] != 0 {
+		t.Errorf("r10 = %d, want 0 (all branch shadows skipped)", m.IntRegs[10])
+	}
+}
+
+func TestMulDivRem(t *testing.T) {
+	m, _ := run(t, `
+		addi r1, r0, 7
+		addi r2, r0, 3
+		mul  r3, r1, r2
+		div  r4, r1, r2
+		rem  r5, r1, r2
+		div  r6, r1, r0 ; divide by zero: all ones
+		rem  r7, r1, r0 ; remainder by zero: dividend
+		halt
+	`, 100)
+	if m.IntRegs[3] != 21 || m.IntRegs[4] != 2 || m.IntRegs[5] != 1 {
+		t.Errorf("mul/div/rem = %d/%d/%d, want 21/2/1", m.IntRegs[3], m.IntRegs[4], m.IntRegs[5])
+	}
+	if m.IntRegs[6] != ^uint64(0) {
+		t.Errorf("div by zero = %#x, want all ones", m.IntRegs[6])
+	}
+	if m.IntRegs[7] != 7 {
+		t.Errorf("rem by zero = %d, want 7", m.IntRegs[7])
+	}
+}
+
+func TestNegativeDivision(t *testing.T) {
+	m, _ := run(t, `
+		addi r1, r0, -7
+		addi r2, r0, 2
+		div  r3, r1, r2
+		halt
+	`, 100)
+	if int64(m.IntRegs[3]) != -3 {
+		t.Errorf("-7/2 = %d, want -3 (truncated)", int64(m.IntRegs[3]))
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m, _ := run(t, `
+		addi r1, r0, 9
+		i2f  f1, r1
+		fsqrt f2, f1
+		addi r2, r0, 2
+		i2f  f3, r2
+		fmul f4, f2, f3  ; 6.0
+		fadd f5, f4, f1  ; 15.0
+		fsub f6, f5, f3  ; 13.0
+		fdiv f7, f6, f3  ; 6.5
+		f2i  r3, f7      ; 6
+		fcmplt f8, f3, f7 ; 1.0
+		halt
+	`, 100)
+	if m.FPRegs[2] != 3.0 {
+		t.Errorf("sqrt(9) = %g, want 3", m.FPRegs[2])
+	}
+	if m.FPRegs[7] != 6.5 {
+		t.Errorf("f7 = %g, want 6.5", m.FPRegs[7])
+	}
+	if m.IntRegs[3] != 6 {
+		t.Errorf("f2i(6.5) = %d, want 6", m.IntRegs[3])
+	}
+	if m.FPRegs[8] != 1.0 {
+		t.Errorf("fcmplt = %g, want 1", m.FPRegs[8])
+	}
+}
+
+func TestFPMemory(t *testing.T) {
+	m, _ := run(t, `
+		addi r1, r0, 3
+		i2f  f1, r1
+		fst  f1, 0(r0)
+		fld  f2, 0(r0)
+		halt
+	`, 100)
+	if m.FPRegs[2] != 3.0 {
+		t.Errorf("fld round trip = %g, want 3", m.FPRegs[2])
+	}
+}
+
+func TestDynRecordSources(t *testing.T) {
+	_, insts := run(t, `
+		addi r1, r0, 1
+		addi r2, r0, 2
+		add  r3, r1, r2
+		st   r3, 0(r30)
+		halt
+	`, 100)
+	addInst := insts[2]
+	if addInst.Src1 != 1 || addInst.Src2 != 2 {
+		t.Errorf("add sources = (%d,%d), want (1,2)", addInst.Src1, addInst.Src2)
+	}
+	if addInst.Dest != 3 || addInst.Result != 3 {
+		t.Errorf("add dest/result = %d/%d, want 3/3", addInst.Dest, addInst.Result)
+	}
+	stInst := insts[3]
+	if stInst.Class != isa.ClassStore {
+		t.Fatalf("expected store, got %v", stInst.Class)
+	}
+	// Store sources: base register r30 and the stored register r3.
+	if stInst.Src1 != 30 || stInst.Src2 != 3 {
+		t.Errorf("store sources = (%d,%d), want (30,3)", stInst.Src1, stInst.Src2)
+	}
+	if stInst.Dest != trace.RegNone {
+		t.Errorf("store has dest %d, want none", stInst.Dest)
+	}
+}
+
+func TestDynRecordFPRegistersOffset(t *testing.T) {
+	_, insts := run(t, `
+		i2f  f1, r5
+		fadd f2, f1, f1
+		halt
+	`, 100)
+	if insts[0].Dest != trace.FPBase+1 {
+		t.Errorf("i2f dest = %d, want %d", insts[0].Dest, trace.FPBase+1)
+	}
+	if insts[1].Src1 != trace.FPBase+1 {
+		t.Errorf("fadd src = %d, want %d", insts[1].Src1, trace.FPBase+1)
+	}
+}
+
+func TestDynRecordBranchTarget(t *testing.T) {
+	_, insts := run(t, `
+		addi r1, r0, 1
+	loop:
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`, 100)
+	br := insts[2]
+	if br.Class != isa.ClassBranch {
+		t.Fatalf("expected branch, got %v", br.Class)
+	}
+	if br.Taken {
+		t.Error("branch should be not-taken (r1 reached 0)")
+	}
+	if br.Target != asm.DefaultBase+4 {
+		t.Errorf("branch target = %#x, want %#x", br.Target, asm.DefaultBase+4)
+	}
+	if br.NextPC() != br.PC+4 {
+		t.Error("not-taken branch NextPC should be PC+4")
+	}
+}
+
+func TestStackAddressesAreFullWidth(t *testing.T) {
+	// The stack pointer convention places stack data at addresses with
+	// non-zero upper bits, which is what makes PAM interesting.
+	_, insts := run(t, `
+		addi r30, r30, -16
+		st   r5, 0(r30)
+		ld   r6, 0(r30)
+		halt
+	`, 100)
+	for i := range insts {
+		if insts[i].IsMem() && insts[i].MemAddr>>16 == 0 {
+			t.Errorf("stack access address %#x unexpectedly low-width", insts[i].MemAddr)
+		}
+	}
+}
+
+func TestSourceInterface(t *testing.T) {
+	m := New(asm.MustAssemble(`
+		addi r1, r0, 3
+	loop:
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`))
+	src := NewSource(m, 5)
+	var n int
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("capped source yielded %d insts, want 5", n)
+	}
+	if src.Err() != nil {
+		t.Errorf("unexpected error: %v", src.Err())
+	}
+}
+
+func TestFetchOutsideCodeErrors(t *testing.T) {
+	m := New(asm.MustAssemble("nop")) // runs off the end: no halt
+	_, err := m.Run(10)
+	if err == nil {
+		t.Error("running off the code segment should error")
+	}
+}
+
+func TestMemoryCrossPage(t *testing.T) {
+	m := New(asm.MustAssemble("halt"))
+	addr := uint64(pageSize - 3) // straddles a page boundary
+	m.WriteMem(addr, 8, 0x1122334455667788)
+	if got := m.ReadMem(addr, 8); got != 0x1122334455667788 {
+		t.Errorf("cross-page read = %#x", got)
+	}
+}
+
+func TestLuiOri64BitConstant(t *testing.T) {
+	m, _ := run(t, `
+		lui  r1, 0xdead
+		ori  r1, r1, 0xbeef
+		halt
+	`, 100)
+	if m.IntRegs[1] != 0xdeadbeef {
+		t.Errorf("constant = %#x, want 0xdeadbeef", m.IntRegs[1])
+	}
+}
+
+func TestInstsExecutedCount(t *testing.T) {
+	m, insts := run(t, "nop\nnop\nhalt", 100)
+	if m.InstsExecuted() != 3 || len(insts) != 3 {
+		t.Errorf("executed %d recorded %d, want 3/3", m.InstsExecuted(), len(insts))
+	}
+	// Stepping a halted machine returns ok=false without error.
+	if _, ok, err := m.Step(); ok || err != nil {
+		t.Errorf("step after halt = (ok=%v, err=%v), want (false, nil)", ok, err)
+	}
+}
+
+func TestFPBitsPreservedThroughIntStore(t *testing.T) {
+	// fst/fld must move raw bits; NaN payloads survive.
+	m := New(asm.MustAssemble(`
+		fld f1, 0(r0)
+		fst f1, 8(r0)
+		halt
+	`))
+	nan := math.Float64bits(math.NaN()) | 0xdead
+	m.WriteMem(0, 8, nan)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadMem(8, 8); got != nan {
+		t.Errorf("NaN payload lost: %#x vs %#x", got, nan)
+	}
+}

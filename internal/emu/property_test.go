@@ -1,0 +1,102 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+
+	"thermalherd/internal/isa"
+	"thermalherd/internal/trace"
+)
+
+// randomStraightLine builds a random program of non-control instructions
+// followed by halt.
+func randomStraightLine(rng *rand.Rand, n int) *isa.Program {
+	ops := []isa.Opcode{
+		isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpSll, isa.OpSrl, isa.OpSra, isa.OpMul, isa.OpDiv, isa.OpRem,
+		isa.OpSlt, isa.OpSltu, isa.OpAddi, isa.OpAndi, isa.OpOri,
+		isa.OpXori, isa.OpSlli, isa.OpSrli, isa.OpSrai, isa.OpSlti,
+		isa.OpLui, isa.OpLd, isa.OpSt, isa.OpLw, isa.OpSw, isa.OpLb,
+		isa.OpSb, isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv,
+		isa.OpFSqrt, isa.OpFLd, isa.OpFSt, isa.OpFCmpLt, isa.OpI2F,
+		isa.OpF2I, isa.OpNop,
+	}
+	code := make([]uint32, 0, n+1)
+	for i := 0; i < n; i++ {
+		op := ops[rng.Intn(len(ops))]
+		in := isa.Instruction{
+			Op:  op,
+			Rd:  uint8(rng.Intn(isa.NumIntRegs)),
+			Rs1: uint8(rng.Intn(8)), // keep base addresses small-ish
+		}
+		if op.HasImm() {
+			in.Imm = int16(rng.Intn(256)) // small positive displacements
+		} else {
+			in.Rs2 = uint8(rng.Intn(isa.NumIntRegs))
+		}
+		code = append(code, isa.MustEncode(in))
+	}
+	code = append(code, isa.MustEncode(isa.Instruction{Op: isa.OpHalt}))
+	return &isa.Program{Base: 0x1000, Code: code, Data: map[uint64]uint64{}}
+}
+
+// TestRandomProgramInvariants executes random straight-line programs and
+// checks architectural invariants: r0 stays zero, every instruction
+// retires exactly once, PCs advance sequentially, and the dynamic
+// records are well-formed.
+func TestRandomProgramInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + rng.Intn(200)
+		prog := randomStraightLine(rng, n)
+		m := New(prog)
+		insts, err := m.Run(10 * (n + 1))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !m.Halted {
+			t.Fatalf("trial %d: did not halt", trial)
+		}
+		if len(insts) != n+1 {
+			t.Fatalf("trial %d: executed %d insts, want %d", trial, len(insts), n+1)
+		}
+		if m.IntRegs[0] != 0 {
+			t.Fatalf("trial %d: r0 = %d", trial, m.IntRegs[0])
+		}
+		for i := range insts {
+			in := &insts[i]
+			if in.PC != 0x1000+uint64(4*i) {
+				t.Fatalf("trial %d inst %d: pc %#x, want %#x", trial, i, in.PC, 0x1000+4*i)
+			}
+			if in.Dest != trace.RegNone && (in.Dest < 0 || in.Dest >= 64) {
+				t.Fatalf("trial %d inst %d: bad dest %d", trial, i, in.Dest)
+			}
+			if in.IsMem() && in.MemSize == 0 {
+				t.Fatalf("trial %d inst %d: memory op without size", trial, i)
+			}
+			if !in.IsMem() && in.MemSize != 0 {
+				t.Fatalf("trial %d inst %d: non-memory op with size %d", trial, i, in.MemSize)
+			}
+		}
+	}
+}
+
+// TestMemoryWriteReadConsistency: random stores followed by loads of the
+// same size and address must return the stored bytes.
+func TestMemoryWriteReadConsistency(t *testing.T) {
+	m := New(&isa.Program{Base: 0x1000, Code: []uint32{isa.MustEncode(isa.Instruction{Op: isa.OpHalt})}})
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 2000; i++ {
+		addr := rng.Uint64() % (1 << 40)
+		size := []int{1, 4, 8}[rng.Intn(3)]
+		val := rng.Uint64()
+		m.WriteMem(addr, size, val)
+		var mask uint64 = (1 << (8 * uint(size))) - 1
+		if size == 8 {
+			mask = ^uint64(0)
+		}
+		if got := m.ReadMem(addr, size); got != val&mask {
+			t.Fatalf("addr %#x size %d: wrote %#x read %#x", addr, size, val&mask, got)
+		}
+	}
+}

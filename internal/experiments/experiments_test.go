@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"thermalherd/internal/config"
+)
+
+func quickRunner() *Runner { return NewRunner(QuickOptions()) }
+
+func TestTable1ContainsPaperParameters(t *testing.T) {
+	out := Table1().String()
+	for _, want := range []string{
+		"96 entries", "32 entries", "32/20 entries", "32KB, 8-way, 3-cycle",
+		"4MB, 16-way, 12-cycle", "2048-entry, 4-way", "2.66 GHz",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2ShowsFrequencyGain(t *testing.T) {
+	out := Table2().String()
+	for _, want := range []string{"wakeup-select", "ALU + bypass", "2.66 GHz", "3.9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure8OnSubset(t *testing.T) {
+	// The full Figure 8 harness is exercised by the benchmarks; here we
+	// validate the machinery on a handful of simulations directly.
+	r := quickRunner()
+	base := config.Baseline()
+	threeD := config.ThreeD()
+	for _, wl := range []string{"crafty", "mcf"} {
+		sBase, err := r.Simulate(base, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s3D, err := r.Simulate(threeD, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := s3D.IPns(threeD.ClockGHz) / sBase.IPns(base.ClockGHz)
+		if speedup <= 1.0 {
+			t.Errorf("%s: 3D speedup = %.3f, want > 1", wl, speedup)
+		}
+		t.Logf("%s: speedup %.3f", wl, speedup)
+	}
+	// crafty (compute-bound) must speed up more than mcf (DRAM-bound).
+	crB, _ := r.Simulate(base, "crafty")
+	cr3, _ := r.Simulate(threeD, "crafty")
+	mcB, _ := r.Simulate(base, "mcf")
+	mc3, _ := r.Simulate(threeD, "mcf")
+	crS := cr3.IPns(threeD.ClockGHz) / crB.IPns(base.ClockGHz)
+	mcS := mc3.IPns(threeD.ClockGHz) / mcB.IPns(base.ClockGHz)
+	if crS <= mcS {
+		t.Errorf("crafty speedup (%.3f) not above mcf (%.3f)", crS, mcS)
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := quickRunner()
+	a, err := r.Simulate(config.Baseline(), "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Simulate(config.Baseline(), "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second Simulate did not return the cached result")
+	}
+}
+
+func TestRunnerRejectsUnknownWorkload(t *testing.T) {
+	r := quickRunner()
+	if _, err := r.Simulate(config.Baseline(), "nonesuch"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestDensityStudyOrdering(t *testing.T) {
+	r := quickRunner()
+	planar, density, err := DensityStudy(r, "mpeg2enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if density <= planar {
+		t.Errorf("density-study peak (%.1f K) not above planar (%.1f K)", density, planar)
+	}
+	t.Logf("planar %.1f K, 4x-density %.1f K (+%.1f)", planar, density, density-planar)
+}
+
+func TestFigure9OrderingOnReference(t *testing.T) {
+	r := quickRunner()
+	base, err := r.PowerFor(config.Baseline(), "mpeg2enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	noTH, err := r.PowerFor(config.ThreeDNoTH(), "mpeg2enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := r.PowerFor(config.ThreeD(), "mpeg2enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(base.TotalW > noTH.TotalW && noTH.TotalW > th.TotalW) {
+		t.Errorf("Figure 9 ordering violated: %.1f / %.1f / %.1f",
+			base.TotalW, noTH.TotalW, th.TotalW)
+	}
+}
+
+func TestThermalOrderingOnReference(t *testing.T) {
+	r := quickRunner()
+	peak := func(cfg config.Machine) float64 {
+		b, err := r.PowerFor(cfg, "mpeg2enc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, _, err := r.SolveThermal(cfg, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _, _, _ := sol.Peak()
+		return p
+	}
+	base := peak(config.Baseline())
+	noTH := peak(config.ThreeDNoTH())
+	th := peak(config.ThreeD())
+	t.Logf("peaks: base %.1f K, 3D-noTH %.1f K, 3D-TH %.1f K", base, noTH, th)
+	// Figure 10 ordering: 2D < 3D-TH < 3D-noTH.
+	if !(base < th && th < noTH) {
+		t.Errorf("thermal ordering violated: base=%.1f th=%.1f noTH=%.1f", base, th, noTH)
+	}
+}
+
+func TestAblationTablesRender(t *testing.T) {
+	r := quickRunner()
+	wp, err := AblationWidthPolicy(r, "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(wp.String(), "oracle") {
+		t.Error("width-policy ablation missing oracle row")
+	}
+	al, err := AblationAllocator(r, "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(al.String(), "round-robin") {
+		t.Error("allocator ablation missing round-robin row")
+	}
+	d2d, err := AblationD2DResistance(r, "gzip", []float64{0.05, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d2d.String()
+	if !strings.Contains(out, "25%") {
+		t.Errorf("d2d ablation missing sweep point:\n%s", out)
+	}
+}
+
+func TestWidthPolicyAblationOrdering(t *testing.T) {
+	r := quickRunner()
+	tbl, err := AblationWidthPolicy(r, "crafty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse rows back: oracle must have zero unsafe rate, always-full
+	// must have the lowest top-die share.
+	lines := strings.Split(strings.TrimSpace(tbl.String()), "\n")
+	vals := map[string][]string{}
+	for _, l := range lines[2:] {
+		f := strings.Fields(l)
+		vals[f[0]] = f[1:]
+	}
+	if vals["oracle"][2] != "0.0000" {
+		t.Errorf("oracle unsafe rate = %s, want 0", vals["oracle"][2])
+	}
+	if vals["always-full"][1] >= vals["oracle"][1] {
+		t.Errorf("always-full top-die share (%s) should be below oracle (%s)",
+			vals["always-full"][1], vals["oracle"][1])
+	}
+}
+
+func TestAllWorkloadNames(t *testing.T) {
+	names := AllWorkloadNames()
+	if len(names) != 106 {
+		t.Errorf("workload count = %d, want 106", len(names))
+	}
+}
+
+func TestSimulateManyParallel(t *testing.T) {
+	r := quickRunner()
+	err := r.SimulateMany([]config.Machine{config.Baseline()},
+		[]string{"gzip", "crafty", "adpcmenc", "bitcount"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Simulate(config.Baseline(), "gzip"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateManySurfacesErrors(t *testing.T) {
+	r := quickRunner()
+	if err := r.SimulateMany([]config.Machine{config.Baseline()}, []string{"gzip", "bogus"}); err == nil {
+		t.Error("SimulateMany swallowed an unknown-workload error")
+	}
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"thermalherd/internal/floorplan"
+	"thermalherd/internal/power"
+	"thermalherd/internal/thermal"
+)
+
+// buildStackedWithD2DK builds the 3D thermal stack with an overridden
+// die-to-die interface conductivity (for the sensitivity sweep).
+func buildStackedWithD2DK(fp *floorplan.Floorplan, b *power.Breakdown, keff float64, grid int) (*thermal.Stack, error) {
+	watts := func(u floorplan.Unit) float64 {
+		return b.UnitW[power.UnitKey{Block: u.Block, Core: u.Core, Die: u.Die}]
+	}
+	stack, err := thermal.BuildStacked(fp, watts, grid, grid)
+	if err != nil {
+		return nil, err
+	}
+	for i := range stack.Layers {
+		if thermal.LayerDie(stack, i) < 0 && stack.Layers[i].Name != "spreader" && stack.Layers[i].Name != "tim" {
+			stack.Layers[i].K = keff
+		}
+	}
+	return stack, nil
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"testing"
+
+	"thermalherd/internal/config"
+	"thermalherd/internal/cpu"
+	"thermalherd/internal/trace"
+)
+
+func BenchmarkSimSpeed(b *testing.B) {
+	p, _ := trace.ProfileByName("gzip")
+	for i := 0; i < b.N; i++ {
+		c, _ := cpu.New(config.ThreeD(), trace.NewGenerator(p))
+		c.Run(1_000_000)
+	}
+}

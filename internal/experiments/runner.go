@@ -1,0 +1,219 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5): Table 2's 2D-vs-3D block latencies, Figure 8's
+// IPC/performance comparison across the five machine configurations and
+// seven benchmark groups, Figure 9's power breakdown, Figure 10's thermal
+// analysis, the Section 5.3 power-density study, the Section 3.8 width
+// prediction accuracy claim, and the ablation studies DESIGN.md calls
+// out.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"thermalherd/internal/config"
+	"thermalherd/internal/cpu"
+	"thermalherd/internal/floorplan"
+	"thermalherd/internal/power"
+	"thermalherd/internal/thermal"
+	"thermalherd/internal/trace"
+)
+
+// Options controls simulation depth and parallelism.
+type Options struct {
+	// FastForwardInsts are streamed through functional warming (caches,
+	// predictors) before the cycle-level warmup — SimpleScalar-style
+	// fast-forward.
+	FastForwardInsts uint64
+	// WarmupInsts are executed through the cycle-level model before
+	// measurement to settle pipeline state (SimPoint-style warmup).
+	WarmupInsts uint64
+	// MeasureInsts are the instructions actually measured.
+	MeasureInsts uint64
+	// Parallelism bounds concurrent workload simulations.
+	Parallelism int
+	// Grid is the lateral thermal grid resolution.
+	Grid int
+}
+
+// DefaultOptions returns the depths used for the recorded results.
+// The environment variables THERMALHERD_WARM and THERMALHERD_MEASURE
+// override the instruction counts for quicker exploratory runs.
+func DefaultOptions() Options {
+	o := Options{
+		FastForwardInsts: 6_000_000,
+		WarmupInsts:      200_000,
+		MeasureInsts:     200_000,
+		Parallelism:      runtime.NumCPU(),
+		Grid:             thermal.DefaultGrid,
+	}
+	if v, err := strconv.ParseUint(os.Getenv("THERMALHERD_FF"), 10, 64); err == nil && v > 0 {
+		o.FastForwardInsts = v
+	}
+	if v, err := strconv.ParseUint(os.Getenv("THERMALHERD_WARM"), 10, 64); err == nil && v > 0 {
+		o.WarmupInsts = v
+	}
+	if v, err := strconv.ParseUint(os.Getenv("THERMALHERD_MEASURE"), 10, 64); err == nil && v > 0 {
+		o.MeasureInsts = v
+	}
+	return o
+}
+
+// QuickOptions returns shallow depths for unit tests.
+func QuickOptions() Options {
+	return Options{
+		FastForwardInsts: 300_000,
+		WarmupInsts:      60_000,
+		MeasureInsts:     60_000,
+		Parallelism:      runtime.NumCPU(),
+		Grid:             16,
+	}
+}
+
+type simKey struct {
+	cfg      string
+	workload string
+	policy   string // width-policy/alloc-policy variants for ablations
+}
+
+// Runner executes and caches workload simulations.
+type Runner struct {
+	opts  Options
+	mu    sync.Mutex
+	cache map[simKey]*cpu.Stats
+}
+
+// NewRunner builds a runner with the given options.
+func NewRunner(opts Options) *Runner {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 1
+	}
+	return &Runner{opts: opts, cache: make(map[simKey]*cpu.Stats)}
+}
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opts }
+
+// Simulate runs (or returns the cached result of) workload under cfg.
+func (r *Runner) Simulate(cfg config.Machine, workload string) (*cpu.Stats, error) {
+	key := simKey{cfg.Name, workload, fmt.Sprint(cfg.WidthPolicy, cfg.AllocPolicy)}
+	r.mu.Lock()
+	if s, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return s, nil
+	}
+	r.mu.Unlock()
+
+	prof, err := trace.ProfileByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(cfg, trace.NewGenerator(prof))
+	if err != nil {
+		return nil, err
+	}
+	c.FastForward(r.opts.FastForwardInsts)
+	c.Warmup(r.opts.WarmupInsts)
+	s := c.Run(r.opts.MeasureInsts)
+
+	r.mu.Lock()
+	r.cache[key] = s
+	r.mu.Unlock()
+	return s, nil
+}
+
+// SimulateMany runs all (config, workload) pairs with bounded
+// parallelism, returning the first error encountered.
+func (r *Runner) SimulateMany(cfgs []config.Machine, workloads []string) error {
+	type job struct {
+		cfg      config.Machine
+		workload string
+	}
+	jobs := make(chan job)
+	errs := make(chan error, r.opts.Parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < r.opts.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if _, err := r.Simulate(j.cfg, j.workload); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for _, cfg := range cfgs {
+		for _, wl := range workloads {
+			jobs <- job{cfg, wl}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// PowerFor computes the power breakdown of workload under cfg.
+func (r *Runner) PowerFor(cfg config.Machine, workload string) (*power.Breakdown, error) {
+	s, err := r.Simulate(cfg, workload)
+	if err != nil {
+		return nil, err
+	}
+	fp := floorplan.Planar()
+	if cfg.ThreeD {
+		fp = floorplan.Stacked()
+	}
+	b, err := power.Compute(cfg, s, fp)
+	if err != nil {
+		return nil, err
+	}
+	b.Workload = workload
+	return b, nil
+}
+
+// SolveThermal runs the thermal solver on a power breakdown.
+func (r *Runner) SolveThermal(cfg config.Machine, b *power.Breakdown) (*thermal.Solution, *floorplan.Floorplan, error) {
+	if cfg.ThreeD {
+		fp := floorplan.Stacked()
+		watts := func(u floorplan.Unit) float64 {
+			return b.UnitW[power.UnitKey{Block: u.Block, Core: u.Core, Die: u.Die}]
+		}
+		stack, err := thermal.BuildStacked(fp, watts, r.opts.Grid, r.opts.Grid)
+		if err != nil {
+			return nil, nil, err
+		}
+		sol, err := stack.Solve()
+		return sol, fp, err
+	}
+	fp := floorplan.Planar()
+	watts := func(u floorplan.Unit) float64 {
+		return b.UnitW[power.UnitKey{Block: u.Block, Core: u.Core, Die: u.Die}]
+	}
+	stack, err := thermal.BuildPlanar(fp, watts, r.opts.Grid, r.opts.Grid)
+	if err != nil {
+		return nil, nil, err
+	}
+	sol, err := stack.Solve()
+	return sol, fp, err
+}
+
+// AllWorkloadNames returns the 106 workload names.
+func AllWorkloadNames() []string {
+	suite := trace.Suite()
+	names := make([]string, len(suite))
+	for i, p := range suite {
+		names[i] = p.Name
+	}
+	return names
+}

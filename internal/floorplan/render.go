@@ -1,0 +1,108 @@
+package floorplan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws an ASCII map of one die: each cell shows the initial of
+// the block occupying it (upper case for core 0, lower case for core 1,
+// '#' for the shared L2, '.' for whitespace), with a legend underneath.
+func (fp *Floorplan) Render(die, cols, rows int) string {
+	if cols <= 0 {
+		cols = 48
+	}
+	if rows <= 0 {
+		rows = 24
+	}
+	grid := make([][]byte, rows)
+	for y := range grid {
+		grid[y] = bytes('.', cols)
+	}
+	legend := map[byte]BlockID{}
+	for _, u := range fp.UnitsOn(die) {
+		ch := glyphFor(u)
+		if u.Core != SharedCore {
+			legend[upper(ch)] = u.Block
+		}
+		x0 := int(u.X / fp.ChipW * float64(cols))
+		x1 := int((u.X + u.W) / fp.ChipW * float64(cols))
+		y0 := int(u.Y / fp.ChipH * float64(rows))
+		y1 := int((u.Y + u.H) / fp.ChipH * float64(rows))
+		for y := y0; y < y1 && y < rows; y++ {
+			for x := x0; x < x1 && x < cols; x++ {
+				grid[y][x] = ch
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s die %d (%.1f x %.1f mm)\n", fp.Name, die, fp.ChipW, fp.ChipH)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("legend: ")
+	for ch := byte('A'); ch <= 'Z'; ch++ {
+		if blk, ok := legend[ch]; ok {
+			fmt.Fprintf(&b, "%c=%v ", ch, blk)
+		}
+	}
+	b.WriteString("#=l2 (lower case = core 1)\n")
+	return b.String()
+}
+
+func bytes(fill byte, n int) []byte {
+	row := make([]byte, n)
+	for i := range row {
+		row[i] = fill
+	}
+	return row
+}
+
+// glyphFor assigns each block a distinct letter; core 1 blocks render in
+// lower case, the shared L2 as '#'.
+func glyphFor(u Unit) byte {
+	if u.Block == BlkL2 {
+		return '#'
+	}
+	glyphs := [NumBlocks]byte{
+		BlkICache:  'I',
+		BlkITLB:    'T',
+		BlkBTB:     'B',
+		BlkBPred:   'P',
+		BlkDecode:  'D',
+		BlkIFQ:     'Q',
+		BlkRename:  'N',
+		BlkROB:     'R',
+		BlkRS:      'S',
+		BlkIntExec: 'X',
+		BlkBypass:  'Y',
+		BlkFPExec:  'F',
+		BlkLSQ:     'L',
+		BlkDCache:  'C',
+		BlkDTLB:    'U',
+		BlkMemCtl:  'M',
+	}
+	ch := glyphs[u.Block]
+	if ch == 0 {
+		ch = '?'
+	}
+	if u.Core == 1 {
+		ch = lower(ch)
+	}
+	return ch
+}
+
+func upper(ch byte) byte {
+	if ch >= 'a' && ch <= 'z' {
+		return ch - 'a' + 'A'
+	}
+	return ch
+}
+
+func lower(ch byte) byte {
+	if ch >= 'A' && ch <= 'Z' {
+		return ch - 'A' + 'a'
+	}
+	return ch
+}

@@ -1,0 +1,28 @@
+package isa
+
+import "testing"
+
+// FuzzDecode checks that Decode never panics and that anything it
+// accepts round-trips through Encode.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xffffffff))
+	f.Add(MustEncode(Instruction{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}))
+	f.Add(MustEncode(Instruction{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -7}))
+	f.Add(MustEncode(Instruction{Op: OpJal, Rd: 31, Imm: 100}))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("decoded %v does not re-encode: %v", in, err)
+		}
+		in2, err := Decode(w2)
+		if err != nil || in2 != in {
+			t.Fatalf("round trip %v -> %#x -> %v (%v)", in, w2, in2, err)
+		}
+		_ = in.String() // must not panic
+	})
+}

@@ -1,0 +1,406 @@
+// Package isa defines TH64, the small 64-bit RISC instruction set used by
+// this reproduction of the Thermal Herding paper (HPCA 2007).
+//
+// TH64 stands in for the Alpha ISA that the paper's SimpleScalar/MASE
+// infrastructure executed. It is deliberately minimal — a classic
+// load/store three-operand machine with 32 integer and 32 floating-point
+// registers and fixed 32-bit instruction encodings — but it is a real ISA:
+// instructions encode, decode, disassemble, and execute (see package emu),
+// which lets the examples and validation tests exercise the width/value
+// locality phenomena the paper exploits on genuine computation.
+package isa
+
+import "fmt"
+
+// NumIntRegs and NumFPRegs are the architectural register file sizes.
+// Integer register 0 is hardwired to zero, as in MIPS/RISC-V.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+)
+
+// Opcode enumerates TH64 operations.
+type Opcode uint8
+
+// The TH64 opcode space. R-format ops take (rd, rs1, rs2); I-format ops
+// take (rd, rs1, imm16); loads and stores compute rs1+imm. Branches
+// compare rs1 against rs2 (or zero) and jump by a signed word offset.
+const (
+	OpNop Opcode = iota
+
+	// Integer register-register.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpMul
+	OpDiv
+	OpRem
+	OpSlt  // set if less than (signed)
+	OpSltu // set if less than (unsigned)
+
+	// Integer register-immediate.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpLui // rd = imm16 << 16
+
+	// Memory. Ld/St are 64-bit; Lw/Sw are 32-bit (Lw sign-extends);
+	// Lb/Sb are 8-bit (Lb sign-extends).
+	OpLd
+	OpSt
+	OpLw
+	OpSw
+	OpLb
+	OpSb
+
+	// Floating point (operates on the FP register file).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFSqrt
+	OpFLd // FP load: f[rd] = mem[r[rs1]+imm]
+	OpFSt // FP store: mem[r[rs1]+imm] = f[rd]
+	OpFCmpLt
+	OpI2F // f[rd] = float(r[rs1])
+	OpF2I // r[rd] = int(f[rs1])
+
+	// Control flow.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpJal  // rd = return address; pc += offset
+	OpJalr // rd = return address; pc = rs1 + imm
+
+	OpHalt
+
+	numOpcodes
+)
+
+// Class partitions opcodes by the functional unit and pipeline treatment
+// they receive in the timing model.
+type Class uint8
+
+// Instruction classes; the timing model maps these onto the issue ports
+// and functional units of Table 1 in the paper.
+const (
+	ClassNop Class = iota
+	ClassALU
+	ClassShift
+	ClassMulDiv
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassHalt
+)
+
+// String returns a human-readable class name.
+func (c Class) String() string {
+	switch c {
+	case ClassNop:
+		return "nop"
+	case ClassALU:
+		return "alu"
+	case ClassShift:
+		return "shift"
+	case ClassMulDiv:
+		return "muldiv"
+	case ClassFPAdd:
+		return "fpadd"
+	case ClassFPMul:
+		return "fpmul"
+	case ClassFPDiv:
+		return "fpdiv"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassJump:
+		return "jump"
+	case ClassHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// opInfo is the static description of one opcode.
+type opInfo struct {
+	name     string
+	class    Class
+	hasImm   bool // I-format (imm16 field valid)
+	fp       bool // reads/writes the FP register file
+	writesRd bool
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpNop:  {"nop", ClassNop, false, false, false},
+	OpAdd:  {"add", ClassALU, false, false, true},
+	OpSub:  {"sub", ClassALU, false, false, true},
+	OpAnd:  {"and", ClassALU, false, false, true},
+	OpOr:   {"or", ClassALU, false, false, true},
+	OpXor:  {"xor", ClassALU, false, false, true},
+	OpSll:  {"sll", ClassShift, false, false, true},
+	OpSrl:  {"srl", ClassShift, false, false, true},
+	OpSra:  {"sra", ClassShift, false, false, true},
+	OpMul:  {"mul", ClassMulDiv, false, false, true},
+	OpDiv:  {"div", ClassMulDiv, false, false, true},
+	OpRem:  {"rem", ClassMulDiv, false, false, true},
+	OpSlt:  {"slt", ClassALU, false, false, true},
+	OpSltu: {"sltu", ClassALU, false, false, true},
+
+	OpAddi: {"addi", ClassALU, true, false, true},
+	OpAndi: {"andi", ClassALU, true, false, true},
+	OpOri:  {"ori", ClassALU, true, false, true},
+	OpXori: {"xori", ClassALU, true, false, true},
+	OpSlli: {"slli", ClassShift, true, false, true},
+	OpSrli: {"srli", ClassShift, true, false, true},
+	OpSrai: {"srai", ClassShift, true, false, true},
+	OpSlti: {"slti", ClassALU, true, false, true},
+	OpLui:  {"lui", ClassALU, true, false, true},
+
+	OpLd: {"ld", ClassLoad, true, false, true},
+	OpSt: {"st", ClassStore, true, false, false},
+	OpLw: {"lw", ClassLoad, true, false, true},
+	OpSw: {"sw", ClassStore, true, false, false},
+	OpLb: {"lb", ClassLoad, true, false, true},
+	OpSb: {"sb", ClassStore, true, false, false},
+
+	OpFAdd:   {"fadd", ClassFPAdd, false, true, true},
+	OpFSub:   {"fsub", ClassFPAdd, false, true, true},
+	OpFMul:   {"fmul", ClassFPMul, false, true, true},
+	OpFDiv:   {"fdiv", ClassFPDiv, false, true, true},
+	OpFSqrt:  {"fsqrt", ClassFPDiv, false, true, true},
+	OpFLd:    {"fld", ClassLoad, true, true, true},
+	OpFSt:    {"fst", ClassStore, true, true, false},
+	OpFCmpLt: {"fcmplt", ClassFPAdd, false, true, true},
+	OpI2F:    {"i2f", ClassFPAdd, false, true, true},
+	OpF2I:    {"f2i", ClassFPAdd, false, true, true},
+
+	OpBeq:  {"beq", ClassBranch, true, false, false},
+	OpBne:  {"bne", ClassBranch, true, false, false},
+	OpBlt:  {"blt", ClassBranch, true, false, false},
+	OpBge:  {"bge", ClassBranch, true, false, false},
+	OpJal:  {"jal", ClassJump, true, false, true},
+	OpJalr: {"jalr", ClassJump, true, false, true},
+
+	OpHalt: {"halt", ClassHalt, false, false, false},
+}
+
+// Valid reports whether op is a defined TH64 opcode.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// String returns the assembler mnemonic for op.
+func (op Opcode) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Class returns the functional-unit class of op.
+func (op Opcode) Class() Class {
+	if !op.Valid() {
+		return ClassNop
+	}
+	return opTable[op].class
+}
+
+// HasImm reports whether op uses the 16-bit immediate field.
+func (op Opcode) HasImm() bool { return op.Valid() && opTable[op].hasImm }
+
+// IsFP reports whether op operates on the floating-point register file.
+func (op Opcode) IsFP() bool { return op.Valid() && opTable[op].fp }
+
+// WritesRd reports whether op writes a destination register.
+func (op Opcode) WritesRd() bool { return op.Valid() && opTable[op].writesRd }
+
+// IsMem reports whether op is a load or store.
+func (op Opcode) IsMem() bool {
+	c := op.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsCtrl reports whether op is a branch or jump.
+func (op Opcode) IsCtrl() bool {
+	c := op.Class()
+	return c == ClassBranch || c == ClassJump
+}
+
+// OpcodeByName resolves an assembler mnemonic to its opcode.
+func OpcodeByName(name string) (Opcode, bool) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if opTable[op].name == name {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+// Instruction is one decoded TH64 instruction. Rd, Rs1, Rs2 index the
+// integer or FP register file depending on the opcode. Imm is the
+// sign-extended 16-bit immediate for I-format instructions; for branches
+// and jumps it is a signed instruction-word offset relative to PC+4.
+type Instruction struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int16
+}
+
+// MemBytes returns the access width in bytes for loads/stores, or 0 for
+// non-memory instructions.
+func (in Instruction) MemBytes() int {
+	switch in.Op {
+	case OpLd, OpSt, OpFLd, OpFSt:
+		return 8
+	case OpLw, OpSw:
+		return 4
+	case OpLb, OpSb:
+		return 1
+	}
+	return 0
+}
+
+// Encoding layout (32 bits):
+//
+//	[31:26] opcode
+//	[25:21] rd
+//	[20:16] rs1
+//	[15:11] rs2 (R-format)
+//	[15:0]  imm16 (I-format; overlaps rs2 field, which is then 0)
+const (
+	opcodeShift = 26
+	rdShift     = 21
+	rs1Shift    = 16
+	rs2Shift    = 11
+	regMask     = 0x1f
+	immMask     = 0xffff
+)
+
+// Encode packs in into its 32-bit machine encoding. It returns an error if
+// the opcode is invalid or a register index is out of range.
+func Encode(in Instruction) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	if in.Rd >= NumIntRegs || in.Rs1 >= NumIntRegs || in.Rs2 >= NumIntRegs {
+		return 0, fmt.Errorf("isa: register index out of range in %v", in)
+	}
+	w := uint32(in.Op) << opcodeShift
+	w |= uint32(in.Rd&regMask) << rdShift
+	w |= uint32(in.Rs1&regMask) << rs1Shift
+	if in.Op.HasImm() {
+		w |= uint32(uint16(in.Imm))
+	} else {
+		w |= uint32(in.Rs2&regMask) << rs2Shift
+	}
+	return w, nil
+}
+
+// MustEncode is Encode that panics on error; for use with known-good
+// instructions in tests and kernel builders.
+func MustEncode(in Instruction) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit machine word into an Instruction.
+func Decode(w uint32) (Instruction, error) {
+	op := Opcode(w >> opcodeShift)
+	if !op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: invalid opcode %d in %#08x", op, w)
+	}
+	in := Instruction{
+		Op:  op,
+		Rd:  uint8((w >> rdShift) & regMask),
+		Rs1: uint8((w >> rs1Shift) & regMask),
+	}
+	if op.HasImm() {
+		in.Imm = int16(uint16(w & immMask))
+	} else {
+		in.Rs2 = uint8((w >> rs2Shift) & regMask)
+	}
+	return in, nil
+}
+
+// String disassembles the instruction.
+func (in Instruction) String() string {
+	info := opTable[in.Op]
+	r := "r"
+	if info.fp {
+		r = "f"
+	}
+	switch {
+	case in.Op == OpNop || in.Op == OpHalt:
+		return info.name
+	case in.Op == OpLui:
+		return fmt.Sprintf("%s %s%d, %d", info.name, r, in.Rd, in.Imm)
+	case in.Op.Class() == ClassLoad:
+		return fmt.Sprintf("%s %s%d, %d(r%d)", info.name, r, in.Rd, in.Imm, in.Rs1)
+	case in.Op.Class() == ClassStore:
+		return fmt.Sprintf("%s %s%d, %d(r%d)", info.name, r, in.Rd, in.Imm, in.Rs1)
+	case in.Op.Class() == ClassBranch:
+		return fmt.Sprintf("%s r%d, r%d, %d", info.name, in.Rd, in.Rs1, in.Imm)
+	case in.Op == OpJal:
+		return fmt.Sprintf("%s r%d, %d", info.name, in.Rd, in.Imm)
+	case in.Op == OpJalr:
+		return fmt.Sprintf("%s r%d, r%d, %d", info.name, in.Rd, in.Rs1, in.Imm)
+	case in.Op == OpI2F:
+		return fmt.Sprintf("%s f%d, r%d", info.name, in.Rd, in.Rs1)
+	case in.Op == OpF2I:
+		return fmt.Sprintf("%s r%d, f%d", info.name, in.Rd, in.Rs1)
+	case in.Op == OpFSqrt:
+		return fmt.Sprintf("%s f%d, f%d", info.name, in.Rd, in.Rs1)
+	case info.hasImm:
+		return fmt.Sprintf("%s %s%d, %s%d, %d", info.name, r, in.Rd, r, in.Rs1, in.Imm)
+	default:
+		return fmt.Sprintf("%s %s%d, %s%d, %s%d", info.name, r, in.Rd, r, in.Rs1, r, in.Rs2)
+	}
+}
+
+// Program is an assembled TH64 program: code at a base address plus
+// initialized data segments.
+type Program struct {
+	// Base is the address of Code[0]; instruction i sits at Base+4*i.
+	Base uint64
+	// Code holds the encoded instructions.
+	Code []uint32
+	// Data maps addresses to initialized 64-bit data words.
+	Data map[uint64]uint64
+	// Labels maps symbolic names to code addresses (for diagnostics).
+	Labels map[string]uint64
+}
+
+// InstAt decodes the instruction at address pc, or returns an error if pc
+// is outside the code segment or misaligned.
+func (p *Program) InstAt(pc uint64) (Instruction, error) {
+	if pc < p.Base || pc%4 != 0 {
+		return Instruction{}, fmt.Errorf("isa: pc %#x outside code segment", pc)
+	}
+	idx := (pc - p.Base) / 4
+	if idx >= uint64(len(p.Code)) {
+		return Instruction{}, fmt.Errorf("isa: pc %#x outside code segment", pc)
+	}
+	return Decode(p.Code[idx])
+}

@@ -1,0 +1,199 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTripAllOpcodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for op := Opcode(0); op < numOpcodes; op++ {
+		for trial := 0; trial < 50; trial++ {
+			in := Instruction{
+				Op:  op,
+				Rd:  uint8(rng.Intn(NumIntRegs)),
+				Rs1: uint8(rng.Intn(NumIntRegs)),
+			}
+			if op.HasImm() {
+				in.Imm = int16(rng.Intn(1 << 16))
+			} else {
+				in.Rs2 = uint8(rng.Intn(NumIntRegs))
+			}
+			w, err := Encode(in)
+			if err != nil {
+				t.Fatalf("Encode(%v): %v", in, err)
+			}
+			got, err := Decode(w)
+			if err != nil {
+				t.Fatalf("Decode(%#08x): %v", w, err)
+			}
+			if got != in {
+				t.Fatalf("round trip %v -> %#08x -> %v", in, w, got)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := Encode(Instruction{Op: numOpcodes}); err == nil {
+		t.Error("Encode accepted invalid opcode")
+	}
+	if _, err := Encode(Instruction{Op: OpAdd, Rd: 40}); err == nil {
+		t.Error("Encode accepted out-of-range register")
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	w := uint32(uint32(numOpcodes) << 26)
+	if _, err := Decode(w); err == nil {
+		t.Error("Decode accepted invalid opcode field")
+	}
+}
+
+func TestImmSignExtension(t *testing.T) {
+	in := Instruction{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -1}
+	got, err := Decode(MustEncode(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Imm != -1 {
+		t.Errorf("Imm after round trip = %d, want -1", got.Imm)
+	}
+	in.Imm = -32768
+	if got, _ := Decode(MustEncode(in)); got.Imm != -32768 {
+		t.Errorf("Imm = %d, want -32768", got.Imm)
+	}
+}
+
+func TestOpcodeByName(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		got, ok := OpcodeByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = (%v, %v), want (%v, true)", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := OpcodeByName("bogus"); ok {
+		t.Error("OpcodeByName accepted unknown mnemonic")
+	}
+}
+
+func TestClassAssignments(t *testing.T) {
+	cases := map[Opcode]Class{
+		OpAdd:   ClassALU,
+		OpSll:   ClassShift,
+		OpMul:   ClassMulDiv,
+		OpDiv:   ClassMulDiv,
+		OpLd:    ClassLoad,
+		OpSt:    ClassStore,
+		OpFLd:   ClassLoad,
+		OpFAdd:  ClassFPAdd,
+		OpFMul:  ClassFPMul,
+		OpFDiv:  ClassFPDiv,
+		OpFSqrt: ClassFPDiv,
+		OpBeq:   ClassBranch,
+		OpJal:   ClassJump,
+		OpJalr:  ClassJump,
+		OpNop:   ClassNop,
+		OpHalt:  ClassHalt,
+	}
+	for op, want := range cases {
+		if got := op.Class(); got != want {
+			t.Errorf("%v.Class() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestPredicateHelpers(t *testing.T) {
+	if !OpLd.IsMem() || !OpSt.IsMem() || OpAdd.IsMem() {
+		t.Error("IsMem misclassification")
+	}
+	if !OpBeq.IsCtrl() || !OpJal.IsCtrl() || OpLd.IsCtrl() {
+		t.Error("IsCtrl misclassification")
+	}
+	if !OpFAdd.IsFP() || OpAdd.IsFP() {
+		t.Error("IsFP misclassification")
+	}
+	if OpSt.WritesRd() || !OpAdd.WritesRd() || !OpJal.WritesRd() {
+		t.Error("WritesRd misclassification")
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	cases := map[Opcode]int{
+		OpLd: 8, OpSt: 8, OpFLd: 8, OpFSt: 8,
+		OpLw: 4, OpSw: 4, OpLb: 1, OpSb: 1,
+		OpAdd: 0, OpBeq: 0,
+	}
+	for op, want := range cases {
+		if got := (Instruction{Op: op}).MemBytes(); got != want {
+			t.Errorf("%v.MemBytes() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestDisassemblyForms(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: OpNop}, "nop"},
+		{Instruction{Op: OpHalt}, "halt"},
+		{Instruction{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Instruction{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -4}, "addi r1, r2, -4"},
+		{Instruction{Op: OpLd, Rd: 5, Rs1: 30, Imm: 16}, "ld r5, 16(r30)"},
+		{Instruction{Op: OpFLd, Rd: 2, Rs1: 30, Imm: 8}, "fld f2, 8(r30)"},
+		{Instruction{Op: OpBeq, Rd: 1, Rs1: 2, Imm: -8}, "beq r1, r2, -8"},
+		{Instruction{Op: OpJal, Rd: 31, Imm: 100}, "jal r31, 100"},
+		{Instruction{Op: OpLui, Rd: 3, Imm: 255}, "lui r3, 255"},
+		{Instruction{Op: OpFAdd, Rd: 1, Rs1: 2, Rs2: 3}, "fadd f1, f2, f3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestProgramInstAt(t *testing.T) {
+	p := &Program{
+		Base: 0x1000,
+		Code: []uint32{
+			MustEncode(Instruction{Op: OpAddi, Rd: 1, Imm: 7}),
+			MustEncode(Instruction{Op: OpHalt}),
+		},
+	}
+	in, err := p.InstAt(0x1000)
+	if err != nil || in.Op != OpAddi {
+		t.Errorf("InstAt(base) = (%v, %v)", in, err)
+	}
+	in, err = p.InstAt(0x1004)
+	if err != nil || in.Op != OpHalt {
+		t.Errorf("InstAt(base+4) = (%v, %v)", in, err)
+	}
+	for _, pc := range []uint64{0x0ffc, 0x1008, 0x1001} {
+		if _, err := p.InstAt(pc); err == nil {
+			t.Errorf("InstAt(%#x) succeeded, want error", pc)
+		}
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true
+		}
+		// Whatever decodes must re-encode to a word that decodes to the
+		// same instruction (the encode→decode fixpoint property).
+		w2, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		in2, err := Decode(w2)
+		return err == nil && in2 == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

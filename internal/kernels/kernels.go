@@ -1,0 +1,463 @@
+// Package kernels provides a library of TH64 benchmark kernels written in
+// assembly. They are miniature stand-ins for the paper's application
+// suites: integer loop code (SPECint-like), floating-point array code
+// (SPECfp-like), byte/stream processing (MediaBench/MiBench-like), and
+// pointer-chasing code (the Wisconsin pointer-intensive suite), each
+// chosen to exhibit the value-width and address-locality behaviour the
+// Thermal Herding mechanisms exploit.
+package kernels
+
+import (
+	"fmt"
+
+	"thermalherd/internal/asm"
+	"thermalherd/internal/isa"
+)
+
+// Kernel is a named, runnable TH64 program.
+type Kernel struct {
+	// Name identifies the kernel in reports.
+	Name string
+	// Description says what it computes and which workload family it
+	// stands in for.
+	Description string
+	// Program is the assembled code.
+	Program *isa.Program
+	// ResultReg is the integer register holding the kernel's checksum
+	// at halt, and Expected its correct value; used by validation
+	// tests.
+	ResultReg int
+	Expected  uint64
+}
+
+// All returns every kernel in the library.
+func All() []Kernel {
+	return []Kernel{
+		Fibonacci(20),
+		ArraySum(64),
+		PointerChase(32, 8),
+		BubbleSort(16),
+		Checksum(48),
+		MatMul(4),
+		VecDot(32),
+		StringCount(40),
+	}
+}
+
+// ByName returns the kernel with the given name from All.
+func ByName(name string) (Kernel, error) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("kernels: unknown kernel %q", name)
+}
+
+// Fibonacci computes fib(n) iteratively. Loop counters and intermediate
+// Fibonacci numbers stay low-width for small n — the classic integer-loop
+// behaviour behind the paper's 97% width predictability claim.
+func Fibonacci(n int) Kernel {
+	fib := func(n int) uint64 {
+		a, b := uint64(0), uint64(1)
+		for i := 0; i < n; i++ {
+			a, b = b, a+b
+		}
+		return a
+	}
+	src := fmt.Sprintf(`
+		addi r1, r0, 0      ; a
+		addi r2, r0, 1      ; b
+		addi r3, r0, %d     ; i = n
+	loop:
+		add  r4, r1, r2     ; t = a + b
+		add  r1, r2, r0     ; a = b
+		add  r2, r4, r0     ; b = t
+		addi r3, r3, -1
+		bne  r3, r0, loop
+		halt
+	`, n)
+	return Kernel{
+		Name:        "fib",
+		Description: "iterative Fibonacci; low-width integer loop (SPECint-like)",
+		Program:     asm.MustAssemble(src),
+		ResultReg:   1,
+		Expected:    fib(n),
+	}
+}
+
+// ArraySum initializes an array of small values in the heap and sums it.
+// Loads return low-width data from full-width addresses.
+func ArraySum(n int) Kernel {
+	var want uint64
+	for i := 1; i <= n; i++ {
+		want += uint64(i)
+	}
+	src := fmt.Sprintf(`
+		; r5 = heap base 0x1234_0000_0000 (full-width address)
+		lui  r5, 0x1234
+		slli r5, r5, 16
+		; init: a[i] = i+1 for i in 0..n-1
+		addi r1, r0, 0      ; i
+		addi r2, r0, %d     ; n
+	init:
+		addi r3, r1, 1
+		slli r4, r1, 3
+		add  r4, r5, r4
+		st   r3, 0(r4)
+		addi r1, r1, 1
+		bne  r1, r2, init
+		; sum
+		addi r1, r0, 0
+		addi r6, r0, 0      ; sum
+	sum:
+		slli r4, r1, 3
+		add  r4, r5, r4
+		ld   r3, 0(r4)
+		add  r6, r6, r3
+		addi r1, r1, 1
+		bne  r1, r2, sum
+		halt
+	`, n)
+	return Kernel{
+		Name:        "arraysum",
+		Description: "array reduction over small values; low-width loads (MiBench-like)",
+		Program:     asm.MustAssemble(src),
+		ResultReg:   6,
+		Expected:    want,
+	}
+}
+
+// PointerChase builds a linked list of nodes in the heap, each node
+// holding a pointer to the next, then walks it rounds times. The stored
+// pointers share upper bits with the addresses they are stored at — the
+// PVAddr pointer-locality case of the data cache's partial value
+// encoding.
+func PointerChase(nodes, rounds int) Kernel {
+	src := fmt.Sprintf(`
+		lui  r5, 0x4321
+		slli r5, r5, 16     ; heap base, full-width
+		; build list: node i at base + 64*i, next pointer at offset 0,
+		; payload (= i) at offset 8; last node points back to base.
+		addi r1, r0, 0      ; i
+		addi r2, r0, %d     ; nodes
+	build:
+		slli r3, r1, 6
+		add  r3, r5, r3     ; &node[i]
+		addi r4, r1, 1
+		bne  r4, r2, notlast
+		addi r4, r0, 0      ; wrap to node 0
+	notlast:
+		slli r4, r4, 6
+		add  r4, r5, r4     ; &node[i+1 mod nodes]
+		st   r4, 0(r3)      ; node.next = pointer (shares upper bits!)
+		st   r1, 8(r3)      ; node.payload = i
+		addi r1, r1, 1
+		bne  r1, r2, build
+		; chase: walk rounds*nodes links, summing payloads
+		addi r6, r0, 0      ; sum
+		addi r7, r0, %d     ; remaining hops
+		add  r8, r5, r0     ; cursor = base
+	chase:
+		ld   r9, 8(r8)      ; payload
+		add  r6, r6, r9
+		ld   r8, 0(r8)      ; cursor = cursor.next (pointer load)
+		addi r7, r7, -1
+		bne  r7, r0, chase
+		halt
+	`, nodes, nodes*rounds)
+	var want uint64
+	for i := 0; i < nodes; i++ {
+		want += uint64(i)
+	}
+	want *= uint64(rounds)
+	return Kernel{
+		Name:        "ptrchase",
+		Description: "linked-list walk; pointer loads exercise PVAddr locality (pointer-suite-like)",
+		Program:     asm.MustAssemble(src),
+		ResultReg:   6,
+		Expected:    want,
+	}
+}
+
+// BubbleSort sorts a descending array ascending and returns the sum of
+// element*index as a checksum. Branch-heavy with data-dependent control.
+func BubbleSort(n int) Kernel {
+	var want uint64
+	for i := 0; i < n; i++ {
+		want += uint64((i + 1) * i) // sorted ascending: a[i] = i+1
+	}
+	src := fmt.Sprintf(`
+		lui  r5, 0x2222
+		slli r5, r5, 16
+		addi r2, r0, %d     ; n
+		; init descending: a[i] = n-i
+		addi r1, r0, 0
+	init:
+		sub  r3, r2, r1
+		slli r4, r1, 3
+		add  r4, r5, r4
+		st   r3, 0(r4)
+		addi r1, r1, 1
+		bne  r1, r2, init
+		; bubble sort
+		addi r10, r2, -1    ; passes = n-1
+	pass:
+		addi r1, r0, 0      ; j
+		addi r11, r2, -1    ; limit = n-1
+	inner:
+		slli r4, r1, 3
+		add  r4, r5, r4
+		ld   r6, 0(r4)      ; a[j]
+		ld   r7, 8(r4)      ; a[j+1]
+		blt  r6, r7, noswap
+		st   r7, 0(r4)
+		st   r6, 8(r4)
+	noswap:
+		addi r1, r1, 1
+		bne  r1, r11, inner
+		addi r10, r10, -1
+		bne  r10, r0, pass
+		; checksum: sum a[i]*i
+		addi r1, r0, 0
+		addi r8, r0, 0
+	csum:
+		slli r4, r1, 3
+		add  r4, r5, r4
+		ld   r6, 0(r4)
+		mul  r7, r6, r1
+		add  r8, r8, r7
+		addi r1, r1, 1
+		bne  r1, r2, csum
+		halt
+	`, n)
+	return Kernel{
+		Name:        "bubblesort",
+		Description: "in-place sort; data-dependent branches (SPECint-like)",
+		Program:     asm.MustAssemble(src),
+		ResultReg:   8,
+		Expected:    want,
+	}
+}
+
+// Checksum runs a multiply-xor-shift mixing loop whose state rapidly goes
+// full-width — the adversarial case for width prediction.
+func Checksum(iters int) Kernel {
+	ref := func(iters int) uint64 {
+		h := uint64(0x9e37)
+		for i := 0; i < iters; i++ {
+			h = h*2654435761%(1<<62) ^ h>>13 ^ uint64(i)
+			h &= (1 << 62) - 1
+		}
+		return h
+	}
+	_ = ref
+	// The assembly computes: h = (h * K) ^ (h >> 13) ^ i, over iters
+	// iterations, with K built from immediates. Compute the expected
+	// value with the same operations in Go below.
+	src := fmt.Sprintf(`
+		lui  r1, 0x9e37     ; h = 0x9e370000
+		lui  r2, 0x9e37     ; K = 0x9e3779b9
+		ori  r2, r2, 0x79b9
+		addi r3, r0, 0      ; i
+		addi r4, r0, %d     ; iters
+	loop:
+		mul  r5, r1, r2
+		srli r6, r1, 13
+		xor  r5, r5, r6
+		xor  r1, r5, r3
+		addi r3, r3, 1
+		bne  r3, r4, loop
+		halt
+	`, iters)
+	h := uint64(0x9e370000)
+	k := uint64(0x9e3779b9)
+	for i := uint64(0); i < uint64(iters); i++ {
+		h = (h * k) ^ (h >> 13) ^ i
+	}
+	return Kernel{
+		Name:        "checksum",
+		Description: "multiply-xor-shift hash; full-width values stress width prediction",
+		Program:     asm.MustAssemble(src),
+		ResultReg:   1,
+		Expected:    h,
+	}
+}
+
+// MatMul multiplies two n×n integer-valued FP matrices (A[i][j] = i+j,
+// B[i][j] = i-j as floats) and returns the integer cast of the sum of C's
+// entries. FP-heavy, SPECfp-like.
+func MatMul(n int) Kernel {
+	// Reference computation.
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var c float64
+			for k := 0; k < n; k++ {
+				c += float64(i+k) * float64(k-j)
+			}
+			sum += c
+		}
+	}
+	src := fmt.Sprintf(`
+		addi r2, r0, %d     ; n
+		lui  r20, 0x3333
+		slli r20, r20, 16   ; A base
+		lui  r21, 0x3344
+		slli r21, r21, 16   ; B base
+		; init A[i][j] = i+j, B[i][j] = i-j (as floats)
+		addi r1, r0, 0      ; i
+	iinit:
+		addi r3, r0, 0      ; j
+	jinit:
+		mul  r4, r1, r2
+		add  r4, r4, r3
+		slli r4, r4, 3      ; byte offset of [i][j]
+		add  r5, r1, r3
+		i2f  f1, r5
+		add  r6, r20, r4
+		fst  f1, 0(r6)
+		sub  r5, r1, r3
+		i2f  f2, r5
+		add  r6, r21, r4
+		fst  f2, 0(r6)
+		addi r3, r3, 1
+		bne  r3, r2, jinit
+		addi r1, r1, 1
+		bne  r1, r2, iinit
+		; C sum = Σ_ij Σ_k A[i][k]*B[k][j]
+		i2f  f10, r0        ; total = 0
+		addi r1, r0, 0      ; i
+	iloop:
+		addi r3, r0, 0      ; j
+	jloop:
+		i2f  f3, r0         ; c = 0
+		addi r7, r0, 0      ; k
+	kloop:
+		mul  r4, r1, r2
+		add  r4, r4, r7
+		slli r4, r4, 3
+		add  r6, r20, r4
+		fld  f1, 0(r6)      ; A[i][k]
+		mul  r4, r7, r2
+		add  r4, r4, r3
+		slli r4, r4, 3
+		add  r6, r21, r4
+		fld  f2, 0(r6)      ; B[k][j]
+		fmul f4, f1, f2
+		fadd f3, f3, f4
+		addi r7, r7, 1
+		bne  r7, r2, kloop
+		fadd f10, f10, f3
+		addi r3, r3, 1
+		bne  r3, r2, jloop
+		addi r1, r1, 1
+		bne  r1, r2, iloop
+		f2i  r10, f10
+		halt
+	`, n)
+	return Kernel{
+		Name:        "matmul",
+		Description: "dense FP matrix multiply (SPECfp-like)",
+		Program:     asm.MustAssemble(src),
+		ResultReg:   10,
+		Expected:    uint64(int64(sum)),
+	}
+}
+
+// VecDot computes the dot product of two FP vectors v[i] = i, w[i] = 2i.
+func VecDot(n int) Kernel {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(i) * float64(2*i)
+	}
+	src := fmt.Sprintf(`
+		addi r2, r0, %d
+		lui  r20, 0x5151
+		slli r20, r20, 16
+		lui  r21, 0x5252
+		slli r21, r21, 16
+		addi r1, r0, 0
+	init:
+		slli r4, r1, 3
+		i2f  f1, r1
+		add  r6, r20, r4
+		fst  f1, 0(r6)
+		add  r5, r1, r1
+		i2f  f2, r5
+		add  r6, r21, r4
+		fst  f2, 0(r6)
+		addi r1, r1, 1
+		bne  r1, r2, init
+		i2f  f10, r0
+		addi r1, r0, 0
+	dot:
+		slli r4, r1, 3
+		add  r6, r20, r4
+		fld  f1, 0(r6)
+		add  r6, r21, r4
+		fld  f2, 0(r6)
+		fmul f3, f1, f2
+		fadd f10, f10, f3
+		addi r1, r1, 1
+		bne  r1, r2, dot
+		f2i  r10, f10
+		halt
+	`, n)
+	return Kernel{
+		Name:        "vecdot",
+		Description: "FP vector dot product; streaming loads (SPECfp-like)",
+		Program:     asm.MustAssemble(src),
+		ResultReg:   10,
+		Expected:    uint64(int64(sum)),
+	}
+}
+
+// StringCount writes a byte string into memory and counts occurrences of
+// a target byte — byte-granularity loads as in media/string workloads.
+func StringCount(n int) Kernel {
+	// The string is bytes (i*7+3)&0x7f; count occurrences of bytes
+	// equal to 0x24 modulo the pattern.
+	var want uint64
+	for i := 0; i < n; i++ {
+		if (i*7+3)&0x7f == 0x24 {
+			want++
+		}
+	}
+	src := fmt.Sprintf(`
+		lui  r5, 0x6161
+		slli r5, r5, 16
+		addi r2, r0, %d
+		addi r1, r0, 0
+	init:
+		mul  r3, r1, r0
+		addi r3, r1, 0
+		slli r4, r3, 3      ; i*8
+		sub  r4, r4, r3     ; i*7
+		addi r4, r4, 3
+		andi r4, r4, 0x7f
+		add  r6, r5, r1
+		sb   r4, 0(r6)
+		addi r1, r1, 1
+		bne  r1, r2, init
+		addi r1, r0, 0
+		addi r7, r0, 0      ; count
+		addi r8, r0, 0x24   ; target
+	scan:
+		add  r6, r5, r1
+		lb   r3, 0(r6)
+		bne  r3, r8, skip
+		addi r7, r7, 1
+	skip:
+		addi r1, r1, 1
+		bne  r1, r2, scan
+		halt
+	`, n)
+	return Kernel{
+		Name:        "strcount",
+		Description: "byte-stream scan; sub-word loads (MediaBench-like)",
+		Program:     asm.MustAssemble(src),
+		ResultReg:   7,
+		Expected:    want,
+	}
+}

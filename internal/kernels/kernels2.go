@@ -1,0 +1,321 @@
+package kernels
+
+import (
+	"fmt"
+
+	"thermalherd/internal/asm"
+)
+
+// This file adds the second wave of kernels: recursive call-heavy code
+// (RAS/iBTB behaviour), fixed-point DSP (MediaBench-like multiply
+// accumulate), table-driven CRC (full-width mixing through memory), byte
+// histogramming, and block copies.
+
+// All2 returns the extended kernel set (the originals plus these).
+func All2() []Kernel {
+	return append(All(),
+		RecursiveFib(18),
+		FIRFilter(96, 8),
+		Histogram(256),
+		CRC32(64),
+		MemCopy(128),
+	)
+}
+
+// RecursiveFib computes fib(n) by naive recursion — a deep, call-heavy
+// workload exercising the return address stack.
+func RecursiveFib(n int) Kernel {
+	var fib func(int) uint64
+	fib = func(n int) uint64 {
+		if n < 2 {
+			return uint64(n)
+		}
+		return fib(n-1) + fib(n-2)
+	}
+	// Calling convention: argument in r1, result in r2, stack r30,
+	// link r31. Frame: [ret][saved r1][saved partial].
+	src := fmt.Sprintf(`
+		addi r1, r0, %d
+		jal  r31, fib
+		halt
+	fib:
+		slti r3, r1, 2
+		beq  r3, r0, recurse
+		add  r2, r1, r0      ; base case: fib(n) = n
+		jalr r0, r31, 0
+	recurse:
+		addi r30, r30, -24
+		st   r31, 0(r30)
+		st   r1, 8(r30)
+		addi r1, r1, -1
+		jal  r31, fib        ; fib(n-1)
+		st   r2, 16(r30)
+		ld   r1, 8(r30)
+		addi r1, r1, -2
+		jal  r31, fib        ; fib(n-2)
+		ld   r3, 16(r30)
+		add  r2, r2, r3
+		ld   r31, 0(r30)
+		addi r30, r30, 24
+		jalr r0, r31, 0
+	`, n)
+	return Kernel{
+		Name:        "recfib",
+		Description: "naive recursive Fibonacci; deep call stack (RAS-heavy)",
+		Program:     asm.MustAssemble(src),
+		ResultReg:   2,
+		Expected:    fib(n),
+	}
+}
+
+// FIRFilter runs a fixed-point finite-impulse-response filter over a
+// synthetic signal: the multiply-accumulate inner loop of MediaBench
+// audio codecs, with 16-bit samples and taps.
+func FIRFilter(samples, taps int) Kernel {
+	// Signal x[i] = (i*37+11) & 0x3fff; taps h[k] = k+1. Output checksum
+	// = sum of y[i] & 0xffff over valid positions.
+	x := make([]uint64, samples)
+	for i := range x {
+		x[i] = uint64(i*37+11) & 0x3fff
+	}
+	var want uint64
+	for i := taps - 1; i < samples; i++ {
+		var y uint64
+		for k := 0; k < taps; k++ {
+			y += x[i-k] * uint64(k+1)
+		}
+		want += y & 0xffff
+	}
+	src := fmt.Sprintf(`
+		lui  r5, 0x7171
+		slli r5, r5, 16      ; signal base
+		addi r2, r0, %d      ; samples
+		addi r9, r0, %d      ; taps
+		; init signal
+		addi r1, r0, 0
+	init:
+		addi r3, r1, 0
+		slli r4, r3, 5       ; i*32
+		addi r6, r3, 0
+		slli r6, r6, 2       ; i*4
+		add  r4, r4, r6      ; i*36
+		add  r4, r4, r3      ; i*37
+		addi r4, r4, 11
+		andi r4, r4, 0x3fff
+		slli r6, r1, 3
+		add  r6, r5, r6
+		st   r4, 0(r6)
+		addi r1, r1, 1
+		bne  r1, r2, init
+		; filter
+		addi r10, r9, -1     ; i = taps-1
+		addi r12, r0, 0      ; checksum
+	outer:
+		addi r7, r0, 0       ; k
+		addi r11, r0, 0      ; y
+	inner:
+		sub  r3, r10, r7     ; i-k
+		slli r4, r3, 3
+		add  r4, r5, r4
+		ld   r6, 0(r4)       ; x[i-k]
+		addi r8, r7, 1       ; h[k] = k+1
+		mul  r6, r6, r8
+		add  r11, r11, r6
+		addi r7, r7, 1
+		bne  r7, r9, inner
+		andi r11, r11, 0xffff
+		add  r12, r12, r11
+		addi r10, r10, 1
+		bne  r10, r2, outer
+		halt
+	`, samples, taps)
+	return Kernel{
+		Name:        "fir",
+		Description: "fixed-point FIR filter; 16-bit multiply-accumulate (MediaBench-like)",
+		Program:     asm.MustAssemble(src),
+		ResultReg:   12,
+		Expected:    want,
+	}
+}
+
+// Histogram counts byte values of a pseudo-random string into 16 bins —
+// data-dependent store addresses.
+func Histogram(n int) Kernel {
+	var bins [16]uint64
+	for i := 0; i < n; i++ {
+		b := (i*61 + 7) & 0xff
+		bins[b>>4]++
+	}
+	var want uint64
+	for i, c := range bins {
+		want += c * uint64(i+1)
+	}
+	src := fmt.Sprintf(`
+		lui  r5, 0x8181
+		slli r5, r5, 16      ; string base
+		lui  r15, 0x8282
+		slli r15, r15, 16    ; bins base
+		addi r2, r0, %d
+		; init string: s[i] = (i*61+7) & 0xff
+		addi r1, r0, 0
+	init:
+		addi r3, r1, 0
+		slli r4, r3, 6       ; i*64
+		sub  r4, r4, r3      ; i*63
+		sub  r4, r4, r3      ; i*62
+		sub  r4, r4, r3      ; i*61
+		addi r4, r4, 7
+		andi r4, r4, 0xff
+		add  r6, r5, r1
+		sb   r4, 0(r6)
+		addi r1, r1, 1
+		bne  r1, r2, init
+		; zero the 16 bins
+		addi r1, r0, 0
+		addi r7, r0, 16
+	zero:
+		slli r4, r1, 3
+		add  r4, r15, r4
+		st   r0, 0(r4)
+		addi r1, r1, 1
+		bne  r1, r7, zero
+		; histogram
+		addi r1, r0, 0
+	scan:
+		add  r6, r5, r1
+		lb   r3, 0(r6)
+		andi r3, r3, 0xff
+		srli r3, r3, 4       ; bin = b >> 4
+		slli r3, r3, 3
+		add  r3, r15, r3
+		ld   r4, 0(r3)
+		addi r4, r4, 1
+		st   r4, 0(r3)
+		addi r1, r1, 1
+		bne  r1, r2, scan
+		; checksum: sum bins[i]*(i+1)
+		addi r1, r0, 0
+		addi r12, r0, 0
+	csum:
+		slli r4, r1, 3
+		add  r4, r15, r4
+		ld   r3, 0(r4)
+		addi r6, r1, 1
+		mul  r3, r3, r6
+		add  r12, r12, r3
+		addi r1, r1, 1
+		bne  r1, r7, csum
+		halt
+	`, n)
+	return Kernel{
+		Name:        "histogram",
+		Description: "byte histogram; data-dependent addresses (MiBench-like)",
+		Program:     asm.MustAssemble(src),
+		ResultReg:   12,
+		Expected:    want,
+	}
+}
+
+// CRC32 runs a (simplified, table-free) bitwise CRC over words — a
+// full-width shift/xor mixing loop like MiBench's crc32.
+func CRC32(words int) Kernel {
+	const poly = 0xedb88320
+	crc := ^uint64(0) & 0xffffffff
+	for i := 0; i < words; i++ {
+		crc ^= uint64(i*2654435761) & 0xffffffff
+		for b := 0; b < 8; b++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	src := fmt.Sprintf(`
+		lui  r2, 0xffff
+		ori  r2, r2, 0xffff  ; crc = 0xffffffff
+		lui  r3, 0xedb8
+		ori  r3, r3, 0x8320  ; poly
+		lui  r4, 0x9e37
+		ori  r4, r4, 0x79b1  ; Knuth multiplier 2654435761
+		lui  r14, 0xffff
+		ori  r14, r14, 0xffff ; 32-bit mask
+		addi r5, r0, %d      ; words
+		addi r1, r0, 0       ; i
+	loop:
+		mul  r6, r1, r4
+		and  r6, r6, r14
+		xor  r2, r2, r6
+		addi r7, r0, 8       ; bit counter
+	bits:
+		andi r8, r2, 1
+		srli r2, r2, 1
+		beq  r8, r0, nobit
+		xor  r2, r2, r3
+	nobit:
+		addi r7, r7, -1
+		bne  r7, r0, bits
+		addi r1, r1, 1
+		bne  r1, r5, loop
+		halt
+	`, words)
+	return Kernel{
+		Name:        "crc32",
+		Description: "bitwise CRC-32; full-width shift/xor mixing (MiBench crc32-like)",
+		Program:     asm.MustAssemble(src),
+		ResultReg:   2,
+		Expected:    crc,
+	}
+}
+
+// MemCopy copies an n-word buffer and checksums the destination —
+// streaming loads and stores.
+func MemCopy(n int) Kernel {
+	var want uint64
+	for i := 0; i < n; i++ {
+		want += uint64(i)*3 + 5
+	}
+	src := fmt.Sprintf(`
+		lui  r5, 0x9191
+		slli r5, r5, 16      ; src
+		lui  r15, 0x9292
+		slli r15, r15, 16    ; dst
+		addi r2, r0, %d
+		addi r1, r0, 0
+	init:
+		slli r4, r1, 1
+		add  r4, r4, r1      ; i*3
+		addi r4, r4, 5
+		slli r6, r1, 3
+		add  r6, r5, r6
+		st   r4, 0(r6)
+		addi r1, r1, 1
+		bne  r1, r2, init
+		addi r1, r0, 0
+	copy:
+		slli r6, r1, 3
+		add  r7, r5, r6
+		ld   r3, 0(r7)
+		add  r7, r15, r6
+		st   r3, 0(r7)
+		addi r1, r1, 1
+		bne  r1, r2, copy
+		addi r1, r0, 0
+		addi r12, r0, 0
+	csum:
+		slli r6, r1, 3
+		add  r7, r15, r6
+		ld   r3, 0(r7)
+		add  r12, r12, r3
+		addi r1, r1, 1
+		bne  r1, r2, csum
+		halt
+	`, n)
+	return Kernel{
+		Name:        "memcopy",
+		Description: "block copy with checksum; streaming loads/stores",
+		Program:     asm.MustAssemble(src),
+		ResultReg:   12,
+		Expected:    want,
+	}
+}

@@ -1,0 +1,217 @@
+// Package power computes per-unit and total power from the timing
+// model's activity counters, the circuit model's per-access energies,
+// and the paper's Section 4 assumptions: the baseline 2D processor
+// dissipates 35% of its power in the clock network and 20% in leakage;
+// the 3D organization halves clock power (footprint quartered,
+// conservatively credited as half); 3D and Thermal Herding do not reduce
+// leakage.
+//
+// The output is both a scalar breakdown (Figure 9 totals) and a per-
+// floorplan-unit power map feeding the thermal solver (Figure 10).
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"thermalherd/internal/circuit"
+	"thermalherd/internal/config"
+	"thermalherd/internal/core"
+	"thermalherd/internal/cpu"
+	"thermalherd/internal/floorplan"
+)
+
+// Calibration constants. The paper's reference point: two copies of the
+// MediaBench Mpeg2 encoder on the planar two-core processor dissipate
+// 90 W total. EnergyScale multiplies the circuit model's per-access
+// energies to land the dynamic component of that reference point;
+// RefTotal2D anchors the 35%/20% clock/leakage split in watts.
+const (
+	EnergyScale = 2.88
+	RefTotal2D  = 90.0 // W, two cores, mpeg2enc
+	ClockFrac   = 0.35
+	LeakFrac    = 0.20
+
+	// Clock3DFactor: "we conservatively reduce its power consumption
+	// by 1/2 for the 3D processor configurations."
+	Clock3DFactor = 0.5
+)
+
+// ClockW2D is the planar clock network power at the baseline frequency.
+func ClockW2D() float64 { return ClockFrac * RefTotal2D }
+
+// LeakageW is the leakage power, unchanged across all configurations.
+func LeakageW() float64 { return LeakFrac * RefTotal2D }
+
+// Breakdown is the computed power of one configuration running one
+// workload on both cores.
+type Breakdown struct {
+	Config   string
+	Workload string
+
+	// DynamicW is switching power in the microarchitectural blocks;
+	// ClockW the clock network; LeakageW leakage; TotalW their sum.
+	DynamicW float64
+	ClockW   float64
+	LeakageW float64
+	TotalW   float64
+
+	// BlockW is dynamic power per block summed over cores and die.
+	BlockW [floorplan.NumBlocks]float64
+	// UnitW maps every floorplan unit (block × core × die) to its
+	// total dissipated power including its share of clock and leakage
+	// — the thermal solver's input.
+	UnitW map[UnitKey]float64
+	// UnitLeakW is the leakage component of UnitW per unit, kept
+	// separate so temperature-dependent leakage models can rescale it
+	// (see LeakageScaleAt).
+	UnitLeakW map[UnitKey]float64
+}
+
+// UnitKey identifies a floorplan unit.
+type UnitKey struct {
+	Block floorplan.BlockID
+	Core  int
+	Die   int
+}
+
+// Compute derives the power breakdown for cfg running the workload whose
+// per-core statistics are s on both cores, the paper's two-instance
+// setup. ComputeDual supports heterogeneous pairings.
+func Compute(cfg config.Machine, s *cpu.Stats, fp *floorplan.Floorplan) (*Breakdown, error) {
+	return ComputeDual(cfg, [2]*cpu.Stats{s, s}, fp)
+}
+
+// ComputeDual derives the power breakdown for cfg with a (possibly
+// different) workload on each core.
+func ComputeDual(cfg config.Machine, s [2]*cpu.Stats, fp *floorplan.Floorplan) (*Breakdown, error) {
+	for coreIdx := range s {
+		if s[coreIdx] == nil || s[coreIdx].Cycles == 0 {
+			return nil, fmt.Errorf("power: core %d statistics cover zero cycles", coreIdx)
+		}
+	}
+	if cfg.ThreeD != (fp.NumDies == 4) {
+		return nil, fmt.Errorf("power: config %s (3D=%v) mismatched with floorplan %s",
+			cfg.Name, cfg.ThreeD, fp.Name)
+	}
+	b := &Breakdown{
+		Config:    cfg.Name,
+		UnitW:     make(map[UnitKey]float64),
+		UnitLeakW: make(map[UnitKey]float64),
+	}
+
+	// Dynamic power per block and core. Watts = (accesses/cycle) ×
+	// f[GHz] × E[pJ] / 1000.
+	for coreIdx, cs := range s {
+		for blk := floorplan.BlockID(0); blk < floorplan.NumBlocks; blk++ {
+			e := circuit.EnergyFor(blk)
+			if cfg.ThreeD {
+				// Per-die word activity: each activated die burns a
+				// quarter of the (wire-reduced) 3D access energy.
+				perWord := e.PerDieWord3D() * EnergyScale
+				for d := 0; d < core.NumDies; d++ {
+					wpc := float64(cs.BlockDie[blk].Words[d]) / float64(cs.Cycles)
+					w := wpc * cfg.ClockGHz * perWord / 1000
+					b.addUnit(blk, coreIdx, d, w)
+					b.BlockW[blk] += w
+				}
+			} else {
+				apc := float64(cs.BlockAccesses[blk]) / float64(cs.Cycles)
+				w := apc * cfg.ClockGHz * e.PerAccess2D() * EnergyScale / 1000
+				b.addUnit(blk, coreIdx, 0, w)
+				b.BlockW[blk] += w
+			}
+		}
+	}
+	for _, w := range b.BlockW {
+		b.DynamicW += w
+	}
+
+	// Clock network power scales with frequency; 3D additionally gets
+	// the paper's conservative capacitance halving, anchored so the
+	// stock 3.93 GHz 3D design dissipates exactly half the planar
+	// baseline's clock power.
+	switch {
+	case cfg.ThreeD:
+		b.ClockW = ClockW2D() * Clock3DFactor * cfg.ClockGHz / config.ThreeDClockGHz
+	default:
+		b.ClockW = ClockW2D() * cfg.ClockGHz / config.BaseClockGHz
+	}
+	b.LeakageW = LeakageW()
+	b.TotalW = b.DynamicW + b.ClockW + b.LeakageW
+
+	b.distributeOverheads(fp)
+	return b, nil
+}
+
+// addUnit attributes watts to the unit holding the block for one core on
+// one die; the shared L2 pools both cores' contributions.
+func (b *Breakdown) addUnit(blk floorplan.BlockID, coreIdx, die int, watts float64) {
+	if blk == floorplan.BlkL2 {
+		b.UnitW[UnitKey{blk, floorplan.SharedCore, die}] += watts
+		return
+	}
+	b.UnitW[UnitKey{blk, coreIdx, die}] += watts
+}
+
+// distributeOverheads spreads clock and leakage power over all floorplan
+// units proportionally to area (the clock network and subthreshold
+// leakage are chip-wide).
+func (b *Breakdown) distributeOverheads(fp *floorplan.Floorplan) {
+	var totalArea float64
+	for _, u := range fp.Units {
+		totalArea += u.Area()
+	}
+	overhead := b.ClockW + b.LeakageW
+	for _, u := range fp.Units {
+		key := UnitKey{u.Block, u.Core, u.Die}
+		b.UnitW[key] += overhead * u.Area() / totalArea
+		b.UnitLeakW[key] = b.LeakageW * u.Area() / totalArea
+	}
+}
+
+// UnitTotal sums the per-unit map (equals TotalW up to rounding).
+func (b *Breakdown) UnitTotal() float64 {
+	var t float64
+	for _, w := range b.UnitW {
+		t += w
+	}
+	return t
+}
+
+// Saving returns the fractional total-power saving of b relative to
+// base.
+func (b *Breakdown) Saving(base *Breakdown) float64 {
+	return 1 - b.TotalW/base.TotalW
+}
+
+// Temperature-dependent leakage: subthreshold leakage grows roughly
+// exponentially with temperature. LeakageRefK is the temperature at
+// which the paper's 20% leakage share is taken (a hot 85 C chip);
+// LeakageBeta is the per-kelvin exponential coefficient.
+const (
+	LeakageRefK = 358.0
+	LeakageBeta = 0.02
+)
+
+// LeakageScaleAt returns the multiplicative leakage factor at tempK
+// relative to the reference temperature.
+func LeakageScaleAt(tempK float64) float64 {
+	return math.Exp(LeakageBeta * (tempK - LeakageRefK))
+}
+
+// DensityStudyMap builds the per-unit power map for the paper's
+// Section 5.3 power-density experiment: the planar processor's 90 W at
+// 2.66 GHz forced into the 3D stack — each block's planar power is
+// divided evenly across its four die instances on the quarter footprint,
+// quadrupling power density while ignoring 3D's latency and power
+// benefits.
+func DensityStudyMap(planar *Breakdown, stacked *floorplan.Floorplan) map[UnitKey]float64 {
+	out := make(map[UnitKey]float64, len(planar.UnitW)*4)
+	for key, w := range planar.UnitW {
+		for d := 0; d < stacked.NumDies; d++ {
+			out[UnitKey{key.Block, key.Core, d}] += w / float64(stacked.NumDies)
+		}
+	}
+	return out
+}

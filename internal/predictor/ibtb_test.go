@@ -1,0 +1,83 @@
+package predictor
+
+import "testing"
+
+func TestIndirectBTBLearnsFixedTarget(t *testing.T) {
+	i := NewIndirectBTB(512, 4)
+	pc, target := uint64(0x4000), uint64(0x9000)
+	// First encounter: unknown.
+	if _, ok := i.Predict(pc); ok {
+		t.Error("cold iBTB predicted")
+	}
+	// The path history folds each resolved target in, so the index only
+	// stabilizes after the 16-bit history window fills with the
+	// steady-state pattern (4 nibble shifts); train past that point.
+	for round := 0; round < 6; round++ {
+		p, ok := i.Predict(pc)
+		i.Update(pc, target, p, ok)
+	}
+	got, ok := i.Predict(pc)
+	if !ok || got != target {
+		t.Errorf("after training: (%#x, %v), want (%#x, true)", got, ok, target)
+	}
+}
+
+func TestIndirectBTBPathSensitivity(t *testing.T) {
+	// The same indirect branch with two alternating targets: path
+	// history lets the iBTB disambiguate after training. Alternate the
+	// preceding targets so the histories differ.
+	i := NewIndirectBTB(512, 4)
+	pc := uint64(0x4000)
+	leadA, leadB := uint64(0x100), uint64(0x200)
+	tgtA, tgtB := uint64(0x8000), uint64(0x8800)
+	var correct, total int
+	for round := 0; round < 200; round++ {
+		var lead, tgt uint64
+		if round%2 == 0 {
+			lead, tgt = leadA, tgtA
+		} else {
+			lead, tgt = leadB, tgtB
+		}
+		// Leading indirect jump establishes path history.
+		lt, lok := i.Predict(0x3000)
+		i.Update(0x3000, lead, lt, lok)
+		// The polymorphic jump.
+		p, ok := i.Predict(pc)
+		if round > 20 {
+			total++
+			if ok && p == tgt {
+				correct++
+			}
+		}
+		i.Update(pc, tgt, p, ok)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("path-correlated accuracy = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestIndirectBTBAccuracyCounter(t *testing.T) {
+	i := NewIndirectBTB(64, 4)
+	if i.Accuracy() != 1 {
+		t.Error("vacuous accuracy should be 1")
+	}
+	// Train to the steady state, then measure: accuracy must rise from
+	// 0 (cold misses) to something solidly positive, and land between 0
+	// and 1 overall.
+	for round := 0; round < 12; round++ {
+		p, ok := i.Predict(0x10)
+		i.Update(0x10, 0x99, p, ok)
+	}
+	if acc := i.Accuracy(); acc <= 0 || acc >= 1 {
+		t.Errorf("mixed-outcome accuracy = %g, want in (0,1)", acc)
+	}
+	i.ResetStats()
+	if i.Accuracy() != 1 {
+		t.Error("ResetStats did not clear accuracy")
+	}
+	// Learned targets survive the reset (the history is steady, so the
+	// stabilized index still hits).
+	if _, ok := i.Predict(0x10); !ok {
+		t.Error("ResetStats dropped learned targets")
+	}
+}

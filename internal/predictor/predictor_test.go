@@ -1,0 +1,261 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func trainAndMeasure(t *testing.T, outcomes func(i int) (pc uint64, taken bool), n int) float64 {
+	t.Helper()
+	h := NewHybrid()
+	var correct int
+	for i := 0; i < n; i++ {
+		pc, taken := outcomes(i)
+		pred := h.Predict(pc)
+		if pred == taken {
+			correct++
+		}
+		h.Update(pc, taken, pred)
+	}
+	return float64(correct) / float64(n)
+}
+
+func TestHybridLearnsStronglyBiasedBranches(t *testing.T) {
+	acc := trainAndMeasure(t, func(i int) (uint64, bool) {
+		pc := uint64(0x1000 + 4*(i%16))
+		return pc, (i%16)%2 == 0 // each PC fully biased
+	}, 20000)
+	if acc < 0.98 {
+		t.Errorf("biased-branch accuracy = %.3f, want >= 0.98", acc)
+	}
+}
+
+func TestHybridLearnsLocalPattern(t *testing.T) {
+	// A single branch alternating T,N,T,N is hopeless for bimodal but
+	// trivial for the local-history component.
+	acc := trainAndMeasure(t, func(i int) (uint64, bool) {
+		return 0x4000, i%2 == 0
+	}, 20000)
+	if acc < 0.95 {
+		t.Errorf("alternating-branch accuracy = %.3f, want >= 0.95 (local history)", acc)
+	}
+}
+
+func TestHybridLearnsGlobalCorrelation(t *testing.T) {
+	// Branch B's outcome equals branch A's: global history captures it.
+	state := false
+	rng := rand.New(rand.NewSource(3))
+	step := 0
+	acc := trainAndMeasure(t, func(i int) (uint64, bool) {
+		if step%2 == 0 {
+			state = rng.Float64() < 0.5
+			step++
+			return 0x8000, state // branch A: random
+		}
+		step++
+		return 0x8004, state // branch B: copies A
+	}, 40000)
+	// A is unpredictable (~50%), B should be ~100%: overall ≥ ~72%.
+	if acc < 0.70 {
+		t.Errorf("correlated-pair accuracy = %.3f, want >= 0.70", acc)
+	}
+}
+
+func TestHybridRandomBranchesNearChance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	acc := trainAndMeasure(t, func(i int) (uint64, bool) {
+		return uint64(0x1000 + 4*rng.Intn(512)), rng.Float64() < 0.5
+	}, 20000)
+	if acc < 0.4 || acc > 0.65 {
+		t.Errorf("random-branch accuracy = %.3f, expected near 0.5", acc)
+	}
+}
+
+func TestHybridAccuracyCounter(t *testing.T) {
+	h := NewHybrid()
+	if h.Accuracy() != 1 {
+		t.Error("vacuous accuracy should be 1")
+	}
+	pred := h.Predict(0x100)
+	h.Update(0x100, pred, pred)
+	if h.Accuracy() != 1 {
+		t.Error("one correct prediction should give accuracy 1")
+	}
+	pred = h.Predict(0x100)
+	h.Update(0x100, !pred, pred)
+	if h.Accuracy() != 0.5 {
+		t.Errorf("accuracy = %g, want 0.5", h.Accuracy())
+	}
+	if h.Predictions() != 2 {
+		t.Errorf("predictions = %d, want 2", h.Predictions())
+	}
+}
+
+func TestHybridDieActivitySplit(t *testing.T) {
+	h := NewHybrid()
+	for i := 0; i < 10; i++ {
+		pred := h.Predict(0x100)
+		h.Update(0x100, true, pred)
+	}
+	reads, writes := h.DieActivity()
+	// Predictions read only the direction array (die 0,1).
+	if reads[0] != 10 || reads[1] != 10 {
+		t.Errorf("direction-die reads = %v, want 10 each on die 0,1", reads)
+	}
+	if reads[2] != 0 || reads[3] != 0 {
+		t.Errorf("hysteresis dies read at predict time: %v", reads)
+	}
+	// Updates write all four die.
+	for d := 0; d < 4; d++ {
+		if writes[d] != 10 {
+			t.Errorf("die %d writes = %d, want 10", d, writes[d])
+		}
+	}
+}
+
+func TestBTBBasicHitMiss(t *testing.T) {
+	b := NewBTB(2048, 4)
+	if r := b.Lookup(0x1000); r.Hit {
+		t.Error("cold BTB lookup hit")
+	}
+	b.Update(0x1000, 0x2000)
+	r := b.Lookup(0x1000)
+	if !r.Hit || r.Target != 0x2000 {
+		t.Errorf("lookup = %+v, want hit with target 0x2000", r)
+	}
+}
+
+func TestBTBTargetMemoization(t *testing.T) {
+	b := NewBTB(2048, 4)
+	near := uint64(0x40_1000)
+	b.Update(near, near+64) // same upper 48 bits
+	if r := b.Lookup(near); r.NeedsFullRead {
+		t.Error("near target flagged as needing full read")
+	}
+	far := uint64(0x40_2000)
+	b.Update(far, 0x7fff_0000_0000)
+	if r := b.Lookup(far); !r.NeedsFullRead {
+		t.Error("far target not flagged")
+	}
+	if b.FullReadRate() != 0.5 {
+		t.Errorf("full-read rate = %g, want 0.5", b.FullReadRate())
+	}
+	// Per-die activity: near hit + far hit → top die 2, lower die 1.
+	a := b.Activity()
+	if a.Words[0] != 2 || a.Words[1] != 1 {
+		t.Errorf("BTB activity = %v, want [2 1 1 1]", a.Words)
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	b := NewBTB(16, 4) // 4 sets: easy to conflict
+	// Five branches mapping to the same set: one must be evicted.
+	pcs := make([]uint64, 5)
+	for i := range pcs {
+		pcs[i] = uint64(0x1000 + i*4*4*4) // same set index (4 sets × 4 bytes)
+		b.Update(pcs[i], pcs[i]+8)
+	}
+	hits := 0
+	for _, pc := range pcs {
+		if b.Lookup(pc).Hit {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Errorf("hits after 5-way conflict in 4-way set = %d, want 4", hits)
+	}
+}
+
+func TestBTBLRUReplacement(t *testing.T) {
+	b := NewBTB(16, 4)
+	base := uint64(0x1000)
+	stride := uint64(4 * 4 * 4)
+	// Fill the set and touch entries 1..3 so entry 0 is LRU.
+	for i := uint64(0); i < 4; i++ {
+		b.Update(base+i*stride, 0x9000+i)
+	}
+	for i := uint64(1); i < 4; i++ {
+		b.Lookup(base + i*stride)
+	}
+	b.Update(base+4*stride, 0x9999) // evicts the LRU (entry 0)
+	if b.Lookup(base).Hit {
+		t.Error("LRU entry survived eviction")
+	}
+	for i := uint64(1); i < 4; i++ {
+		if !b.Lookup(base + i*stride).Hit {
+			t.Errorf("recently used entry %d evicted", i)
+		}
+	}
+}
+
+func TestBTBUpdateExistingEntry(t *testing.T) {
+	b := NewBTB(64, 4)
+	b.Update(0x1000, 0x2000)
+	b.Update(0x1000, 0x3000)
+	if r := b.Lookup(0x1000); r.Target != 0x3000 {
+		t.Errorf("target after re-update = %#x, want 0x3000", r.Target)
+	}
+}
+
+func TestBTBHitRate(t *testing.T) {
+	b := NewBTB(64, 4)
+	b.Update(0x1000, 0x2000)
+	b.Lookup(0x1000) // hit
+	b.Lookup(0x5000) // miss
+	if b.HitRate() != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", b.HitRate())
+	}
+	if b.Lookups() != 2 {
+		t.Errorf("lookups = %d, want 2", b.Lookups())
+	}
+}
+
+func TestBTBRejectsBadShapes(t *testing.T) {
+	for _, c := range []struct{ entries, ways int }{{0, 4}, {10, 4}, {24, 4}, {16, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBTB(%d,%d) did not panic", c.entries, c.ways)
+				}
+			}()
+			NewBTB(c.entries, c.ways)
+		}()
+	}
+}
+
+func TestRAS(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(); ok {
+		t.Error("empty RAS popped a value")
+	}
+	r.Push(0x100)
+	r.Push(0x200)
+	if v, ok := r.Pop(); !ok || v != 0x200 {
+		t.Errorf("pop = (%#x, %v), want 0x200", v, ok)
+	}
+	if v, ok := r.Pop(); !ok || v != 0x100 {
+		t.Errorf("pop = (%#x, %v), want 0x100", v, ok)
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if v, _ := r.Pop(); v != 3 {
+		t.Errorf("pop = %d, want 3", v)
+	}
+	if v, _ := r.Pop(); v != 2 {
+		t.Errorf("pop = %d, want 2", v)
+	}
+}
+
+func TestTwoBitTableRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("newTwoBitTable(3) did not panic")
+		}
+	}()
+	newTwoBitTable(3)
+}

@@ -1,0 +1,262 @@
+// Package stats provides small statistics utilities shared by the
+// simulator, power model, and experiment harness: counters, histograms,
+// and aggregate measures such as geometric means.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns c/other as a float, or 0 when other is zero.
+func (c *Counter) Ratio(other *Counter) float64 {
+	if other.n == 0 {
+		return 0
+	}
+	return float64(c.n) / float64(other.n)
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive entries are
+// rejected with an error since the geometric mean is undefined for them.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geometric mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean requires positive values, got %g", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// MustGeoMean is GeoMean that panics on invalid input. It is intended for
+// experiment harness code where the inputs are known-positive by
+// construction.
+func MustGeoMean(xs []float64) float64 {
+	g, err := GeoMean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Histogram is a fixed-bucket histogram over int values.
+type Histogram struct {
+	name    string
+	buckets []uint64
+	min     int
+	width   int
+	under   uint64
+	over    uint64
+	total   uint64
+}
+
+// NewHistogram creates a histogram named name with n buckets of the given
+// width starting at min. Values below min land in the underflow bucket and
+// values at or beyond min+n*width land in the overflow bucket.
+func NewHistogram(name string, min, width, n int) *Histogram {
+	if width <= 0 || n <= 0 {
+		panic("stats: histogram width and bucket count must be positive")
+	}
+	return &Histogram{name: name, buckets: make([]uint64, n), min: min, width: width}
+}
+
+// Observe records one occurrence of v.
+func (h *Histogram) Observe(v int) {
+	h.total++
+	if v < h.min {
+		h.under++
+		return
+	}
+	idx := (v - h.min) / h.width
+	if idx >= len(h.buckets) {
+		h.over++
+		return
+	}
+	h.buckets[idx]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Fraction returns the fraction of observations in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.buckets[i]) / float64(h.total)
+}
+
+// String renders the histogram as a compact text table.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", h.name, h.total)
+	if h.under > 0 {
+		fmt.Fprintf(&b, "  <%d: %d\n", h.min, h.under)
+	}
+	for i, c := range h.buckets {
+		lo := h.min + i*h.width
+		fmt.Fprintf(&b, "  [%d,%d): %d\n", lo, lo+h.width, c)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "  >=%d: %d\n", h.min+len(h.buckets)*h.width, h.over)
+	}
+	return b.String()
+}
+
+// Table is a simple fixed-column text table builder used by the experiment
+// harness to print paper-style rows.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; it must have the same arity as the header.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.header) {
+		panic(fmt.Sprintf("stats: table row has %d cells, want %d", len(cells), len(t.header)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row formatting each value with format verbs; strings
+// pass through, float64 uses %.3f unless the value is large, in which case
+// %.1f is used.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			if math.Abs(v) >= 100 {
+				row[i] = fmt.Sprintf("%.1f", v)
+			} else {
+				row[i] = fmt.Sprintf("%.3f", v)
+			}
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case uint64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the keys of m in sorted order; a convenience for
+// deterministic iteration over string-keyed maps in reports.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

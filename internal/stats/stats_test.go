@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c, d Counter
+	c.Inc()
+	c.Add(4)
+	d.Add(10)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+	if got := c.Ratio(&d); got != 0.5 {
+		t.Errorf("Ratio = %g, want 0.5", got)
+	}
+	var zero Counter
+	if got := c.Ratio(&zero); got != 0 {
+		t.Errorf("Ratio with zero denominator = %g, want 0", got)
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{2, 8})
+	if err != nil || math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = (%g, %v), want 4", g, err)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("GeoMean(nil) should error")
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("GeoMean with zero should error")
+	}
+	if _, err := GeoMean([]float64{-1}); err == nil {
+		t.Error("GeoMean with negative should error")
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		return g >= Min(xs)*(1-1e-9) && g <= Max(xs)*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustGeoMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGeoMean(empty) did not panic")
+		}
+	}()
+	MustGeoMean(nil)
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 {
+		t.Errorf("Mean = %g, want 2", Mean(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if Min(xs) != 1 || Max(xs) != 3 {
+		t.Errorf("Min/Max = %g/%g, want 1/3", Min(xs), Max(xs))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram("widths", 0, 16, 4)
+	for _, v := range []int{0, 5, 15, 16, 47, 63, 64, -1} {
+		h.Observe(v)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	if h.Bucket(0) != 3 { // 0, 5, 15
+		t.Errorf("bucket 0 = %d, want 3", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 { // 16
+		t.Errorf("bucket 1 = %d, want 1", h.Bucket(1))
+	}
+	if h.Bucket(2) != 1 { // 47
+		t.Errorf("bucket 2 = %d, want 1", h.Bucket(2))
+	}
+	if h.Bucket(3) != 1 { // 63
+		t.Errorf("bucket 3 = %d, want 1", h.Bucket(3))
+	}
+	if got := h.Fraction(0); got != 3.0/8.0 {
+		t.Errorf("Fraction(0) = %g, want 0.375", got)
+	}
+	s := h.String()
+	if !strings.Contains(s, "widths") || !strings.Contains(s, "[0,16): 3") {
+		t.Errorf("histogram render missing content:\n%s", s)
+	}
+	// Overflow (64) and underflow (-1) rendered.
+	if !strings.Contains(s, ">=64: 1") || !strings.Contains(s, "<0: 1") {
+		t.Errorf("histogram render missing under/overflow:\n%s", s)
+	}
+}
+
+func TestHistogramRejectsBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram with zero width did not panic")
+		}
+	}()
+	NewHistogram("x", 0, 0, 4)
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("block", "2D (ps)", "3D (ps)")
+	tb.AddRow("adder", "300", "290")
+	tb.AddRowf("regfile", 450.0, 310.5)
+	s := tb.String()
+	for _, want := range []string{"block", "adder", "regfile", "450.0", "310.5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), s)
+	}
+}
+
+func TestTableArityPanic(t *testing.T) {
+	tb := NewTable("a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("AddRow with wrong arity did not panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"c": 1, "a": 2, "b": 3}
+	got := SortedKeys(m)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package thermal_test
+
+import (
+	"fmt"
+
+	"thermalherd/internal/floorplan"
+	"thermalherd/internal/thermal"
+)
+
+// Build the 4-die stack with all power herded to the top die and solve
+// for the steady state.
+func ExampleBuildStacked() {
+	fp := floorplan.Stacked()
+	var topArea float64
+	for _, u := range fp.UnitsOn(0) {
+		topArea += u.Area()
+	}
+	watts := func(u floorplan.Unit) float64 {
+		if u.Die == 0 {
+			return 50 * u.Area() / topArea // all 50 W on the top die
+		}
+		return 0
+	}
+	stack, err := thermal.BuildStacked(fp, watts, 16, 16)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sol, err := stack.Solve()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	peak, _, _, _ := sol.Peak()
+	fmt.Println("peak above ambient:", peak > thermal.AmbientK)
+	fmt.Println("top die hotter than ambient:", sol.MeanOfLayer(thermal.DieLayerIndex(0)) > thermal.AmbientK)
+	// Output:
+	// peak above ambient: true
+	// top die hotter than ambient: true
+}

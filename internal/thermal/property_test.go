@@ -1,0 +1,103 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"thermalherd/internal/floorplan"
+)
+
+// TestSuperposition: the thermal network is linear, so the temperature
+// rise of a combined power map must equal the sum of the rises of its
+// parts — a strong end-to-end check on the solver.
+func TestSuperposition(t *testing.T) {
+	fp := floorplan.Planar()
+	rng := rand.New(rand.NewSource(21))
+	wattsA := map[floorplan.BlockID]float64{}
+	wattsB := map[floorplan.BlockID]float64{}
+	for _, u := range fp.Units {
+		wattsA[u.Block] = 5 * rng.Float64()
+		wattsB[u.Block] = 5 * rng.Float64()
+	}
+	solve := func(f PowerFor) *Solution {
+		s, err := BuildPlanar(fp, f, 12, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	perUnit := func(m map[floorplan.BlockID]float64) PowerFor {
+		return func(u floorplan.Unit) float64 { return m[u.Block] }
+	}
+	solA := solve(perUnit(wattsA))
+	solB := solve(perUnit(wattsB))
+	solAB := solve(func(u floorplan.Unit) float64 { return wattsA[u.Block] + wattsB[u.Block] })
+
+	for l := range solAB.T {
+		for i := range solAB.T[l] {
+			riseA := solA.T[l][i] - AmbientK
+			riseB := solB.T[l][i] - AmbientK
+			riseAB := solAB.T[l][i] - AmbientK
+			if math.Abs(riseAB-(riseA+riseB)) > 0.02 {
+				t.Fatalf("superposition violated at layer %d cell %d: %.4f vs %.4f",
+					l, i, riseAB, riseA+riseB)
+			}
+		}
+	}
+}
+
+// TestScalingLinearity: doubling power doubles every temperature rise.
+func TestScalingLinearity(t *testing.T) {
+	fp := floorplan.Stacked()
+	watts := func(scale float64) PowerFor {
+		return func(u floorplan.Unit) float64 { return scale * u.Area() }
+	}
+	solve := func(f PowerFor) *Solution {
+		s, err := BuildStacked(fp, f, 10, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	one := solve(watts(1))
+	two := solve(watts(2))
+	p1, _, _, _ := one.Peak()
+	p2, _, _, _ := two.Peak()
+	if math.Abs((p2-AmbientK)-2*(p1-AmbientK)) > 0.05 {
+		t.Errorf("scaling violated: rise %.3f K vs 2x %.3f K", p2-AmbientK, p1-AmbientK)
+	}
+}
+
+// TestThickerTIMRunsHotter: increasing the interface resistance between
+// die and spreader must raise the peak — a monotonicity property used by
+// the d2d sensitivity ablation.
+func TestThickerTIMRunsHotter(t *testing.T) {
+	fp := floorplan.Planar()
+	build := func(timThickness float64) float64 {
+		s, err := BuildPlanar(fp, uniformWatts(fp, 80), 12, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Layers[1].Thickness = timThickness
+		sol, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _, _, _ := sol.Peak()
+		return p
+	}
+	thin := build(20e-6)
+	thick := build(200e-6)
+	if thick <= thin {
+		t.Errorf("thicker TIM (%.2f K) not hotter than thin (%.2f K)", thick, thin)
+	}
+}

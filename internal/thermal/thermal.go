@@ -1,0 +1,280 @@
+// Package thermal is a steady-state compact thermal model standing in
+// for the HotSpot 3.0.2 simulations of the paper's Section 4: a
+// finite-difference RC network over a layered die stack, solved with
+// successive over-relaxation.
+//
+// The modelled stack, from the heat sink downward, matches the paper's
+// assumptions: a copper heat spreader, a phase-change metallic-alloy
+// thermal interface material, then the silicon die — one for the planar
+// processor, four for the 3D processor with die-to-die interface layers
+// whose effective conductivity reflects a fully populated via field at
+// 25% copper / 75% air occupancy. The bottom of the stack (package side)
+// is treated as adiabatic, so all heat exits through the sink, the
+// worst-case assumption for a 3D stack.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Material and boundary constants.
+const (
+	// KSilicon is bulk silicon conductivity near operating temperature
+	// (W/m·K).
+	KSilicon = 110.0
+	// KCopper is the heat spreader conductivity.
+	KCopper = 395.0
+	// KTIM is the phase-change metallic alloy TIM the paper assumes.
+	KTIM = 30.0
+	// KD2D is the effective conductivity of a die-to-die interface with
+	// a fully populated via field: 25% copper, 75% air.
+	KD2D = 0.25*KCopper + 0.75*0.026
+	// AmbientK is the ambient temperature (HotSpot's default 45 C).
+	AmbientK = 318.15
+)
+
+// Default layer thicknesses in metres.
+const (
+	SpreaderThickness = 2.0e-3
+	TIMThickness      = 50e-6
+	BulkDieThickness  = 400e-6 // planar die / top die bulk silicon
+	ThinDieThickness  = 30e-6  // thinned stacked die
+	D2DThickness      = 15e-6  // via interface layer (5-20 um per paper)
+)
+
+// SinkRTotal is the lumped heat-sink-to-ambient resistance (K/W),
+// calibrated so the planar 90 W reference lands near the paper's 360 K
+// peak.
+const SinkRTotal = 0.32
+
+// Layer is one horizontal slab of the stack.
+type Layer struct {
+	// Name labels the layer in reports.
+	Name string
+	// Thickness in metres.
+	Thickness float64
+	// K is the thermal conductivity in W/(m·K).
+	K float64
+	// Power is the injected power per cell in watts (length Nx*Ny), or
+	// nil for a passive layer.
+	Power []float64
+}
+
+// Stack is a complete thermal problem.
+type Stack struct {
+	// Nx, Ny are the lateral grid dimensions.
+	Nx, Ny int
+	// CellW, CellH are the lateral cell dimensions in metres.
+	CellW, CellH float64
+	// Layers lists the slabs from the heat-sink side downward.
+	Layers []Layer
+	// SinkR is the lumped sink-to-ambient resistance in K/W attached
+	// above layer 0.
+	SinkR float64
+	// Ambient is the ambient temperature in kelvin.
+	Ambient float64
+}
+
+// TotalPower sums all injected power.
+func (s *Stack) TotalPower() float64 {
+	var p float64
+	for _, l := range s.Layers {
+		for _, w := range l.Power {
+			p += w
+		}
+	}
+	return p
+}
+
+// Validate checks the stack geometry.
+func (s *Stack) Validate() error {
+	if s.Nx <= 0 || s.Ny <= 0 {
+		return fmt.Errorf("thermal: grid %dx%d invalid", s.Nx, s.Ny)
+	}
+	if s.CellW <= 0 || s.CellH <= 0 {
+		return fmt.Errorf("thermal: non-positive cell size")
+	}
+	if len(s.Layers) == 0 {
+		return fmt.Errorf("thermal: no layers")
+	}
+	if s.SinkR <= 0 {
+		return fmt.Errorf("thermal: sink resistance must be positive")
+	}
+	n := s.Nx * s.Ny
+	for _, l := range s.Layers {
+		if l.Thickness <= 0 || l.K <= 0 {
+			return fmt.Errorf("thermal: layer %s has non-positive thickness or conductivity", l.Name)
+		}
+		if l.Power != nil && len(l.Power) != n {
+			return fmt.Errorf("thermal: layer %s power map has %d cells, want %d", l.Name, len(l.Power), n)
+		}
+	}
+	return nil
+}
+
+// Solution holds the solved temperature field.
+type Solution struct {
+	Stack *Stack
+	// T[l][y*Nx+x] is the temperature of cell (x, y) in layer l.
+	T [][]float64
+	// Iterations the solver used.
+	Iterations int
+}
+
+// Solve computes the steady-state temperature field by SOR iteration.
+func (s *Stack) Solve() (*Solution, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	nx, ny, nl := s.Nx, s.Ny, len(s.Layers)
+	n := nx * ny
+	cellArea := s.CellW * s.CellH
+
+	// Conductances.
+	gx := make([]float64, nl) // lateral, x direction
+	gy := make([]float64, nl)
+	for l, layer := range s.Layers {
+		gx[l] = layer.K * layer.Thickness * s.CellH / s.CellW
+		gy[l] = layer.K * layer.Thickness * s.CellW / s.CellH
+	}
+	gz := make([]float64, nl-1) // vertical between layer l and l+1
+	for l := 0; l < nl-1; l++ {
+		r := s.Layers[l].Thickness/(2*s.Layers[l].K) + s.Layers[l+1].Thickness/(2*s.Layers[l+1].K)
+		gz[l] = cellArea / r
+	}
+	// Sink: distributed over the top layer's cells, in series with half
+	// the top layer's vertical resistance.
+	rSinkCell := s.SinkR*float64(n) + s.Layers[0].Thickness/(2*s.Layers[0].K*cellArea)
+	gSink := 1 / rSinkCell
+
+	T := make([][]float64, nl)
+	for l := range T {
+		T[l] = make([]float64, n)
+		for i := range T[l] {
+			T[l][i] = s.Ambient + 20
+		}
+	}
+
+	const (
+		omega    = 1.85
+		tol      = 1e-5
+		maxIters = 200000
+	)
+	var iters int
+	for iters = 0; iters < maxIters; iters++ {
+		var maxDelta float64
+		for l := 0; l < nl; l++ {
+			layer := &s.Layers[l]
+			for y := 0; y < ny; y++ {
+				for x := 0; x < nx; x++ {
+					i := y*nx + x
+					var gSum, flux float64
+					if x > 0 {
+						gSum += gx[l]
+						flux += gx[l] * T[l][i-1]
+					}
+					if x < nx-1 {
+						gSum += gx[l]
+						flux += gx[l] * T[l][i+1]
+					}
+					if y > 0 {
+						gSum += gy[l]
+						flux += gy[l] * T[l][i-nx]
+					}
+					if y < ny-1 {
+						gSum += gy[l]
+						flux += gy[l] * T[l][i+nx]
+					}
+					if l > 0 {
+						gSum += gz[l-1]
+						flux += gz[l-1] * T[l-1][i]
+					}
+					if l < nl-1 {
+						gSum += gz[l]
+						flux += gz[l] * T[l+1][i]
+					}
+					if l == 0 {
+						gSum += gSink
+						flux += gSink * s.Ambient
+					}
+					if layer.Power != nil {
+						flux += layer.Power[i]
+					}
+					tNew := flux / gSum
+					delta := tNew - T[l][i]
+					T[l][i] += omega * delta
+					if d := math.Abs(delta); d > maxDelta {
+						maxDelta = d
+					}
+				}
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	if iters == maxIters {
+		return nil, fmt.Errorf("thermal: SOR did not converge in %d iterations", maxIters)
+	}
+	return &Solution{Stack: s, T: T, Iterations: iters}, nil
+}
+
+// Peak returns the maximum temperature anywhere in the stack and its
+// location.
+func (sol *Solution) Peak() (tempK float64, layer, x, y int) {
+	tempK = -1
+	for l := range sol.T {
+		for i, t := range sol.T[l] {
+			if t > tempK {
+				tempK = t
+				layer = l
+				x = i % sol.Stack.Nx
+				y = i / sol.Stack.Nx
+			}
+		}
+	}
+	return tempK, layer, x, y
+}
+
+// PeakOfLayer returns the maximum temperature within one layer.
+func (sol *Solution) PeakOfLayer(l int) float64 {
+	peak := -1.0
+	for _, t := range sol.T[l] {
+		if t > peak {
+			peak = t
+		}
+	}
+	return peak
+}
+
+// MeanOfLayer returns the average temperature of one layer.
+func (sol *Solution) MeanOfLayer(l int) float64 {
+	var sum float64
+	for _, t := range sol.T[l] {
+		sum += t
+	}
+	return sum / float64(len(sol.T[l]))
+}
+
+// At returns the temperature of cell (x, y) in layer l.
+func (sol *Solution) At(l, x, y int) float64 {
+	return sol.T[l][y*sol.Stack.Nx+x]
+}
+
+// MaxOverCells returns, for layer l, the maximum temperature over the
+// cells for which keep returns true. Returns the ambient temperature if
+// no cell matches.
+func (sol *Solution) MaxOverCells(l int, keep func(x, y int) bool) float64 {
+	peak := sol.Stack.Ambient
+	for y := 0; y < sol.Stack.Ny; y++ {
+		for x := 0; x < sol.Stack.Nx; x++ {
+			if keep(x, y) {
+				if t := sol.At(l, x, y); t > peak {
+					peak = t
+				}
+			}
+		}
+	}
+	return peak
+}

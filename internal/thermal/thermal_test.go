@@ -1,0 +1,270 @@
+package thermal
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"thermalherd/internal/floorplan"
+)
+
+// uniformWatts spreads total watts evenly over unit area.
+func uniformWatts(fp *floorplan.Floorplan, total float64) PowerFor {
+	var area float64
+	for _, u := range fp.Units {
+		area += u.Area()
+	}
+	return func(u floorplan.Unit) float64 { return total * u.Area() / area }
+}
+
+func TestSingleCellAnalytic(t *testing.T) {
+	// One cell, one layer: T = ambient + P * (SinkR*N + t/(2kA)).
+	s := &Stack{
+		Nx: 1, Ny: 1, CellW: 0.01, CellH: 0.01,
+		SinkR: 0.5, Ambient: 300,
+		Layers: []Layer{{Name: "die", Thickness: 1e-3, K: 100, Power: []float64{10}}},
+	}
+	sol, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rVert := 1e-3 / (2 * 100.0 * 0.01 * 0.01)
+	want := 300 + 10*(0.5+rVert)
+	if got := sol.T[0][0]; math.Abs(got-want) > 0.01 {
+		t.Errorf("analytic single cell: got %.3f K, want %.3f K", got, want)
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	fp := floorplan.Planar()
+	s, err := BuildPlanar(fp, uniformWatts(fp, 90), 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All heat must exit through the sink: sum over top-layer cells of
+	// gSink*(T - ambient) == total power.
+	n := s.Nx * s.Ny
+	cellArea := s.CellW * s.CellH
+	rSinkCell := s.SinkR*float64(n) + s.Layers[0].Thickness/(2*s.Layers[0].K*cellArea)
+	var out float64
+	for _, temp := range sol.T[0] {
+		out += (temp - s.Ambient) / rSinkCell
+	}
+	if math.Abs(out-90) > 0.5 {
+		t.Errorf("heat out of sink = %.3f W, want 90 (conservation)", out)
+	}
+}
+
+func TestHotterWhereMorePower(t *testing.T) {
+	fp := floorplan.Planar()
+	// All power in core 0's RS block.
+	watts := func(u floorplan.Unit) float64 {
+		if u.Block == floorplan.BlkRS && u.Core == 0 {
+			return 30
+		}
+		return 0
+	}
+	s, err := BuildPlanar(fp, watts, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, peak, ok := HottestUnit(sol, fp)
+	if !ok {
+		t.Fatal("hotspot not attributed to a unit")
+	}
+	if u.Block != floorplan.BlkRS || u.Core != 0 {
+		t.Errorf("hotspot at %v core %d, want RS core 0", u.Block, u.Core)
+	}
+	if peak <= AmbientK {
+		t.Error("peak not above ambient")
+	}
+}
+
+func TestStackedHeatsMoreThanPlanarAtEqualPower(t *testing.T) {
+	// The Section 5.3 density observation: the same total power in the
+	// quarter-footprint stack runs hotter.
+	pfp := floorplan.Planar()
+	sfp := floorplan.Stacked()
+	const total = 90.0
+	ps, err := BuildPlanar(pfp, uniformWatts(pfp, total), 24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := BuildStacked(sfp, uniformWatts(sfp, total), 24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psol, err := ps.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssol, err := ss.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPeak, _, _, _ := psol.Peak()
+	sPeak, _, _, _ := ssol.Peak()
+	if sPeak <= pPeak {
+		t.Errorf("stacked peak (%.1f K) not above planar (%.1f K) at equal power", sPeak, pPeak)
+	}
+}
+
+func TestBottomDieHotterThanTopDie(t *testing.T) {
+	// With power spread evenly, die 3 (farthest from the sink) must run
+	// hotter than die 0 — the reason herding wants activity on top.
+	fp := floorplan.Stacked()
+	s, err := BuildStacked(fp, uniformWatts(fp, 60), 24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := sol.MeanOfLayer(DieLayerIndex(0))
+	bottom := sol.MeanOfLayer(DieLayerIndex(3))
+	if bottom <= top {
+		t.Errorf("bottom die (%.2f K) not hotter than top die (%.2f K)", bottom, top)
+	}
+}
+
+func TestHerdingToTopDieReducesPeak(t *testing.T) {
+	// Moving the same power toward the top die must reduce the stack's
+	// peak temperature — the core thermal claim of the paper.
+	fp := floorplan.Stacked()
+	build := func(topShare float64) float64 {
+		perDie := [4]float64{topShare, (1 - topShare) / 3, (1 - topShare) / 3, (1 - topShare) / 3}
+		var area float64
+		for _, u := range fp.UnitsOn(0) {
+			area += u.Area()
+		}
+		watts := func(u floorplan.Unit) float64 {
+			return 60 * perDie[u.Die] * u.Area() / area
+		}
+		s, err := BuildStacked(fp, watts, 24, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak, _, _, _ := sol.Peak()
+		return peak
+	}
+	herded := build(0.70)  // most power on the top die
+	uniform := build(0.25) // evenly spread
+	if herded >= uniform {
+		t.Errorf("herded peak (%.2f K) not below uniform (%.2f K)", herded, uniform)
+	}
+}
+
+func TestValidateRejectsBadStacks(t *testing.T) {
+	bad := []*Stack{
+		{Nx: 0, Ny: 4, CellW: 1, CellH: 1, SinkR: 1, Layers: []Layer{{Name: "x", Thickness: 1, K: 1}}},
+		{Nx: 4, Ny: 4, CellW: 1, CellH: 1, SinkR: 0, Layers: []Layer{{Name: "x", Thickness: 1, K: 1}}},
+		{Nx: 4, Ny: 4, CellW: 1, CellH: 1, SinkR: 1},
+		{Nx: 4, Ny: 4, CellW: 1, CellH: 1, SinkR: 1, Layers: []Layer{{Name: "x", Thickness: 0, K: 1}}},
+		{Nx: 4, Ny: 4, CellW: 1, CellH: 1, SinkR: 1,
+			Layers: []Layer{{Name: "x", Thickness: 1, K: 1, Power: []float64{1}}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad stack %d accepted", i)
+		}
+		if _, err := s.Solve(); err == nil {
+			t.Errorf("bad stack %d solved", i)
+		}
+	}
+}
+
+func TestBuilderRejectsWrongFloorplan(t *testing.T) {
+	if _, err := BuildPlanar(floorplan.Stacked(), func(floorplan.Unit) float64 { return 0 }, 8, 8); err == nil {
+		t.Error("BuildPlanar accepted a stacked floorplan")
+	}
+	if _, err := BuildStacked(floorplan.Planar(), func(floorplan.Unit) float64 { return 0 }, 8, 8); err == nil {
+		t.Error("BuildStacked accepted a planar floorplan")
+	}
+}
+
+func TestRasterizePreservesPower(t *testing.T) {
+	fp := floorplan.Stacked()
+	s, err := BuildStacked(fp, uniformWatts(fp, 72), 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalPower(); math.Abs(got-72) > 1e-6 {
+		t.Errorf("rasterized power = %.6f W, want 72", got)
+	}
+}
+
+func TestLayerDieMapping(t *testing.T) {
+	fp := floorplan.Stacked()
+	s, _ := BuildStacked(fp, func(floorplan.Unit) float64 { return 0 }, 8, 8)
+	for d := 0; d < 4; d++ {
+		if got := LayerDie(s, DieLayerIndex(d)); got != d {
+			t.Errorf("LayerDie(DieLayerIndex(%d)) = %d", d, got)
+		}
+	}
+	if LayerDie(s, 0) != -1 || LayerDie(s, 1) != -1 {
+		t.Error("passive layers should map to die -1")
+	}
+	pfp := floorplan.Planar()
+	ps, _ := BuildPlanar(pfp, func(floorplan.Unit) float64 { return 0 }, 8, 8)
+	if LayerDie(ps, 2) != 0 {
+		t.Error("planar die layer should map to die 0")
+	}
+}
+
+func TestRenderLayer(t *testing.T) {
+	fp := floorplan.Planar()
+	s, _ := BuildPlanar(fp, uniformWatts(fp, 50), 8, 8)
+	sol, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sol.RenderLayer(2, AmbientK, AmbientK+60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // header + 8 rows
+		t.Errorf("render has %d lines, want 9", len(lines))
+	}
+	if len(lines[1]) != 8 {
+		t.Errorf("render row width %d, want 8", len(lines[1]))
+	}
+}
+
+func TestD2DConductivityMatchesPaperAssumption(t *testing.T) {
+	// 25% copper, 75% air.
+	want := 0.25*KCopper + 0.75*0.026
+	if math.Abs(KD2D-want) > 1e-9 {
+		t.Errorf("KD2D = %.3f, want %.3f", KD2D, want)
+	}
+}
+
+func TestPeakOfUnit(t *testing.T) {
+	fp := floorplan.Planar()
+	watts := func(u floorplan.Unit) float64 {
+		if u.Block == floorplan.BlkDCache && u.Core == 1 {
+			return 25
+		}
+		return 0
+	}
+	s, _ := BuildPlanar(fp, watts, 32, 32)
+	sol, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, _ := fp.Find(floorplan.BlkDCache, 1, 0)
+	cold, _ := fp.Find(floorplan.BlkICache, 0, 0)
+	if PeakOfUnit(sol, fp, hot) <= PeakOfUnit(sol, fp, cold) {
+		t.Error("powered unit not hotter than idle distant unit")
+	}
+}

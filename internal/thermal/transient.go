@@ -1,0 +1,182 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Volumetric heat capacities in J/(m³·K), for the transient solver.
+const (
+	CvSilicon = 1.75e6
+	CvCopper  = 3.45e6
+	CvTIM     = 2.0e6
+	CvD2D     = 0.25*CvCopper + 0.75*1200 // via field: copper + air
+)
+
+// heatCapacityFor maps a layer to its volumetric heat capacity by
+// material (inferred from its conductivity).
+func heatCapacityFor(l *Layer) float64 {
+	switch {
+	case l.K == KCopper:
+		return CvCopper
+	case l.K == KTIM:
+		return CvTIM
+	case l.K == KSilicon:
+		return CvSilicon
+	default:
+		return CvD2D
+	}
+}
+
+// TransientResult is a sampled transient temperature trajectory.
+type TransientResult struct {
+	// TimesS are the sample instants in seconds.
+	TimesS []float64
+	// PeakK[i] is the stack-wide peak temperature at TimesS[i].
+	PeakK []float64
+	// Final is the temperature field at the end of the simulation.
+	Final *Solution
+}
+
+// SolveTransient integrates the stack's thermal RC network from a
+// uniform ambient-temperature start over duration seconds using backward
+// Euler steps of dt seconds (unconditionally stable), sampling the peak
+// temperature every sampleEvery steps. It answers questions the
+// steady-state solver cannot: how fast hotspots form when a workload
+// starts, which the paper's HotSpot methodology also captures.
+func (s *Stack) SolveTransient(duration, dt float64, sampleEvery int) (*TransientResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if duration <= 0 || dt <= 0 || dt > duration {
+		return nil, fmt.Errorf("thermal: bad transient horizon %g s / step %g s", duration, dt)
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	nx, ny, nl := s.Nx, s.Ny, len(s.Layers)
+	n := nx * ny
+	cellArea := s.CellW * s.CellH
+
+	gx := make([]float64, nl)
+	gy := make([]float64, nl)
+	cap := make([]float64, nl) // thermal capacitance per cell
+	for l := range s.Layers {
+		layer := &s.Layers[l]
+		gx[l] = layer.K * layer.Thickness * s.CellH / s.CellW
+		gy[l] = layer.K * layer.Thickness * s.CellW / s.CellH
+		cap[l] = heatCapacityFor(layer) * layer.Thickness * cellArea
+	}
+	gz := make([]float64, nl-1)
+	for l := 0; l < nl-1; l++ {
+		r := s.Layers[l].Thickness/(2*s.Layers[l].K) + s.Layers[l+1].Thickness/(2*s.Layers[l+1].K)
+		gz[l] = cellArea / r
+	}
+	rSinkCell := s.SinkR*float64(n) + s.Layers[0].Thickness/(2*s.Layers[0].K*cellArea)
+	gSink := 1 / rSinkCell
+
+	T := make([][]float64, nl)
+	for l := range T {
+		T[l] = make([]float64, n)
+		for i := range T[l] {
+			T[l][i] = s.Ambient
+		}
+	}
+
+	steps := int(duration/dt + 0.5)
+	res := &TransientResult{}
+	record := func(t float64) {
+		peak := -1.0
+		for l := range T {
+			for _, v := range T[l] {
+				if v > peak {
+					peak = v
+				}
+			}
+		}
+		res.TimesS = append(res.TimesS, t)
+		res.PeakK = append(res.PeakK, peak)
+	}
+	record(0)
+
+	// Backward Euler: at each step solve (C/dt + ΣG) T' = C/dt·T + Σ G·T'_nbr + P
+	// by SOR, warm-started from the previous step.
+	const omega = 1.6
+	for step := 1; step <= steps; step++ {
+		prev := make([][]float64, nl)
+		for l := range T {
+			prev[l] = append([]float64(nil), T[l]...)
+		}
+		for iter := 0; iter < 400; iter++ {
+			var maxDelta float64
+			for l := 0; l < nl; l++ {
+				layer := &s.Layers[l]
+				selfG := cap[l] / dt
+				for y := 0; y < ny; y++ {
+					for x := 0; x < nx; x++ {
+						i := y*nx + x
+						gSum := selfG
+						flux := selfG * prev[l][i]
+						if x > 0 {
+							gSum += gx[l]
+							flux += gx[l] * T[l][i-1]
+						}
+						if x < nx-1 {
+							gSum += gx[l]
+							flux += gx[l] * T[l][i+1]
+						}
+						if y > 0 {
+							gSum += gy[l]
+							flux += gy[l] * T[l][i-nx]
+						}
+						if y < ny-1 {
+							gSum += gy[l]
+							flux += gy[l] * T[l][i+nx]
+						}
+						if l > 0 {
+							gSum += gz[l-1]
+							flux += gz[l-1] * T[l-1][i]
+						}
+						if l < nl-1 {
+							gSum += gz[l]
+							flux += gz[l] * T[l+1][i]
+						}
+						if l == 0 {
+							gSum += gSink
+							flux += gSink * s.Ambient
+						}
+						if layer.Power != nil {
+							flux += layer.Power[i]
+						}
+						delta := flux/gSum - T[l][i]
+						T[l][i] += omega * delta
+						if d := math.Abs(delta); d > maxDelta {
+							maxDelta = d
+						}
+					}
+				}
+			}
+			if maxDelta < 1e-5 {
+				break
+			}
+		}
+		if step%sampleEvery == 0 || step == steps {
+			record(float64(step) * dt)
+		}
+	}
+	res.Final = &Solution{Stack: s, T: T}
+	return res, nil
+}
+
+// TimeToWithin returns the first sampled instant at which the peak
+// temperature is within eps kelvin of its final value, approximating the
+// stack's thermal settling time.
+func (r *TransientResult) TimeToWithin(eps float64) float64 {
+	final := r.PeakK[len(r.PeakK)-1]
+	for i, p := range r.PeakK {
+		if math.Abs(final-p) <= eps {
+			return r.TimesS[i]
+		}
+	}
+	return r.TimesS[len(r.TimesS)-1]
+}

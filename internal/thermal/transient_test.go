@@ -1,0 +1,122 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"thermalherd/internal/floorplan"
+)
+
+func transientStack(t *testing.T, totalW float64) *Stack {
+	t.Helper()
+	fp := floorplan.Planar()
+	s, err := BuildPlanar(fp, uniformWatts(fp, totalW), 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	s := transientStack(t, 60)
+	steady, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	steadyPeak, _, _, _ := steady.Peak()
+
+	tr, err := s.SolveTransient(60.0, 0.05, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalPeak := tr.PeakK[len(tr.PeakK)-1]
+	if math.Abs(finalPeak-steadyPeak) > 1.0 {
+		t.Errorf("transient final peak %.2f K vs steady %.2f K (should agree)", finalPeak, steadyPeak)
+	}
+}
+
+func TestTransientMonotoneHeating(t *testing.T) {
+	s := transientStack(t, 60)
+	tr, err := s.SolveTransient(5.0, 0.05, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PeakK[0] != s.Ambient {
+		t.Errorf("t=0 peak %.2f K, want ambient %.2f K", tr.PeakK[0], s.Ambient)
+	}
+	for i := 1; i < len(tr.PeakK); i++ {
+		if tr.PeakK[i] < tr.PeakK[i-1]-1e-6 {
+			t.Fatalf("peak decreased during heating: %.3f -> %.3f at sample %d",
+				tr.PeakK[i-1], tr.PeakK[i], i)
+		}
+	}
+	// Heating from ambient, so early samples must be well below final.
+	if tr.PeakK[1] >= tr.PeakK[len(tr.PeakK)-1] {
+		t.Error("no visible thermal transient")
+	}
+}
+
+func TestTransientMorePowerHeatsFaster(t *testing.T) {
+	lo := transientStack(t, 30)
+	hi := transientStack(t, 90)
+	trLo, err := lo.SolveTransient(2.0, 0.05, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trHi, err := hi.SolveTransient(2.0, 0.05, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At every shared sample after t=0, the 90 W stack is hotter.
+	for i := 1; i < len(trLo.PeakK) && i < len(trHi.PeakK); i++ {
+		if trHi.PeakK[i] <= trLo.PeakK[i] {
+			t.Fatalf("sample %d: 90 W (%.2f K) not hotter than 30 W (%.2f K)",
+				i, trHi.PeakK[i], trLo.PeakK[i])
+		}
+	}
+}
+
+func TestTransientRejectsBadArgs(t *testing.T) {
+	s := transientStack(t, 10)
+	if _, err := s.SolveTransient(0, 0.1, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := s.SolveTransient(1, 0, 1); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := s.SolveTransient(0.1, 1, 1); err == nil {
+		t.Error("dt > duration accepted")
+	}
+}
+
+func TestTimeToWithin(t *testing.T) {
+	s := transientStack(t, 60)
+	tr, err := s.SolveTransient(40.0, 0.05, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	settle := tr.TimeToWithin(0.5)
+	if settle <= 0 || settle > 40 {
+		t.Errorf("settling time %.2f s out of range", settle)
+	}
+	// Thermal time constants of a spreader+sink system are seconds, not
+	// milliseconds.
+	if settle < 0.2 {
+		t.Errorf("settling time %.3f s implausibly fast", settle)
+	}
+}
+
+func TestTransientFinalFieldUsable(t *testing.T) {
+	s := transientStack(t, 45)
+	tr, err := s.SolveTransient(30, 0.1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, layer, _, _ := tr.Final.Peak()
+	if peak <= s.Ambient {
+		t.Error("final field not heated")
+	}
+	if layer < 0 || layer >= len(s.Layers) {
+		t.Errorf("bad peak layer %d", layer)
+	}
+}

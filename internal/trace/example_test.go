@@ -1,0 +1,30 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"thermalherd/internal/trace"
+)
+
+// Generate the first instructions of a named workload; streams are
+// deterministic per profile seed.
+func ExampleNewGenerator() {
+	prof, err := trace.ProfileByName("mcf")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	g := trace.NewGenerator(prof)
+	insts := trace.Collect(g, 100000)
+	var mem int
+	for i := range insts {
+		if insts[i].IsMem() {
+			mem++
+		}
+	}
+	fmt.Println("instructions:", len(insts))
+	fmt.Println("memory-heavy:", float64(mem)/float64(len(insts)) > 0.3)
+	// Output:
+	// instructions: 100000
+	// memory-heavy: true
+}

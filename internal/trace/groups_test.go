@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"testing"
+
+	"thermalherd/internal/core"
+	"thermalherd/internal/isa"
+)
+
+// groupSample aggregates stream statistics over every workload in a
+// group (short streams; generator-only, no timing model).
+type groupSample struct {
+	lowFrac   float64 // low-width fraction of integer results
+	fpFrac    float64 // FP fraction of the instruction mix
+	memFrac   float64 // load+store fraction
+	pvAddr    float64 // PVAddr fraction of load values
+	branches  float64 // branch fraction
+	taken     float64 // taken fraction of branches
+	perInsts  int
+	workloads int
+}
+
+func sampleGroup(t *testing.T, g Group, perWorkload int) groupSample {
+	t.Helper()
+	var s groupSample
+	for _, p := range GroupProfiles(g) {
+		gen := NewGenerator(p)
+		var intRes, low, fp, mem, pvAddrN, loads, branches, taken int
+		for i := 0; i < perWorkload; i++ {
+			in, _ := gen.Next()
+			switch in.Class {
+			case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
+				fp++
+			case isa.ClassLoad:
+				mem++
+				loads++
+				if core.ClassifyPartialValue(in.Result, in.MemAddr) == core.PVAddr {
+					pvAddrN++
+				}
+			case isa.ClassStore:
+				mem++
+			case isa.ClassBranch:
+				branches++
+				if in.Taken {
+					taken++
+				}
+			}
+			if in.HasIntDest() && in.Class != isa.ClassJump {
+				intRes++
+				if core.IsLowWidth(in.Result) {
+					low++
+				}
+			}
+		}
+		n := float64(perWorkload)
+		s.lowFrac += float64(low) / float64(max(intRes, 1))
+		s.fpFrac += float64(fp) / n
+		s.memFrac += float64(mem) / n
+		s.pvAddr += float64(pvAddrN) / float64(max(loads, 1))
+		s.branches += float64(branches) / n
+		s.taken += float64(taken) / float64(max(branches, 1))
+		s.workloads++
+	}
+	w := float64(s.workloads)
+	s.lowFrac /= w
+	s.fpFrac /= w
+	s.memFrac /= w
+	s.pvAddr /= w
+	s.branches /= w
+	s.taken /= w
+	return s
+}
+
+// TestGroupCharacterOrderings checks the suite encodes each group's
+// well-known character, which the figure shapes depend on.
+func TestGroupCharacterOrderings(t *testing.T) {
+	const n = 30000
+	samples := map[Group]groupSample{}
+	for _, g := range Groups() {
+		samples[g] = sampleGroup(t, g, n)
+	}
+
+	// SPECfp is by far the most FP-intensive; integer suites have
+	// almost none.
+	if samples[GroupSPECfp].fpFrac < 0.2 {
+		t.Errorf("SPECfp FP fraction = %.3f, want >= 0.2", samples[GroupSPECfp].fpFrac)
+	}
+	for _, g := range []Group{GroupSPECint, GroupMiBench, GroupPointer, GroupBio} {
+		if samples[g].fpFrac >= samples[GroupSPECfp].fpFrac/2 {
+			t.Errorf("group %v FP fraction %.3f too close to SPECfp %.3f",
+				g, samples[g].fpFrac, samples[GroupSPECfp].fpFrac)
+		}
+	}
+
+	// Media/embedded suites are the most low-width (16-bit data).
+	for _, media := range []Group{GroupMediaBench, GroupBio} {
+		if samples[media].lowFrac <= samples[GroupSPECfp].lowFrac {
+			t.Errorf("%v low-width %.3f not above SPECfp %.3f",
+				media, samples[media].lowFrac, samples[GroupSPECfp].lowFrac)
+		}
+	}
+
+	// The pointer suite leads in PVAddr-classified load values.
+	for _, g := range Groups() {
+		if g == GroupPointer {
+			continue
+		}
+		if samples[g].pvAddr >= samples[GroupPointer].pvAddr {
+			t.Errorf("group %v PVAddr %.3f not below pointer suite %.3f",
+				g, samples[g].pvAddr, samples[GroupPointer].pvAddr)
+		}
+	}
+
+	// Every group has plausible branch behaviour: some branches, mixed
+	// outcomes.
+	for g, s := range samples {
+		if s.branches < 0.02 || s.branches > 0.25 {
+			t.Errorf("group %v branch fraction %.3f implausible", g, s.branches)
+		}
+		if s.taken < 0.3 || s.taken > 0.95 {
+			t.Errorf("group %v taken fraction %.3f implausible", g, s.taken)
+		}
+	}
+
+	// Loads+stores are a substantial fraction everywhere (load/store
+	// ISA) but never a majority.
+	for g, s := range samples {
+		if s.memFrac < 0.15 || s.memFrac > 0.6 {
+			t.Errorf("group %v memory fraction %.3f implausible", g, s.memFrac)
+		}
+	}
+}

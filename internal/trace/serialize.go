@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"thermalherd/internal/isa"
+)
+
+// Binary trace serialization: capture a dynamic instruction stream (from
+// the emulator or a generator) to a compact file and replay it later as
+// a Source. The format is a little-endian fixed-size record per
+// instruction behind a small header.
+
+// traceMagic identifies a TH64 trace stream ("THTR" + version 1).
+var traceMagic = [8]byte{'T', 'H', 'T', 'R', 0, 0, 0, 1}
+
+// recordSize is the on-disk size of one instruction record.
+const recordSize = 8 + 1 + 1 + 2 + 2 + 2 + 8 + 1 + 1 + 8 + 8 + 8
+
+// Write serializes up to max instructions from src to w, returning how
+// many were written. max <= 0 means until the source is exhausted.
+func Write(w io.Writer, src Source, max int) (int, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return 0, fmt.Errorf("trace: write header: %w", err)
+	}
+	var buf [recordSize]byte
+	n := 0
+	for max <= 0 || n < max {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		encodeRecord(&buf, &in)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return n, fmt.Errorf("trace: write record %d: %w", n, err)
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+func encodeRecord(buf *[recordSize]byte, in *Inst) {
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], in.PC)
+	buf[8] = uint8(in.Op)
+	buf[9] = uint8(in.Class)
+	le.PutUint16(buf[10:], uint16(in.Dest))
+	le.PutUint16(buf[12:], uint16(in.Src1))
+	le.PutUint16(buf[14:], uint16(in.Src2))
+	le.PutUint64(buf[16:], in.Result)
+	buf[24] = in.MemSize
+	if in.Taken {
+		buf[25] = 1
+	} else {
+		buf[25] = 0
+	}
+	le.PutUint64(buf[26:], in.MemAddr)
+	le.PutUint64(buf[34:], in.StoreVal)
+	le.PutUint64(buf[42:], in.Target)
+}
+
+func decodeRecord(buf *[recordSize]byte) Inst {
+	le := binary.LittleEndian
+	return Inst{
+		PC:       le.Uint64(buf[0:]),
+		Op:       isa.Opcode(buf[8]),
+		Class:    isa.Class(buf[9]),
+		Dest:     int16(le.Uint16(buf[10:])),
+		Src1:     int16(le.Uint16(buf[12:])),
+		Src2:     int16(le.Uint16(buf[14:])),
+		Result:   le.Uint64(buf[16:]),
+		MemSize:  buf[24],
+		Taken:    buf[25] != 0,
+		MemAddr:  le.Uint64(buf[26:]),
+		StoreVal: le.Uint64(buf[34:]),
+		Target:   le.Uint64(buf[42:]),
+	}
+}
+
+// Reader replays a serialized trace as a Source.
+type Reader struct {
+	br  *bufio.Reader
+	err error
+	n   int
+}
+
+// NewReader validates the header and returns a replay Source.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if hdr != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next implements Source.
+func (r *Reader) Next() (Inst, bool) {
+	if r.err != nil {
+		return Inst{}, false
+	}
+	var buf [recordSize]byte
+	if _, err := io.ReadFull(r.br, buf[:]); err != nil {
+		if err != io.EOF {
+			r.err = err
+		}
+		return Inst{}, false
+	}
+	r.n++
+	return decodeRecord(&buf), true
+}
+
+// Err returns any non-EOF read error encountered during replay.
+func (r *Reader) Err() error { return r.err }
+
+// Count returns the number of instructions replayed so far.
+func (r *Reader) Count() int { return r.n }

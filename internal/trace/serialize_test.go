@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, err := ProfileByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := Collect(NewGenerator(p), 5000)
+
+	var buf bytes.Buffer
+	n, err := Write(&buf, NewSliceSource(orig), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(orig) {
+		t.Fatalf("wrote %d records, want %d", n, len(orig))
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := Collect(r, len(orig)+10)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(replayed) != len(orig) {
+		t.Fatalf("replayed %d records, want %d", len(replayed), len(orig))
+	}
+	for i := range orig {
+		if replayed[i] != orig[i] {
+			t.Fatalf("record %d differs:\n  orig %+v\n  got  %+v", i, orig[i], replayed[i])
+		}
+	}
+	if r.Count() != len(orig) {
+		t.Errorf("Count = %d, want %d", r.Count(), len(orig))
+	}
+}
+
+func TestTraceWriteCap(t *testing.T) {
+	p, _ := ProfileByName("gzip")
+	var buf bytes.Buffer
+	n, err := Write(&buf, NewGenerator(p), 123)
+	if err != nil || n != 123 {
+		t.Fatalf("Write capped = (%d, %v), want (123, nil)", n, err)
+	}
+}
+
+func TestTraceReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestTraceReaderTruncatedRecord(t *testing.T) {
+	p, _ := ProfileByName("gzip")
+	var buf bytes.Buffer
+	if _, err := Write(&buf, NewGenerator(p), 3); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-5])) // chop mid-record
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("replayed %d complete records, want 2", n)
+	}
+	if r.Err() == nil {
+		t.Error("truncated record not reported as an error")
+	}
+}
+
+func TestNegativeRegFieldsSurvive(t *testing.T) {
+	// RegNone (-1) must round-trip through the uint16 encoding.
+	in := Inst{PC: 4, Dest: RegNone, Src1: RegNone, Src2: RegNone}
+	var buf bytes.Buffer
+	if _, err := Write(&buf, NewSliceSource([]Inst{in}), 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Next()
+	if !ok || got.Dest != RegNone || got.Src1 != RegNone {
+		t.Errorf("RegNone did not survive: %+v (ok=%v)", got, ok)
+	}
+}

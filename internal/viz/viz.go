@@ -1,0 +1,122 @@
+// Package viz renders small ASCII charts for the experiment harness and
+// CLI tools: horizontal bar charts for figure-style group comparisons
+// and sparklines for transient traces.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders labelled horizontal bars scaled to width characters,
+// with the numeric value appended. Values must be non-negative; the
+// scale runs from zero to the maximum value.
+func BarChart(title string, bars []Bar, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if len(bars) == 0 {
+		return b.String()
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for _, bar := range bars {
+		if bar.Value > maxV {
+			maxV = bar.Value
+		}
+		if len(bar.Label) > maxLabel {
+			maxLabel = len(bar.Label)
+		}
+	}
+	for _, bar := range bars {
+		n := 0
+		if maxV > 0 {
+			n = int(float64(width)*bar.Value/maxV + 0.5)
+		}
+		fmt.Fprintf(&b, "%-*s |%-*s %.3f\n", maxLabel, bar.Label, width, strings.Repeat("#", n), bar.Value)
+	}
+	return b.String()
+}
+
+// GroupedBars renders one bar per (group, series) pair, grouping rows by
+// group label — the shape of the paper's Figure 8 panels.
+func GroupedBars(title string, groups []string, series []string, value func(group, series string) float64, width int) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for _, g := range groups {
+		bars := make([]Bar, 0, len(series))
+		for _, s := range series {
+			bars = append(bars, Bar{Label: s, Value: value(g, s)})
+		}
+		b.WriteString(g)
+		b.WriteByte('\n')
+		chart := BarChart("", bars, width)
+		for _, line := range strings.Split(strings.TrimRight(chart, "\n"), "\n") {
+			b.WriteString("  ")
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// sparkRamp holds the eight block characters of a sparkline. ASCII
+// fallback: use Spark with ascii=true for plain terminals.
+var sparkRamp = []rune("▁▂▃▄▅▆▇█")
+var asciiRamp = []rune("_.-~=+*#")
+
+// Spark renders values as a one-line sparkline between their min and
+// max. With ascii true it uses pure-ASCII shading characters.
+func Spark(values []float64, ascii bool) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ramp := sparkRamp
+	if ascii {
+		ramp = asciiRamp
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		b.WriteRune(ramp[idx])
+	}
+	return b.String()
+}
+
+// Series renders a labelled sparkline with its endpoints.
+func Series(label string, values []float64, ascii bool) string {
+	if len(values) == 0 {
+		return label + ": (empty)\n"
+	}
+	return fmt.Sprintf("%s: %s  [%.1f .. %.1f]\n",
+		label, Spark(values, ascii), values[0], values[len(values)-1])
+}

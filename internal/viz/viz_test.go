@@ -1,0 +1,82 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartScaling(t *testing.T) {
+	out := BarChart("perf", []Bar{{"Base", 1.0}, {"3D", 2.0}}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	baseHashes := strings.Count(lines[1], "#")
+	threeDHashes := strings.Count(lines[2], "#")
+	if threeDHashes != 10 || baseHashes != 5 {
+		t.Errorf("bar lengths = %d/%d, want 5/10", baseHashes, threeDHashes)
+	}
+	if !strings.Contains(lines[2], "2.000") {
+		t.Errorf("value missing from bar: %q", lines[2])
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	if out := BarChart("t", nil, 10); !strings.HasPrefix(out, "t") {
+		t.Error("empty chart should still carry its title")
+	}
+	out := BarChart("", []Bar{{"a", 0}}, 10)
+	if strings.Count(out, "#") != 0 {
+		t.Error("zero value should render no bar")
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	out := GroupedBars("fig", []string{"G1", "G2"}, []string{"Base", "3D"},
+		func(g, s string) float64 {
+			if s == "3D" {
+				return 2
+			}
+			return 1
+		}, 8)
+	for _, want := range []string{"fig", "G1", "G2", "Base", "3D"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grouped chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpark(t *testing.T) {
+	s := Spark([]float64{0, 1, 2, 3}, true)
+	if len(s) != 4 {
+		t.Fatalf("sparkline length %d, want 4", len(s))
+	}
+	if s[0] != '_' || s[3] != '#' {
+		t.Errorf("sparkline endpoints wrong: %q", s)
+	}
+	// Flat series: all minimum glyphs, no panic.
+	flat := Spark([]float64{5, 5, 5}, true)
+	if flat != "___" {
+		t.Errorf("flat sparkline = %q, want ___", flat)
+	}
+	if Spark(nil, true) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	// Unicode ramp produces one rune per value.
+	u := Spark([]float64{1, 2}, false)
+	if n := len([]rune(u)); n != 2 {
+		t.Errorf("unicode sparkline runes = %d, want 2", n)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("peak", []float64{300, 350}, true)
+	for _, want := range []string{"peak", "300.0", "350.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series missing %q: %q", want, out)
+		}
+	}
+	if !strings.Contains(Series("x", nil, true), "empty") {
+		t.Error("empty series not flagged")
+	}
+}
