@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	repro [-quick] [-only table2|fig8|fig9|fig10|density|width|ablations]
+//	repro [-quick] [-parallel n]
+//	      [-only table1|table2|fig8|fig9|fig10|density|width|extensions|ablations]
 package main
 
 import (
@@ -22,13 +23,17 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "use shallow simulation depths (fast, less faithful)")
-		only  = flag.String("only", "", "run only one experiment: table1, table2, fig8, fig9, fig10, density, width, extensions, ablations")
+		quick    = flag.Bool("quick", false, "use shallow simulation depths (fast, less faithful)")
+		only     = flag.String("only", "", "run only one experiment: table1, table2, fig8, fig9, fig10, density, width, extensions, ablations")
+		parallel = flag.Int("parallel", 0, "max concurrent workload simulations (0 = THERMALHERD_PARALLEL or NumCPU)")
 	)
 	flag.Parse()
 	opts := experiments.DefaultOptions()
 	if *quick {
 		opts = experiments.QuickOptions()
+	}
+	if *parallel > 0 {
+		opts.Parallelism = *parallel
 	}
 	r := experiments.NewRunner(opts)
 	want := func(name string) bool { return *only == "" || *only == name }

@@ -1,0 +1,74 @@
+// Command thermherdd serves the Thermal Herding simulation stack as a
+// long-lived HTTP daemon: clients submit timing, thermal, or
+// experiment jobs, a bounded worker pool executes them, and identical
+// resubmissions are answered from a content-addressed result cache.
+//
+// Usage:
+//
+//	thermherdd [-addr :8077] [-workers N] [-queue 64] [-cache 128] [-drain 30s]
+//
+// SIGINT/SIGTERM begin a graceful drain: new submissions are rejected
+// with 503, running jobs get the -drain deadline to finish, and the
+// process exits once the pool is idle. See internal/server for the
+// API surface and examples/client for a driver.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"thermalherd/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8077", "listen address")
+		workers    = flag.Int("workers", runtime.NumCPU(), "worker pool size")
+		queueDepth = flag.Int("queue", 64, "max queued (not yet running) jobs")
+		cacheSize  = flag.Int("cache", 128, "max cached job results")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for running jobs")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheSize:  *cacheSize,
+	})
+	srv.Start()
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("thermherdd: listening on %s (%d workers, queue %d, cache %d)",
+		*addr, *workers, *queueDepth, *cacheSize)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("thermherdd: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Keep serving during the drain so clients polling in-flight jobs
+	// see their final states and new submissions get clean 503s.
+	log.Printf("thermherdd: draining (deadline %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("thermherdd: drain deadline hit, running jobs canceled: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		hs.Close()
+	}
+	log.Printf("thermherdd: stopped")
+}

@@ -44,15 +44,7 @@ func main() {
 }
 
 func configByName(name string) (config.Machine, error) {
-	for _, m := range config.AllConfigs() {
-		if m.Name == name {
-			return m, nil
-		}
-	}
-	if name == "3D-noTH" {
-		return config.ThreeDNoTH(), nil
-	}
-	return config.Machine{}, fmt.Errorf("unknown config %q (want Base, TH, Pipe, Fast, 3D, 3D-noTH)", name)
+	return config.ByName(name)
 }
 
 func run(workload, cfgName string, ff, warm, measure uint64, doThermal, doMap bool) error {

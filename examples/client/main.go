@@ -1,0 +1,112 @@
+// Command client drives a running thermherdd daemon end to end: it
+// submits one job, polls its status until it settles, and prints the
+// result document. Run `go run ./cmd/thermherdd` in another terminal
+// first, then:
+//
+//	go run ./examples/client -kind thermal -workload mpeg2enc -config 3D
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		base     = flag.String("addr", "http://localhost:8077", "thermherdd base URL")
+		kind     = flag.String("kind", "timing", "job kind: timing, thermal, or experiment")
+		workload = flag.String("workload", "patricia", "workload name (timing/thermal)")
+		cfg      = flag.String("config", "3D", "machine configuration (timing/thermal)")
+		section  = flag.String("section", "", "experiment section (experiment kind)")
+		preset   = flag.String("depths", "quick", "depth preset: quick or default")
+	)
+	flag.Parse()
+	if !strings.Contains(*base, "://") {
+		*base = "http://" + *base
+	}
+	if err := run(*base, *kind, *workload, *cfg, *section, *preset); err != nil {
+		fmt.Fprintln(os.Stderr, "client:", err)
+		os.Exit(1)
+	}
+}
+
+type status struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Error    string `json:"error"`
+	Progress struct {
+		Completed int `json:"completed"`
+		Total     int `json:"total"`
+	} `json:"progress"`
+	FromCache bool `json:"from_cache"`
+}
+
+func run(base, kind, workload, cfg, section, preset string) error {
+	spec := map[string]any{"kind": kind, "depths": map[string]any{"preset": preset}}
+	if kind == "experiment" {
+		spec["section"] = section
+	} else {
+		spec["workload"] = workload
+		spec["config"] = cfg
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("submit: %s: %s", resp.Status, msg)
+	}
+	var st status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (cache hit: %v)\n", st.ID, st.FromCache)
+
+	for st.State == "queued" || st.State == "running" {
+		time.Sleep(250 * time.Millisecond)
+		if st, err = getStatus(base, st.ID); err != nil {
+			return err
+		}
+		fmt.Printf("  %-8s %d/%d\n", st.State, st.Progress.Completed, st.Progress.Total)
+	}
+	if st.State != "done" {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+
+	res, err := http.Get(base + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	doc, err := io.ReadAll(res.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("result (%d bytes):\n%s\n", len(doc), doc)
+	return nil
+}
+
+func getStatus(base, id string) (status, error) {
+	var st status
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return st, fmt.Errorf("status: %s: %s", resp.Status, msg)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}

@@ -195,6 +195,22 @@ func AllConfigs() []Machine {
 	return []Machine{Baseline(), TH(), Pipe(), Fast(), ThreeD()}
 }
 
+// Registry returns every named configuration: the five Figure 8
+// machines plus 3D-noTH.
+func Registry() []Machine {
+	return append(AllConfigs(), ThreeDNoTH())
+}
+
+// ByName looks up a configuration by its report name.
+func ByName(name string) (Machine, error) {
+	for _, m := range Registry() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Machine{}, &ConfigError{Config: name, Reason: "unknown configuration (want Base, TH, Pipe, Fast, 3D, 3D-noTH)"}
+}
+
 // Validate checks configuration invariants.
 func (m *Machine) Validate() error {
 	checks := []struct {

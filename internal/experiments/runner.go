@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -37,11 +38,34 @@ type Options struct {
 	Parallelism int
 	// Grid is the lateral thermal grid resolution.
 	Grid int
+	// OnSimulated, when non-nil, is invoked after every workload
+	// simulation a Runner completes (cache hits included) with the
+	// machine and workload names. The thermherdd daemon uses it to
+	// report job progress.
+	OnSimulated func(cfg, workload string)
+}
+
+// envUint applies the named environment override to *dst. Unset
+// variables are ignored silently; set-but-unusable values (unparsable
+// or zero) are ignored with a one-line warning on stderr.
+func envUint(name string, dst *uint64) {
+	s := os.Getenv(name)
+	if s == "" {
+		return
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil || v == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: ignoring %s=%q: want a positive integer\n", name, s)
+		return
+	}
+	*dst = v
 }
 
 // DefaultOptions returns the depths used for the recorded results.
-// The environment variables THERMALHERD_WARM and THERMALHERD_MEASURE
-// override the instruction counts for quicker exploratory runs.
+// The environment variables THERMALHERD_FF, THERMALHERD_WARM and
+// THERMALHERD_MEASURE override the instruction counts for quicker
+// exploratory runs, and THERMALHERD_PARALLEL overrides the workload
+// parallelism.
 func DefaultOptions() Options {
 	o := Options{
 		FastForwardInsts: 6_000_000,
@@ -50,14 +74,13 @@ func DefaultOptions() Options {
 		Parallelism:      runtime.NumCPU(),
 		Grid:             thermal.DefaultGrid,
 	}
-	if v, err := strconv.ParseUint(os.Getenv("THERMALHERD_FF"), 10, 64); err == nil && v > 0 {
-		o.FastForwardInsts = v
-	}
-	if v, err := strconv.ParseUint(os.Getenv("THERMALHERD_WARM"), 10, 64); err == nil && v > 0 {
-		o.WarmupInsts = v
-	}
-	if v, err := strconv.ParseUint(os.Getenv("THERMALHERD_MEASURE"), 10, 64); err == nil && v > 0 {
-		o.MeasureInsts = v
+	envUint("THERMALHERD_FF", &o.FastForwardInsts)
+	envUint("THERMALHERD_WARM", &o.WarmupInsts)
+	envUint("THERMALHERD_MEASURE", &o.MeasureInsts)
+	var par uint64
+	envUint("THERMALHERD_PARALLEL", &par)
+	if par > 0 {
+		o.Parallelism = int(par)
 	}
 	return o
 }
@@ -82,6 +105,7 @@ type simKey struct {
 // Runner executes and caches workload simulations.
 type Runner struct {
 	opts  Options
+	ctx   context.Context
 	mu    sync.Mutex
 	cache map[simKey]*cpu.Stats
 }
@@ -91,11 +115,30 @@ func NewRunner(opts Options) *Runner {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = 1
 	}
-	return &Runner{opts: opts, cache: make(map[simKey]*cpu.Stats)}
+	return &Runner{opts: opts, ctx: context.Background(), cache: make(map[simKey]*cpu.Stats)}
 }
 
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opts }
+
+// SetContext attaches ctx to the runner. Once ctx is canceled,
+// simulations abort between pipeline phases (and SimulateMany between
+// workloads) returning ctx.Err(). The thermherdd daemon uses this for
+// per-job cancellation.
+func (r *Runner) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r.ctx = ctx
+}
+
+// simulated reports one finished workload simulation to the optional
+// progress callback.
+func (r *Runner) simulated(cfg config.Machine, workload string) {
+	if r.opts.OnSimulated != nil {
+		r.opts.OnSimulated(cfg.Name, workload)
+	}
+}
 
 // Simulate runs (or returns the cached result of) workload under cfg.
 func (r *Runner) Simulate(cfg config.Machine, workload string) (*cpu.Stats, error) {
@@ -103,10 +146,14 @@ func (r *Runner) Simulate(cfg config.Machine, workload string) (*cpu.Stats, erro
 	r.mu.Lock()
 	if s, ok := r.cache[key]; ok {
 		r.mu.Unlock()
+		r.simulated(cfg, workload)
 		return s, nil
 	}
 	r.mu.Unlock()
 
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
+	}
 	prof, err := trace.ProfileByName(workload)
 	if err != nil {
 		return nil, err
@@ -116,12 +163,19 @@ func (r *Runner) Simulate(cfg config.Machine, workload string) (*cpu.Stats, erro
 		return nil, err
 	}
 	c.FastForward(r.opts.FastForwardInsts)
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.Warmup(r.opts.WarmupInsts)
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
+	}
 	s := c.Run(r.opts.MeasureInsts)
 
 	r.mu.Lock()
 	r.cache[key] = s
 	r.mu.Unlock()
+	r.simulated(cfg, workload)
 	return s, nil
 }
 
@@ -149,13 +203,20 @@ func (r *Runner) SimulateMany(cfgs []config.Machine, workloads []string) error {
 			}
 		}()
 	}
+feed:
 	for _, cfg := range cfgs {
 		for _, wl := range workloads {
+			if r.ctx.Err() != nil {
+				break feed
+			}
 			jobs <- job{cfg, wl}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
 	select {
 	case err := <-errs:
 		return err
@@ -210,10 +271,5 @@ func (r *Runner) SolveThermal(cfg config.Machine, b *power.Breakdown) (*thermal.
 
 // AllWorkloadNames returns the 106 workload names.
 func AllWorkloadNames() []string {
-	suite := trace.Suite()
-	names := make([]string, len(suite))
-	for i, p := range suite {
-		names[i] = p.Name
-	}
-	return names
+	return trace.Names()
 }

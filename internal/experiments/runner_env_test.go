@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStderr runs f and returns what it wrote to stderr.
+func captureStderr(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	f()
+	w.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestDefaultOptionsEnvOverrides(t *testing.T) {
+	t.Setenv("THERMALHERD_MEASURE", "12345")
+	t.Setenv("THERMALHERD_PARALLEL", "3")
+	o := DefaultOptions()
+	if o.MeasureInsts != 12345 {
+		t.Errorf("MeasureInsts = %d, want 12345", o.MeasureInsts)
+	}
+	if o.Parallelism != 3 {
+		t.Errorf("Parallelism = %d, want 3", o.Parallelism)
+	}
+}
+
+func TestDefaultOptionsWarnsOnMalformedEnv(t *testing.T) {
+	t.Setenv("THERMALHERD_WARM", "lots")
+	t.Setenv("THERMALHERD_MEASURE", "0")
+	var o Options
+	out := captureStderr(t, func() { o = DefaultOptions() })
+	if o.WarmupInsts != 200_000 || o.MeasureInsts != 200_000 {
+		t.Errorf("malformed overrides applied: warm=%d measure=%d", o.WarmupInsts, o.MeasureInsts)
+	}
+	if !strings.Contains(out, "THERMALHERD_WARM") || !strings.Contains(out, "THERMALHERD_MEASURE") {
+		t.Errorf("stderr warning missing variable names: %q", out)
+	}
+}
+
+func TestDefaultOptionsSilentWhenUnset(t *testing.T) {
+	for _, v := range []string{"THERMALHERD_FF", "THERMALHERD_WARM", "THERMALHERD_MEASURE", "THERMALHERD_PARALLEL"} {
+		t.Setenv(v, "")
+	}
+	out := captureStderr(t, func() { DefaultOptions() })
+	if out != "" {
+		t.Errorf("unset overrides produced warnings: %q", out)
+	}
+}

@@ -1,0 +1,321 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"thermalherd/internal/config"
+	"thermalherd/internal/experiments"
+	"thermalherd/internal/trace"
+)
+
+// Kind selects what a job runs.
+type Kind string
+
+const (
+	// KindTiming runs one workload through the cycle-level model under
+	// one machine configuration.
+	KindTiming Kind = "timing"
+	// KindThermal additionally computes the power breakdown and solves
+	// the steady-state 3D thermal stack.
+	KindThermal Kind = "thermal"
+	// KindExperiment runs one section of the paper reproduction (the
+	// cmd/repro sections).
+	KindExperiment Kind = "experiment"
+)
+
+// Kinds lists every job kind.
+func Kinds() []Kind { return []Kind{KindTiming, KindThermal, KindExperiment} }
+
+// Depths selects simulation depths, mapping onto experiments.Options.
+// The zero value means the "quick" preset.
+type Depths struct {
+	// Preset is "quick" (default) or "default"; the explicit fields
+	// below override individual preset values.
+	Preset      string `json:"preset,omitempty"`
+	FastForward uint64 `json:"fast_forward,omitempty"`
+	Warmup      uint64 `json:"warmup,omitempty"`
+	Measure     uint64 `json:"measure,omitempty"`
+	Grid        int    `json:"grid,omitempty"`
+}
+
+// options resolves the depths into concrete simulation options.
+func (d Depths) options() (experiments.Options, error) {
+	var o experiments.Options
+	switch d.Preset {
+	case "", "quick":
+		o = experiments.QuickOptions()
+	case "default":
+		o = experiments.DefaultOptions()
+	default:
+		return o, fmt.Errorf("unknown depth preset %q (want quick or default)", d.Preset)
+	}
+	if d.FastForward > 0 {
+		o.FastForwardInsts = d.FastForward
+	}
+	if d.Warmup > 0 {
+		o.WarmupInsts = d.Warmup
+	}
+	if d.Measure > 0 {
+		o.MeasureInsts = d.Measure
+	}
+	if d.Grid > 0 {
+		o.Grid = d.Grid
+	}
+	return o, nil
+}
+
+// Sections lists the experiment sections KindExperiment accepts, in
+// cmd/repro order.
+func Sections() []string {
+	return []string{"table1", "table2", "fig8", "fig9", "fig10", "density", "width"}
+}
+
+// Spec is the POST /v1/jobs submission payload.
+type Spec struct {
+	Kind Kind `json:"kind"`
+	// Config names a machine configuration (GET /v1/configs); it
+	// defaults to "3D". Used by timing and thermal jobs.
+	Config string `json:"config,omitempty"`
+	// Workload names a trace profile (GET /v1/workloads). Required for
+	// timing and thermal jobs; optional reference app for fig10.
+	Workload string `json:"workload,omitempty"`
+	// Section names the reproduction section for experiment jobs.
+	Section string `json:"section,omitempty"`
+	// Depths selects the simulation depth.
+	Depths Depths `json:"depths,omitempty"`
+}
+
+// normalize applies defaults and validates the spec in place.
+func (s *Spec) normalize() error {
+	switch s.Kind {
+	case KindTiming, KindThermal:
+		if s.Config == "" {
+			s.Config = "3D"
+		}
+		if _, err := config.ByName(s.Config); err != nil {
+			return err
+		}
+		if s.Workload == "" {
+			return fmt.Errorf("%s job requires a workload (see GET /v1/workloads)", s.Kind)
+		}
+		if _, err := trace.ProfileByName(s.Workload); err != nil {
+			return err
+		}
+		if s.Section != "" {
+			return fmt.Errorf("%s job does not take a section", s.Kind)
+		}
+	case KindExperiment:
+		ok := false
+		for _, name := range Sections() {
+			if s.Section == name {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown experiment section %q (want one of %v)", s.Section, Sections())
+		}
+		if s.Section == "fig10" && s.Workload == "" {
+			s.Workload = "mpeg2enc"
+		}
+		if s.Workload != "" {
+			if _, err := trace.ProfileByName(s.Workload); err != nil {
+				return err
+			}
+		}
+		if s.Config != "" {
+			return fmt.Errorf("experiment job does not take a config (sections fix their own)")
+		}
+	case "":
+		return fmt.Errorf("missing job kind (want one of %v)", Kinds())
+	default:
+		return fmt.Errorf("unknown job kind %q (want one of %v)", s.Kind, Kinds())
+	}
+	if s.Depths.Preset == "" {
+		s.Depths.Preset = "quick"
+	}
+	if _, err := s.Depths.options(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// cacheKey returns the content address of a normalized spec: a
+// canonical hash over (kind, config, workload, section, depths). Two
+// submissions with the same key compute the same result.
+func (s Spec) cacheKey() string {
+	// Specs are flat with a fixed field order, so the JSON encoding is
+	// canonical once normalized.
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("server: spec not marshalable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle: queued → running → done | failed | canceled.
+// Queued jobs may also go straight to canceled.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Progress counts completed versus total units of work (workload
+// simulations for most kinds).
+type Progress struct {
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+}
+
+// Status is the JSON representation of a job visible to clients.
+type Status struct {
+	ID          string   `json:"id"`
+	Kind        Kind     `json:"kind"`
+	State       State    `json:"state"`
+	Error       string   `json:"error,omitempty"`
+	Progress    Progress `json:"progress"`
+	FromCache   bool     `json:"from_cache,omitempty"`
+	SubmittedAt string   `json:"submitted_at"`
+	StartedAt   string   `json:"started_at,omitempty"`
+	FinishedAt  string   `json:"finished_at,omitempty"`
+}
+
+// job is the server-side record of one submission.
+type job struct {
+	id   string
+	spec Spec
+	key  string
+
+	// ctx is canceled by DELETE /v1/jobs/{id} or a drain deadline; the
+	// runner observes it between simulation phases.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	result    json.RawMessage
+	progress  Progress
+	fromCache bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func newJob(id string, spec Spec) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{
+		id:        id,
+		spec:      spec,
+		key:       spec.cacheKey(),
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+}
+
+// status snapshots the job for clients.
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.id,
+		Kind:        j.spec.Kind,
+		State:       j.state,
+		Error:       j.err,
+		Progress:    j.progress,
+		FromCache:   j.fromCache,
+		SubmittedAt: j.submitted.Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// tryStart transitions queued → running; it reports false if the job
+// was canceled while still queued.
+func (j *job) tryStart() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// setProgress updates the progress counters.
+func (j *job) setProgress(completed, total int) {
+	j.mu.Lock()
+	j.progress = Progress{Completed: completed, Total: total}
+	j.mu.Unlock()
+}
+
+// finish moves a running job to its terminal state.
+func (j *job) finish(state State, result json.RawMessage, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.result = result
+	j.err = errMsg
+	j.finished = time.Now()
+	if state == StateDone && j.progress.Total > 0 {
+		j.progress.Completed = j.progress.Total
+	}
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+}
+
+// finishFromCache completes a job immediately with a cached result.
+func (j *job) finishFromCache(result json.RawMessage) {
+	j.mu.Lock()
+	j.fromCache = true
+	j.state = StateDone
+	j.result = result
+	now := time.Now()
+	j.started, j.finished = now, now
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// cancelQueued transitions queued → canceled; it reports false if the
+// job had already started (the caller then cancels the context
+// instead).
+func (j *job) cancelQueued(reason string) bool {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateCanceled
+	j.err = reason
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.cancel()
+	return true
+}
+
+// snapshotResult returns the terminal state and result.
+func (j *job) snapshotResult() (State, json.RawMessage, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.result, j.err
+}

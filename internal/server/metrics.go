@@ -1,0 +1,83 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"thermalherd/internal/stats"
+)
+
+// metrics aggregates the expvar-style counters served at /metrics.
+// One mutex guards everything: updates are a few counter increments
+// on job-lifecycle events, far off any hot path.
+type metrics struct {
+	mu sync.Mutex
+
+	submitted stats.Counter
+	completed stats.Counter
+	failed    stats.Counter
+	canceled  stats.Counter
+	rejected  stats.Counter
+
+	cacheHits   stats.Counter
+	cacheMisses stats.Counter
+
+	// latency histograms per job kind, in milliseconds.
+	latency map[Kind]*stats.Histogram
+}
+
+func newMetrics() *metrics {
+	m := &metrics{latency: make(map[Kind]*stats.Histogram)}
+	for _, k := range Kinds() {
+		// 40 × 250 ms buckets span 0–10 s; slower jobs land in the
+		// overflow bucket.
+		m.latency[k] = stats.NewHistogram("latency_ms_"+string(k), 0, 250, 40)
+	}
+	return m
+}
+
+func (m *metrics) inc(c *stats.Counter) {
+	m.mu.Lock()
+	c.Inc()
+	m.mu.Unlock()
+}
+
+// observeLatency records one finished job's wall time.
+func (m *metrics) observeLatency(k Kind, d time.Duration) {
+	m.mu.Lock()
+	if h, ok := m.latency[k]; ok {
+		h.Observe(int(d.Milliseconds()))
+	}
+	m.mu.Unlock()
+}
+
+// snapshot renders the metrics as the /metrics JSON document.
+func (m *metrics) snapshot(queueDepth, queueCap, running, cacheLen, cacheCap int) map[string]any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	hists := make(map[string]stats.HistogramSnapshot, len(m.latency))
+	for k, h := range m.latency {
+		hists[string(k)] = h.Snapshot()
+	}
+	return map[string]any{
+		"jobs": map[string]any{
+			"submitted": m.submitted.Value(),
+			"running":   running,
+			"completed": m.completed.Value(),
+			"failed":    m.failed.Value(),
+			"canceled":  m.canceled.Value(),
+			"rejected":  m.rejected.Value(),
+		},
+		"queue": map[string]any{
+			"depth":    queueDepth,
+			"capacity": queueCap,
+		},
+		"cache": map[string]any{
+			"hits":     m.cacheHits.Value(),
+			"misses":   m.cacheMisses.Value(),
+			"entries":  cacheLen,
+			"capacity": cacheCap,
+		},
+		"latency_ms": hists,
+	}
+}

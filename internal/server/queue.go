@@ -1,0 +1,94 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// Queue admission errors.
+var (
+	// ErrQueueFull rejects a push when the queue is at capacity; the
+	// HTTP layer maps it to 503.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrQueueClosed rejects pushes after shutdown began.
+	ErrQueueClosed = errors.New("server: job queue closed")
+)
+
+// queue is a bounded FIFO of jobs feeding the worker pool.
+type queue struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	items    []*job
+	max      int
+	closed   bool
+}
+
+func newQueue(max int) *queue {
+	if max <= 0 {
+		max = 1
+	}
+	q := &queue{max: max}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends j, failing when the queue is full or closed.
+func (q *queue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if len(q.items) >= q.max {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, j)
+	q.nonEmpty.Signal()
+	return nil
+}
+
+// pop blocks until a job is available, returning ok=false once the
+// queue is closed and drained.
+func (q *queue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	j := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return j, true
+}
+
+// len returns the current queue depth.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// cap returns the queue capacity.
+func (q *queue) cap() int { return q.max }
+
+// close stops admission and wakes all blocked pops. Remaining items
+// are still delivered; pop returns false once they are drained.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nonEmpty.Broadcast()
+}
+
+// drainPending removes and returns every queued-but-unstarted job;
+// used at shutdown to cancel work that never ran.
+func (q *queue) drainPending() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	items := q.items
+	q.items = nil
+	return items
+}

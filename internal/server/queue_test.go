@@ -1,0 +1,86 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func testJob(id string) *job {
+	return newJob(id, Spec{Kind: KindTiming, Config: "3D", Workload: "patricia"})
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := newQueue(3)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := q.push(testJob(id)); err != nil {
+			t.Fatalf("push(%s): %v", id, err)
+		}
+	}
+	if q.len() != 3 {
+		t.Fatalf("len = %d, want 3", q.len())
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		j, ok := q.pop()
+		if !ok || j.id != want {
+			t.Fatalf("pop = %v,%v, want %s", j, ok, want)
+		}
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	q := newQueue(1)
+	if err := q.push(testJob("a")); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if err := q.push(testJob("b")); err != ErrQueueFull {
+		t.Fatalf("push on full = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestQueueClose(t *testing.T) {
+	q := newQueue(2)
+	q.push(testJob("a"))
+	q.close()
+	if err := q.push(testJob("b")); err != ErrQueueClosed {
+		t.Fatalf("push after close = %v, want ErrQueueClosed", err)
+	}
+	// Remaining items still drain, then pop reports closed.
+	if j, ok := q.pop(); !ok || j.id != "a" {
+		t.Fatalf("pop after close = %v,%v, want a,true", j, ok)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on drained closed queue reported ok")
+	}
+}
+
+func TestQueueCloseWakesBlockedPop(t *testing.T) {
+	q := newQueue(1)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("blocked pop returned ok after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not wake on close")
+	}
+}
+
+func TestQueueDrainPending(t *testing.T) {
+	q := newQueue(4)
+	q.push(testJob("a"))
+	q.push(testJob("b"))
+	pending := q.drainPending()
+	if len(pending) != 2 || pending[0].id != "a" || pending[1].id != "b" {
+		t.Fatalf("drainPending = %v", pending)
+	}
+	if q.len() != 0 {
+		t.Fatalf("len after drain = %d, want 0", q.len())
+	}
+}

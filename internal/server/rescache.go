@@ -1,0 +1,77 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// resultCache is a content-addressed in-memory result store, keyed by
+// Spec.cacheKey and bounded by LRU eviction (the same
+// oldest-timestamp victim scan internal/cache uses for its lines; the
+// entry count here is small enough that a linear scan beats
+// maintaining a list).
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	clock   uint64
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	result json.RawMessage
+	lru    uint64
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		max = 1
+	}
+	return &resultCache{max: max, entries: make(map[string]*cacheEntry)}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.clock++
+	e.lru = c.clock
+	return e.result, true
+}
+
+// put stores a result under key, evicting the least-recently-used
+// entry when the cache is at capacity.
+func (c *resultCache) put(key string, result json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	if e, ok := c.entries[key]; ok {
+		e.result = result
+		e.lru = c.clock
+		return
+	}
+	if len(c.entries) >= c.max {
+		victim := ""
+		var oldest uint64 = ^uint64(0)
+		for k, e := range c.entries {
+			if e.lru < oldest {
+				victim, oldest = k, e.lru
+			}
+		}
+		delete(c.entries, victim)
+	}
+	c.entries[key] = &cacheEntry{result: result, lru: c.clock}
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// capacity returns the cache bound.
+func (c *resultCache) capacity() int { return c.max }

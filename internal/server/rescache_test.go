@@ -1,0 +1,73 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestResultCacheHitAndMiss(t *testing.T) {
+	c := newResultCache(4)
+	if _, ok := c.get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("k", json.RawMessage(`{"v":1}`))
+	res, ok := c.get("k")
+	if !ok || string(res) != `{"v":1}` {
+		t.Fatalf("get = %s,%v", res, ok)
+	}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", json.RawMessage(`1`))
+	c.put("b", json.RawMessage(`2`))
+	// Touch a so b becomes least recently used.
+	c.get("a")
+	c.put("c", json.RawMessage(`3`))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction; want LRU victim")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s was evicted; want resident", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestResultCacheOverwriteDoesNotEvict(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", json.RawMessage(`1`))
+	c.put("b", json.RawMessage(`2`))
+	c.put("a", json.RawMessage(`10`))
+	res, ok := c.get("a")
+	if !ok || string(res) != `10` {
+		t.Fatalf("get a = %s,%v, want 10,true", res, ok)
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("overwrite evicted b")
+	}
+}
+
+func TestSpecCacheKeyCanonical(t *testing.T) {
+	a := Spec{Kind: KindTiming, Workload: "patricia"}
+	if err := a.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	b := Spec{Kind: KindTiming, Workload: "patricia", Config: "3D", Depths: Depths{Preset: "quick"}}
+	if err := b.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.cacheKey() != b.cacheKey() {
+		t.Fatal("defaulted and explicit specs hash differently")
+	}
+	c := Spec{Kind: KindTiming, Workload: "mcf", Config: "3D"}
+	if err := c.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.cacheKey() == c.cacheKey() {
+		t.Fatal("different workloads share a cache key")
+	}
+}

@@ -1,0 +1,375 @@
+// Package server exposes the Thermal Herding simulation stack as a
+// long-lived HTTP service (the thermherdd daemon): jobs are submitted
+// to a bounded FIFO queue, executed by a fixed worker pool, and their
+// JSON results are kept in a content-addressed LRU cache so identical
+// resubmissions are answered without re-simulating.
+//
+// API surface (all JSON):
+//
+//	POST   /v1/jobs             submit a job (Spec) → Status (202; 200 on cache hit)
+//	GET    /v1/jobs/{id}        job status and progress
+//	GET    /v1/jobs/{id}/result the finished job's result document
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/workloads        the runnable workload profiles
+//	GET    /v1/configs          the machine configurations
+//	GET    /healthz             liveness and drain state
+//	GET    /metrics             expvar-style counters and latency histograms
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thermalherd/internal/config"
+	"thermalherd/internal/trace"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the worker pool size; 0 means runtime.NumCPU().
+	Workers int
+	// QueueDepth bounds queued (not yet running) jobs; 0 means 64.
+	QueueDepth int
+	// CacheSize bounds the result cache entry count; 0 means 128.
+	CacheSize int
+}
+
+// Server is the simulation-as-a-service daemon. Create one with New,
+// launch the worker pool with Start, serve it with net/http (it
+// implements http.Handler), and stop it with Drain.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	queue   *queue
+	cache   *resultCache
+	metrics *metrics
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID uint64
+
+	running  atomic.Int64
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	// exec runs one job's spec; tests substitute a stub.
+	exec func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error)
+}
+
+// New builds a server; call Start before serving requests.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 128
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		queue:   newQueue(cfg.QueueDepth),
+		cache:   newResultCache(cfg.CacheSize),
+		metrics: newMetrics(),
+		jobs:    make(map[string]*job),
+		exec:    runSpec,
+	}
+	s.routes()
+	return s
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain gracefully shuts the pool down: new submissions are rejected
+// with 503, queued-but-unstarted jobs are canceled, and running jobs
+// get until ctx's deadline to finish before their contexts are
+// canceled. It returns ctx.Err() when the deadline forced
+// cancellation, nil on a clean drain.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		return nil // already draining
+	}
+	for _, j := range s.queue.drainPending() {
+		if j.cancelQueued("server shutting down") {
+			s.metrics.inc(&s.metrics.canceled)
+		}
+	}
+	s.queue.close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Deadline passed: cancel whatever is still running and wait
+		// for the workers to notice (the runner checks between
+		// simulation phases).
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until it is closed and empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one popped job through the executor and settles its
+// terminal state, result cache entry, and metrics.
+func (s *Server) runJob(j *job) {
+	if !j.tryStart() {
+		return // canceled while queued; already counted
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	start := time.Now()
+	res, err := s.exec(j.ctx, j.spec, j.setProgress)
+	switch {
+	case j.ctx.Err() != nil:
+		j.finish(StateCanceled, nil, "canceled: "+j.ctx.Err().Error())
+		s.metrics.inc(&s.metrics.canceled)
+	case err != nil:
+		j.finish(StateFailed, nil, err.Error())
+		s.metrics.inc(&s.metrics.failed)
+	default:
+		j.finish(StateDone, res, "")
+		s.cache.put(j.key, res)
+		s.metrics.inc(&s.metrics.completed)
+	}
+	s.metrics.observeLatency(j.spec.Kind, time.Since(start))
+}
+
+// register stores j under a fresh id.
+func (s *Server) register(j *job) {
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+}
+
+// lookup finds a job by id.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// newID mints a monotonically increasing job id.
+func (s *Server) newID() string {
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+	return fmt.Sprintf("job-%06d", id)
+}
+
+// Metrics returns the /metrics document; exported for the daemon's
+// logs and tests.
+func (s *Server) Metrics() map[string]any {
+	return s.metrics.snapshot(
+		s.queue.len(), s.queue.cap(),
+		int(s.running.Load()),
+		s.cache.len(), s.cache.capacity())
+}
+
+// routes installs the HTTP endpoints.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/configs", s.handleConfigs)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// writeJSON writes v with the given HTTP status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errorDoc is the uniform error body.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.metrics.inc(&s.metrics.rejected)
+		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
+		return
+	}
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job payload: %v", err)
+		return
+	}
+	if err := spec.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job: %v", err)
+		return
+	}
+	s.metrics.inc(&s.metrics.submitted)
+	j := newJob(s.newID(), spec)
+	if res, ok := s.cache.get(j.key); ok {
+		s.metrics.inc(&s.metrics.cacheHits)
+		j.finishFromCache(res)
+		s.register(j)
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	s.metrics.inc(&s.metrics.cacheMisses)
+	if err := s.queue.push(j); err != nil {
+		s.metrics.inc(&s.metrics.rejected)
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.register(j)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	state, result, errMsg := j.snapshotResult()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(result)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+	case StateCanceled:
+		writeError(w, http.StatusConflict, "job was canceled: %s", errMsg)
+	default:
+		writeJSON(w, http.StatusConflict, j.status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if j.cancelQueued("canceled by client") {
+		// Never started; the worker will skip it when popped.
+		s.metrics.inc(&s.metrics.canceled)
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	st := j.status()
+	switch st.State {
+	case StateRunning:
+		// The worker settles the state (and metrics) once the runner
+		// observes the canceled context.
+		j.cancel()
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeError(w, http.StatusConflict, "job %s is already %s", st.ID, st.State)
+	}
+}
+
+// workloadInfo is one GET /v1/workloads entry.
+type workloadInfo struct {
+	Name       string `json:"name"`
+	Group      string `json:"group"`
+	WorkingSet uint64 `json:"working_set_bytes"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	suite := trace.Suite()
+	out := make([]workloadInfo, len(suite))
+	for i, p := range suite {
+		out[i] = workloadInfo{Name: p.Name, Group: p.Group.String(), WorkingSet: p.WorkingSet}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// configInfo is one GET /v1/configs entry.
+type configInfo struct {
+	Name           string  `json:"name"`
+	ClockGHz       float64 `json:"clock_ghz"`
+	ThreeD         bool    `json:"three_d"`
+	ThermalHerding bool    `json:"thermal_herding"`
+}
+
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	regs := config.Registry()
+	out := make([]configInfo, len(regs))
+	for i, m := range regs {
+		out[i] = configInfo{Name: m.Name, ClockGHz: m.ClockGHz, ThreeD: m.ThreeD, ThermalHerding: m.ThermalHerding}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"workers": s.cfg.Workers,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

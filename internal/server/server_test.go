@@ -1,0 +1,506 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestServer builds a started server plus an httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	s.Start()
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, ts
+}
+
+// stubExec replaces the real executor with fn for deterministic tests.
+func stubExec(s *Server, fn func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error)) {
+	s.exec = fn
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, Status) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	json.NewDecoder(resp.Body).Decode(&st) // error docs leave st zero
+	return resp, st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET status: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %s", resp.Status)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	return st
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id string, want State) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State == want {
+			return st
+		}
+		if st.State == StateFailed && want != StateFailed {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Status{}
+}
+
+func deleteJob(t *testing.T, ts *httptest.Server, id string) *http.Response {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func metricsDoc(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	return doc
+}
+
+func counter(t *testing.T, doc map[string]any, section, name string) float64 {
+	t.Helper()
+	sec, ok := doc[section].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing section %q: %v", section, doc)
+	}
+	v, ok := sec[name].(float64)
+	if !ok {
+		t.Fatalf("metrics %s missing %q: %v", section, name, sec)
+	}
+	return v
+}
+
+// TestSubmitPollResultRoundTrip is the acceptance-criteria test: a
+// real quick-depth single-workload timing job runs queued → done, its
+// result is non-empty JSON, and an identical resubmission is served
+// from the result cache (observed via the /metrics hit counter).
+func TestSubmitPollResultRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8, CacheSize: 8})
+	body := `{"kind":"timing","config":"TH","workload":"bitcount",
+	          "depths":{"preset":"quick","fast_forward":20000,"warmup":5000,"measure":5000}}`
+	resp, st := postJob(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %s, want 202", resp.Status)
+	}
+	if st.State != StateQueued && st.State != StateRunning && st.State != StateDone {
+		t.Fatalf("fresh job state = %s", st.State)
+	}
+	fin := waitState(t, ts, st.ID, StateDone)
+	if fin.FromCache {
+		t.Fatal("first run claimed to come from cache")
+	}
+
+	res, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET result = %s", res.Status)
+	}
+	var tr timingResult
+	if err := json.NewDecoder(res.Body).Decode(&tr); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if tr.Workload != "bitcount" || tr.Config != "TH" || tr.IPC <= 0 || tr.Stats == nil {
+		t.Fatalf("implausible result: %+v", tr)
+	}
+
+	// Identical resubmission: served from cache, no new simulation.
+	resp2, st2 := postJob(t, ts, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit = %s, want 200 (cache hit)", resp2.Status)
+	}
+	if st2.State != StateDone || !st2.FromCache {
+		t.Fatalf("resubmit state = %s fromCache=%v, want immediate cached done", st2.State, st2.FromCache)
+	}
+	doc := metricsDoc(t, ts)
+	if hits := counter(t, doc, "cache", "hits"); hits != 1 {
+		t.Fatalf("cache hits = %v, want 1", hits)
+	}
+	if completed := counter(t, doc, "jobs", "completed"); completed != 1 {
+		t.Fatalf("completed = %v, want 1 (cached resubmission must not re-run)", completed)
+	}
+}
+
+func TestSubmitBadPayloads(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CacheSize: 2})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", `{{{`},
+		{"unknown field", `{"kind":"timing","workload":"mcf","bogus":1}`},
+		{"missing kind", `{"workload":"mcf"}`},
+		{"unknown kind", `{"kind":"quantum","workload":"mcf"}`},
+		{"missing workload", `{"kind":"timing"}`},
+		{"unknown workload", `{"kind":"timing","workload":"doom2016"}`},
+		{"unknown config", `{"kind":"timing","workload":"mcf","config":"5D"}`},
+		{"unknown section", `{"kind":"experiment","section":"fig99"}`},
+		{"section on timing", `{"kind":"timing","workload":"mcf","section":"fig8"}`},
+		{"config on experiment", `{"kind":"experiment","section":"table2","config":"3D"}`},
+		{"bad preset", `{"kind":"timing","workload":"mcf","depths":{"preset":"instant"}}`},
+	}
+	for _, c := range cases {
+		resp, _ := postJob(t, ts, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %s, want 400", c.name, resp.Status)
+		}
+	}
+	doc := metricsDoc(t, ts)
+	if depth := counter(t, doc, "queue", "depth"); depth != 0 {
+		t.Fatalf("bad payloads left %v queued jobs", depth)
+	}
+}
+
+func TestUnknownJob404(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CacheSize: 2})
+	for _, path := range []string{"/v1/jobs/job-999999", "/v1/jobs/job-999999/result"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %s, want 404", path, resp.Status)
+		}
+	}
+	if resp := deleteJob(t, ts, "job-999999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown = %s, want 404", resp.Status)
+	}
+}
+
+func TestResultBeforeCompletion409(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CacheSize: 2})
+	release := make(chan struct{})
+	stubExec(s, func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error) {
+		<-release
+		return json.RawMessage(`{}`), nil
+	})
+	_, st := postJob(t, ts, `{"kind":"timing","workload":"mcf"}`)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result before completion = %s, want 409", resp.Status)
+	}
+	close(release)
+	waitState(t, ts, st.ID, StateDone)
+}
+
+func TestCancelMidRun(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CacheSize: 2})
+	started := make(chan struct{})
+	stubExec(s, func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error) {
+		close(started)
+		<-ctx.Done() // simulate the runner observing cancellation
+		return nil, ctx.Err()
+	})
+	_, st := postJob(t, ts, `{"kind":"timing","workload":"mcf"}`)
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never started")
+	}
+	if resp := deleteJob(t, ts, st.ID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE running job = %s, want 200", resp.Status)
+	}
+	fin := waitState(t, ts, st.ID, StateCanceled)
+	if fin.Error == "" {
+		t.Fatal("canceled job carries no reason")
+	}
+	// The canceled result must not be fetchable or cached.
+	resp, _ := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result of canceled job = %s, want 409", resp.Status)
+	}
+	// Canceling a settled job conflicts.
+	if resp := deleteJob(t, ts, st.ID); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE settled job = %s, want 409", resp.Status)
+	}
+	doc := metricsDoc(t, ts)
+	if canceled := counter(t, doc, "jobs", "canceled"); canceled != 1 {
+		t.Fatalf("canceled counter = %v, want 1", canceled)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, CacheSize: 2})
+	release := make(chan struct{})
+	stubExec(s, func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error) {
+		<-release
+		return json.RawMessage(fmt.Sprintf(`{"workload":%q}`, spec.Workload)), nil
+	})
+	// First job occupies the single worker; the second sits queued.
+	_, first := postJob(t, ts, `{"kind":"timing","workload":"mcf"}`)
+	_, second := postJob(t, ts, `{"kind":"timing","workload":"crafty"}`)
+	if resp := deleteJob(t, ts, second.ID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE queued job = %s, want 200", resp.Status)
+	}
+	st := getStatus(t, ts, second.ID)
+	if st.State != StateCanceled {
+		t.Fatalf("queued job state after cancel = %s, want canceled", st.State)
+	}
+	close(release)
+	waitState(t, ts, first.ID, StateDone)
+	// The canceled-in-queue job must never have run.
+	if st := getStatus(t, ts, second.ID); st.State != StateCanceled || st.StartedAt != "" {
+		t.Fatalf("canceled queued job ran anyway: %+v", st)
+	}
+}
+
+func TestQueueFull503(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, CacheSize: 2})
+	release := make(chan struct{})
+	stubExec(s, func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error) {
+		<-release
+		return json.RawMessage(`{}`), nil
+	})
+	defer close(release)
+	// One running, one queued; the third overflows.
+	_, first := postJob(t, ts, `{"kind":"timing","workload":"mcf"}`)
+	waitState(t, ts, first.ID, StateRunning)
+	postJob(t, ts, `{"kind":"timing","workload":"crafty"}`)
+	resp, _ := postJob(t, ts, `{"kind":"timing","workload":"gzip"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit = %s, want 503", resp.Status)
+	}
+	doc := metricsDoc(t, ts)
+	if rejected := counter(t, doc, "jobs", "rejected"); rejected != 1 {
+		t.Fatalf("rejected counter = %v, want 1", rejected)
+	}
+}
+
+func TestDrainRejectsAndCancels(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, CacheSize: 2})
+	running := make(chan struct{})
+	stubExec(s, func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error) {
+		close(running)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	s.Start()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	_, first := postJob(t, ts, `{"kind":"timing","workload":"mcf"}`)
+	_, queued := postJob(t, ts, `{"kind":"timing","workload":"crafty"}`)
+	<-running
+
+	// Drain with an immediate deadline: the queued job is canceled
+	// outright, the running one via its context.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Drain = %v, want deadline exceeded (forced cancel)", err)
+	}
+	if st := getStatus(t, ts, queued.ID); st.State != StateCanceled {
+		t.Fatalf("queued job after drain = %s, want canceled", st.State)
+	}
+	if st := getStatus(t, ts, first.ID); st.State != StateCanceled {
+		t.Fatalf("running job after forced drain = %s, want canceled", st.State)
+	}
+
+	// While drained, health reports it and submissions bounce with 503.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health["status"] != "draining" {
+		t.Fatalf("healthz status = %v, want draining", health["status"])
+	}
+	resp2, _ := postJob(t, ts, `{"kind":"timing","workload":"gzip"}`)
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %s, want 503", resp2.Status)
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64, CacheSize: 64})
+	stubExec(s, func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error) {
+		report(1, 1)
+		return json.RawMessage(fmt.Sprintf(`{"workload":%q}`, spec.Workload)), nil
+	})
+	workloads := []string{"mcf", "crafty", "gzip", "patricia", "yacr2", "susan_s", "mpeg2enc", "bitcount"}
+	var wg sync.WaitGroup
+	ids := make(chan string, 4*len(workloads))
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, wl := range workloads {
+				body := fmt.Sprintf(`{"kind":"timing","workload":%q}`, wl)
+				resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var st Status
+				json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+					t.Errorf("submit %s: %s", wl, resp.Status)
+					return
+				}
+				ids <- st.ID
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	n := 0
+	for id := range ids {
+		waitState(t, ts, id, StateDone)
+		n++
+	}
+	if n != 4*len(workloads) {
+		t.Fatalf("completed %d jobs, want %d", n, 4*len(workloads))
+	}
+	doc := metricsDoc(t, ts)
+	hits := counter(t, doc, "cache", "hits")
+	completed := counter(t, doc, "jobs", "completed")
+	if hits+completed != float64(n) {
+		t.Fatalf("hits(%v) + completed(%v) != submitted(%d)", hits, completed, n)
+	}
+}
+
+func TestWorkloadsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CacheSize: 2})
+	resp, err := http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []workloadInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 106 {
+		t.Fatalf("workloads = %d, want 106", len(out))
+	}
+	if out[0].Name == "" || out[0].Group == "" {
+		t.Fatalf("empty workload entry: %+v", out[0])
+	}
+}
+
+func TestConfigsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CacheSize: 2})
+	resp, err := http.Get(ts.URL + "/v1/configs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []configInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6 {
+		t.Fatalf("configs = %d, want 6", len(out))
+	}
+	names := map[string]bool{}
+	for _, c := range out {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"Base", "TH", "Pipe", "Fast", "3D", "3D-noTH"} {
+		if !names[want] {
+			t.Errorf("missing config %q", want)
+		}
+	}
+}
+
+func TestExperimentSectionJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CacheSize: 2})
+	// table2 derives from the circuit model without simulation, so it
+	// exercises the experiment path instantly.
+	_, st := postJob(t, ts, `{"kind":"experiment","section":"table2"}`)
+	waitState(t, ts, st.ID, StateDone)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res experimentResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Section != "table2" || !strings.Contains(res.Text, "wakeup") {
+		t.Fatalf("implausible table2 result: %+v", res)
+	}
+}
+
+func TestFailedJobSurfacesError(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CacheSize: 2})
+	stubExec(s, func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error) {
+		return nil, fmt.Errorf("solver diverged")
+	})
+	_, st := postJob(t, ts, `{"kind":"timing","workload":"mcf"}`)
+	fin := waitState(t, ts, st.ID, StateFailed)
+	if !strings.Contains(fin.Error, "solver diverged") {
+		t.Fatalf("error = %q", fin.Error)
+	}
+	resp, _ := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("result of failed job = %s, want 500", resp.Status)
+	}
+	// Failures must not poison the cache: resubmission runs again.
+	stubExec(s, func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error) {
+		return json.RawMessage(`{"ok":true}`), nil
+	})
+	_, st2 := postJob(t, ts, `{"kind":"timing","workload":"mcf"}`)
+	if fin := waitState(t, ts, st2.ID, StateDone); fin.FromCache {
+		t.Fatal("failed result was served from cache")
+	}
+}

@@ -152,6 +152,38 @@ func (h *Histogram) Fraction(i int) float64 {
 	return float64(h.buckets[i]) / float64(h.total)
 }
 
+// HistogramBucket is one bucket of a HistogramSnapshot: Count
+// observations fell in [Lo, Hi).
+type HistogramBucket struct {
+	Lo    int    `json:"lo"`
+	Hi    int    `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is an exported, JSON-serializable view of a
+// Histogram (used by the thermherdd /metrics endpoint). Empty buckets
+// are elided.
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Total   uint64            `json:"total"`
+	Under   uint64            `json:"underflow,omitempty"`
+	Over    uint64            `json:"overflow,omitempty"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram's current contents.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Name: h.name, Total: h.total, Under: h.under, Over: h.over}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := h.min + i*h.width
+		s.Buckets = append(s.Buckets, HistogramBucket{Lo: lo, Hi: lo + h.width, Count: c})
+	}
+	return s
+}
+
 // String renders the histogram as a compact text table.
 func (h *Histogram) String() string {
 	var b strings.Builder

@@ -283,6 +283,16 @@ func Suite() []Profile {
 // "collection of 106 application traces".
 const SuiteSize = 106
 
+// Names returns every suite workload name in suite order.
+func Names() []string {
+	suite := Suite()
+	names := make([]string, len(suite))
+	for i, p := range suite {
+		names[i] = p.Name
+	}
+	return names
+}
+
 // ProfileByName finds a workload profile by benchmark name.
 func ProfileByName(name string) (Profile, error) {
 	for _, p := range Suite() {
