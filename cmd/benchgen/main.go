@@ -5,15 +5,21 @@
 //
 // Usage:
 //
-//	benchgen -list
-//	benchgen -inspect mcf [-n 200000]
+//	benchgen -list [-json]
+//	benchgen -inspect mcf [-n 200000] [-json]
 //	benchgen -record mcf -out mcf.trace [-n 200000]
 //	benchgen -replay mcf.trace
+//
+// With -json, -list and -inspect emit machine-readable profile
+// documents that thermload mix files (see examples/mixes) can
+// reference by workload name.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"thermalherd/internal/core"
@@ -30,14 +36,15 @@ func main() {
 		record  = flag.String("record", "", "record a workload's stream to -out")
 		out     = flag.String("out", "workload.trace", "output file for -record")
 		replay  = flag.String("replay", "", "summarize a recorded trace file")
+		asJSON  = flag.Bool("json", false, "emit -list/-inspect output as JSON")
 	)
 	flag.Parse()
 	var err error
 	switch {
 	case *list:
-		listWorkloads()
+		err = listWorkloads(os.Stdout, *asJSON)
 	case *inspect != "":
-		err = inspectWorkload(*inspect, *n)
+		err = inspectWorkload(os.Stdout, *inspect, *n, *asJSON)
 	case *record != "":
 		err = recordWorkload(*record, *out, *n)
 	case *replay != "":
@@ -51,7 +58,71 @@ func main() {
 	}
 }
 
-func listWorkloads() {
+// profileDoc is the machine-readable form of one workload profile.
+type profileDoc struct {
+	Name               string  `json:"name"`
+	Group              string  `json:"group"`
+	WorkingSetBytes    uint64  `json:"working_set_bytes"`
+	HotFrac            float64 `json:"hot_frac"`
+	StackFrac          float64 `json:"stack_frac"`
+	LowWidthStaticFrac float64 `json:"low_width_static_frac"`
+	PtrLoadFrac        float64 `json:"ptr_load_frac"`
+	NegValFrac         float64 `json:"neg_val_frac"`
+	HardBranchFrac     float64 `json:"hard_branch_frac"`
+	FarTargetFrac      float64 `json:"far_target_frac"`
+	FracLoad           float64 `json:"frac_load"`
+	FracStore          float64 `json:"frac_store"`
+	FracBranch         float64 `json:"frac_branch"`
+	FracJump           float64 `json:"frac_jump"`
+	FracShift          float64 `json:"frac_shift"`
+	FracMulDiv         float64 `json:"frac_muldiv"`
+	FracFPAdd          float64 `json:"frac_fp_add"`
+	FracFPMul          float64 `json:"frac_fp_mul"`
+	FracFPDiv          float64 `json:"frac_fp_div"`
+	DepDistMean        float64 `json:"dep_dist_mean"`
+	StaticInsts        int     `json:"static_insts"`
+}
+
+func docOf(p trace.Profile) profileDoc {
+	return profileDoc{
+		Name:               p.Name,
+		Group:              p.Group.String(),
+		WorkingSetBytes:    p.WorkingSet,
+		HotFrac:            p.HotFrac,
+		StackFrac:          p.StackFrac,
+		LowWidthStaticFrac: p.LowWidthStaticFrac,
+		PtrLoadFrac:        p.PtrLoadFrac,
+		NegValFrac:         p.NegValFrac,
+		HardBranchFrac:     p.HardBranchFrac,
+		FarTargetFrac:      p.FarTargetFrac,
+		FracLoad:           p.FracLoad,
+		FracStore:          p.FracStore,
+		FracBranch:         p.FracBranch,
+		FracJump:           p.FracJump,
+		FracShift:          p.FracShift,
+		FracMulDiv:         p.FracMulDiv,
+		FracFPAdd:          p.FracFPAdd,
+		FracFPMul:          p.FracFPMul,
+		FracFPDiv:          p.FracFPDiv,
+		DepDistMean:        p.DepDistMean,
+		StaticInsts:        p.StaticInsts,
+	}
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func listWorkloads(w io.Writer, asJSON bool) error {
+	if asJSON {
+		docs := make([]profileDoc, 0, trace.SuiteSize)
+		for _, p := range trace.Suite() {
+			docs = append(docs, docOf(p))
+		}
+		return writeJSON(w, docs)
+	}
 	t := stats.NewTable("Workload", "Group", "WS", "Hot", "LowW", "Ptr", "Hard", "Static")
 	for _, p := range trace.Suite() {
 		t.AddRow(p.Name, p.Group.String(),
@@ -62,7 +133,8 @@ func listWorkloads() {
 			fmt.Sprintf("%.2f", p.HardBranchFrac),
 			fmt.Sprintf("%d", p.StaticInsts))
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
+	return nil
 }
 
 func fmtBytes(b uint64) string {
@@ -74,7 +146,24 @@ func fmtBytes(b uint64) string {
 	}
 }
 
-func inspectWorkload(name string, n int) error {
+// inspection is the machine-readable -inspect -json document: the
+// static profile plus characteristics measured from n generated
+// instructions.
+type inspection struct {
+	Profile  profileDoc         `json:"profile"`
+	Sampled  int                `json:"sampled_insts"`
+	ClassMix map[string]float64 `json:"class_mix"`
+	Measured struct {
+		LowWidthResultFrac float64 `json:"low_width_result_frac"`
+		LoadPVLowFrac      float64 `json:"load_pv_low_frac"`
+		LoadPVZeroOnlyFrac float64 `json:"load_pv_zero_only_frac"`
+		LoadPVAddrFrac     float64 `json:"load_pv_addr_frac"`
+		PAMHitRate         float64 `json:"pam_hit_rate"`
+		BranchTakenFrac    float64 `json:"branch_taken_frac"`
+	} `json:"measured"`
+}
+
+func inspectWorkload(w io.Writer, name string, n int, asJSON bool) error {
 	p, err := trace.ProfileByName(name)
 	if err != nil {
 		return err
@@ -107,7 +196,20 @@ func inspectWorkload(name string, n int) error {
 			}
 		}
 	}
-	fmt.Printf("%s (%s): %d instructions sampled\n", p.Name, p.Group, n)
+	if asJSON {
+		doc := inspection{Profile: docOf(p), Sampled: n, ClassMix: map[string]float64{}}
+		for c, cnt := range classCount {
+			doc.ClassMix[c.String()] = float64(cnt) / float64(n)
+		}
+		doc.Measured.LowWidthResultFrac = float64(lowResults) / float64(max(intResults, 1))
+		doc.Measured.LoadPVLowFrac = pv.LowFraction()
+		doc.Measured.LoadPVZeroOnlyFrac = pv.ZeroOnlyFraction()
+		doc.Measured.LoadPVAddrFrac = float64(pv.Counts[core.PVAddr]) / float64(max(pv.Total(), 1))
+		doc.Measured.PAMHitRate = memo.HitRate()
+		doc.Measured.BranchTakenFrac = float64(taken) / float64(max(branches, 1))
+		return writeJSON(w, doc)
+	}
+	fmt.Fprintf(w, "%s (%s): %d instructions sampled\n", p.Name, p.Group, n)
 	t := stats.NewTable("Class", "Count", "Fraction")
 	for _, c := range []isa.Class{isa.ClassALU, isa.ClassShift, isa.ClassMulDiv,
 		isa.ClassLoad, isa.ClassStore, isa.ClassBranch, isa.ClassJump,
@@ -115,14 +217,14 @@ func inspectWorkload(name string, n int) error {
 		t.AddRow(c.String(), fmt.Sprintf("%d", classCount[c]),
 			fmt.Sprintf("%.3f", float64(classCount[c])/float64(n)))
 	}
-	fmt.Print(t)
-	fmt.Printf("low-width results: %.3f of %d int results\n",
+	fmt.Fprint(w, t)
+	fmt.Fprintf(w, "low-width results: %.3f of %d int results\n",
 		float64(lowResults)/float64(max(intResults, 1)), intResults)
-	fmt.Printf("load partial values: low %.3f (zeros-only %.3f, PVAddr %.3f)\n",
+	fmt.Fprintf(w, "load partial values: low %.3f (zeros-only %.3f, PVAddr %.3f)\n",
 		pv.LowFraction(), pv.ZeroOnlyFraction(),
 		float64(pv.Counts[core.PVAddr])/float64(max(pv.Total(), 1)))
-	fmt.Printf("PAM hit rate: %.3f over %d broadcasts\n", memo.HitRate(), memo.Broadcasts())
-	fmt.Printf("branches: %d, taken %.3f\n", branches, float64(taken)/float64(max(branches, 1)))
+	fmt.Fprintf(w, "PAM hit rate: %.3f over %d broadcasts\n", memo.HitRate(), memo.Broadcasts())
+	fmt.Fprintf(w, "branches: %d, taken %.3f\n", branches, float64(taken)/float64(max(branches, 1)))
 	return nil
 }
 

@@ -1,17 +1,89 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"thermalherd/internal/trace"
 )
 
 func TestInspectWorkloadSmoke(t *testing.T) {
-	if err := inspectWorkload("gzip", 20_000); err != nil {
+	if err := inspectWorkload(io.Discard, "gzip", 20_000, false); err != nil {
 		t.Fatalf("inspect: %v", err)
 	}
-	if err := inspectWorkload("nonesuch", 1000); err == nil {
+	if err := inspectWorkload(io.Discard, "nonesuch", 1000, false); err == nil {
 		t.Error("unknown workload accepted")
+	}
+}
+
+func TestListJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := listWorkloads(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	var docs []profileDoc
+	if err := json.Unmarshal(buf.Bytes(), &docs); err != nil {
+		t.Fatalf("-list -json is not valid JSON: %v", err)
+	}
+	if len(docs) != trace.SuiteSize {
+		t.Fatalf("listed %d profiles, want %d", len(docs), trace.SuiteSize)
+	}
+	byName := map[string]profileDoc{}
+	for _, d := range docs {
+		if d.Name == "" || d.Group == "" || d.StaticInsts == 0 {
+			t.Fatalf("incomplete profile doc: %+v", d)
+		}
+		byName[d.Name] = d
+	}
+	mcf, ok := byName["mcf"]
+	if !ok || mcf.WorkingSetBytes == 0 || mcf.FracLoad <= 0 {
+		t.Fatalf("mcf profile implausible: %+v", mcf)
+	}
+	// Every listed name must resolve back through the suite, since
+	// thermload mix files reference profiles by these names.
+	for name := range byName {
+		if _, err := trace.ProfileByName(name); err != nil {
+			t.Fatalf("listed name %q not resolvable: %v", name, err)
+		}
+	}
+}
+
+func TestListText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := listWorkloads(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mcf") || !strings.Contains(buf.String(), "Workload") {
+		t.Fatalf("text listing missing expected content:\n%.200s", buf.String())
+	}
+}
+
+func TestInspectJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := inspectWorkload(&buf, "mcf", 20_000, true); err != nil {
+		t.Fatal(err)
+	}
+	var doc inspection
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("-inspect -json is not valid JSON: %v", err)
+	}
+	if doc.Profile.Name != "mcf" || doc.Sampled != 20_000 {
+		t.Fatalf("wrong inspection header: %+v", doc.Profile)
+	}
+	total := 0.0
+	for _, f := range doc.ClassMix {
+		total += f
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("class mix fractions sum to %g, want ~1", total)
+	}
+	if doc.Measured.PAMHitRate <= 0 || doc.Measured.BranchTakenFrac <= 0 {
+		t.Fatalf("implausible measured stats: %+v", doc.Measured)
 	}
 }
 

@@ -1,0 +1,202 @@
+// Command thermload is an open-loop load generator and SLO benchmark
+// harness for thermherdd. It synthesizes a deterministic
+// request-arrival schedule, samples job specs from a weighted mix,
+// fires them at a daemon with bounded in-flight concurrency, and
+// writes a machine-readable BENCH_loadgen.json report (latency
+// quantiles, achieved vs. offered RPS, error/drop counts, SLO
+// verdict).
+//
+// Usage:
+//
+//	thermload -mode constant -rps 50 -duration 10s -seed 42
+//	thermload -mode ramp -start 5 -target 25 -step 5 -slot 2s -seed 42
+//	thermload -mode burst -rps 10 -burst-rps 100 -burst-every 2s -burst-len 500ms -duration 10s
+//	thermload -mode poisson -rps 30 -duration 10s -seed 7
+//
+// Point it at a running daemon with -addr, or pass -selfhost to spin
+// up an in-process daemon on a loopback port (used by the CI bench
+// smoke job). Equal seeds and parameters reproduce byte-identical
+// arrival schedules; dump one with -schedule-out to diff runs, or
+// compare the schedule_sha256 fields of two reports.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"thermalherd/internal/loadgen"
+	"thermalherd/internal/server"
+)
+
+// options collects every flag so tests can drive the same paths main
+// does.
+type options struct {
+	addr     string
+	selfhost bool
+
+	sched loadgen.ScheduleConfig
+
+	mixPath  string
+	inflight int
+	timeout  time.Duration
+	poll     time.Duration
+	retries  int
+	backoff  time.Duration
+	batch    int
+
+	sloP95    time.Duration
+	sloP99    time.Duration
+	sloErrors float64
+
+	out         string
+	scheduleOut string
+	dryRun      bool
+	strict      bool
+}
+
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("thermload", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "http://localhost:8077", "thermherdd base URL")
+	fs.BoolVar(&o.selfhost, "selfhost", false, "run an in-process daemon on a loopback port instead of targeting -addr")
+
+	mode := fs.String("mode", "constant", "arrival schedule: constant, ramp, burst, or poisson")
+	fs.DurationVar(&o.sched.Duration, "duration", 10*time.Second, "schedule length (constant/burst/poisson; caps ramp)")
+	fs.Float64Var(&o.sched.RPS, "rps", 20, "arrival rate (constant/poisson) or burst baseline")
+	fs.Float64Var(&o.sched.StartRPS, "start", 5, "ramp: first slot's RPS")
+	fs.Float64Var(&o.sched.TargetRPS, "target", 25, "ramp: last slot's RPS")
+	fs.Float64Var(&o.sched.StepRPS, "step", 5, "ramp: RPS increment per slot")
+	fs.DurationVar(&o.sched.Slot, "slot", 2*time.Second, "ramp: duration of each RPS step")
+	fs.Float64Var(&o.sched.BurstRPS, "burst-rps", 100, "burst: arrival rate inside a burst window")
+	fs.DurationVar(&o.sched.BurstEvery, "burst-every", 2*time.Second, "burst: window period")
+	fs.DurationVar(&o.sched.BurstLen, "burst-len", 500*time.Millisecond, "burst: window length")
+	fs.Int64Var(&o.sched.Seed, "seed", 1, "seed for poisson arrivals and mix sampling; equal seeds reproduce schedules byte-for-byte")
+
+	fs.StringVar(&o.mixPath, "mix", "", "JSON job-mix file (see examples/mixes); default: uniform timing jobs at load-test depth")
+	fs.IntVar(&o.inflight, "inflight", 64, "max concurrently tracked requests; excess arrivals are dropped (open loop)")
+	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request end-to-end budget")
+	fs.DurationVar(&o.poll, "poll", 10*time.Millisecond, "status poll interval for in-flight jobs")
+	fs.IntVar(&o.retries, "retries", 3, "submit retries after 429/503 responses")
+	fs.DurationVar(&o.backoff, "backoff", 100*time.Millisecond, "first retry delay (doubles per attempt)")
+	fs.IntVar(&o.batch, "batch", 1, "group this many arrivals per POST /v1/jobs:batch request")
+
+	fs.DurationVar(&o.sloP95, "slo-p95", 0, "SLO: p95 end-to-end latency bound (0 = unchecked)")
+	fs.DurationVar(&o.sloP99, "slo-p99", 0, "SLO: p99 end-to-end latency bound (0 = unchecked)")
+	fs.Float64Var(&o.sloErrors, "slo-errors", 0.01, "SLO: max (errors+timeouts+failed)/arrivals")
+
+	fs.StringVar(&o.out, "out", "BENCH_loadgen.json", "report output path")
+	fs.StringVar(&o.scheduleOut, "schedule-out", "", "also dump the arrival schedule (ns offsets, one per line) to this path")
+	fs.BoolVar(&o.dryRun, "dry-run", false, "synthesize the schedule and specs, write -schedule-out, and exit without sending load")
+	fs.BoolVar(&o.strict, "strict", false, "exit nonzero when the SLO verdict is FAIL")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	o.sched.Mode = loadgen.Mode(*mode)
+	return o, nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	rep, err := run(context.Background(), o, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermload:", err)
+		os.Exit(1)
+	}
+	if o.strict && rep != nil && !rep.SLO.Pass {
+		os.Exit(1)
+	}
+}
+
+// run executes one thermload invocation: synthesize, (optionally)
+// self-host, drive, report. A dry run returns a nil report.
+func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) {
+	sched, err := loadgen.Synthesize(o.sched)
+	if err != nil {
+		return nil, err
+	}
+	mix := loadgen.DefaultMix()
+	if o.mixPath != "" {
+		if mix, err = loadgen.LoadMixFile(o.mixPath); err != nil {
+			return nil, err
+		}
+	}
+	specs, err := mix.SampleSpecs(len(sched), o.sched.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if o.scheduleOut != "" {
+		if err := os.WriteFile(o.scheduleOut, loadgen.FormatSchedule(sched), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	fmt.Fprintf(out, "thermload: %s schedule, %d arrivals over %.1fs (offered %.1f rps), sha256 %s\n",
+		o.sched.Mode, len(sched), sched[len(sched)-1].Seconds(), loadgen.OfferedRPS(sched),
+		loadgen.ScheduleSHA256(sched)[:12])
+	if o.dryRun {
+		return nil, nil
+	}
+
+	addr := o.addr
+	if o.selfhost {
+		stop, base, err := selfhost()
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+		addr = base
+		fmt.Fprintf(out, "thermload: self-hosted daemon at %s\n", addr)
+	}
+
+	rep, err := loadgen.Run(ctx, loadgen.RunConfig{
+		Client:       loadgen.NewClient(addr, o.retries, o.backoff),
+		Schedule:     sched,
+		Specs:        specs,
+		MaxInFlight:  o.inflight,
+		Timeout:      o.timeout,
+		PollInterval: o.poll,
+		BatchSize:    o.batch,
+		SLO:          loadgen.SLO{P95: o.sloP95, P99: o.sloP99, MaxErrorRate: o.sloErrors},
+		Mode:         o.sched.Mode,
+		Seed:         o.sched.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if o.out != "" {
+		if err := rep.WriteFile(o.out); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "thermload: report written to %s\n", o.out)
+	}
+	fmt.Fprint(out, rep.Summary())
+	return rep, nil
+}
+
+// selfhost starts an in-process daemon on a loopback port and returns
+// a stop function that drains it.
+func selfhost() (func(), string, error) {
+	srv := server.New(server.Config{Workers: runtime.NumCPU(), QueueDepth: 1024, CacheSize: 1024})
+	srv.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+		hs.Shutdown(ctx)
+	}
+	return stop, "http://" + ln.Addr().String(), nil
+}

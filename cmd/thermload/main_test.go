@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"thermalherd/internal/loadgen"
+)
+
+// TestScheduleDumpByteIdentical is the acceptance determinism check at
+// the CLI layer: two `-mode ramp -seed 42` invocations dump
+// byte-identical arrival schedules.
+func TestScheduleDumpByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	dump := func(path string) []byte {
+		t.Helper()
+		o, err := parseFlags([]string{
+			"-mode", "ramp", "-start", "5", "-target", "25", "-step", "5",
+			"-slot", "500ms", "-seed", "42",
+			"-dry-run", "-schedule-out", path, "-out", "",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer devnull.Close()
+		if _, err := run(context.Background(), o, devnull); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := dump(filepath.Join(dir, "a.txt"))
+	b := dump(filepath.Join(dir, "b.txt"))
+	if len(a) == 0 {
+		t.Fatal("schedule dump is empty")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two -seed 42 ramp runs dumped different schedules")
+	}
+}
+
+// TestSelfhostSmoke runs a short self-hosted burst end to end and
+// checks the report file carries the fields the bench trajectory
+// depends on.
+func TestSelfhostSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping ~1s self-hosted load run")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_loadgen.json")
+	o, err := parseFlags([]string{
+		"-selfhost",
+		"-mode", "burst", "-rps", "30", "-duration", "800ms",
+		"-burst-rps", "150", "-burst-every", "300ms", "-burst-len", "100ms",
+		"-seed", "42", "-batch", "4", "-inflight", "128",
+		"-timeout", "20s", "-poll", "2ms",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	rep, err := run(context.Background(), o, devnull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk loadgen.Report
+	if err := json.Unmarshal(b, &onDisk); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if onDisk.ScheduleSHA256 != rep.ScheduleSHA256 || onDisk.ScheduleSHA256 == "" {
+		t.Fatalf("schedule digest mismatch: disk %q vs run %q", onDisk.ScheduleSHA256, rep.ScheduleSHA256)
+	}
+	if onDisk.Latency.Count == 0 || onDisk.Latency.P99Ms < onDisk.Latency.P50Ms {
+		t.Fatalf("implausible latency stats: %+v", onDisk.Latency)
+	}
+	if onDisk.Achieved.RPS <= 0 || onDisk.Offered.Arrivals == 0 {
+		t.Fatalf("implausible throughput stats: %+v", onDisk)
+	}
+	// Batched submission: at most ceil(N/4) submit requests.
+	maxReqs := int64((onDisk.Offered.Arrivals + 3) / 4)
+	if onDisk.Achieved.SubmitHTTPRequests > maxReqs+onDisk.Achieved.Retries {
+		t.Fatalf("submit requests %d exceed ceil(%d/4)=%d (+%d retries)",
+			onDisk.Achieved.SubmitHTTPRequests, onDisk.Offered.Arrivals, maxReqs, onDisk.Achieved.Retries)
+	}
+}
+
+func TestParseFlagsBadMode(t *testing.T) {
+	o, err := parseFlags([]string{"-mode", "warp", "-dry-run"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(context.Background(), o, os.Stderr); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestRunRejectsBadMixFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mix.json")
+	if err := os.WriteFile(path, []byte(`{"entries":[{"workload":"doom2016"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o, err := parseFlags([]string{"-mix", path, "-mode", "constant", "-rps", "5", "-duration", "1s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := run(ctx, o, os.Stderr); err == nil {
+		t.Fatal("mix with unknown workload accepted")
+	}
+}

@@ -1,0 +1,198 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"thermalherd/internal/server"
+)
+
+// Client is a thin thermherdd HTTP client. Submissions that bounce off
+// admission control (HTTP 429 or 503) are retried with exponential
+// backoff up to the configured attempt budget; all other errors
+// surface immediately.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+
+	submitRequests atomic.Int64
+	pollRequests   atomic.Int64
+	retriesUsed    atomic.Int64
+}
+
+// NewClient targets base (e.g. "http://localhost:8077"). retries is
+// the number of re-attempts after the first try; backoff is the first
+// retry's delay and doubles per attempt.
+func NewClient(base string, retries int, backoff time.Duration) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{},
+		retries: retries,
+		backoff: backoff,
+	}
+}
+
+// SubmitRequests counts submit HTTP requests issued so far (single and
+// batch calls alike, including retries); the batching acceptance check
+// asserts on it.
+func (c *Client) SubmitRequests() int64 { return c.submitRequests.Load() }
+
+// PollRequests counts status-poll HTTP requests issued so far.
+func (c *Client) PollRequests() int64 { return c.pollRequests.Load() }
+
+// RetriesUsed counts submit attempts that were backoff retries.
+func (c *Client) RetriesUsed() int64 { return c.retriesUsed.Load() }
+
+// retryable reports whether a submit should back off and try again.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// postRetry POSTs body to path, retrying 429/503 responses. It returns
+// the final response body and status code.
+func (c *Client) postRetry(ctx context.Context, path string, body []byte) ([]byte, int, error) {
+	delay := c.backoff
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		c.submitRequests.Add(1)
+		if attempt > 0 {
+			c.retriesUsed.Add(1)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, 0, err
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, resp.StatusCode, err
+		}
+		if !retryable(resp.StatusCode) || attempt >= c.retries {
+			return b, resp.StatusCode, nil
+		}
+		select {
+		case <-ctx.Done():
+			return b, resp.StatusCode, ctx.Err()
+		case <-time.After(delay):
+		}
+		delay *= 2
+	}
+}
+
+// errorOf decodes the server's uniform error document.
+func errorOf(body []byte, code int) error {
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &doc) == nil && doc.Error != "" {
+		return fmt.Errorf("HTTP %d: %s", code, doc.Error)
+	}
+	return fmt.Errorf("HTTP %d: %s", code, bytes.TrimSpace(body))
+}
+
+// Submit sends one job and returns its admitted (or cached) status.
+func (c *Client) Submit(ctx context.Context, spec server.Spec) (server.Status, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return server.Status{}, err
+	}
+	b, code, err := c.postRetry(ctx, "/v1/jobs", body)
+	if err != nil {
+		return server.Status{}, err
+	}
+	if code != http.StatusOK && code != http.StatusAccepted {
+		return server.Status{}, errorOf(b, code)
+	}
+	var st server.Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		return server.Status{}, fmt.Errorf("decode submit response: %w", err)
+	}
+	return st, nil
+}
+
+// SubmitBatch sends specs through POST /v1/jobs:batch and returns the
+// per-spec outcomes in submission order.
+func (c *Client) SubmitBatch(ctx context.Context, specs []server.Spec) ([]server.BatchItem, error) {
+	body, err := json.Marshal(server.BatchRequest{Jobs: specs})
+	if err != nil {
+		return nil, err
+	}
+	b, code, err := c.postRetry(ctx, "/v1/jobs:batch", body)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, errorOf(b, code)
+	}
+	var resp server.BatchResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		return nil, fmt.Errorf("decode batch response: %w", err)
+	}
+	if len(resp.Jobs) != len(specs) {
+		return nil, fmt.Errorf("batch returned %d items for %d specs", len(resp.Jobs), len(specs))
+	}
+	return resp.Jobs, nil
+}
+
+// JobStatus fetches one job's current status.
+func (c *Client) JobStatus(ctx context.Context, id string) (server.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return server.Status{}, err
+	}
+	c.pollRequests.Add(1)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return server.Status{}, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return server.Status{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return server.Status{}, errorOf(b, resp.StatusCode)
+	}
+	var st server.Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		return server.Status{}, fmt.Errorf("decode status: %w", err)
+	}
+	return st, nil
+}
+
+// Metrics fetches the daemon's /metrics document.
+func (c *Client) Metrics(ctx context.Context) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decode metrics: %w", err)
+	}
+	return doc, nil
+}

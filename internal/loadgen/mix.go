@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"thermalherd/internal/config"
+	"thermalherd/internal/server"
+	"thermalherd/internal/trace"
+)
+
+// MixEntry is one weighted job template. Empty Workload or Config
+// fields are filled per sample by a uniform seeded draw over the 106
+// trace.Names() workloads or the config.Registry machine names, so a
+// single entry can cover the whole suite. Profile fields for mix files
+// can be listed with `benchgen -list -json`.
+type MixEntry struct {
+	// Kind is the job kind; empty means "timing".
+	Kind string `json:"kind,omitempty"`
+	// Workload names one workload, or "" to sample uniformly.
+	Workload string `json:"workload,omitempty"`
+	// Config names one machine configuration, or "" to sample
+	// uniformly (timing and thermal kinds only).
+	Config string `json:"config,omitempty"`
+	// Section is the experiment section (experiment kind only).
+	Section string `json:"section,omitempty"`
+	// Weight is the entry's relative draw probability; empty means 1.
+	Weight float64 `json:"weight,omitempty"`
+	// Depths tunes the simulation depth of sampled jobs.
+	Depths server.Depths `json:"depths,omitempty"`
+}
+
+// Mix is a weighted set of job templates.
+type Mix struct {
+	Entries []MixEntry `json:"entries"`
+}
+
+// DefaultMix drives uniformly sampled timing jobs across every
+// workload and machine configuration at load-test depth (a few
+// thousand instructions per job, so individual requests settle in
+// milliseconds and the harness measures the service, not the
+// simulator).
+func DefaultMix() Mix {
+	return Mix{Entries: []MixEntry{{
+		Kind:   string(server.KindTiming),
+		Depths: server.Depths{FastForward: 4000, Warmup: 1000, Measure: 2000},
+	}}}
+}
+
+// LoadMixFile reads a JSON mix file (see examples/mixes/default.json).
+func LoadMixFile(path string) (Mix, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Mix{}, fmt.Errorf("loadgen: read mix: %w", err)
+	}
+	var m Mix
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Mix{}, fmt.Errorf("loadgen: parse mix %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return Mix{}, fmt.Errorf("loadgen: mix %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Validate checks the mix's entries against the workload suite and
+// configuration registry so bad names fail before the run starts.
+func (m Mix) Validate() error {
+	if len(m.Entries) == 0 {
+		return fmt.Errorf("mix has no entries")
+	}
+	for i, e := range m.Entries {
+		if e.Weight < 0 {
+			return fmt.Errorf("entry %d: negative weight %g", i, e.Weight)
+		}
+		switch e.Kind {
+		case "", string(server.KindTiming), string(server.KindThermal):
+			if e.Workload != "" {
+				if _, err := trace.ProfileByName(e.Workload); err != nil {
+					return fmt.Errorf("entry %d: %w", i, err)
+				}
+			}
+			if e.Config != "" {
+				if _, err := config.ByName(e.Config); err != nil {
+					return fmt.Errorf("entry %d: %w", i, err)
+				}
+			}
+			if e.Section != "" {
+				return fmt.Errorf("entry %d: section %q on a %s entry", i, e.Section, e.Kind)
+			}
+		case string(server.KindExperiment):
+			if e.Section == "" {
+				return fmt.Errorf("entry %d: experiment entry requires a section (one of %v)", i, server.Sections())
+			}
+		default:
+			return fmt.Errorf("entry %d: unknown kind %q (want one of %v)", i, e.Kind, server.Kinds())
+		}
+	}
+	return nil
+}
+
+// SampleSpecs deterministically draws one normalizable job spec per
+// schedule arrival: a weighted entry choice, then uniform fills for
+// any unpinned workload/config field. Equal (mix, n, seed) inputs
+// return identical spec sequences.
+func (m Mix) SampleSpecs(n int, seed int64) ([]server.Spec, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	// A distinct stream from the schedule's: the same seed must not
+	// correlate arrival gaps with spec choices.
+	rng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+	weights := make([]float64, len(m.Entries))
+	total := 0.0
+	for i, e := range m.Entries {
+		w := e.Weight
+		if w == 0 {
+			w = 1
+		}
+		weights[i] = w
+		total += w
+	}
+	workloads := trace.Names()
+	configs := config.Registry()
+	specs := make([]server.Spec, n)
+	for i := 0; i < n; i++ {
+		r := rng.Float64() * total
+		k := 0
+		for ; k < len(weights)-1 && r >= weights[k]; k++ {
+			r -= weights[k]
+		}
+		e := m.Entries[k]
+		spec := server.Spec{
+			Kind:     server.Kind(e.Kind),
+			Workload: e.Workload,
+			Config:   e.Config,
+			Section:  e.Section,
+			Depths:   e.Depths,
+		}
+		if spec.Kind == "" {
+			spec.Kind = server.KindTiming
+		}
+		if spec.Kind != server.KindExperiment {
+			if spec.Workload == "" {
+				spec.Workload = workloads[rng.Intn(len(workloads))]
+			}
+			if spec.Config == "" {
+				spec.Config = configs[rng.Intn(len(configs))].Name
+			}
+		}
+		specs[i] = spec
+	}
+	return specs, nil
+}

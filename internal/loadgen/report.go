@@ -1,0 +1,205 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"thermalherd/internal/stats"
+)
+
+// SLO is the service-level contract a run is judged against. Zero
+// limits are not enforced (MaxErrorRate 0 still is: it demands an
+// error-free run).
+type SLO struct {
+	// P95 and P99 bound the end-to-end latency quantiles.
+	P95 time.Duration
+	P99 time.Duration
+	// MaxErrorRate bounds (errors + timeouts + failed + canceled) /
+	// arrivals. Drops are reported separately: they measure the
+	// generator shedding offered load, not the server failing it.
+	MaxErrorRate float64
+}
+
+// LatencyStats summarizes one latency histogram in milliseconds.
+type LatencyStats struct {
+	Count     uint64                  `json:"count"`
+	P50Ms     float64                 `json:"p50_ms"`
+	P95Ms     float64                 `json:"p95_ms"`
+	P99Ms     float64                 `json:"p99_ms"`
+	MeanMs    float64                 `json:"mean_ms,omitempty"`
+	MaxMs     float64                 `json:"max_ms,omitempty"`
+	Histogram stats.HistogramSnapshot `json:"histogram"`
+}
+
+// OfferedStats describes the synthesized schedule.
+type OfferedStats struct {
+	Arrivals    int     `json:"arrivals"`
+	DurationSec float64 `json:"duration_sec"`
+	RPS         float64 `json:"rps"`
+}
+
+// AchievedStats describes what actually happened.
+type AchievedStats struct {
+	Submitted          int     `json:"submitted"`
+	Done               int     `json:"done"`
+	CacheHits          int     `json:"cache_hits"`
+	Failed             int     `json:"failed"`
+	Canceled           int     `json:"canceled"`
+	Errors             int     `json:"errors"`
+	Timeouts           int     `json:"timeouts"`
+	Drops              int     `json:"drops"`
+	RPS                float64 `json:"rps"`
+	WallSec            float64 `json:"wall_sec"`
+	SubmitHTTPRequests int64   `json:"submit_http_requests"`
+	PollHTTPRequests   int64   `json:"poll_http_requests"`
+	Retries            int64   `json:"retries"`
+}
+
+// SLOResult is the evaluated verdict.
+type SLOResult struct {
+	P95LimitMs   float64  `json:"p95_limit_ms,omitempty"`
+	P99LimitMs   float64  `json:"p99_limit_ms,omitempty"`
+	MaxErrorRate float64  `json:"max_error_rate"`
+	ErrorRate    float64  `json:"error_rate"`
+	Pass         bool     `json:"pass"`
+	Violations   []string `json:"violations,omitempty"`
+}
+
+// Report is the machine-readable BENCH_loadgen.json document: the
+// bench trajectory every later performance PR measures itself against.
+type Report struct {
+	Tool           string        `json:"tool"`
+	Mode           Mode          `json:"mode"`
+	Seed           int64         `json:"seed"`
+	ScheduleSHA256 string        `json:"schedule_sha256"`
+	BatchSize      int           `json:"batch_size"`
+	MaxInFlight    int           `json:"max_in_flight"`
+	Offered        OfferedStats  `json:"offered"`
+	Achieved       AchievedStats `json:"achieved"`
+	CacheHitRate   float64       `json:"cache_hit_rate"`
+	Latency        LatencyStats  `json:"latency"`
+	QueueWait      LatencyStats  `json:"queue_wait"`
+	SLO            SLOResult     `json:"slo"`
+}
+
+// report reduces the recorder into the final document.
+func (r *recorder) report(cfg RunConfig, wall time.Duration) *Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	arrivals := len(cfg.Schedule)
+	rep := &Report{
+		Tool:           "thermload",
+		Mode:           cfg.Mode,
+		Seed:           cfg.Seed,
+		ScheduleSHA256: ScheduleSHA256(cfg.Schedule),
+		BatchSize:      cfg.BatchSize,
+		MaxInFlight:    cfg.MaxInFlight,
+		Offered: OfferedStats{
+			Arrivals:    arrivals,
+			DurationSec: cfg.Schedule[arrivals-1].Seconds(),
+			RPS:         OfferedRPS(cfg.Schedule),
+		},
+		Achieved: AchievedStats{
+			Submitted:          r.nSubmitted,
+			Done:               r.nDone,
+			CacheHits:          r.nCacheHits,
+			Failed:             r.nFailed,
+			Canceled:           r.nCanceled,
+			Errors:             r.nErrors,
+			Timeouts:           r.nTimeouts,
+			Drops:              r.nDrops,
+			WallSec:            wall.Seconds(),
+			SubmitHTTPRequests: cfg.Client.SubmitRequests(),
+			PollHTTPRequests:   cfg.Client.PollRequests(),
+			Retries:            cfg.Client.RetriesUsed(),
+		},
+		Latency:   latencyStats(r.latency, r.latencySumMs, r.latencyMaxMs),
+		QueueWait: latencyStats(r.queueWait, 0, 0),
+	}
+	if wall > 0 {
+		rep.Achieved.RPS = float64(r.nDone) / wall.Seconds()
+	}
+	if r.nSubmitted > 0 {
+		rep.CacheHitRate = float64(r.nCacheHits) / float64(r.nSubmitted)
+	}
+	rep.SLO = evalSLO(cfg.SLO, rep, arrivals)
+	return rep
+}
+
+func latencyStats(h *stats.Histogram, sumMs, maxMs float64) LatencyStats {
+	snap := h.Snapshot()
+	ls := LatencyStats{
+		Count:     snap.Total,
+		P50Ms:     snap.Quantile(0.50),
+		P95Ms:     snap.Quantile(0.95),
+		P99Ms:     snap.Quantile(0.99),
+		MaxMs:     maxMs,
+		Histogram: snap,
+	}
+	if snap.Total > 0 && sumMs > 0 {
+		ls.MeanMs = sumMs / float64(snap.Total)
+	}
+	return ls
+}
+
+func evalSLO(slo SLO, rep *Report, arrivals int) SLOResult {
+	res := SLOResult{
+		P95LimitMs:   float64(slo.P95) / float64(time.Millisecond),
+		P99LimitMs:   float64(slo.P99) / float64(time.Millisecond),
+		MaxErrorRate: slo.MaxErrorRate,
+		Pass:         true,
+	}
+	failures := rep.Achieved.Errors + rep.Achieved.Timeouts + rep.Achieved.Failed + rep.Achieved.Canceled
+	if arrivals > 0 {
+		res.ErrorRate = float64(failures) / float64(arrivals)
+	}
+	violate := func(format string, args ...any) {
+		res.Pass = false
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	if slo.P95 > 0 && rep.Latency.P95Ms > res.P95LimitMs {
+		violate("p95 %.1fms > limit %.1fms", rep.Latency.P95Ms, res.P95LimitMs)
+	}
+	if slo.P99 > 0 && rep.Latency.P99Ms > res.P99LimitMs {
+		violate("p99 %.1fms > limit %.1fms", rep.Latency.P99Ms, res.P99LimitMs)
+	}
+	if res.ErrorRate > slo.MaxErrorRate {
+		violate("error rate %.4f > limit %.4f", res.ErrorRate, slo.MaxErrorRate)
+	}
+	if rep.Latency.Count == 0 {
+		violate("no requests completed")
+	}
+	return res
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Summary renders a short human-readable digest for terminal output.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "thermload %s seed=%d: offered %d arrivals (%.1f rps), achieved %.1f rps\n",
+		r.Mode, r.Seed, r.Offered.Arrivals, r.Offered.RPS, r.Achieved.RPS)
+	fmt.Fprintf(&b, "  done %d (cache %.0f%%)  failed %d  errors %d  timeouts %d  drops %d\n",
+		r.Achieved.Done, 100*r.CacheHitRate, r.Achieved.Failed, r.Achieved.Errors,
+		r.Achieved.Timeouts, r.Achieved.Drops)
+	fmt.Fprintf(&b, "  latency p50 %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms\n",
+		r.Latency.P50Ms, r.Latency.P95Ms, r.Latency.P99Ms, r.Latency.MaxMs)
+	fmt.Fprintf(&b, "  queue wait p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+		r.QueueWait.P50Ms, r.QueueWait.P95Ms, r.QueueWait.P99Ms)
+	if r.SLO.Pass {
+		fmt.Fprintf(&b, "  SLO: PASS (error rate %.4f)\n", r.SLO.ErrorRate)
+	} else {
+		fmt.Fprintf(&b, "  SLO: FAIL — %s\n", strings.Join(r.SLO.Violations, "; "))
+	}
+	return b.String()
+}

@@ -1,0 +1,342 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"thermalherd/internal/server"
+	"thermalherd/internal/stats"
+)
+
+// RunConfig parameterizes one open-loop run against a daemon.
+type RunConfig struct {
+	// Client targets the daemon (required).
+	Client *Client
+	// Schedule holds the arrival offsets and Specs one pre-sampled job
+	// per arrival; they must be the same length.
+	Schedule []time.Duration
+	Specs    []server.Spec
+	// MaxInFlight bounds concurrently tracked requests; an arrival
+	// finding no free slot is dropped and counted. 0 means 64.
+	MaxInFlight int
+	// Timeout is each request's end-to-end budget, submission through
+	// terminal state, measured from its arrival. 0 means 30s.
+	Timeout time.Duration
+	// PollInterval spaces status polls for in-flight jobs. 0 means 10ms.
+	PollInterval time.Duration
+	// BatchSize > 1 groups consecutive arrivals into POST /v1/jobs:batch
+	// submissions: a batch is flushed when full or when the schedule
+	// ends, so N arrivals cost at most ceil(N/BatchSize) submit
+	// requests (plus retries). 0 or 1 submits singly.
+	BatchSize int
+	// SLO is the pass/fail contract evaluated into the report.
+	SLO SLO
+	// Mode and Seed annotate the report (the schedule is already
+	// materialized; these record where it came from).
+	Mode Mode
+	Seed int64
+}
+
+// arrival is one scheduled request: its pre-sampled spec and the time
+// it was fired, which anchors its latency and timeout.
+type arrival struct {
+	spec server.Spec
+	at   time.Time
+}
+
+// Run executes the schedule open-loop: arrivals fire at their offsets
+// regardless of response times, excess arrivals beyond MaxInFlight are
+// dropped, and every submitted job is polled to a terminal state (or
+// its timeout). It blocks until all in-flight work settles and returns
+// the aggregated report. A canceled ctx stops the schedule early;
+// already-fired requests still settle.
+func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("loadgen: RunConfig.Client is required")
+	}
+	if len(cfg.Schedule) == 0 || len(cfg.Schedule) != len(cfg.Specs) {
+		return nil, fmt.Errorf("loadgen: schedule (%d) and specs (%d) must be equal-length and non-empty",
+			len(cfg.Schedule), len(cfg.Specs))
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 10 * time.Millisecond
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+
+	rec := newRecorder()
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	var pending []arrival
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		batch := pending
+		pending = nil
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fireBatch(ctx, cfg, rec, sem, batch)
+		}()
+	}
+
+	start := time.Now()
+schedule:
+	for i := range cfg.Schedule {
+		if wait := time.Until(start.Add(cfg.Schedule[i])); wait > 0 {
+			select {
+			case <-ctx.Done():
+				rec.dropN(len(cfg.Schedule) - i)
+				break schedule
+			case <-time.After(wait):
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+			a := arrival{spec: cfg.Specs[i], at: time.Now()}
+			if cfg.BatchSize == 1 {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					fireOne(ctx, cfg, rec, sem, a)
+				}()
+			} else {
+				pending = append(pending, a)
+				if len(pending) >= cfg.BatchSize {
+					flush()
+				}
+			}
+		default:
+			rec.dropN(1) // open loop: saturation sheds, never queues
+		}
+	}
+	flush()
+	wg.Wait()
+	wall := time.Since(start)
+	return rec.report(cfg, wall), nil
+}
+
+// fireOne submits a's spec and tracks it to a terminal state.
+func fireOne(ctx context.Context, cfg RunConfig, rec *recorder, sem chan struct{}, a arrival) {
+	defer func() { <-sem }()
+	rctx, cancel := context.WithDeadline(ctx, a.at.Add(cfg.Timeout))
+	defer cancel()
+	st, err := cfg.Client.Submit(rctx, a.spec)
+	if err != nil {
+		rec.submitError(rctx)
+		return
+	}
+	rec.submitted()
+	track(rctx, cfg, rec, a, st)
+}
+
+// fireBatch submits one POST /v1/jobs:batch for the buffered arrivals
+// and tracks each admitted job under its own arrival-anchored
+// deadline.
+func fireBatch(ctx context.Context, cfg RunConfig, rec *recorder, sem chan struct{}, batch []arrival) {
+	// The batch deadline is anchored to the oldest buffered arrival so
+	// buffering time cannot extend any item's budget.
+	bctx, cancel := context.WithDeadline(ctx, batch[0].at.Add(cfg.Timeout))
+	specs := make([]server.Spec, len(batch))
+	for i, a := range batch {
+		specs[i] = a.spec
+	}
+	items, err := cfg.Client.SubmitBatch(bctx, specs)
+	cancel()
+	if err != nil {
+		rec.batchError(bctx, len(batch))
+		for range batch {
+			<-sem
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i, item := range items {
+		a := batch[i]
+		if item.Status == nil {
+			rec.itemError()
+			<-sem
+			continue
+		}
+		rec.submitted()
+		wg.Add(1)
+		go func(a arrival, st server.Status) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rctx, cancel := context.WithDeadline(ctx, a.at.Add(cfg.Timeout))
+			defer cancel()
+			track(rctx, cfg, rec, a, st)
+		}(a, *item.Status)
+	}
+	wg.Wait()
+}
+
+// track polls st's job until it settles, recording the outcome.
+func track(ctx context.Context, cfg RunConfig, rec *recorder, a arrival, st server.Status) {
+	for {
+		switch st.State {
+		case server.StateDone:
+			rec.done(a, st)
+			return
+		case server.StateFailed:
+			rec.failed()
+			return
+		case server.StateCanceled:
+			rec.canceled()
+			return
+		}
+		select {
+		case <-ctx.Done():
+			rec.timeout()
+			return
+		case <-time.After(cfg.PollInterval):
+		}
+		var err error
+		st, err = cfg.Client.JobStatus(ctx, st.ID)
+		if err != nil {
+			if ctx.Err() != nil {
+				rec.timeout()
+			} else {
+				rec.pollError()
+			}
+			return
+		}
+	}
+}
+
+// recorder aggregates one run's observations. Latencies land in
+// millisecond-resolution histograms (0–60s, overflow beyond) so the
+// report's quantiles interpolate within 1 ms.
+type recorder struct {
+	mu            sync.Mutex
+	latency       *stats.Histogram
+	queueWait     *stats.Histogram
+	latencySumMs  float64
+	latencyMaxMs  float64
+	nSubmitted    int
+	nDone         int
+	nCacheHits    int
+	nFailed       int
+	nCanceled     int
+	nErrors       int
+	nTimeouts     int
+	nDrops        int
+	nQueueWaitObs int
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		latency:   stats.NewHistogram("e2e_latency_ms", 0, 1, 60_000),
+		queueWait: stats.NewHistogram("queue_wait_ms", 0, 1, 60_000),
+	}
+}
+
+func (r *recorder) submitted() {
+	r.mu.Lock()
+	r.nSubmitted++
+	r.mu.Unlock()
+}
+
+func (r *recorder) dropN(n int) {
+	r.mu.Lock()
+	r.nDrops += n
+	r.mu.Unlock()
+}
+
+// submitError distinguishes a deadline-bounded submit from a hard
+// transport/protocol error.
+func (r *recorder) submitError(ctx context.Context) {
+	r.mu.Lock()
+	if ctx.Err() != nil {
+		r.nTimeouts++
+	} else {
+		r.nErrors++
+	}
+	r.mu.Unlock()
+}
+
+func (r *recorder) batchError(ctx context.Context, n int) {
+	r.mu.Lock()
+	if ctx.Err() != nil {
+		r.nTimeouts += n
+	} else {
+		r.nErrors += n
+	}
+	r.mu.Unlock()
+}
+
+func (r *recorder) itemError() {
+	r.mu.Lock()
+	r.nErrors++
+	r.mu.Unlock()
+}
+
+func (r *recorder) pollError() {
+	r.mu.Lock()
+	r.nErrors++
+	r.mu.Unlock()
+}
+
+func (r *recorder) failed() {
+	r.mu.Lock()
+	r.nFailed++
+	r.mu.Unlock()
+}
+
+func (r *recorder) canceled() {
+	r.mu.Lock()
+	r.nCanceled++
+	r.mu.Unlock()
+}
+
+func (r *recorder) timeout() {
+	r.mu.Lock()
+	r.nTimeouts++
+	r.mu.Unlock()
+}
+
+// done records a completed job: end-to-end latency from its arrival,
+// and server-side queue wait from the status timestamps.
+func (r *recorder) done(a arrival, st server.Status) {
+	e2eMs := float64(time.Since(a.at)) / float64(time.Millisecond)
+	waitMs, waitOK := queueWaitMs(st)
+	r.mu.Lock()
+	r.nDone++
+	if st.FromCache {
+		r.nCacheHits++
+	}
+	r.latency.Observe(int(e2eMs))
+	r.latencySumMs += e2eMs
+	if e2eMs > r.latencyMaxMs {
+		r.latencyMaxMs = e2eMs
+	}
+	if waitOK {
+		r.queueWait.Observe(int(waitMs))
+		r.nQueueWaitObs++
+	}
+	r.mu.Unlock()
+}
+
+// queueWaitMs derives the server-side queue wait from a terminal
+// status's submitted/started timestamps.
+func queueWaitMs(st server.Status) (float64, bool) {
+	if st.SubmittedAt == "" || st.StartedAt == "" {
+		return 0, false
+	}
+	sub, err1 := time.Parse(time.RFC3339Nano, st.SubmittedAt)
+	sta, err2 := time.Parse(time.RFC3339Nano, st.StartedAt)
+	if err1 != nil || err2 != nil || sta.Before(sub) {
+		return 0, false
+	}
+	return float64(sta.Sub(sub)) / float64(time.Millisecond), true
+}

@@ -1,0 +1,210 @@
+// Package loadgen is an open-loop load generator and SLO benchmark
+// harness for the thermherdd daemon. It synthesizes deterministic
+// request-arrival schedules (constant, ramp, burst, and Poisson modes,
+// mirroring the invitro trace synthesizer), samples job specs from the
+// workload suite and machine-configuration registry with a weighted
+// mix, fires them at a daemon with bounded in-flight concurrency, and
+// reduces the observed latencies into a machine-readable SLO report.
+//
+// Open-loop means the arrival schedule never slows down to wait for
+// responses: when the in-flight bound is reached, further arrivals are
+// dropped and counted rather than queued, so an overloaded server
+// shows up as latency and drops instead of silently shrinking the
+// offered load (the coordinated-omission trap).
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Mode selects the arrival-schedule shape.
+type Mode string
+
+const (
+	// ModeConstant fires at a fixed rate for the whole duration.
+	ModeConstant Mode = "constant"
+	// ModeRamp sweeps the rate in steps from StartRPS to TargetRPS,
+	// holding each step for Slot (the invitro "RPS sweep").
+	ModeRamp Mode = "ramp"
+	// ModeBurst overlays periodic high-rate bursts on a constant
+	// baseline.
+	ModeBurst Mode = "burst"
+	// ModePoisson draws exponentially distributed inter-arrival times
+	// with mean rate RPS from the seeded generator.
+	ModePoisson Mode = "poisson"
+)
+
+// Modes lists every schedule mode.
+func Modes() []Mode { return []Mode{ModeConstant, ModeRamp, ModeBurst, ModePoisson} }
+
+// ScheduleConfig parameterizes Synthesize. Fields apply per mode; see
+// the Mode constants.
+type ScheduleConfig struct {
+	Mode Mode `json:"mode"`
+	// Duration bounds the schedule for constant, burst, and poisson
+	// modes. Ramp mode derives its duration from the step sweep; a
+	// nonzero Duration then acts as a cap.
+	Duration time.Duration `json:"duration"`
+	// RPS is the constant/poisson rate and the burst-mode baseline.
+	RPS float64 `json:"rps,omitempty"`
+	// StartRPS..TargetRPS stepped by StepRPS, one Slot per step (ramp).
+	StartRPS  float64       `json:"start_rps,omitempty"`
+	TargetRPS float64       `json:"target_rps,omitempty"`
+	StepRPS   float64       `json:"step_rps,omitempty"`
+	Slot      time.Duration `json:"slot,omitempty"`
+	// BurstRPS arrivals for BurstLen every BurstEvery (burst).
+	BurstRPS   float64       `json:"burst_rps,omitempty"`
+	BurstEvery time.Duration `json:"burst_every,omitempty"`
+	BurstLen   time.Duration `json:"burst_len,omitempty"`
+	// Seed drives every random choice (poisson inter-arrivals and mix
+	// sampling); equal seeds reproduce byte-identical schedules.
+	Seed int64 `json:"seed"`
+}
+
+// Validate rejects configurations that cannot produce a schedule.
+func (c ScheduleConfig) Validate() error {
+	switch c.Mode {
+	case ModeConstant, ModePoisson:
+		if c.RPS <= 0 {
+			return fmt.Errorf("loadgen: %s mode requires RPS > 0, got %g", c.Mode, c.RPS)
+		}
+		if c.Duration <= 0 {
+			return fmt.Errorf("loadgen: %s mode requires a positive duration", c.Mode)
+		}
+	case ModeRamp:
+		if c.StartRPS <= 0 || c.TargetRPS < c.StartRPS || c.StepRPS <= 0 {
+			return fmt.Errorf("loadgen: ramp requires 0 < start(%g) <= target(%g) and step(%g) > 0",
+				c.StartRPS, c.TargetRPS, c.StepRPS)
+		}
+		if c.Slot <= 0 {
+			return fmt.Errorf("loadgen: ramp requires a positive slot duration")
+		}
+	case ModeBurst:
+		if c.RPS <= 0 || c.BurstRPS <= 0 {
+			return fmt.Errorf("loadgen: burst requires baseline RPS(%g) > 0 and burst RPS(%g) > 0", c.RPS, c.BurstRPS)
+		}
+		if c.Duration <= 0 || c.BurstEvery <= 0 || c.BurstLen <= 0 {
+			return fmt.Errorf("loadgen: burst requires positive duration, burst-every, and burst-len")
+		}
+		if c.BurstLen > c.BurstEvery {
+			return fmt.Errorf("loadgen: burst-len %s exceeds burst-every %s", c.BurstLen, c.BurstEvery)
+		}
+	case "":
+		return fmt.Errorf("loadgen: missing schedule mode (want one of %v)", Modes())
+	default:
+		return fmt.Errorf("loadgen: unknown schedule mode %q (want one of %v)", c.Mode, Modes())
+	}
+	return nil
+}
+
+// Synthesize materializes the arrival schedule: a sorted slice of
+// offsets from the run's start. It is a pure function of the config —
+// two calls with equal configs (including Seed) return identical
+// schedules.
+func Synthesize(c ScheduleConfig) ([]time.Duration, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var sched []time.Duration
+	switch c.Mode {
+	case ModeConstant:
+		sched = constantArrivals(0, c.Duration, c.RPS)
+	case ModeRamp:
+		var off time.Duration
+		for rps := c.StartRPS; rps <= c.TargetRPS+1e-9; rps += c.StepRPS {
+			sched = append(sched, constantArrivals(off, c.Slot, rps)...)
+			off += c.Slot
+			if c.Duration > 0 && off >= c.Duration {
+				break
+			}
+		}
+		if c.Duration > 0 {
+			sched = truncate(sched, c.Duration)
+		}
+	case ModeBurst:
+		sched = constantArrivals(0, c.Duration, c.RPS)
+		for start := c.BurstEvery; start < c.Duration; start += c.BurstEvery {
+			end := start + c.BurstLen
+			if end > c.Duration {
+				end = c.Duration
+			}
+			sched = append(sched, constantArrivals(start, end-start, c.BurstRPS)...)
+		}
+		sort.Slice(sched, func(i, k int) bool { return sched[i] < sched[k] })
+	case ModePoisson:
+		rng := rand.New(rand.NewSource(c.Seed))
+		mean := float64(time.Second) / c.RPS
+		for off := time.Duration(0); ; {
+			// Inverse-CDF draw of an exponential inter-arrival gap.
+			gap := time.Duration(-mean * math.Log(1-rng.Float64()))
+			off += gap
+			if off >= c.Duration {
+				break
+			}
+			sched = append(sched, off)
+		}
+	}
+	if len(sched) == 0 {
+		return nil, fmt.Errorf("loadgen: %s schedule came out empty (duration too short for the rate?)", c.Mode)
+	}
+	return sched, nil
+}
+
+// constantArrivals spaces dur*rps arrivals 1/rps apart over
+// [start, start+dur). The count is computed up front rather than by
+// accumulating truncated gaps, which would drift an extra arrival in
+// at rates that don't divide a second evenly.
+func constantArrivals(start, dur time.Duration, rps float64) []time.Duration {
+	n := int(dur.Seconds()*rps + 1e-9)
+	out := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, start+time.Duration(float64(i)*float64(time.Second)/rps))
+	}
+	return out
+}
+
+// truncate drops arrivals at or beyond limit (the slice is sorted).
+func truncate(sched []time.Duration, limit time.Duration) []time.Duration {
+	i := sort.Search(len(sched), func(i int) bool { return sched[i] >= limit })
+	return sched[:i]
+}
+
+// FormatSchedule renders one arrival offset per line, in integer
+// nanoseconds. The rendering is byte-identical across runs with equal
+// configs, which is what the reproducibility acceptance check diffs.
+func FormatSchedule(sched []time.Duration) []byte {
+	var out []byte
+	for _, off := range sched {
+		out = strconv.AppendInt(out, int64(off), 10)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// ScheduleSHA256 is the hex digest of FormatSchedule, embedded in
+// reports so two runs can be compared without keeping the dump.
+func ScheduleSHA256(sched []time.Duration) string {
+	sum := sha256.Sum256(FormatSchedule(sched))
+	return hex.EncodeToString(sum[:])
+}
+
+// OfferedRPS is the schedule's average offered rate over its span
+// (arrival count divided by the last arrival offset, or 0 for a
+// single-arrival schedule).
+func OfferedRPS(sched []time.Duration) float64 {
+	if len(sched) < 2 {
+		return 0
+	}
+	span := sched[len(sched)-1].Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(sched)) / span
+}

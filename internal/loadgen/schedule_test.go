@@ -1,0 +1,288 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"thermalherd/internal/config"
+	"thermalherd/internal/server"
+	"thermalherd/internal/trace"
+)
+
+func TestSynthesizeConstant(t *testing.T) {
+	sched, err := Synthesize(ScheduleConfig{Mode: ModeConstant, RPS: 100, Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 100 {
+		t.Fatalf("constant 100rps x 1s = %d arrivals, want 100", len(sched))
+	}
+	for i := 1; i < len(sched); i++ {
+		if sched[i] <= sched[i-1] {
+			t.Fatalf("arrivals not strictly increasing at %d: %v then %v", i, sched[i-1], sched[i])
+		}
+	}
+	if sched[0] != 0 || sched[len(sched)-1] >= time.Second {
+		t.Fatalf("bounds: first %v last %v", sched[0], sched[len(sched)-1])
+	}
+}
+
+func TestSynthesizeRampSweepsSlots(t *testing.T) {
+	// 10→30 rps by 10 over 1s slots: 10 + 20 + 30 = 60 arrivals, 3s.
+	c := ScheduleConfig{Mode: ModeRamp, StartRPS: 10, TargetRPS: 30, StepRPS: 10, Slot: time.Second}
+	sched, err := Synthesize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 60 {
+		t.Fatalf("ramp arrivals = %d, want 60", len(sched))
+	}
+	count := func(lo, hi time.Duration) int {
+		n := 0
+		for _, off := range sched {
+			if off >= lo && off < hi {
+				n++
+			}
+		}
+		return n
+	}
+	for slot, want := range []int{10, 20, 30} {
+		lo := time.Duration(slot) * time.Second
+		if got := count(lo, lo+time.Second); got != want {
+			t.Errorf("slot %d arrivals = %d, want %d", slot, got, want)
+		}
+	}
+	// A duration cap truncates the sweep.
+	c.Duration = 1500 * time.Millisecond
+	capped, err := Synthesize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) >= len(sched) {
+		t.Fatalf("capped ramp has %d arrivals, want fewer than %d", len(capped), len(sched))
+	}
+	for _, off := range capped {
+		if off >= c.Duration {
+			t.Fatalf("capped ramp arrival %v beyond duration %v", off, c.Duration)
+		}
+	}
+}
+
+func TestSynthesizeBurstAddsArrivals(t *testing.T) {
+	base := ScheduleConfig{Mode: ModeConstant, RPS: 20, Duration: 2 * time.Second}
+	burst := ScheduleConfig{Mode: ModeBurst, RPS: 20, Duration: 2 * time.Second,
+		BurstRPS: 200, BurstEvery: time.Second, BurstLen: 200 * time.Millisecond}
+	b, err := Synthesize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Synthesize(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One burst window at t=1s adds ~40 arrivals on the 40 baseline.
+	if len(s) <= len(b) {
+		t.Fatalf("burst schedule (%d) not larger than baseline (%d)", len(s), len(b))
+	}
+	inWindow := 0
+	for _, off := range s {
+		if off >= time.Second && off < 1200*time.Millisecond {
+			inWindow++
+		}
+	}
+	if inWindow < 40 {
+		t.Fatalf("burst window holds %d arrivals, want >= 40", inWindow)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatalf("burst schedule unsorted at %d", i)
+		}
+	}
+}
+
+func TestSynthesizePoissonDeterministicPerSeed(t *testing.T) {
+	c := ScheduleConfig{Mode: ModePoisson, RPS: 200, Duration: time.Second, Seed: 42}
+	a, err := Synthesize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(FormatSchedule(a), FormatSchedule(b)) {
+		t.Fatal("same seed produced different poisson schedules")
+	}
+	c.Seed = 43
+	d, err := Synthesize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(FormatSchedule(a), FormatSchedule(d)) {
+		t.Fatal("different seeds produced identical poisson schedules")
+	}
+	// The mean rate should be in the right ballpark (200 ± 50%).
+	if n := len(a); n < 100 || n > 300 {
+		t.Fatalf("poisson 200rps x 1s = %d arrivals, want ~200", n)
+	}
+}
+
+// TestScheduleByteIdentical is the acceptance determinism check at the
+// library layer: equal configs render byte-identical schedule dumps
+// with matching digests, for every mode.
+func TestScheduleByteIdentical(t *testing.T) {
+	configs := []ScheduleConfig{
+		{Mode: ModeConstant, RPS: 50, Duration: time.Second, Seed: 42},
+		{Mode: ModeRamp, StartRPS: 5, TargetRPS: 25, StepRPS: 5, Slot: 500 * time.Millisecond, Seed: 42},
+		{Mode: ModeBurst, RPS: 30, Duration: 2 * time.Second, BurstRPS: 300,
+			BurstEvery: 700 * time.Millisecond, BurstLen: 100 * time.Millisecond, Seed: 42},
+		{Mode: ModePoisson, RPS: 80, Duration: time.Second, Seed: 42},
+	}
+	for _, c := range configs {
+		a, err := Synthesize(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Mode, err)
+		}
+		b, err := Synthesize(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Mode, err)
+		}
+		if !bytes.Equal(FormatSchedule(a), FormatSchedule(b)) {
+			t.Errorf("%s: schedules not byte-identical", c.Mode)
+		}
+		if ScheduleSHA256(a) != ScheduleSHA256(b) {
+			t.Errorf("%s: schedule digests differ", c.Mode)
+		}
+	}
+}
+
+func TestSynthesizeRejectsBadConfigs(t *testing.T) {
+	bad := []ScheduleConfig{
+		{},
+		{Mode: "warp", RPS: 10, Duration: time.Second},
+		{Mode: ModeConstant, RPS: 0, Duration: time.Second},
+		{Mode: ModeConstant, RPS: 10},
+		{Mode: ModeRamp, StartRPS: 10, TargetRPS: 5, StepRPS: 5, Slot: time.Second},
+		{Mode: ModeRamp, StartRPS: 10, TargetRPS: 20, StepRPS: 0, Slot: time.Second},
+		{Mode: ModeRamp, StartRPS: 10, TargetRPS: 20, StepRPS: 5},
+		{Mode: ModeBurst, RPS: 10, Duration: time.Second, BurstRPS: 0, BurstEvery: time.Second, BurstLen: time.Millisecond},
+		{Mode: ModeBurst, RPS: 10, Duration: time.Second, BurstRPS: 100, BurstEvery: 100 * time.Millisecond, BurstLen: time.Second},
+		{Mode: ModePoisson, RPS: -1, Duration: time.Second},
+	}
+	for i, c := range bad {
+		if _, err := Synthesize(c); err == nil {
+			t.Errorf("config %d (%+v) accepted, want error", i, c)
+		}
+	}
+}
+
+func TestMixSampleDeterministicAndValid(t *testing.T) {
+	m := DefaultMix()
+	a, err := m.SampleSpecs(200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.SampleSpecs(200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spec %d differs across same-seed samples: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := m.SampleSpecs(200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical spec sequences")
+	}
+	// Every sampled spec names a real workload and configuration.
+	seen := map[string]bool{}
+	for _, s := range a {
+		if _, err := trace.ProfileByName(s.Workload); err != nil {
+			t.Fatalf("sampled unknown workload: %+v", s)
+		}
+		if _, err := config.ByName(s.Config); err != nil {
+			t.Fatalf("sampled unknown config: %+v", s)
+		}
+		seen[s.Workload] = true
+	}
+	if len(seen) < 20 {
+		t.Fatalf("uniform sampling over 106 workloads hit only %d distinct ones in 200 draws", len(seen))
+	}
+}
+
+func TestMixWeightsBias(t *testing.T) {
+	m := Mix{Entries: []MixEntry{
+		{Kind: "timing", Workload: "mcf", Config: "3D", Weight: 9},
+		{Kind: "experiment", Section: "table2", Weight: 1},
+	}}
+	specs, err := m.SampleSpecs(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timing := 0
+	for _, s := range specs {
+		if s.Kind == server.KindTiming {
+			timing++
+		}
+	}
+	// 9:1 weighting: expect ~900 timing draws.
+	if timing < 800 || timing > 975 {
+		t.Fatalf("9:1 mix drew %d/1000 timing specs, want ~900", timing)
+	}
+}
+
+func TestMixValidateRejects(t *testing.T) {
+	bad := []Mix{
+		{},
+		{Entries: []MixEntry{{Kind: "quantum"}}},
+		{Entries: []MixEntry{{Workload: "doom2016"}}},
+		{Entries: []MixEntry{{Config: "5D"}}},
+		{Entries: []MixEntry{{Kind: "experiment"}}},
+		{Entries: []MixEntry{{Section: "fig8"}}},
+		{Entries: []MixEntry{{Weight: -1}}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("mix %d accepted, want error", i)
+		}
+	}
+}
+
+func TestOfferedRPS(t *testing.T) {
+	sched, err := Synthesize(ScheduleConfig{Mode: ModeConstant, RPS: 100, Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := OfferedRPS(sched); got < 90 || got > 115 {
+		t.Fatalf("OfferedRPS = %g, want ~100", got)
+	}
+	if got := OfferedRPS(nil); got != 0 {
+		t.Fatalf("OfferedRPS(nil) = %g, want 0", got)
+	}
+}
+
+// TestExampleMixFileValid keeps the shipped example mix loadable: docs
+// and the thermload -mix flag both point users at it.
+func TestExampleMixFileValid(t *testing.T) {
+	m, err := LoadMixFile("../../examples/mixes/default.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) < 2 {
+		t.Fatalf("example mix has %d entries, want a multi-entry demonstration", len(m.Entries))
+	}
+	if _, err := m.SampleSpecs(50, 1); err != nil {
+		t.Fatalf("sampling from example mix: %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// MaxBatchJobs bounds one POST /v1/jobs:batch payload; larger batches
+// are rejected outright so a single request cannot swamp the queue
+// admission path.
+const MaxBatchJobs = 256
+
+// BatchRequest is the POST /v1/jobs:batch payload.
+type BatchRequest struct {
+	Jobs []Spec `json:"jobs"`
+}
+
+// BatchItem is the per-spec outcome inside a BatchResponse: exactly
+// one of Status (the spec was admitted or answered from cache) or
+// Error (with Code holding the HTTP status a single submit would have
+// returned, 400 or 503) is set.
+type BatchItem struct {
+	Status *Status `json:"status,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	Code   int     `json:"code,omitempty"`
+}
+
+// BatchResponse mirrors BatchRequest order: Jobs[i] is the outcome of
+// request spec i.
+type BatchResponse struct {
+	Jobs []BatchItem `json:"jobs"`
+}
+
+// handleSubmitBatch admits up to MaxBatchJobs specs in one request so
+// load generators can amortize HTTP round trips. Admission is per
+// spec: a full queue or invalid spec fails that item only, and the
+// response always carries one item per submitted spec, in order.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.metrics.inc(&s.metrics.rejected)
+		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
+		return
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch payload: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch (want 1..%d jobs)", MaxBatchJobs)
+		return
+	}
+	if len(req.Jobs) > MaxBatchJobs {
+		writeError(w, http.StatusBadRequest, "batch of %d jobs exceeds the %d-job limit", len(req.Jobs), MaxBatchJobs)
+		return
+	}
+	s.metrics.inc(&s.metrics.batchRequests)
+	resp := BatchResponse{Jobs: make([]BatchItem, len(req.Jobs))}
+	for i, spec := range req.Jobs {
+		st, code, err := s.admit(spec)
+		if err != nil {
+			resp.Jobs[i] = BatchItem{Error: err.Error(), Code: code}
+			continue
+		}
+		stCopy := st
+		resp.Jobs[i] = BatchItem{Status: &stCopy}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ListResponse is the GET /v1/jobs document. NextOffset is present
+// only when more jobs match beyond this page.
+type ListResponse struct {
+	Jobs       []Status `json:"jobs"`
+	Total      int      `json:"total"`
+	Offset     int      `json:"offset"`
+	NextOffset *int     `json:"next_offset,omitempty"`
+}
+
+// listLimits bound GET /v1/jobs pagination.
+const (
+	defaultListLimit = 50
+	maxListLimit     = 500
+)
+
+// handleList serves GET /v1/jobs?status=&limit=&offset=: all known
+// jobs in id order, optionally filtered to one lifecycle state.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var filter State
+	if v := q.Get("status"); v != "" {
+		switch State(v) {
+		case StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+			filter = State(v)
+		default:
+			writeError(w, http.StatusBadRequest, "unknown status %q (want queued, running, done, failed, or canceled)", v)
+			return
+		}
+	}
+	limit, err := queryInt(q.Get("limit"), defaultListLimit)
+	if err != nil || limit <= 0 || limit > maxListLimit {
+		writeError(w, http.StatusBadRequest, "bad limit %q (want 1..%d)", q.Get("limit"), maxListLimit)
+		return
+	}
+	offset, err := queryInt(q.Get("offset"), 0)
+	if err != nil || offset < 0 {
+		writeError(w, http.StatusBadRequest, "bad offset %q (want >= 0)", q.Get("offset"))
+		return
+	}
+	s.metrics.inc(&s.metrics.listRequests)
+
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	statuses := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.status()
+		if filter != "" && st.State != filter {
+			continue
+		}
+		statuses = append(statuses, st)
+	}
+	// Job ids are zero-padded and monotonic, so lexicographic order is
+	// submission order.
+	sort.Slice(statuses, func(i, k int) bool { return statuses[i].ID < statuses[k].ID })
+
+	resp := ListResponse{Total: len(statuses), Offset: offset, Jobs: []Status{}}
+	if offset < len(statuses) {
+		end := offset + limit
+		if end > len(statuses) {
+			end = len(statuses)
+		}
+		resp.Jobs = statuses[offset:end]
+		if end < len(statuses) {
+			next := end
+			resp.NextOffset = &next
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(v string, def int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}

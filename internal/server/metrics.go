@@ -22,6 +22,9 @@ type metrics struct {
 	cacheHits   stats.Counter
 	cacheMisses stats.Counter
 
+	batchRequests stats.Counter
+	listRequests  stats.Counter
+
 	// latency histograms per job kind, in milliseconds.
 	latency map[Kind]*stats.Histogram
 }
@@ -56,8 +59,17 @@ func (m *metrics) snapshot(queueDepth, queueCap, running, cacheLen, cacheCap int
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	hists := make(map[string]stats.HistogramSnapshot, len(m.latency))
+	quants := make(map[string]map[string]float64)
 	for k, h := range m.latency {
-		hists[string(k)] = h.Snapshot()
+		snap := h.Snapshot()
+		hists[string(k)] = snap
+		if snap.Total > 0 {
+			quants[string(k)] = map[string]float64{
+				"p50": snap.Quantile(0.50),
+				"p95": snap.Quantile(0.95),
+				"p99": snap.Quantile(0.99),
+			}
+		}
 	}
 	return map[string]any{
 		"jobs": map[string]any{
@@ -78,6 +90,11 @@ func (m *metrics) snapshot(queueDepth, queueCap, running, cacheLen, cacheCap int
 			"entries":  cacheLen,
 			"capacity": cacheCap,
 		},
-		"latency_ms": hists,
+		"http": map[string]any{
+			"batch_requests": m.batchRequests.Value(),
+			"list_requests":  m.listRequests.Value(),
+		},
+		"latency_ms":           hists,
+		"latency_quantiles_ms": quants,
 	}
 }

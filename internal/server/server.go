@@ -7,6 +7,8 @@
 // API surface (all JSON):
 //
 //	POST   /v1/jobs             submit a job (Spec) → Status (202; 200 on cache hit)
+//	POST   /v1/jobs:batch       submit up to 256 jobs in one request
+//	GET    /v1/jobs             list jobs, filterable by ?status= with pagination
 //	GET    /v1/jobs/{id}        job status and progress
 //	GET    /v1/jobs/{id}/result the finished job's result document
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
@@ -22,6 +24,8 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -208,14 +212,45 @@ func (s *Server) Metrics() map[string]any {
 
 // routes installs the HTTP endpoints.
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
-	s.mux.HandleFunc("GET /v1/configs", s.handleConfigs)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.route("/v1/jobs", map[string]http.HandlerFunc{
+		http.MethodPost: s.handleSubmit,
+		http.MethodGet:  s.handleList,
+	})
+	s.route("/v1/jobs:batch", map[string]http.HandlerFunc{
+		http.MethodPost: s.handleSubmitBatch,
+	})
+	s.route("/v1/jobs/{id}", map[string]http.HandlerFunc{
+		http.MethodGet:    s.handleStatus,
+		http.MethodDelete: s.handleCancel,
+	})
+	s.route("/v1/jobs/{id}/result", map[string]http.HandlerFunc{
+		http.MethodGet: s.handleResult,
+	})
+	s.route("/v1/workloads", map[string]http.HandlerFunc{http.MethodGet: s.handleWorkloads})
+	s.route("/v1/configs", map[string]http.HandlerFunc{http.MethodGet: s.handleConfigs})
+	s.route("/healthz", map[string]http.HandlerFunc{http.MethodGet: s.handleHealthz})
+	s.route("/metrics", map[string]http.HandlerFunc{http.MethodGet: s.handleMetrics})
+}
+
+// route registers each method's handler under "METHOD path" plus a
+// methodless catch-all so every other verb on a known path gets a
+// uniform JSON 405 carrying an Allow header (the Go 1.22 mux's own 405
+// is plain text, and per-handler checks had drifted apart).
+func (s *Server) route(path string, handlers map[string]http.HandlerFunc) {
+	methods := make([]string, 0, len(handlers)+1)
+	for m, h := range handlers {
+		s.mux.HandleFunc(m+" "+path, h)
+		methods = append(methods, m)
+		if m == http.MethodGet {
+			methods = append(methods, http.MethodHead) // the mux serves HEAD via GET
+		}
+	}
+	sort.Strings(methods)
+	allow := strings.Join(methods, ", ")
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s (allow: %s)", r.Method, path, allow)
+	})
 }
 
 // writeJSON writes v with the given HTTP status.
@@ -236,6 +271,31 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorDoc{Error: fmt.Sprintf(format, args...)})
 }
 
+// admit validates one spec and either answers it from the cache or
+// enqueues it, mirroring the single-submit metrics on both paths. It
+// returns the job's status plus the HTTP code to report: 200 on a
+// cache hit, 202 when queued, 400/503 (with err set) on rejection.
+func (s *Server) admit(spec Spec) (Status, int, error) {
+	if err := spec.normalize(); err != nil {
+		return Status{}, http.StatusBadRequest, fmt.Errorf("invalid job: %w", err)
+	}
+	s.metrics.inc(&s.metrics.submitted)
+	j := newJob(s.newID(), spec)
+	if res, ok := s.cache.get(j.key); ok {
+		s.metrics.inc(&s.metrics.cacheHits)
+		j.finishFromCache(res)
+		s.register(j)
+		return j.status(), http.StatusOK, nil
+	}
+	s.metrics.inc(&s.metrics.cacheMisses)
+	if err := s.queue.push(j); err != nil {
+		s.metrics.inc(&s.metrics.rejected)
+		return Status{}, http.StatusServiceUnavailable, err
+	}
+	s.register(j)
+	return j.status(), http.StatusAccepted, nil
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.metrics.inc(&s.metrics.rejected)
@@ -249,27 +309,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job payload: %v", err)
 		return
 	}
-	if err := spec.normalize(); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid job: %v", err)
+	st, code, err := s.admit(spec)
+	if err != nil {
+		writeError(w, code, "%v", err)
 		return
 	}
-	s.metrics.inc(&s.metrics.submitted)
-	j := newJob(s.newID(), spec)
-	if res, ok := s.cache.get(j.key); ok {
-		s.metrics.inc(&s.metrics.cacheHits)
-		j.finishFromCache(res)
-		s.register(j)
-		writeJSON(w, http.StatusOK, j.status())
-		return
-	}
-	s.metrics.inc(&s.metrics.cacheMisses)
-	if err := s.queue.push(j); err != nil {
-		s.metrics.inc(&s.metrics.rejected)
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
-	s.register(j)
-	writeJSON(w, http.StatusAccepted, j.status())
+	writeJSON(w, code, st)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -184,6 +184,38 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile returns the q-quantile (q in [0,1], clamped) of the
+// snapshot's observations, linearly interpolated within the containing
+// bucket. The exact values of underflow and overflow observations were
+// not retained, so a target rank landing in the underflow resolves to
+// the first bucket's lower bound and one landing in the overflow to
+// the last bucket's upper bound. An empty snapshot, or one whose
+// observations all fell outside the bucketed range, yields 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Total == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Total)
+	cum := float64(s.Under)
+	if rank <= cum {
+		return float64(s.Buckets[0].Lo)
+	}
+	for _, b := range s.Buckets {
+		c := float64(b.Count)
+		if c > 0 && rank <= cum+c {
+			frac := (rank - cum) / c
+			return float64(b.Lo) + frac*float64(b.Hi-b.Lo)
+		}
+		cum += c
+	}
+	return float64(s.Buckets[len(s.Buckets)-1].Hi)
+}
+
 // String renders the histogram as a compact text table.
 func (h *Histogram) String() string {
 	var b strings.Builder

@@ -166,3 +166,87 @@ func TestSortedKeys(t *testing.T) {
 		}
 	}
 }
+
+func TestQuantileUniform(t *testing.T) {
+	// 1000 observations spread uniformly over [0,1000) in 10ms buckets:
+	// the q-quantile of the underlying distribution is 1000q.
+	h := NewHistogram("lat", 0, 10, 100)
+	for v := 0; v < 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, c := range []struct{ q, want float64 }{
+		{0, 0}, {0.5, 500}, {0.95, 950}, {0.99, 990}, {1, 1000},
+	} {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 10 {
+			t.Errorf("Quantile(%g) = %g, want ~%g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	// All mass in one [100,200) bucket: the quantile moves linearly
+	// across the bucket with q.
+	h := NewHistogram("lat", 0, 100, 10)
+	for i := 0; i < 4; i++ {
+		h.Observe(150)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 150 {
+		t.Errorf("Quantile(0.5) = %g, want 150", got)
+	}
+	if got := s.Quantile(0.25); got != 125 {
+		t.Errorf("Quantile(0.25) = %g, want 125", got)
+	}
+	if got := s.Quantile(1); got != 200 {
+		t.Errorf("Quantile(1) = %g, want 200", got)
+	}
+}
+
+func TestQuantileSkewed(t *testing.T) {
+	// 90 fast observations and 10 slow ones: p50 sits in the fast
+	// bucket, p99 in the slow one.
+	h := NewHistogram("lat", 0, 10, 100)
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(905)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got < 0 || got >= 10 {
+		t.Errorf("p50 = %g, want within fast bucket [0,10)", got)
+	}
+	if got := s.Quantile(0.99); got < 900 || got > 910 {
+		t.Errorf("p99 = %g, want within slow bucket [900,910]", got)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	h := NewHistogram("lat", 0, 10, 4)
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot Quantile = %g, want 0", got)
+	}
+	// Only out-of-range observations: no bucket bounds to interpolate.
+	h.Observe(-5)
+	h.Observe(1000)
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("out-of-range-only Quantile = %g, want 0", got)
+	}
+	// Mixed: underflow clamps to the first bucket's lower bound,
+	// overflow to the last bucket's upper bound; q outside [0,1] clamps.
+	h.Observe(15)
+	s := h.Snapshot()
+	if got := s.Quantile(0.01); got != 10 {
+		t.Errorf("underflow-rank Quantile = %g, want first bucket lo 10", got)
+	}
+	if got := s.Quantile(0.99); got != 20 {
+		t.Errorf("overflow-rank Quantile = %g, want last bucket hi 20", got)
+	}
+	if got := s.Quantile(-3); got != 10 {
+		t.Errorf("Quantile(-3) = %g, want clamp to 10", got)
+	}
+	if got := s.Quantile(7); got != 20 {
+		t.Errorf("Quantile(7) = %g, want clamp to 20", got)
+	}
+}
