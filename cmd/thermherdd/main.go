@@ -6,11 +6,22 @@
 // Usage:
 //
 //	thermherdd [-addr :8077] [-workers N] [-queue 64] [-cache 128] [-drain 30s]
+//	           [-job-timeout 0] [-stuck-after 0] [-brownout 0]
+//	           [-faults SPEC] [-fault-seed 1]
 //
 // SIGINT/SIGTERM begin a graceful drain: new submissions are rejected
 // with 503, running jobs get the -drain deadline to finish, and the
 // process exits once the pool is idle. See internal/server for the
 // API surface and examples/client for a driver.
+//
+// The resilience knobs are off by default: -job-timeout bounds each
+// job's execution wall time, -stuck-after arms the watchdog that
+// retires worker slots whose executors ignore cancellation, and
+// -brownout sheds new submissions with 429 + Retry-After once the
+// head-of-queue job has waited that long. -faults (or the
+// THERMHERD_FAULTS environment variable) arms the chaos-testing
+// fault-injection registry; see internal/faultinject for the spec
+// grammar. Never arm faults on a daemon doing real work.
 package main
 
 import (
@@ -21,9 +32,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"thermalherd/internal/faultinject"
 	"thermalherd/internal/server"
 )
 
@@ -34,14 +47,35 @@ func main() {
 		queueDepth = flag.Int("queue", 64, "max queued (not yet running) jobs")
 		cacheSize  = flag.Int("cache", 128, "max cached job results")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for running jobs")
+
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job execution deadline (0 = none)")
+		stuckAfter = flag.Duration("stuck-after", 0, "watchdog: fail jobs running this long and restart their worker slot (0 = off)")
+		brownout   = flag.Duration("brownout", 0, "shed new submissions with 429 once the head-of-queue wait exceeds this (0 = off)")
+
+		faults    = flag.String("faults", os.Getenv("THERMHERD_FAULTS"), "fault-injection spec (chaos testing only); defaults to $THERMHERD_FAULTS")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for fault-injection firing decisions")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		CacheSize:  *cacheSize,
-	})
+	cfg := server.Config{
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		CacheSize:     *cacheSize,
+		JobTimeout:    *jobTimeout,
+		StuckAfter:    *stuckAfter,
+		BrownoutAfter: *brownout,
+	}
+	if *faults != "" {
+		reg := faultinject.New()
+		if err := reg.Arm(*faults, *faultSeed); err != nil {
+			log.Fatalf("thermherdd: %v", err)
+		}
+		cfg.Faults = reg
+		log.Printf("thermherdd: CHAOS MODE: fault points armed (seed %d): %s",
+			*faultSeed, strings.Join(reg.Points(), ", "))
+	}
+
+	srv := server.New(cfg)
 	srv.Start()
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

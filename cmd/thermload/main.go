@@ -18,6 +18,16 @@
 // smoke job). Equal seeds and parameters reproduce byte-identical
 // arrival schedules; dump one with -schedule-out to diff runs, or
 // compare the schedule_sha256 fields of two reports.
+//
+// Chaos runs: -faults arms fault injection inside the self-hosted
+// daemon (spec grammar in internal/faultinject; requires -selfhost so
+// a shared daemon is never sabotaged), -job-timeout/-stuck-after/
+// -brownout mirror the daemon's resilience knobs, and -chaos appends a
+// post-run check that the daemon survived, every submitted job reached
+// a terminal state, and the /metrics accounting identity holds:
+//
+//	thermload -selfhost -chaos -faults 'job.exec=panic:chaos,p:0.05' \
+//	          -stuck-after 5s -mode constant -rps 50 -duration 5s -seed 42
 package main
 
 import (
@@ -28,8 +38,10 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"thermalherd/internal/faultinject"
 	"thermalherd/internal/loadgen"
 	"thermalherd/internal/server"
 )
@@ -53,6 +65,13 @@ type options struct {
 	sloP95    time.Duration
 	sloP99    time.Duration
 	sloErrors float64
+
+	faults     string
+	faultSeed  int64
+	jobTimeout time.Duration
+	stuckAfter time.Duration
+	brownout   time.Duration
+	chaos      bool
 
 	out         string
 	scheduleOut string
@@ -89,6 +108,13 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.sloP95, "slo-p95", 0, "SLO: p95 end-to-end latency bound (0 = unchecked)")
 	fs.DurationVar(&o.sloP99, "slo-p99", 0, "SLO: p99 end-to-end latency bound (0 = unchecked)")
 	fs.Float64Var(&o.sloErrors, "slo-errors", 0.01, "SLO: max (errors+timeouts+failed)/arrivals")
+
+	fs.StringVar(&o.faults, "faults", "", "arm fault injection in the self-hosted daemon (requires -selfhost); see internal/faultinject for the grammar")
+	fs.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for fault-injection firing decisions")
+	fs.DurationVar(&o.jobTimeout, "job-timeout", 0, "self-hosted daemon: per-job execution deadline (0 = none)")
+	fs.DurationVar(&o.stuckAfter, "stuck-after", 0, "self-hosted daemon: watchdog threshold for stuck jobs (0 = off)")
+	fs.DurationVar(&o.brownout, "brownout", 0, "self-hosted daemon: brownout queue-wait threshold (0 = off)")
+	fs.BoolVar(&o.chaos, "chaos", false, "after the run, verify the daemon survived, all jobs settled, and /metrics accounting reconciles")
 
 	fs.StringVar(&o.out, "out", "BENCH_loadgen.json", "report output path")
 	fs.StringVar(&o.scheduleOut, "schedule-out", "", "also dump the arrival schedule (ns offsets, one per line) to this path")
@@ -145,9 +171,12 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 		return nil, nil
 	}
 
+	if o.faults != "" && !o.selfhost {
+		return nil, fmt.Errorf("-faults requires -selfhost: refusing to sabotage a shared daemon")
+	}
 	addr := o.addr
 	if o.selfhost {
-		stop, base, err := selfhost()
+		stop, base, err := selfhost(o, out)
 		if err != nil {
 			return nil, err
 		}
@@ -156,8 +185,9 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 		fmt.Fprintf(out, "thermload: self-hosted daemon at %s\n", addr)
 	}
 
+	client := loadgen.NewClient(addr, o.retries, o.backoff, o.sched.Seed)
 	rep, err := loadgen.Run(ctx, loadgen.RunConfig{
-		Client:       loadgen.NewClient(addr, o.retries, o.backoff),
+		Client:       client,
 		Schedule:     sched,
 		Specs:        specs,
 		MaxInFlight:  o.inflight,
@@ -178,13 +208,115 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 		fmt.Fprintf(out, "thermload: report written to %s\n", o.out)
 	}
 	fmt.Fprint(out, rep.Summary())
+	if o.chaos {
+		if err := chaosCheck(ctx, client, rep, out); err != nil {
+			return rep, fmt.Errorf("chaos check: %w", err)
+		}
+	}
 	return rep, nil
 }
 
-// selfhost starts an in-process daemon on a loopback port and returns
+// chaosCheck is the post-run resilience verdict: the daemon is still
+// alive, every admitted job reached a terminal state, and the daemon's
+// /metrics accounting identity (each submission settled exactly once)
+// reconciles with the client-side report.
+func chaosCheck(ctx context.Context, client *loadgen.Client, rep *loadgen.Report, out *os.File) error {
+	status, err := client.Healthz(ctx)
+	if err != nil {
+		return fmt.Errorf("daemon not alive after run: %w", err)
+	}
+	if status != "ok" {
+		return fmt.Errorf("daemon health = %q after run, want ok", status)
+	}
+
+	// Jobs the generator stopped tracking (timeouts) may still be in
+	// flight; give them a bounded window to settle.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		queued, err := client.CountJobs(ctx, "queued")
+		if err != nil {
+			return err
+		}
+		running, err := client.CountJobs(ctx, "running")
+		if err != nil {
+			return err
+		}
+		if queued == 0 && running == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%d queued + %d running jobs never settled", queued, running)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	doc, err := client.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	jc := func(section, name string) (float64, error) {
+		sec, ok := doc[section].(map[string]any)
+		if !ok {
+			return 0, fmt.Errorf("metrics missing section %q", section)
+		}
+		v, ok := sec[name].(float64)
+		if !ok {
+			return 0, fmt.Errorf("metrics %s missing %q", section, name)
+		}
+		return v, nil
+	}
+	var vals [6]float64
+	for i, key := range []struct{ section, name string }{
+		{"jobs", "submitted"}, {"cache", "hits"}, {"jobs", "completed"},
+		{"jobs", "failed"}, {"jobs", "canceled"}, {"jobs", "rejected"},
+	} {
+		if vals[i], err = jc(key.section, key.name); err != nil {
+			return err
+		}
+	}
+	submitted, terminal := vals[0], vals[1]+vals[2]+vals[3]+vals[4]+vals[5]
+	if submitted != terminal {
+		return fmt.Errorf("accounting identity broken: submitted %.0f != hits+completed+failed+canceled+rejected %.0f",
+			submitted, terminal)
+	}
+	// When the generator saw every job through (no timeouts or transport
+	// errors), its failure counts must agree with the daemon's exactly.
+	if rep.Achieved.Timeouts == 0 && rep.Achieved.Errors == 0 {
+		if vals[3] != float64(rep.Achieved.Failed) || vals[4] != float64(rep.Achieved.Canceled) {
+			return fmt.Errorf("error accounting mismatch: daemon failed=%.0f canceled=%.0f, report failed=%d canceled=%d",
+				vals[3], vals[4], rep.Achieved.Failed, rep.Achieved.Canceled)
+		}
+	}
+	panics, _ := jc("jobs", "panics_recovered")
+	restarts, _ := jc("workers", "restarts")
+	brownouts, _ := jc("admission", "brownout_rejects")
+	fmt.Fprintf(out, "thermload: chaos check OK — daemon alive, %.0f submissions all settled (%.0f panics recovered, %.0f worker restarts, %.0f brownout rejects)\n",
+		submitted, panics, restarts, brownouts)
+	return nil
+}
+
+// selfhost starts an in-process daemon on a loopback port, configured
+// with o's resilience knobs and (optionally) armed faults, and returns
 // a stop function that drains it.
-func selfhost() (func(), string, error) {
-	srv := server.New(server.Config{Workers: runtime.NumCPU(), QueueDepth: 1024, CacheSize: 1024})
+func selfhost(o options, out *os.File) (func(), string, error) {
+	cfg := server.Config{
+		Workers:       runtime.NumCPU(),
+		QueueDepth:    1024,
+		CacheSize:     1024,
+		JobTimeout:    o.jobTimeout,
+		StuckAfter:    o.stuckAfter,
+		BrownoutAfter: o.brownout,
+	}
+	if o.faults != "" {
+		reg := faultinject.New()
+		if err := reg.Arm(o.faults, o.faultSeed); err != nil {
+			return nil, "", err
+		}
+		cfg.Faults = reg
+		fmt.Fprintf(out, "thermload: fault points armed (seed %d): %s\n",
+			o.faultSeed, strings.Join(reg.Points(), ", "))
+	}
+	srv := server.New(cfg)
 	srv.Start()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

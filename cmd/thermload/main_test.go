@@ -105,6 +105,65 @@ func TestSelfhostSmoke(t *testing.T) {
 	}
 }
 
+// TestChaosScenarioSelfhost is the loadgen-side chaos acceptance run:
+// a fault-injected self-hosted daemon takes a full schedule with two
+// guaranteed executor panics, the generator's report reconciles with
+// the daemon's /metrics (run() fails otherwise via -chaos), and the
+// injected failures surface as exactly the expected failed jobs.
+func TestChaosScenarioSelfhost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping ~1s self-hosted chaos run")
+	}
+	o, err := parseFlags([]string{
+		"-selfhost", "-chaos",
+		"-faults", "job.exec=panic:chaos-scenario,count:2;rescache.put=error:dropped,count:3",
+		"-fault-seed", "7", "-stuck-after", "10s",
+		"-mode", "constant", "-rps", "40", "-duration", "500ms",
+		"-seed", "42", "-inflight", "128",
+		"-timeout", "20s", "-poll", "2ms",
+		"-slo-errors", "1",
+		"-out", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	rep, err := run(context.Background(), o, devnull)
+	if err != nil {
+		t.Fatalf("chaos run: %v", err) // includes any chaos-check failure
+	}
+	// The two injected panics become exactly two failed jobs; the
+	// daemon survives them (chaosCheck verified liveness and the
+	// accounting identity before run returned).
+	if rep.Achieved.Failed != 2 {
+		t.Fatalf("failed = %d, want exactly the 2 injected panics", rep.Achieved.Failed)
+	}
+	if rep.Achieved.Errors != 0 || rep.Achieved.Timeouts != 0 {
+		t.Fatalf("chaos run saw transport errors=%d timeouts=%d", rep.Achieved.Errors, rep.Achieved.Timeouts)
+	}
+	if rep.Achieved.Done == 0 {
+		t.Fatal("no jobs completed around the injected faults")
+	}
+}
+
+// TestFaultsRequireSelfhost: arming faults against an external daemon
+// is refused outright.
+func TestFaultsRequireSelfhost(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-faults", "job.exec=panic:x", "-mode", "constant", "-rps", "5", "-duration", "1s", "-out", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(context.Background(), o, os.Stderr); err == nil {
+		t.Fatal("-faults without -selfhost accepted")
+	}
+}
+
 func TestParseFlagsBadMode(t *testing.T) {
 	o, err := parseFlags([]string{"-mode", "warp", "-dry-run"})
 	if err != nil {

@@ -74,7 +74,7 @@ func run() error {
 	}
 
 	rep, err := loadgen.Run(context.Background(), loadgen.RunConfig{
-		Client:       loadgen.NewClient(base, 3, 50*time.Millisecond),
+		Client:       loadgen.NewClient(base, 3, 50*time.Millisecond, 1),
 		Schedule:     sched,
 		Specs:        specs,
 		MaxInFlight:  128,

@@ -1,0 +1,267 @@
+// Package faultinject provides a deterministic, seeded fault-injection
+// registry for chaos testing the thermherdd daemon. Code under test
+// names fault points and calls Fire at them; a disarmed registry (the
+// common production case) answers with a single atomic load and zero
+// allocations, while an armed one injects latency, errors, or panics
+// according to a spec string parsed from the THERMHERD_FAULTS
+// environment variable or a -faults flag.
+//
+// Spec grammar (clauses separated by ';', options by ','):
+//
+//	spec   := clause { ';' clause }
+//	clause := point '=' opt { ',' opt }
+//	opt    := key ':' value
+//
+// Option keys:
+//
+//	p:0.25      firing probability in (0,1]; default 1
+//	count:3     maximum number of fires; default unlimited
+//	delay:50ms  latency injected before the action (Go duration)
+//	error:msg   Fire returns an error carrying msg
+//	panic:msg   Fire panics with a PanicValue carrying msg
+//
+// Example:
+//
+//	job.exec=panic:injected,p:0.05,count:3;rescache.get=error:cache offline,p:0.5
+//
+// A clause needs at least one of delay, error, or panic. Firing
+// decisions come from a PRNG seeded at Arm time, so equal seeds and
+// call sequences reproduce the same injected faults.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PanicValue is what an armed panic action passes to panic(), so
+// recovery code can distinguish injected panics from organic ones.
+type PanicValue struct {
+	Point string
+	Msg   string
+}
+
+func (p PanicValue) String() string {
+	return fmt.Sprintf("faultinject: %s: %s", p.Point, p.Msg)
+}
+
+// Fault is one armed fault point's behavior.
+type Fault struct {
+	// Prob is the firing probability in (0,1]; 0 parses as 1.
+	Prob float64
+	// Count caps total fires; 0 means unlimited.
+	Count int
+	// Delay is injected before the error/panic action (or alone).
+	Delay time.Duration
+	// Err, when non-empty, makes Fire return an error carrying it.
+	Err string
+	// Panic, when non-empty, makes Fire panic with a PanicValue.
+	Panic string
+}
+
+// armedPoint is a Fault plus its runtime accounting.
+type armedPoint struct {
+	Fault
+	remaining int // fires left; -1 = unlimited
+	injected  uint64
+}
+
+// Registry maps named fault points to armed faults. Both the nil
+// Registry and a freshly constructed one are disarmed: Fire costs one
+// atomic load and allocates nothing.
+type Registry struct {
+	armed  atomic.Bool
+	mu     sync.Mutex
+	rng    *rand.Rand
+	points map[string]*armedPoint
+}
+
+// New returns a disarmed registry.
+func New() *Registry { return &Registry{} }
+
+// Arm parses spec (see the package comment for the grammar), replaces
+// any previously armed faults, and seeds the firing PRNG. An empty
+// spec is an error; use Disarm to turn injection off.
+func (r *Registry) Arm(spec string, seed int64) error {
+	points := make(map[string]*armedPoint)
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, opts, ok := strings.Cut(clause, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return fmt.Errorf("faultinject: bad clause %q (want point=opt,...)", clause)
+		}
+		if _, dup := points[name]; dup {
+			return fmt.Errorf("faultinject: duplicate fault point %q", name)
+		}
+		f, err := parseFault(opts)
+		if err != nil {
+			return fmt.Errorf("faultinject: point %q: %w", name, err)
+		}
+		remaining := -1
+		if f.Count > 0 {
+			remaining = f.Count
+		}
+		points[name] = &armedPoint{Fault: f, remaining: remaining}
+	}
+	if len(points) == 0 {
+		return fmt.Errorf("faultinject: empty fault spec")
+	}
+	r.mu.Lock()
+	r.points = points
+	r.rng = rand.New(rand.NewSource(seed))
+	r.mu.Unlock()
+	r.armed.Store(true)
+	return nil
+}
+
+// parseFault parses one clause's comma-separated options.
+func parseFault(opts string) (Fault, error) {
+	f := Fault{Prob: 1}
+	for _, opt := range strings.Split(opts, ",") {
+		opt = strings.TrimSpace(opt)
+		if opt == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(opt, ":")
+		if !ok {
+			return f, fmt.Errorf("bad option %q (want key:value)", opt)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "p":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return f, fmt.Errorf("bad probability %q (want 0 < p <= 1)", val)
+			}
+			f.Prob = p
+		case "count":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return f, fmt.Errorf("bad count %q (want a positive integer)", val)
+			}
+			f.Count = n
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return f, fmt.Errorf("bad delay %q (want a positive Go duration)", val)
+			}
+			f.Delay = d
+		case "error":
+			if val == "" {
+				return f, fmt.Errorf("empty error message")
+			}
+			f.Err = val
+		case "panic":
+			if val == "" {
+				return f, fmt.Errorf("empty panic message")
+			}
+			f.Panic = val
+		default:
+			return f, fmt.Errorf("unknown option key %q (want p, count, delay, error, or panic)", key)
+		}
+	}
+	if f.Delay == 0 && f.Err == "" && f.Panic == "" {
+		return f, fmt.Errorf("no action (want at least one of delay, error, panic)")
+	}
+	if f.Err != "" && f.Panic != "" {
+		return f, fmt.Errorf("error and panic are mutually exclusive")
+	}
+	return f, nil
+}
+
+// Fire triggers the named fault point. On a disarmed or nil registry,
+// or a point that is not armed, it returns nil without allocating.
+// When the point fires, Fire sleeps for the configured delay, then
+// panics (panic action), returns an error (error action), or returns
+// nil (pure latency fault).
+func (r *Registry) Fire(point string) error {
+	if r == nil || !r.armed.Load() {
+		return nil
+	}
+	return r.fire(point)
+}
+
+func (r *Registry) fire(point string) error {
+	r.mu.Lock()
+	p, ok := r.points[point]
+	if !ok || p.remaining == 0 {
+		r.mu.Unlock()
+		return nil
+	}
+	if p.Prob < 1 && r.rng.Float64() >= p.Prob {
+		r.mu.Unlock()
+		return nil
+	}
+	if p.remaining > 0 {
+		p.remaining--
+	}
+	p.injected++
+	delay, errMsg, panicMsg := p.Delay, p.Err, p.Panic
+	r.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if panicMsg != "" {
+		panic(PanicValue{Point: point, Msg: panicMsg})
+	}
+	if errMsg != "" {
+		return fmt.Errorf("faultinject: %s: %s", point, errMsg)
+	}
+	return nil
+}
+
+// Armed reports whether any fault points are armed.
+func (r *Registry) Armed() bool { return r != nil && r.armed.Load() }
+
+// Disarm removes every armed fault; Fire returns to its zero-cost
+// disarmed path.
+func (r *Registry) Disarm() {
+	if r == nil {
+		return
+	}
+	r.armed.Store(false)
+	r.mu.Lock()
+	r.points = nil
+	r.mu.Unlock()
+}
+
+// Points returns the armed point names, sorted.
+func (r *Registry) Points() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.points))
+	for name := range r.points {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Counts returns the per-point injected-fault counts. Armed points
+// that have not fired report 0; a nil or disarmed registry reports an
+// empty (non-nil) map so /metrics always carries the section.
+func (r *Registry) Counts() map[string]uint64 {
+	counts := map[string]uint64{}
+	if r == nil {
+		return counts
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, p := range r.points {
+		counts[name] = p.injected
+	}
+	return counts
+}

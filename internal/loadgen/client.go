@@ -6,23 +6,37 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"thermalherd/internal/server"
 )
 
+// maxRetryDelay caps any single backoff sleep, jittered or
+// server-suggested.
+const maxRetryDelay = 30 * time.Second
+
 // Client is a thin thermherdd HTTP client. Submissions that bounce off
-// admission control (HTTP 429 or 503) are retried with exponential
-// backoff up to the configured attempt budget; all other errors
-// surface immediately.
+// admission control (HTTP 429 or 503) are retried up to the configured
+// attempt budget. Each retry sleeps a full-jitter exponential backoff —
+// uniform in [0, backoff<<attempt) — so a fleet of clients rejected
+// together does not retry together; a server-sent Retry-After header
+// (thermherdd's brownout controller sends one with its 429s) overrides
+// the jitter for that attempt. The jitter PRNG is seeded, so equal
+// seeds reproduce equal retry schedules.
 type Client struct {
 	base    string
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	submitRequests atomic.Int64
 	pollRequests   atomic.Int64
@@ -30,9 +44,10 @@ type Client struct {
 }
 
 // NewClient targets base (e.g. "http://localhost:8077"). retries is
-// the number of re-attempts after the first try; backoff is the first
-// retry's delay and doubles per attempt.
-func NewClient(base string, retries int, backoff time.Duration) *Client {
+// the number of re-attempts after the first try; backoff is the upper
+// bound of the first retry's jittered delay and doubles per attempt.
+// seed fixes the jitter PRNG for reproducible retry schedules.
+func NewClient(base string, retries int, backoff time.Duration, seed int64) *Client {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
@@ -44,6 +59,7 @@ func NewClient(base string, retries int, backoff time.Duration) *Client {
 		hc:      &http.Client{},
 		retries: retries,
 		backoff: backoff,
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -63,10 +79,30 @@ func retryable(code int) bool {
 	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
 }
 
+// retryDelay picks the sleep before retry number attempt (0-based):
+// the server's Retry-After suggestion when it sent one, otherwise a
+// full-jitter draw from [0, backoff<<attempt), both capped at
+// maxRetryDelay.
+func (c *Client) retryDelay(attempt int, retryAfter string) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		d := time.Duration(secs) * time.Second
+		if d > maxRetryDelay {
+			d = maxRetryDelay
+		}
+		return d
+	}
+	ceil := c.backoff << attempt
+	if ceil <= 0 || ceil > maxRetryDelay { // <= 0 catches shift overflow
+		ceil = maxRetryDelay
+	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return time.Duration(c.rng.Int63n(int64(ceil)))
+}
+
 // postRetry POSTs body to path, retrying 429/503 responses. It returns
 // the final response body and status code.
 func (c *Client) postRetry(ctx context.Context, path string, body []byte) ([]byte, int, error) {
-	delay := c.backoff
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 		if err != nil {
@@ -92,9 +128,8 @@ func (c *Client) postRetry(ctx context.Context, path string, body []byte) ([]byt
 		select {
 		case <-ctx.Done():
 			return b, resp.StatusCode, ctx.Err()
-		case <-time.After(delay):
+		case <-time.After(c.retryDelay(attempt, resp.Header.Get("Retry-After"))):
 		}
-		delay *= 2
 	}
 }
 
@@ -177,6 +212,62 @@ func (c *Client) JobStatus(ctx context.Context, id string) (server.Status, error
 		return server.Status{}, fmt.Errorf("decode status: %w", err)
 	}
 	return st, nil
+}
+
+// Healthz probes the daemon's liveness endpoint, returning its status
+// string ("ok" or "draining"); an unreachable or unhealthy daemon is
+// an error. Chaos runs use it to assert the process survived.
+func (c *Client) Healthz(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return "", errorOf(b, resp.StatusCode)
+	}
+	var doc struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "", fmt.Errorf("decode healthz: %w", err)
+	}
+	return doc.Status, nil
+}
+
+// CountJobs returns how many known jobs are in the given lifecycle
+// state (all jobs when status is empty), via GET /v1/jobs's Total.
+func (c *Client) CountJobs(ctx context.Context, status string) (int, error) {
+	url := c.base + "/v1/jobs?limit=1"
+	if status != "" {
+		url += "&status=" + status
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, errorOf(b, resp.StatusCode)
+	}
+	var list server.ListResponse
+	if err := json.Unmarshal(b, &list); err != nil {
+		return 0, fmt.Errorf("decode job list: %w", err)
+	}
+	return list.Total, nil
 }
 
 // Metrics fetches the daemon's /metrics document.

@@ -62,7 +62,7 @@ func TestFullLoopConstant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := NewClient(ts.URL, 2, 20*time.Millisecond)
+	client := NewClient(ts.URL, 2, 20*time.Millisecond, 1)
 	rep, err := Run(context.Background(), RunConfig{
 		Client:       client,
 		Schedule:     sched,
@@ -137,7 +137,7 @@ func TestFullLoopBurstBatched(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := NewClient(ts.URL, 0, 20*time.Millisecond)
+	client := NewClient(ts.URL, 0, 20*time.Millisecond, 1)
 	rep, err := Run(context.Background(), RunConfig{
 		Client:       client,
 		Schedule:     sched,
@@ -210,7 +210,7 @@ func TestRunDropsWhenSaturated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := NewClient(ts.URL, 0, 10*time.Millisecond)
+	client := NewClient(ts.URL, 0, 10*time.Millisecond, 1)
 	rep, err := Run(context.Background(), RunConfig{
 		Client:       client,
 		Schedule:     sched,
@@ -234,7 +234,7 @@ func TestRunDropsWhenSaturated(t *testing.T) {
 }
 
 func TestRunConfigValidation(t *testing.T) {
-	client := NewClient("http://127.0.0.1:1", 0, time.Millisecond)
+	client := NewClient("http://127.0.0.1:1", 0, time.Millisecond, 1)
 	if _, err := Run(context.Background(), RunConfig{Schedule: []time.Duration{0}, Specs: []server.Spec{{}}}); err == nil {
 		t.Error("nil client accepted")
 	}

@@ -20,7 +20,7 @@ type BatchRequest struct {
 // BatchItem is the per-spec outcome inside a BatchResponse: exactly
 // one of Status (the spec was admitted or answered from cache) or
 // Error (with Code holding the HTTP status a single submit would have
-// returned, 400 or 503) is set.
+// returned: 400, 429 on brownout shedding, or 503) is set.
 type BatchItem struct {
 	Status *Status `json:"status,omitempty"`
 	Error  string  `json:"error,omitempty"`
@@ -39,6 +39,7 @@ type BatchResponse struct {
 // response always carries one item per submitted spec, in order.
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		s.metrics.inc(&s.metrics.submitted)
 		s.metrics.inc(&s.metrics.rejected)
 		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
 		return
@@ -69,7 +70,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		stCopy := st
 		resp.Jobs[i] = BatchItem{Status: &stCopy}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.respond(w, http.StatusOK, resp)
 }
 
 // ListResponse is the GET /v1/jobs document. NextOffset is present

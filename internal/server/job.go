@@ -146,18 +146,25 @@ func (s *Spec) normalize() error {
 	return nil
 }
 
+// marshalSpec is json.Marshal behind a seam so the regression test
+// for the unmarshalable-spec path can force a failure; Spec's fields
+// cannot produce one organically.
+var marshalSpec = json.Marshal
+
 // cacheKey returns the content address of a normalized spec: a
 // canonical hash over (kind, config, workload, section, depths). Two
-// submissions with the same key compute the same result.
-func (s Spec) cacheKey() string {
+// submissions with the same key compute the same result. A spec the
+// encoder rejects surfaces as an error (mapped to a 400 by the submit
+// path) rather than a daemon-killing panic.
+func (s Spec) cacheKey() (string, error) {
 	// Specs are flat with a fixed field order, so the JSON encoding is
 	// canonical once normalized.
-	b, err := json.Marshal(s)
+	b, err := marshalSpec(s)
 	if err != nil {
-		panic(fmt.Sprintf("server: spec not marshalable: %v", err))
+		return "", fmt.Errorf("spec not marshalable: %w", err)
 	}
 	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // State is a job's lifecycle state.
@@ -204,6 +211,11 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// abandoned is closed by the watchdog when it settles an overdue
+	// job and retires the worker slot stuck on it; the worker selects
+	// on it to exit in favor of its replacement.
+	abandoned chan struct{}
+
 	mu        sync.Mutex
 	state     State
 	err       string
@@ -215,17 +227,22 @@ type job struct {
 	finished  time.Time
 }
 
-func newJob(id string, spec Spec) *job {
+func newJob(id string, spec Spec) (*job, error) {
+	key, err := spec.cacheKey()
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &job{
 		id:        id,
 		spec:      spec,
-		key:       spec.cacheKey(),
+		key:       key,
 		ctx:       ctx,
 		cancel:    cancel,
+		abandoned: make(chan struct{}),
 		state:     StateQueued,
 		submitted: time.Now(),
-	}
+	}, nil
 }
 
 // status snapshots the job for clients.
@@ -270,9 +287,17 @@ func (j *job) setProgress(completed, total int) {
 	j.mu.Unlock()
 }
 
-// finish moves a running job to its terminal state.
-func (j *job) finish(state State, result json.RawMessage, errMsg string) {
+// finishRunning moves a running job to its terminal state. It reports
+// false without touching the job when the job is not running — the
+// settle-once guard that keeps the worker, the watchdog, and an
+// abandoned executor straggling back from settling the same job twice
+// (the winner also owns the matching metrics and cache updates).
+func (j *job) finishRunning(state State, result json.RawMessage, errMsg string) bool {
 	j.mu.Lock()
+	if j.state != StateRunning {
+		j.mu.Unlock()
+		return false
+	}
 	j.state = state
 	j.result = result
 	j.err = errMsg
@@ -282,6 +307,15 @@ func (j *job) finish(state State, result json.RawMessage, errMsg string) {
 	}
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
+	return true
+}
+
+// runningSince reports whether the job has been running since before
+// cutoff; the watchdog's overdue test.
+func (j *job) runningSince(cutoff time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == StateRunning && !j.started.IsZero() && j.started.Before(cutoff)
 }
 
 // finishFromCache completes a job immediately with a cached result.

@@ -19,6 +19,14 @@ type metrics struct {
 	canceled  stats.Counter
 	rejected  stats.Counter
 
+	// Resilience sub-counters: panicsRecovered and deadlineExceeded
+	// jobs are also counted in failed; brownoutRejects are also counted
+	// in rejected. The sub-counters attribute *why*.
+	panicsRecovered  stats.Counter
+	deadlineExceeded stats.Counter
+	brownoutRejects  stats.Counter
+	workerRestarts   stats.Counter
+
 	cacheHits   stats.Counter
 	cacheMisses stats.Counter
 
@@ -54,8 +62,21 @@ func (m *metrics) observeLatency(k Kind, d time.Duration) {
 	m.mu.Unlock()
 }
 
+// gauges carries the point-in-time values snapshot folds into the
+// /metrics document alongside the counters.
+type gauges struct {
+	queueDepth, queueCap int
+	running              int
+	cacheLen, cacheCap   int
+	workers              int
+	brownoutActive       bool
+	// faultsInjected is the per-fault-point injected count from the
+	// fault-injection registry (empty when disarmed).
+	faultsInjected map[string]uint64
+}
+
 // snapshot renders the metrics as the /metrics JSON document.
-func (m *metrics) snapshot(queueDepth, queueCap, running, cacheLen, cacheCap int) map[string]any {
+func (m *metrics) snapshot(g gauges) map[string]any {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	hists := make(map[string]stats.HistogramSnapshot, len(m.latency))
@@ -71,28 +92,44 @@ func (m *metrics) snapshot(queueDepth, queueCap, running, cacheLen, cacheCap int
 			}
 		}
 	}
+	if g.faultsInjected == nil {
+		g.faultsInjected = map[string]uint64{}
+	}
 	return map[string]any{
 		"jobs": map[string]any{
-			"submitted": m.submitted.Value(),
-			"running":   running,
-			"completed": m.completed.Value(),
-			"failed":    m.failed.Value(),
-			"canceled":  m.canceled.Value(),
-			"rejected":  m.rejected.Value(),
+			"submitted":         m.submitted.Value(),
+			"running":           g.running,
+			"completed":         m.completed.Value(),
+			"failed":            m.failed.Value(),
+			"canceled":          m.canceled.Value(),
+			"rejected":          m.rejected.Value(),
+			"panics_recovered":  m.panicsRecovered.Value(),
+			"deadline_exceeded": m.deadlineExceeded.Value(),
+		},
+		"admission": map[string]any{
+			"brownout_rejects": m.brownoutRejects.Value(),
+			"brownout_active":  g.brownoutActive,
+		},
+		"workers": map[string]any{
+			"pool":     g.workers,
+			"restarts": m.workerRestarts.Value(),
 		},
 		"queue": map[string]any{
-			"depth":    queueDepth,
-			"capacity": queueCap,
+			"depth":    g.queueDepth,
+			"capacity": g.queueCap,
 		},
 		"cache": map[string]any{
 			"hits":     m.cacheHits.Value(),
 			"misses":   m.cacheMisses.Value(),
-			"entries":  cacheLen,
-			"capacity": cacheCap,
+			"entries":  g.cacheLen,
+			"capacity": g.cacheCap,
 		},
 		"http": map[string]any{
 			"batch_requests": m.batchRequests.Value(),
 			"list_requests":  m.listRequests.Value(),
+		},
+		"faults": map[string]any{
+			"injected": g.faultsInjected,
 		},
 		"latency_ms":           hists,
 		"latency_quantiles_ms": quants,

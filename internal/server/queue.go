@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // Queue admission errors.
@@ -73,6 +74,19 @@ func (q *queue) len() int {
 
 // cap returns the queue capacity.
 func (q *queue) cap() int { return q.max }
+
+// oldestWait reports how long the head-of-queue job has been waiting
+// since submission, or zero for an empty queue. The brownout admission
+// controller sheds load on it: head-of-line wait is a direct measure
+// of the queue delay a newly admitted job would inherit.
+func (q *queue) oldestWait() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return 0
+	}
+	return time.Since(q.items[0].submitted)
+}
 
 // close stops admission and wakes all blocked pops. Remaining items
 // are still delivered; pop returns false once they are drained.

@@ -6,7 +6,11 @@ import (
 )
 
 func testJob(id string) *job {
-	return newJob(id, Spec{Kind: KindTiming, Config: "3D", Workload: "patricia"})
+	j, err := newJob(id, Spec{Kind: KindTiming, Config: "3D", Workload: "patricia"})
+	if err != nil {
+		panic(err)
+	}
+	return j
 }
 
 func TestQueueFIFO(t *testing.T) {

@@ -3,6 +3,8 @@ package server
 import (
 	"encoding/json"
 	"sync"
+
+	"thermalherd/internal/faultinject"
 )
 
 // resultCache is a content-addressed in-memory result store, keyed by
@@ -10,11 +12,17 @@ import (
 // oldest-timestamp victim scan internal/cache uses for its lines; the
 // entry count here is small enough that a linear scan beats
 // maintaining a list).
+//
+// Both lookups and stores pass through fault points (FaultCacheGet,
+// FaultCachePut): an injected get fault degrades to a miss and an
+// injected put fault drops the store, so chaos runs can prove the
+// service stays correct — merely slower — with the cache misbehaving.
 type resultCache struct {
 	mu      sync.Mutex
 	max     int
 	clock   uint64
 	entries map[string]*cacheEntry
+	faults  *faultinject.Registry
 }
 
 type cacheEntry struct {
@@ -22,15 +30,19 @@ type cacheEntry struct {
 	lru    uint64
 }
 
-func newResultCache(max int) *resultCache {
+func newResultCache(max int, faults *faultinject.Registry) *resultCache {
 	if max <= 0 {
 		max = 1
 	}
-	return &resultCache{max: max, entries: make(map[string]*cacheEntry)}
+	return &resultCache{max: max, entries: make(map[string]*cacheEntry), faults: faults}
 }
 
-// get returns the cached result for key, refreshing its recency.
+// get returns the cached result for key, refreshing its recency. An
+// injected FaultCacheGet fault forces a miss.
 func (c *resultCache) get(key string) (json.RawMessage, bool) {
+	if err := c.faults.Fire(FaultCacheGet); err != nil {
+		return nil, false
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
@@ -43,8 +55,12 @@ func (c *resultCache) get(key string) (json.RawMessage, bool) {
 }
 
 // put stores a result under key, evicting the least-recently-used
-// entry when the cache is at capacity.
+// entry when the cache is at capacity. An injected FaultCachePut
+// fault drops the store.
 func (c *resultCache) put(key string, result json.RawMessage) {
+	if err := c.faults.Fire(FaultCachePut); err != nil {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.clock++

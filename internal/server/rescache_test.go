@@ -6,7 +6,7 @@ import (
 )
 
 func TestResultCacheHitAndMiss(t *testing.T) {
-	c := newResultCache(4)
+	c := newResultCache(4, nil)
 	if _, ok := c.get("k"); ok {
 		t.Fatal("hit on empty cache")
 	}
@@ -18,7 +18,7 @@ func TestResultCacheHitAndMiss(t *testing.T) {
 }
 
 func TestResultCacheLRUEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	c.put("a", json.RawMessage(`1`))
 	c.put("b", json.RawMessage(`2`))
 	// Touch a so b becomes least recently used.
@@ -38,7 +38,7 @@ func TestResultCacheLRUEviction(t *testing.T) {
 }
 
 func TestResultCacheOverwriteDoesNotEvict(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	c.put("a", json.RawMessage(`1`))
 	c.put("b", json.RawMessage(`2`))
 	c.put("a", json.RawMessage(`10`))
@@ -52,22 +52,24 @@ func TestResultCacheOverwriteDoesNotEvict(t *testing.T) {
 }
 
 func TestSpecCacheKeyCanonical(t *testing.T) {
-	a := Spec{Kind: KindTiming, Workload: "patricia"}
-	if err := a.normalize(); err != nil {
-		t.Fatal(err)
+	key := func(s Spec) string {
+		t.Helper()
+		if err := s.normalize(); err != nil {
+			t.Fatal(err)
+		}
+		k, err := s.cacheKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
 	}
-	b := Spec{Kind: KindTiming, Workload: "patricia", Config: "3D", Depths: Depths{Preset: "quick"}}
-	if err := b.normalize(); err != nil {
-		t.Fatal(err)
-	}
-	if a.cacheKey() != b.cacheKey() {
+	a := key(Spec{Kind: KindTiming, Workload: "patricia"})
+	b := key(Spec{Kind: KindTiming, Workload: "patricia", Config: "3D", Depths: Depths{Preset: "quick"}})
+	if a != b {
 		t.Fatal("defaulted and explicit specs hash differently")
 	}
-	c := Spec{Kind: KindTiming, Workload: "mcf", Config: "3D"}
-	if err := c.normalize(); err != nil {
-		t.Fatal(err)
-	}
-	if a.cacheKey() == c.cacheKey() {
+	c := key(Spec{Kind: KindTiming, Workload: "mcf", Config: "3D"})
+	if a == c {
 		t.Fatal("different workloads share a cache key")
 	}
 }

@@ -15,23 +15,56 @@
 //	GET    /v1/workloads        the runnable workload profiles
 //	GET    /v1/configs          the machine configurations
 //	GET    /healthz             liveness and drain state
+//	GET    /readyz              readiness: 503 while draining or browning out
 //	GET    /metrics             expvar-style counters and latency histograms
+//
+// The daemon is self-healing: a panicking executor is recovered into a
+// failed job (the process survives), jobs run under an optional
+// per-job deadline, a watchdog retires worker slots stuck on jobs that
+// ignore cancellation, and a queue-wait brownout controller sheds load
+// with 429 + Retry-After before the queue fills. Named fault points
+// (see the Fault* constants) let chaos tests inject latency, errors,
+// and panics into the hot paths deterministically.
 package server
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"thermalherd/internal/config"
+	"thermalherd/internal/faultinject"
 	"thermalherd/internal/trace"
+)
+
+// Fault points threaded through the service's hot paths; arm them on
+// a faultinject.Registry passed via Config.Faults. All are no-ops when
+// the registry is nil or disarmed.
+const (
+	// FaultExec fires in the worker just before the executor runs a
+	// job: an error action fails the job, a panic action exercises the
+	// recover path, a delay action stretches its runtime (tripping the
+	// job deadline or the watchdog when configured).
+	FaultExec = "job.exec"
+	// FaultCacheGet degrades a result-cache lookup into a miss.
+	FaultCacheGet = "rescache.get"
+	// FaultCachePut drops a result-cache store.
+	FaultCachePut = "rescache.put"
+	// FaultAdmit rejects queue admission with a 503, as if the queue
+	// were full.
+	FaultAdmit = "queue.admit"
+	// FaultRespond fires while writing job-API responses: a delay
+	// action slows the write, an error action turns it into a 500.
+	FaultRespond = "http.respond"
 )
 
 // Config sizes the daemon.
@@ -42,6 +75,30 @@ type Config struct {
 	QueueDepth int
 	// CacheSize bounds the result cache entry count; 0 means 128.
 	CacheSize int
+
+	// JobTimeout bounds each job's execution wall time; a job whose
+	// executor aborts on the expired context is failed with a
+	// deadline-exceeded error. 0 means no per-job deadline.
+	JobTimeout time.Duration
+	// StuckAfter arms the watchdog: a job still running this long
+	// after it started is settled as failed and its worker slot is
+	// restarted (the stuck executor goroutine is abandoned). It should
+	// comfortably exceed JobTimeout, which handles cooperative
+	// executors; the watchdog is the backstop for ones that ignore
+	// their context. 0 disables the watchdog.
+	StuckAfter time.Duration
+	// WatchdogInterval spaces watchdog scans; 0 means StuckAfter/4,
+	// clamped to [10ms, 1s]. Ignored when StuckAfter is 0.
+	WatchdogInterval time.Duration
+	// BrownoutAfter arms the brownout admission controller: when the
+	// head-of-queue job has been waiting longer than this, new
+	// queue-bound submissions are shed with 429 + Retry-After (cache
+	// hits are still served). 0 disables brownout.
+	BrownoutAfter time.Duration
+
+	// Faults is the chaos-testing fault-injection registry; nil (the
+	// production default) costs one atomic load per fault point.
+	Faults *faultinject.Registry
 }
 
 // Server is the simulation-as-a-service daemon. Create one with New,
@@ -53,6 +110,7 @@ type Server struct {
 	queue   *queue
 	cache   *resultCache
 	metrics *metrics
+	faults  *faultinject.Registry
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -61,6 +119,9 @@ type Server struct {
 	running  atomic.Int64
 	draining atomic.Bool
 	wg       sync.WaitGroup
+
+	watchdogStop chan struct{}
+	watchdogOnce sync.Once
 
 	// exec runs one job's spec; tests substitute a stub.
 	exec func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error)
@@ -77,24 +138,39 @@ func New(cfg Config) *Server {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 128
 	}
+	if cfg.StuckAfter > 0 && cfg.WatchdogInterval <= 0 {
+		cfg.WatchdogInterval = cfg.StuckAfter / 4
+		if cfg.WatchdogInterval < 10*time.Millisecond {
+			cfg.WatchdogInterval = 10 * time.Millisecond
+		}
+		if cfg.WatchdogInterval > time.Second {
+			cfg.WatchdogInterval = time.Second
+		}
+	}
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		queue:   newQueue(cfg.QueueDepth),
-		cache:   newResultCache(cfg.CacheSize),
-		metrics: newMetrics(),
-		jobs:    make(map[string]*job),
-		exec:    runSpec,
+		cfg:          cfg,
+		mux:          http.NewServeMux(),
+		queue:        newQueue(cfg.QueueDepth),
+		cache:        newResultCache(cfg.CacheSize, cfg.Faults),
+		metrics:      newMetrics(),
+		faults:       cfg.Faults,
+		jobs:         make(map[string]*job),
+		watchdogStop: make(chan struct{}),
+		exec:         runSpec,
 	}
 	s.routes()
 	return s
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool and, when configured, the
+// stuck-worker watchdog.
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if s.cfg.StuckAfter > 0 {
+		go s.watchdog()
 	}
 }
 
@@ -112,6 +188,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	if s.draining.Swap(true) {
 		return nil // already draining
 	}
+	defer s.watchdogOnce.Do(func() { close(s.watchdogStop) })
 	for _, j := range s.queue.drainPending() {
 		if j.cancelQueued("server shutting down") {
 			s.metrics.inc(&s.metrics.canceled)
@@ -129,7 +206,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		// Deadline passed: cancel whatever is still running and wait
 		// for the workers to notice (the runner checks between
-		// simulation phases).
+		// simulation phases; the watchdog, when armed, retires slots
+		// whose executors ignore even that).
 		s.mu.Lock()
 		for _, j := range s.jobs {
 			j.cancel()
@@ -140,7 +218,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// worker drains the queue until it is closed and empty.
+// worker owns one pool slot: it drains the queue until closed and
+// empty, running each job in a child goroutine so the slot itself can
+// be retired by the watchdog if the executor gets stuck. A retired
+// slot's executor goroutine is abandoned — its job is already settled,
+// and the settle-once guard keeps the straggler from overwriting
+// anything when (if ever) it returns.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
@@ -148,31 +231,105 @@ func (s *Server) worker() {
 		if !ok {
 			return
 		}
-		s.runJob(j)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			s.runJob(j)
+		}()
+		select {
+		case <-done:
+		case <-j.abandoned:
+			return // watchdog retired this slot; a replacement is running
+		}
+	}
+}
+
+// watchdog periodically sweeps for jobs stuck past StuckAfter and
+// reaps them: the job is failed, its slot restarted.
+func (s *Server) watchdog() {
+	t := time.NewTicker(s.cfg.WatchdogInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.watchdogStop:
+			return
+		case <-t.C:
+			s.reapStuck()
+		}
+	}
+}
+
+// reapStuck settles every overdue running job as failed and restarts
+// its worker slot. The replacement is registered on the WaitGroup
+// before the stuck slot is told to retire, so Drain's wg.Wait can
+// never observe a transient zero.
+func (s *Server) reapStuck() {
+	cutoff := time.Now().Add(-s.cfg.StuckAfter)
+	s.mu.Lock()
+	var stuck []*job
+	for _, j := range s.jobs {
+		if j.runningSince(cutoff) {
+			stuck = append(stuck, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range stuck {
+		msg := fmt.Sprintf("watchdog: job stuck for over %s; worker slot restarted", s.cfg.StuckAfter)
+		if !j.finishRunning(StateFailed, nil, msg) {
+			continue // settled in the meantime; nothing to reap
+		}
+		j.cancel()
+		s.metrics.inc(&s.metrics.failed)
+		s.metrics.inc(&s.metrics.workerRestarts)
+		s.wg.Add(1)
+		go s.worker()
+		close(j.abandoned)
 	}
 }
 
 // runJob executes one popped job through the executor and settles its
-// terminal state, result cache entry, and metrics.
+// terminal state, result cache entry, and metrics. Executor panics are
+// recovered into failed jobs; the daemon survives.
 func (s *Server) runJob(j *job) {
 	if !j.tryStart() {
 		return // canceled while queued; already counted
 	}
 	s.running.Add(1)
 	defer s.running.Add(-1)
+	ctx := j.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(j.ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := s.exec(j.ctx, j.spec, j.setProgress)
+	res, err, panicked := s.execJob(ctx, j)
 	switch {
+	case panicked:
+		if j.finishRunning(StateFailed, nil, "recovered "+err.Error()) {
+			s.metrics.inc(&s.metrics.failed)
+			s.metrics.inc(&s.metrics.panicsRecovered)
+		}
 	case j.ctx.Err() != nil:
-		j.finish(StateCanceled, nil, "canceled: "+j.ctx.Err().Error())
-		s.metrics.inc(&s.metrics.canceled)
+		if j.finishRunning(StateCanceled, nil, "canceled: "+j.ctx.Err().Error()) {
+			s.metrics.inc(&s.metrics.canceled)
+		}
+	case err != nil && ctx.Err() == context.DeadlineExceeded:
+		msg := fmt.Sprintf("deadline exceeded: job ran %s against a %s job timeout",
+			time.Since(start).Round(time.Millisecond), s.cfg.JobTimeout)
+		if j.finishRunning(StateFailed, nil, msg) {
+			s.metrics.inc(&s.metrics.failed)
+			s.metrics.inc(&s.metrics.deadlineExceeded)
+		}
 	case err != nil:
-		j.finish(StateFailed, nil, err.Error())
-		s.metrics.inc(&s.metrics.failed)
+		if j.finishRunning(StateFailed, nil, err.Error()) {
+			s.metrics.inc(&s.metrics.failed)
+		}
 	default:
-		j.finish(StateDone, res, "")
-		s.cache.put(j.key, res)
-		s.metrics.inc(&s.metrics.completed)
+		if j.finishRunning(StateDone, res, "") {
+			s.cache.put(j.key, res)
+			s.metrics.inc(&s.metrics.completed)
+		}
 	}
 	s.metrics.observeLatency(j.spec.Kind, time.Since(start))
 }
@@ -204,10 +361,17 @@ func (s *Server) newID() string {
 // Metrics returns the /metrics document; exported for the daemon's
 // logs and tests.
 func (s *Server) Metrics() map[string]any {
-	return s.metrics.snapshot(
-		s.queue.len(), s.queue.cap(),
-		int(s.running.Load()),
-		s.cache.len(), s.cache.capacity())
+	browning, _ := s.brownout()
+	return s.metrics.snapshot(gauges{
+		queueDepth:     s.queue.len(),
+		queueCap:       s.queue.cap(),
+		running:        int(s.running.Load()),
+		cacheLen:       s.cache.len(),
+		cacheCap:       s.cache.capacity(),
+		workers:        s.cfg.Workers,
+		brownoutActive: browning,
+		faultsInjected: s.faults.Counts(),
+	})
 }
 
 // routes installs the HTTP endpoints.
@@ -229,6 +393,7 @@ func (s *Server) routes() {
 	s.route("/v1/workloads", map[string]http.HandlerFunc{http.MethodGet: s.handleWorkloads})
 	s.route("/v1/configs", map[string]http.HandlerFunc{http.MethodGet: s.handleConfigs})
 	s.route("/healthz", map[string]http.HandlerFunc{http.MethodGet: s.handleHealthz})
+	s.route("/readyz", map[string]http.HandlerFunc{http.MethodGet: s.handleReadyz})
 	s.route("/metrics", map[string]http.HandlerFunc{http.MethodGet: s.handleMetrics})
 }
 
@@ -262,6 +427,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
+// respond writes a job-API success document through the FaultRespond
+// fault point: an injected delay slows the write, an injected error
+// turns the response into a 500.
+func (s *Server) respond(w http.ResponseWriter, status int, v any) {
+	if err := s.faults.Fire(FaultRespond); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, status, v)
+}
+
 // errorDoc is the uniform error body.
 type errorDoc struct {
 	Error string `json:"error"`
@@ -271,16 +447,56 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorDoc{Error: fmt.Sprintf(format, args...)})
 }
 
+// brownoutError is admit's load-shedding rejection; the HTTP layer
+// maps it to a 429 with a Retry-After header.
+type brownoutError struct {
+	wait       time.Duration
+	retryAfter int // seconds
+}
+
+func (e *brownoutError) Error() string {
+	return fmt.Sprintf("shedding load: queued jobs waiting %s; retry in %ds",
+		e.wait.Round(time.Millisecond), e.retryAfter)
+}
+
+// brownout reports whether the queue-wait admission controller is
+// shedding, and the Retry-After hint (in seconds) to send with
+// rejections.
+func (s *Server) brownout() (bool, int) {
+	if s.cfg.BrownoutAfter <= 0 {
+		return false, 0
+	}
+	wait := s.queue.oldestWait()
+	if wait <= s.cfg.BrownoutAfter {
+		return false, 0
+	}
+	// Suggest retrying after roughly the backlog's current age: by
+	// then the head-of-line wait has either cleared or the client
+	// re-sheds cheaply.
+	return true, int(wait/time.Second) + 1
+}
+
+// setRetryAfter stamps the Retry-After header for brownout rejections.
+func setRetryAfter(w http.ResponseWriter, err error) {
+	var be *brownoutError
+	if errors.As(err, &be) {
+		w.Header().Set("Retry-After", strconv.Itoa(be.retryAfter))
+	}
+}
+
 // admit validates one spec and either answers it from the cache or
 // enqueues it, mirroring the single-submit metrics on both paths. It
 // returns the job's status plus the HTTP code to report: 200 on a
-// cache hit, 202 when queued, 400/503 (with err set) on rejection.
+// cache hit, 202 when queued, 400/429/503 (with err set) on rejection.
 func (s *Server) admit(spec Spec) (Status, int, error) {
 	if err := spec.normalize(); err != nil {
 		return Status{}, http.StatusBadRequest, fmt.Errorf("invalid job: %w", err)
 	}
+	j, err := newJob(s.newID(), spec)
+	if err != nil {
+		return Status{}, http.StatusBadRequest, fmt.Errorf("invalid job: %w", err)
+	}
 	s.metrics.inc(&s.metrics.submitted)
-	j := newJob(s.newID(), spec)
 	if res, ok := s.cache.get(j.key); ok {
 		s.metrics.inc(&s.metrics.cacheHits)
 		j.finishFromCache(res)
@@ -288,6 +504,19 @@ func (s *Server) admit(spec Spec) (Status, int, error) {
 		return j.status(), http.StatusOK, nil
 	}
 	s.metrics.inc(&s.metrics.cacheMisses)
+	// Brownout sheds queue-bound work while admission is still
+	// technically possible — a 429 the client can back off on beats a
+	// 503 storm when the queue finally overflows.
+	if shedding, retryAfter := s.brownout(); shedding {
+		s.metrics.inc(&s.metrics.rejected)
+		s.metrics.inc(&s.metrics.brownoutRejects)
+		return Status{}, http.StatusTooManyRequests,
+			&brownoutError{wait: s.queue.oldestWait(), retryAfter: retryAfter}
+	}
+	if err := s.faults.Fire(FaultAdmit); err != nil {
+		s.metrics.inc(&s.metrics.rejected)
+		return Status{}, http.StatusServiceUnavailable, err
+	}
 	if err := s.queue.push(j); err != nil {
 		s.metrics.inc(&s.metrics.rejected)
 		return Status{}, http.StatusServiceUnavailable, err
@@ -298,6 +527,9 @@ func (s *Server) admit(spec Spec) (Status, int, error) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		// Count the rejection as a submission too, preserving the
+		// accounting identity submitted == hits + terminal outcomes.
+		s.metrics.inc(&s.metrics.submitted)
 		s.metrics.inc(&s.metrics.rejected)
 		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
 		return
@@ -311,10 +543,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, code, err := s.admit(spec)
 	if err != nil {
+		setRetryAfter(w, err)
 		writeError(w, code, "%v", err)
 		return
 	}
-	writeJSON(w, code, st)
+	s.respond(w, code, st)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -323,7 +556,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, j.status())
+	s.respond(w, http.StatusOK, j.status())
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -335,6 +568,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	state, result, errMsg := j.snapshotResult()
 	switch state {
 	case StateDone:
+		if err := s.faults.Fire(FaultRespond); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		w.Write(result)
@@ -413,6 +650,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":  status,
 		"workers": s.cfg.Workers,
 	})
+}
+
+// handleReadyz is the load-balancer readiness probe, distinct from the
+// /healthz liveness probe: a live daemon stops being ready while it
+// drains or sheds load, so rotations pull it before clients see
+// rejections.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	if shedding, retryAfter := s.brownout(); shedding {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "reason": "brownout", "retry_after_sec": retryAfter,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime/debug"
 
 	"thermalherd/internal/config"
 	"thermalherd/internal/cpu"
@@ -14,6 +15,27 @@ import (
 
 // progressFunc reports completed vs. total units of work.
 type progressFunc func(completed, total int)
+
+// execJob invokes the executor for one job with panic containment:
+// a panicking executor (organic, or injected through the FaultExec
+// point — which fires first, so injected panics exercise this exact
+// recovery path) is converted into an error carrying the panic value
+// and stack, and panicked is reported so the caller can attribute the
+// failure. The daemon survives either way.
+func (s *Server) execJob(ctx context.Context, j *job) (res json.RawMessage, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+			panicked = true
+		}
+	}()
+	if ferr := s.faults.Fire(FaultExec); ferr != nil {
+		return nil, ferr, false
+	}
+	res, err = s.exec(ctx, j.spec, j.setProgress)
+	return res, err, false
+}
 
 // totalUnits estimates a spec's unit count (workload simulations, plus
 // one closing unit for post-processing) so progress has a stable
