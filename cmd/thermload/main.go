@@ -247,7 +247,11 @@ func chaosCheck(ctx context.Context, client *loadgen.Client, rep *loadgen.Report
 		if time.Now().After(deadline) {
 			return fmt.Errorf("%d queued + %d running jobs never settled", queued, running)
 		}
-		time.Sleep(50 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
 	}
 
 	doc, err := client.Metrics(ctx)

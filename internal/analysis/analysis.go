@@ -1,0 +1,267 @@
+// Package analysis is thermlint: a suite of project-specific static
+// analyzers that machine-check the repo's headline invariants —
+// deterministic hot paths, a closed metric-name registry, registered
+// fault points, context-aware blocking, and lock hygiene.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// surface (Analyzer, Pass, Reportf, testdata fixtures with `// want`
+// expectations) but is reimplemented on the standard library alone:
+// packages are enumerated with `go list -json` and type-checked through
+// go/importer's source importer, so the linter builds and runs with no
+// module dependencies beyond the Go toolchain itself.
+//
+// Analyzers are configured in-source through directive comments:
+//
+//	//thermlint:deterministic        marks a package as declared-deterministic
+//	//thermlint:wallclock -- why     allows one wall-clock read (time.Now/Since/Until)
+//	//thermlint:unordered -- why     allows one order-insensitive map iteration
+//	//thermlint:blocking -- why      allows one context-blind blocking operation
+//	//thermlint:locked -- why        allows one blocking operation under a mutex
+//	//thermlint:metricnames          marks a const block as the metric-name registry
+//	//thermlint:metricsdoc           marks a function whose map keys must be registered
+//	//thermlint:faultpoints          marks a const block as the fault-point registry
+//
+// Line directives (wallclock, unordered, blocking, locked) attach to
+// the line they trail or the line immediately below when they stand
+// alone; the `-- why` justification is required reading for reviewers,
+// not parsed. Run the suite with `go run ./cmd/thermlint ./...`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-line invariant statement shown by -list.
+	Doc string
+	// Run reports the analyzer's findings through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	dirs   *directiveIndex
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether a line directive named name suppresses a
+// finding at pos: the directive trails the offending line or stands
+// alone on the line above it.
+func (p *Pass) Allowed(pos token.Pos, name string) bool {
+	return p.dirs.allowedAt(p.Fset.Position(pos), name)
+}
+
+// PackageMarked reports whether any file of the package carries the
+// package-scope directive name (e.g. "deterministic").
+func (p *Pass) PackageMarked(name string) bool {
+	return p.dirs.packageHas(name)
+}
+
+// DeclMarked reports whether a declaration's doc comment carries the
+// directive name (e.g. "metricnames" on a const block, "metricsdoc" on
+// a function).
+func DeclMarked(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if dn, ok := parseDirective(c.Text); ok && dn == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeOf returns the type of expr, or nil when untyped.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(expr)
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for indirect calls, conversions,
+// and builtins.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if fn, ok := p.TypesInfo.Uses[id].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (through any import alias).
+func (p *Pass) IsPkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	fn := p.CalleeFunc(call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// IsMethod reports whether call invokes a method named name whose
+// receiver's named type is pkgPath.typeName (value or pointer).
+func (p *Pass) IsMethod(call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	fn := p.CalleeFunc(call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// directiveIndex maps //thermlint: comment lines to the code they
+// govern. A directive applies to its own source line and the line
+// below, which covers both trailing and standalone placements.
+type directiveIndex struct {
+	// perFile: filename -> line -> directive names present.
+	perFile map[string]map[int]map[string]bool
+	pkg     map[string]bool
+}
+
+// parseDirective extracts the name from a "//thermlint:name ..."
+// comment; ok is false for every other comment.
+func parseDirective(text string) (string, bool) {
+	const prefix = "//thermlint:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{
+		perFile: make(map[string]map[int]map[string]bool),
+		pkg:     make(map[string]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				idx.pkg[name] = true
+				pos := fset.Position(c.Slash)
+				lines := idx.perFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx.perFile[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = make(map[string]bool)
+					}
+					lines[ln][name] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *directiveIndex) allowedAt(pos token.Position, name string) bool {
+	return idx.perFile[pos.Filename][pos.Line][name]
+}
+
+func (idx *directiveIndex) packageHas(name string) bool { return idx.pkg[name] }
+
+// RunAnalyzers applies each analyzer to each package and returns every
+// diagnostic, sorted by position then analyzer name.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := buildDirectiveIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				dirs:      dirs,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, k int) bool {
+		a, b := diags[i], diags[k]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the thermlint analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, MetricKeys, FaultPoints, CtxFlow, LockScope}
+}

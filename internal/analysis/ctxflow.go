@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow keeps the hot paths cancelable: inside any function that
+// takes a context.Context, a blocking operation must be able to observe
+// cancellation. Channel sends and receives must sit in a select that
+// also receives ctx.Done() (or a done-channel) or has a default clause;
+// time.Sleep must be a select on a timer; http requests must be built
+// with NewRequestWithContext. //thermlint:blocking allows the audited
+// exceptions (e.g. releasing a token on a buffered semaphore, which
+// cannot block).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "blocking operations in context-carrying functions must be able to observe ctx.Done()",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasContextParam(pass, fn) {
+				continue
+			}
+			walkCtxFlow(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// hasContextParam reports whether fn takes a context.Context.
+func hasContextParam(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if isContextType(pass.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// walkCtxFlow scans a statement tree for context-blind blocking
+// operations. Function literals are skipped: they run on their own
+// goroutine or schedule (the linter cannot see which), so their
+// blocking behavior is out of scope here.
+func walkCtxFlow(pass *Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			if !selectObservesCancel(pass, n) && !pass.Allowed(n.Pos(), "blocking") {
+				pass.Reportf(n.Pos(), "select can block without observing cancellation (add a <-ctx.Done() case or a default clause, or annotate //thermlint:blocking -- why)")
+			}
+			// The comm clauses themselves are the select's business;
+			// their bodies are ordinary statements again.
+			for _, clause := range n.Body.List {
+				for _, s := range clause.(*ast.CommClause).Body {
+					walkCtxFlow(pass, s)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			if !pass.Allowed(n.Pos(), "blocking") {
+				pass.Reportf(n.Pos(), "channel send outside a cancellation-aware select (select on it with <-ctx.Done(), or annotate //thermlint:blocking -- why)")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !pass.Allowed(n.Pos(), "blocking") {
+				pass.Reportf(n.Pos(), "channel receive outside a cancellation-aware select (select on it with <-ctx.Done(), or annotate //thermlint:blocking -- why)")
+			}
+		case *ast.CallExpr:
+			checkCtxBlindCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkCtxBlindCall(pass *Pass, call *ast.CallExpr) {
+	switch {
+	case pass.IsPkgFunc(call, "time", "Sleep"):
+		if !pass.Allowed(call.Pos(), "blocking") {
+			pass.Reportf(call.Pos(), "time.Sleep ignores ctx (select on ctx.Done() and a timer, or annotate //thermlint:blocking -- why)")
+		}
+	case pass.IsPkgFunc(call, "net/http", "NewRequest"):
+		pass.Reportf(call.Pos(), "http.NewRequest drops ctx (use http.NewRequestWithContext)")
+	}
+}
+
+// selectObservesCancel reports whether a select can always make
+// progress under cancellation: it has a default clause, or a case
+// receives from a Done()-style cancellation channel (ctx.Done(), or a
+// done/completion channel of type chan struct{}).
+func selectObservesCancel(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc := clause.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true // default clause: never blocks
+		}
+		var recvSrc ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recvSrc = u.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if u, ok := comm.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recvSrc = u.X
+				}
+			}
+		}
+		if recvSrc == nil {
+			continue
+		}
+		if call, ok := ast.Unparen(recvSrc).(*ast.CallExpr); ok {
+			if fn := pass.CalleeFunc(call); fn != nil && fn.Name() == "Done" {
+				return true
+			}
+		}
+		if isDoneChannel(pass.TypeOf(recvSrc)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneChannel matches the chan struct{} completion-signal idiom.
+func isDoneChannel(t types.Type) bool {
+	ch, ok := t.(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

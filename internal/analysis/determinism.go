@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the reproduction's byte-identical-replay claim:
+// packages marked //thermlint:deterministic (loadgen schedule/mix
+// synthesis, trace, emu, predictor, faultinject) must not read the wall
+// clock, draw from the global math/rand source, or iterate a map in an
+// order-sensitive way. Seeded generators (rand.New(rand.NewSource(s)))
+// are the sanctioned randomness; //thermlint:wallclock and
+// //thermlint:unordered allow the audited exceptions.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, global math/rand, and unsorted map iteration in declared-deterministic packages",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are the time-package functions that read the wall
+// clock. time.Since and time.Until are included: both call time.Now.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions that consume the shared global source. Constructors (New,
+// NewSource, NewZipf, NewPCG, NewChaCha8) are deliberately absent:
+// seeded instances are the fix, not the bug.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	"N": true, "IntN": true, "Int32N": true, "Int64N": true,
+	"Uint32N": true, "Uint64N": true, "UintN": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !pass.PackageMarked("deterministic") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sorts := containsSortCall(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkDeterministicCall(pass, n)
+				case *ast.RangeStmt:
+					checkMapRange(pass, n, sorts)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] && !pass.Allowed(call.Pos(), "wallclock") {
+			pass.Reportf(call.Pos(), "time.%s in a deterministic package (inject a clock, or annotate //thermlint:wallclock -- why)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "global %s.%s in a deterministic package (use a seeded rand.New(rand.NewSource(seed)))", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags iteration over a map unless the enclosing
+// function also sorts (the collect-then-sort idiom) or the statement is
+// annotated //thermlint:unordered.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, fnSorts bool) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if fnSorts || pass.Allowed(rng.Pos(), "unordered") {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order leaks into a deterministic package (sort the keys, or annotate //thermlint:unordered -- why)")
+}
+
+// containsSortCall reports whether body calls into package sort or
+// slices — the signal that a map range feeds a collect-then-sort
+// pattern rather than leaking iteration order.
+func containsSortCall(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if fn := pass.CalleeFunc(call); fn != nil && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// FaultPoints keeps chaos specs honest: every fault point fired through
+// faultinject.Registry.Fire must be a constant registered in a
+// //thermlint:faultpoints const block in the same package. A point name
+// invented at a call site would be armable by -faults yet invisible to
+// the registry the docs and chaos suites enumerate — or worse, a typo'd
+// point would silently never fire.
+var FaultPoints = &Analyzer{
+	Name: "faultpoints",
+	Doc:  "Registry.Fire arguments must be constants from the //thermlint:faultpoints registry",
+	Run:  runFaultPoints,
+}
+
+const faultinjectPkgPath = "thermalherd/internal/faultinject"
+
+func runFaultPoints(pass *Pass) error {
+	registry := collectStringRegistry(pass, "faultpoints")
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if !pass.IsMethod(call, faultinjectPkgPath, "Registry", "Fire") {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "Fire point must be a string constant, not a dynamic expression (chaos specs cannot target what they cannot name)")
+				return true
+			}
+			point := constant.StringVal(tv.Value)
+			if registry == nil {
+				pass.Reportf(arg.Pos(), "Fire(%q) in a package with no //thermlint:faultpoints registry (declare the point in a registered const block)", point)
+				return true
+			}
+			name, _, isConst := constIdent(pass, arg)
+			if !isConst {
+				pass.Reportf(arg.Pos(), "Fire point %q must be spelled as its registry constant, not a raw literal", point)
+				return true
+			}
+			if _, registered := registry[name]; !registered {
+				pass.Reportf(arg.Pos(), "Fire point constant %s (%q) is not in the //thermlint:faultpoints registry", name, point)
+			}
+			return true
+		})
+	}
+	return nil
+}

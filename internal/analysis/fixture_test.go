@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wantRe extracts the expectation pattern from a `// want "regexp"`
+// comment, the same convention as x/tools' analysistest.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type wantDiag struct {
+	pattern *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// runFixture loads testdata/src/<fixture> as one package, runs the
+// analyzer over it, and checks the diagnostics against the fixture's
+// `// want "regexp"` comments: every diagnostic must match a want on
+// its line, and every want must be claimed by exactly one diagnostic.
+func runFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", fixture, err)
+	}
+
+	wants := make(map[string][]*wantDiag) // "file:line" -> expectations
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = append(wants[key], &wantDiag{pattern: re, raw: m[1]})
+			}
+		}
+	}
+
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on fixture %s: %v", a.Name, fixture, err)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		claimed := false
+		for _, w := range wants[key] {
+			if !w.matched && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}

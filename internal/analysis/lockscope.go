@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockScope flags mutexes held across operations that can block
+// indefinitely — channel sends/receives, selects, time.Sleep,
+// WaitGroup.Wait, and outbound HTTP — the class of bug the stuck-worker
+// watchdog papers over at runtime. The scan is a per-function,
+// source-order walk: Lock()/RLock() opens a critical section on the
+// spelled receiver ("s.mu"), the matching Unlock at the same nesting
+// level closes it, and a deferred Unlock extends it to the end of the
+// function. Branches are scanned with a copy of the held set, so an
+// early `mu.Unlock(); return` arm does not release the fall-through
+// path. sync.Cond.Wait is exempt (it releases the lock itself);
+// //thermlint:locked allows audited exceptions. Function literals are
+// skipped: they execute on their own schedule.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no channel operations or blocking calls while holding a mutex",
+	Run:  runLockScope,
+}
+
+func runLockScope(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			scanLockBlock(pass, fn.Body.List, map[string]token.Pos{})
+		}
+	}
+	return nil
+}
+
+// scanLockBlock walks one statement list, threading the held-mutex set.
+func scanLockBlock(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if key, locks, ok := mutexCall(pass, s.X); ok {
+				if locks {
+					held[key] = s.Pos()
+				} else {
+					delete(held, key)
+				}
+				continue
+			}
+			flagBlockingUnder(pass, s, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() holds the lock for the rest of the
+			// function; leave it in held. Other defers are inert here.
+			if _, _, ok := mutexCall(pass, s.Call); !ok {
+				flagBlockingUnder(pass, s, held)
+			}
+		case *ast.BlockStmt:
+			scanLockBlock(pass, s.List, held)
+		case *ast.IfStmt:
+			flagBlockingUnder(pass, s.Cond, held)
+			scanLockBlock(pass, s.Body.List, cloneHeld(held))
+			if s.Else != nil {
+				scanLockBlock(pass, []ast.Stmt{s.Else}, cloneHeld(held))
+			}
+		case *ast.ForStmt:
+			scanLockBlock(pass, s.Body.List, cloneHeld(held))
+		case *ast.RangeStmt:
+			flagBlockingUnder(pass, s.X, held)
+			scanLockBlock(pass, s.Body.List, cloneHeld(held))
+		case *ast.SwitchStmt:
+			flagBlockingUnder(pass, s.Tag, held)
+			for _, clause := range s.Body.List {
+				scanLockBlock(pass, clause.(*ast.CaseClause).Body, cloneHeld(held))
+			}
+		case *ast.TypeSwitchStmt:
+			for _, clause := range s.Body.List {
+				scanLockBlock(pass, clause.(*ast.CaseClause).Body, cloneHeld(held))
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !pass.Allowed(s.Pos(), "locked") {
+				key, pos := anyHeld(held)
+				pass.Reportf(s.Pos(), "select while holding %s (locked at %s); a blocked case stalls every other critical section", key, pass.Fset.Position(pos))
+			}
+			for _, clause := range s.Body.List {
+				scanLockBlock(pass, clause.(*ast.CommClause).Body, cloneHeld(held))
+			}
+		default:
+			flagBlockingUnder(pass, stmt, held)
+		}
+	}
+}
+
+func cloneHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func anyHeld(held map[string]token.Pos) (string, token.Pos) {
+	bestKey, bestPos := "", token.NoPos
+	for k, p := range held {
+		if bestKey == "" || p < bestPos {
+			bestKey, bestPos = k, p
+		}
+	}
+	return bestKey, bestPos
+}
+
+// flagBlockingUnder reports blocking operations inside a simple
+// statement or expression while any mutex is held.
+func flagBlockingUnder(pass *Pass, n ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	key, lockPos := anyHeld(held)
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if !pass.Allowed(m.Pos(), "locked") {
+				pass.Reportf(m.Pos(), "channel send while holding %s (locked at %s)", key, pass.Fset.Position(lockPos))
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW && !pass.Allowed(m.Pos(), "locked") {
+				pass.Reportf(m.Pos(), "channel receive while holding %s (locked at %s)", key, pass.Fset.Position(lockPos))
+			}
+		case *ast.CallExpr:
+			if name, ok := blockingCallName(pass, m); ok && !pass.Allowed(m.Pos(), "locked") {
+				pass.Reportf(m.Pos(), "%s while holding %s (locked at %s)", name, key, pass.Fset.Position(lockPos))
+			}
+		}
+		return true
+	})
+}
+
+// blockingCallName matches the blocking-call blocklist: time.Sleep,
+// sync.WaitGroup.Wait, and net/http.Client.Do. sync.Cond.Wait is
+// deliberately absent — it releases the mutex while parked.
+func blockingCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	switch {
+	case pass.IsPkgFunc(call, "time", "Sleep"):
+		return "time.Sleep", true
+	case pass.IsMethod(call, "sync", "WaitGroup", "Wait"):
+		return "sync.WaitGroup.Wait", true
+	case pass.IsMethod(call, "net/http", "Client", "Do"):
+		return "http.Client.Do", true
+	}
+	return "", false
+}
+
+// mutexCall classifies expr as a sync mutex acquire/release:
+// key identifies the receiver as spelled ("q.mu"), locks is true for
+// Lock/RLock and false for Unlock/RUnlock.
+func mutexCall(pass *Pass, expr ast.Expr) (key string, locks, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+		locks = false
+	default:
+		return "", false, false
+	}
+	return types.ExprString(sel.X), locks, true
+}

@@ -1,0 +1,64 @@
+// Fixture: the ctxflow analyzer over context-carrying functions.
+package fixture
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func nakedOps(ctx context.Context, ch chan int) int {
+	ch <- 1     // want "channel send outside a cancellation-aware select"
+	return <-ch // want "channel receive outside a cancellation-aware select"
+}
+
+func awareSelects(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+func doneChannel(ctx context.Context, ch chan int, done chan struct{}) {
+	select {
+	case ch <- 1:
+	case <-done:
+	}
+}
+
+func blindSelect(ctx context.Context, a, b chan int) {
+	select { // want "select can block without observing cancellation"
+	case <-a:
+	case <-b:
+	}
+}
+
+func sleeps(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want "time.Sleep ignores ctx"
+	//thermlint:blocking -- fixture: audited exception
+	time.Sleep(time.Millisecond)
+}
+
+func requests(ctx context.Context) error {
+	_, err := http.NewRequest("GET", "http://localhost/", nil) // want "http.NewRequest drops ctx"
+	if err != nil {
+		return err
+	}
+	_, err = http.NewRequestWithContext(ctx, "GET", "http://localhost/", nil)
+	return err
+}
+
+func noContext(ch chan int) {
+	ch <- 1 // no ctx parameter: out of scope
+}
+
+func spawns(ctx context.Context, ch chan int) {
+	go func() {
+		ch <- 1 // function literal: runs on its own schedule
+	}()
+}

@@ -1,0 +1,57 @@
+// Fixture: the determinism analyzer in a declared-deterministic
+// package.
+//
+//thermlint:deterministic
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now in a deterministic package"
+	_ = time.Since(start)    // want "time.Since in a deterministic package"
+	return time.Until(start) // want "time.Until in a deterministic package"
+}
+
+func allowedWallClock() time.Time {
+	return time.Now() //thermlint:wallclock -- fixture: audited exception
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "global rand.Shuffle in a deterministic package"
+	return rand.Intn(10)               // want "global rand.Intn in a deterministic package"
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // seeded instance: the sanctioned randomness
+}
+
+func mapOrderLeaks(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order leaks"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func allowedUnordered(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	//thermlint:unordered -- fixture: map-to-map copy carries no order
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Fixture: no deterministic mark, so wall-clock reads, global rand,
+// and map iteration are out of the determinism analyzer's scope.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time { return time.Now() }
+
+func globalRand() int { return rand.Intn(10) }
+
+func mapRange(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,31 @@
+// Fixture: the faultpoints analyzer with a registry present.
+package fixture
+
+import "thermalherd/internal/faultinject"
+
+// Registered fault points.
+//
+//thermlint:faultpoints
+const (
+	pointExec  = "fixture.exec"
+	pointCache = "fixture.cache"
+)
+
+// pointRogue is a constant, but not from the registry block.
+const pointRogue = "fixture.rogue"
+
+func fire(r *faultinject.Registry, name string) error {
+	if err := r.Fire(pointExec); err != nil {
+		return err
+	}
+	if err := r.Fire(pointCache); err != nil {
+		return err
+	}
+	if err := r.Fire("fixture.exec"); err != nil { // want "must be spelled as its registry constant"
+		return err
+	}
+	if err := r.Fire(pointRogue); err != nil { // want "not in the //thermlint:faultpoints registry"
+		return err
+	}
+	return r.Fire(name) // want "must be a string constant"
+}

@@ -1,0 +1,10 @@
+// Fixture: Fire in a package that declares no fault-point registry.
+package fixture
+
+import "thermalherd/internal/faultinject"
+
+const pointLocal = "noreg.exec"
+
+func fire(r *faultinject.Registry) error {
+	return r.Fire(pointLocal) // want "no //thermlint:faultpoints registry"
+}

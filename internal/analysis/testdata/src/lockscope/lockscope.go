@@ -1,0 +1,74 @@
+// Fixture: the lockscope analyzer.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (g *guarded) sendUnderLock() {
+	g.mu.Lock()
+	g.ch <- 1 // want "channel send while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) recvUnderDeferredUnlock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want "channel receive while holding g.mu"
+}
+
+func (g *guarded) sleepUnderLock() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) selectUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "select while holding g.mu"
+	case <-g.ch:
+	default:
+	}
+}
+
+func (g *guarded) waitUnderLock(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) sendAfterUnlock() {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.ch <- 1 // lock already released: fine
+}
+
+func (g *guarded) branchEarlyUnlock(b bool) {
+	g.mu.Lock()
+	if b {
+		g.mu.Unlock()
+		return
+	}
+	g.ch <- 1 // want "channel send while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) allowedSend() {
+	g.mu.Lock()
+	//thermlint:locked -- fixture: buffered channel, cannot block
+	g.ch <- 1
+	g.mu.Unlock()
+}
+
+func (g *guarded) condWait(c *sync.Cond) {
+	g.mu.Lock()
+	c.Wait() // Cond.Wait parks after releasing the mutex: exempt
+	g.mu.Unlock()
+}

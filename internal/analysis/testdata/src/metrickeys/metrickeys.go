@@ -1,0 +1,45 @@
+// Fixture: the metrickeys analyzer in a package that declares a
+// metric-name registry.
+package fixture
+
+import "thermalherd/internal/stats"
+
+// The metric-name registry under test.
+//
+//thermlint:metricnames
+const (
+	metricGood   = "jobs.good"
+	metricOther  = "jobs.other"
+	metricPrefix = "latency_ms_"
+	metricDupA   = "dup.value"
+	metricDupB   = "dup.value" // want "share the value"
+)
+
+// metricRogue has the right shape but sits outside the registry block.
+const metricRogue = "jobs.rogue"
+
+func histograms(kind string) {
+	_ = stats.NewHistogram(metricGood, 0, 1, 10)
+	_ = stats.NewHistogram(metricPrefix+kind, 0, 1, 10)
+	_ = stats.NewHistogram("jobs.raw", 0, 1, 10)  // want "must be a //thermlint:metricnames registry constant"
+	_ = stats.NewHistogram(metricRogue, 0, 1, 10) // want "not in the //thermlint:metricnames registry"
+}
+
+// doc builds the metrics document.
+//
+//thermlint:metricsdoc
+func doc(n int) map[string]any {
+	return map[string]any{
+		metricGood: n,
+		"jobs.raw": n, // want "must be a //thermlint:metricnames registry constant"
+		metricOther: map[string]any{
+			metricGood:  n,
+			metricRogue: n, // want "not in the //thermlint:metricnames registry"
+		},
+	}
+}
+
+// unchecked is not marked //thermlint:metricsdoc, so its keys are free.
+func unchecked(n int) map[string]any {
+	return map[string]any{"free": n}
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import "testing"
+
+// Each positive fixture contains violations that only this suite
+// catches: deleting an analyzer (or its check) makes the corresponding
+// test fail on unmatched `// want` expectations.
+
+func TestDeterminismFixture(t *testing.T) { runFixture(t, Determinism, "determinism") }
+
+func TestDeterminismUnmarkedPackageExempt(t *testing.T) {
+	runFixture(t, Determinism, "determinism_clean")
+}
+
+func TestMetricKeysFixture(t *testing.T) { runFixture(t, MetricKeys, "metrickeys") }
+
+func TestFaultPointsFixture(t *testing.T) { runFixture(t, FaultPoints, "faultpoints") }
+
+func TestFaultPointsNoRegistry(t *testing.T) { runFixture(t, FaultPoints, "faultpoints_noreg") }
+
+func TestCtxFlowFixture(t *testing.T) { runFixture(t, CtxFlow, "ctxflow") }
+
+func TestLockScopeFixture(t *testing.T) { runFixture(t, LockScope, "lockscope") }
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//thermlint:deterministic", "deterministic", true},
+		{"//thermlint:wallclock -- reason", "wallclock", true},
+		{"//thermlint:", "", false},
+		{"// thermlint:wallclock", "", false},
+		{"// ordinary comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseDirective(c.text)
+		if name != c.name || ok != c.ok {
+			t.Errorf("parseDirective(%q) = %q,%v, want %q,%v", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+func TestAllAnalyzersNamedAndDocumented(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("suite has %d analyzers, want 5", len(seen))
+	}
+}

@@ -1,0 +1,109 @@
+// Package clock is the repo's sanctioned wall-clock seam: code that
+// must be testable without sleeping (server job timing, the loadgen
+// open-loop runner) reads time through a Clock instead of package time,
+// so tests substitute a Fake and advance it synchronously. The package
+// is declared deterministic to thermlint; the Real implementation
+// carries the audited //thermlint:wallclock exceptions, which keeps
+// every other wall-clock read in deterministic packages a lint error.
+//
+//thermlint:deterministic
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the subset of package time the daemon's timing paths
+// use. Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+	// After returns a channel that delivers the current time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real returns the wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time {
+	return time.Now() //thermlint:wallclock -- the one sanctioned wall-clock read
+}
+
+func (realClock) Since(t time.Time) time.Duration {
+	return time.Since(t) //thermlint:wallclock -- the one sanctioned elapsed-time read
+}
+
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Fake is a manually advanced Clock for tests: time moves only through
+// Advance, so timing-dependent behavior (queue aging, brownout
+// thresholds) is exercised without real sleeps or flaky margins.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFake returns a Fake reading start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now returns the fake's current reading.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since returns the fake-elapsed time since t.
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// After returns a channel that fires when the fake clock has been
+// advanced by at least d. A non-positive d fires immediately.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	f.mu.Lock()
+	due := f.now.Add(d)
+	if d <= 0 {
+		//thermlint:locked -- ch was just made with capacity 1; the send cannot block
+		ch <- f.now
+	} else {
+		f.timers = append(f.timers, &fakeTimer{at: due, ch: ch})
+	}
+	f.mu.Unlock()
+	return ch
+}
+
+// Advance moves the fake clock forward by d and fires every timer that
+// came due, in due order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	now := f.now
+	var due, pending []*fakeTimer
+	for _, t := range f.timers {
+		if !t.at.After(now) {
+			due = append(due, t)
+		} else {
+			pending = append(pending, t)
+		}
+	}
+	f.timers = pending
+	f.mu.Unlock()
+	sort.Slice(due, func(i, k int) bool { return due[i].at.Before(due[k].at) })
+	for _, t := range due {
+		// Buffered with capacity 1 and fired exactly once: never blocks.
+		t.ch <- now
+	}
+}

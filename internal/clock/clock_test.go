@@ -1,0 +1,82 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockAdvances(t *testing.T) {
+	c := Real()
+	t0 := c.Now()
+	if c.Since(t0) < 0 {
+		t.Fatal("Since went backwards")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real().After(1ms) never fired")
+	}
+}
+
+func TestFakeNowOnlyMovesOnAdvance(t *testing.T) {
+	start := time.Unix(1_700_000_000, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", f.Now(), start)
+	}
+	f.Advance(90 * time.Millisecond)
+	if got := f.Since(start); got != 90*time.Millisecond {
+		t.Fatalf("Since(start) = %v, want 90ms", got)
+	}
+}
+
+func TestFakeAfterFiresInDueOrder(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	late := f.After(100 * time.Millisecond)
+	early := f.After(10 * time.Millisecond)
+
+	f.Advance(5 * time.Millisecond)
+	select {
+	case <-early:
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+
+	f.Advance(200 * time.Millisecond)
+	at1 := <-early
+	at2 := <-late
+	if !at1.Equal(at2) {
+		t.Fatalf("both timers should read the advance instant: %v vs %v", at1, at2)
+	}
+	if want := time.Unix(0, 0).Add(205 * time.Millisecond); !at1.Equal(want) {
+		t.Fatalf("fire time = %v, want %v", at1, want)
+	}
+}
+
+func TestFakeAfterNonPositiveFiresImmediately(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestFakeConcurrentAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch := f.After(time.Millisecond)
+			f.Advance(2 * time.Millisecond)
+			<-ch
+		}()
+	}
+	wg.Wait()
+	if got := f.Since(time.Unix(0, 0)); got != 16*time.Millisecond {
+		t.Fatalf("total advance = %v, want 16ms", got)
+	}
+}

@@ -4,11 +4,17 @@
 // mechanisms can be validated against value-width and address-locality
 // behaviour arising from genuine computation rather than from synthetic
 // statistics.
+//
+// Declared deterministic to thermlint: replaying a program must yield
+// the same architectural state and trace every run.
+//
+//thermlint:deterministic
 package emu
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"thermalherd/internal/isa"
 	"thermalherd/internal/trace"
@@ -51,8 +57,16 @@ func New(prog *isa.Program) *Machine {
 		pages: make(map[uint64]*[pageSize]byte),
 	}
 	m.IntRegs[SPReg] = StackTop
-	for addr, val := range prog.Data {
-		m.WriteMem(addr, 8, val)
+	// Replay data-segment writes in address order: entries closer than
+	// 8 bytes apart overlap, so map iteration order would otherwise
+	// leak into the memory image.
+	addrs := make([]uint64, 0, len(prog.Data))
+	for addr := range prog.Data {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, k int) bool { return addrs[i] < addrs[k] })
+	for _, addr := range addrs {
+		m.WriteMem(addr, 8, prog.Data[addr])
 	}
 	return m
 }

@@ -26,7 +26,11 @@
 //
 // A clause needs at least one of delay, error, or panic. Firing
 // decisions come from a PRNG seeded at Arm time, so equal seeds and
-// call sequences reproduce the same injected faults.
+// call sequences reproduce the same injected faults. That reproduction
+// guarantee is enforced by thermlint's determinism analyzer, to which
+// this package is declared deterministic.
+//
+//thermlint:deterministic
 package faultinject
 
 import (
@@ -260,6 +264,7 @@ func (r *Registry) Counts() map[string]uint64 {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	//thermlint:unordered -- copying map to map; the result carries no order
 	for name, p := range r.points {
 		counts[name] = p.injected
 	}

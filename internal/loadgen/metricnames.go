@@ -1,0 +1,14 @@
+package loadgen
+
+// The load generator's own metric-name registry: the recorder's
+// histograms feed the report the SLO harness asserts against, so their
+// names go through named constants the same way the daemon's do (see
+// internal/server/metricnames.go and thermlint's metrickeys analyzer).
+//
+//thermlint:metricnames
+const (
+	// metricE2ELatency is the submit-to-terminal-state latency histogram.
+	metricE2ELatency = "e2e_latency_ms"
+	// metricQueueWait is the daemon-reported queue-wait histogram.
+	metricQueueWait = "queue_wait_ms"
+)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"thermalherd/internal/clock"
 	"thermalherd/internal/server"
 	"thermalherd/internal/stats"
 )
@@ -37,6 +38,9 @@ type RunConfig struct {
 	// materialized; these record where it came from).
 	Mode Mode
 	Seed int64
+	// Clock supplies the run's time source; nil means the wall clock.
+	// Tests inject a clock.Fake to drive the schedule synchronously.
+	Clock clock.Clock
 }
 
 // arrival is one scheduled request: its pre-sampled spec and the time
@@ -72,8 +76,11 @@ func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 1
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
 
-	rec := newRecorder()
+	rec := newRecorder(cfg.Clock)
 	sem := make(chan struct{}, cfg.MaxInFlight)
 	var wg sync.WaitGroup
 	var pending []arrival
@@ -90,20 +97,20 @@ func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
 		}()
 	}
 
-	start := time.Now()
+	start := cfg.Clock.Now()
 schedule:
 	for i := range cfg.Schedule {
-		if wait := time.Until(start.Add(cfg.Schedule[i])); wait > 0 {
+		if wait := start.Add(cfg.Schedule[i]).Sub(cfg.Clock.Now()); wait > 0 {
 			select {
 			case <-ctx.Done():
 				rec.dropN(len(cfg.Schedule) - i)
 				break schedule
-			case <-time.After(wait):
+			case <-cfg.Clock.After(wait):
 			}
 		}
 		select {
 		case sem <- struct{}{}:
-			a := arrival{spec: cfg.Specs[i], at: time.Now()}
+			a := arrival{spec: cfg.Specs[i], at: cfg.Clock.Now()}
 			if cfg.BatchSize == 1 {
 				wg.Add(1)
 				go func() {
@@ -122,7 +129,7 @@ schedule:
 	}
 	flush()
 	wg.Wait()
-	wall := time.Since(start)
+	wall := cfg.Clock.Since(start)
 	return rec.report(cfg, wall), nil
 }
 
@@ -156,6 +163,7 @@ func fireBatch(ctx context.Context, cfg RunConfig, rec *recorder, sem chan struc
 	if err != nil {
 		rec.batchError(bctx, len(batch))
 		for range batch {
+			//thermlint:blocking -- releasing our own tokens from a buffered semaphore; the matching sends already happened
 			<-sem
 		}
 		return
@@ -165,6 +173,7 @@ func fireBatch(ctx context.Context, cfg RunConfig, rec *recorder, sem chan struc
 		a := batch[i]
 		if item.Status == nil {
 			rec.itemError()
+			//thermlint:blocking -- releasing our own token from a buffered semaphore; the matching send already happened
 			<-sem
 			continue
 		}
@@ -199,7 +208,7 @@ func track(ctx context.Context, cfg RunConfig, rec *recorder, a arrival, st serv
 		case <-ctx.Done():
 			rec.timeout()
 			return
-		case <-time.After(cfg.PollInterval):
+		case <-cfg.Clock.After(cfg.PollInterval):
 		}
 		var err error
 		st, err = cfg.Client.JobStatus(ctx, st.ID)
@@ -219,6 +228,7 @@ func track(ctx context.Context, cfg RunConfig, rec *recorder, a arrival, st serv
 // report's quantiles interpolate within 1 ms.
 type recorder struct {
 	mu            sync.Mutex
+	clk           clock.Clock
 	latency       *stats.Histogram
 	queueWait     *stats.Histogram
 	latencySumMs  float64
@@ -234,10 +244,11 @@ type recorder struct {
 	nQueueWaitObs int
 }
 
-func newRecorder() *recorder {
+func newRecorder(clk clock.Clock) *recorder {
 	return &recorder{
-		latency:   stats.NewHistogram("e2e_latency_ms", 0, 1, 60_000),
-		queueWait: stats.NewHistogram("queue_wait_ms", 0, 1, 60_000),
+		clk:       clk,
+		latency:   stats.NewHistogram(metricE2ELatency, 0, 1, 60_000),
+		queueWait: stats.NewHistogram(metricQueueWait, 0, 1, 60_000),
 	}
 }
 
@@ -308,7 +319,7 @@ func (r *recorder) timeout() {
 // done records a completed job: end-to-end latency from its arrival,
 // and server-side queue wait from the status timestamps.
 func (r *recorder) done(a arrival, st server.Status) {
-	e2eMs := float64(time.Since(a.at)) / float64(time.Millisecond)
+	e2eMs := float64(r.clk.Since(a.at)) / float64(time.Millisecond)
 	waitMs, waitOK := queueWaitMs(st)
 	r.mu.Lock()
 	r.nDone++

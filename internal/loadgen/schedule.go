@@ -11,6 +11,12 @@
 // dropped and counted rather than queued, so an overloaded server
 // shows up as latency and drops instead of silently shrinking the
 // offered load (the coordinated-omission trap).
+//
+// The package is declared deterministic to thermlint: a given seed must
+// produce a byte-identical schedule and spec mix, so wall-clock reads
+// and unseeded randomness are lint errors outside audited exceptions.
+//
+//thermlint:deterministic
 package loadgen
 
 import (

@@ -8,6 +8,11 @@
 // direction-bit array (placed on the top two die, accessed at predict and
 // update) and a hysteresis-bit array (bottom two die, accessed only at
 // update).
+//
+// Declared deterministic to thermlint: predictor state is part of the
+// simulated machine, so identical traces must give identical outcomes.
+//
+//thermlint:deterministic
 package predictor
 
 // twoBitTable is a table of 2-bit saturating counters.

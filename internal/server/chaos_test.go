@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"thermalherd/internal/clock"
 	"thermalherd/internal/faultinject"
 )
 
@@ -179,9 +180,14 @@ func TestWatchdogRestartsStuckWorker(t *testing.T) {
 // bounce with 429 + Retry-After while /readyz flips not-ready, and the
 // daemon recovers once the backlog clears.
 func TestBrownoutSheds429(t *testing.T) {
+	// A fake clock drives the queue-age measurement, so the test ages
+	// the backlog synchronously instead of sleeping and hoping the
+	// scheduler cooperates.
+	fake := clock.NewFake(time.Unix(1_700_000_000, 0))
 	s, ts := newTestServer(t, Config{
 		Workers: 1, QueueDepth: 16, CacheSize: 4,
 		BrownoutAfter: 40 * time.Millisecond,
+		Clock:         fake,
 	})
 	release := make(chan struct{})
 	stubExec(s, func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error) {
@@ -195,7 +201,7 @@ func TestBrownoutSheds429(t *testing.T) {
 	_, running := postJob(t, ts, `{"kind":"timing","workload":"mcf"}`)
 	waitState(t, ts, running.ID, StateRunning)
 	_, queued := postJob(t, ts, `{"kind":"timing","workload":"crafty"}`)
-	time.Sleep(80 * time.Millisecond) // let the queued job age past the threshold
+	fake.Advance(80 * time.Millisecond) // age the queued job past the threshold
 
 	resp, _ := postJob(t, ts, `{"kind":"timing","workload":"gzip"}`)
 	if resp.StatusCode != http.StatusTooManyRequests {

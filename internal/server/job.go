@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"thermalherd/internal/clock"
 	"thermalherd/internal/config"
 	"thermalherd/internal/experiments"
 	"thermalherd/internal/trace"
@@ -205,6 +206,7 @@ type job struct {
 	id   string
 	spec Spec
 	key  string
+	clk  clock.Clock
 
 	// ctx is canceled by DELETE /v1/jobs/{id} or a drain deadline; the
 	// runner observes it between simulation phases.
@@ -227,21 +229,25 @@ type job struct {
 	finished  time.Time
 }
 
-func newJob(id string, spec Spec) (*job, error) {
+func newJob(id string, spec Spec, clk clock.Clock) (*job, error) {
 	key, err := spec.cacheKey()
 	if err != nil {
 		return nil, err
+	}
+	if clk == nil {
+		clk = clock.Real()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &job{
 		id:        id,
 		spec:      spec,
 		key:       key,
+		clk:       clk,
 		ctx:       ctx,
 		cancel:    cancel,
 		abandoned: make(chan struct{}),
 		state:     StateQueued,
-		submitted: time.Now(),
+		submitted: clk.Now(),
 	}, nil
 }
 
@@ -276,7 +282,7 @@ func (j *job) tryStart() bool {
 		return false
 	}
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = j.clk.Now()
 	return true
 }
 
@@ -301,7 +307,7 @@ func (j *job) finishRunning(state State, result json.RawMessage, errMsg string) 
 	j.state = state
 	j.result = result
 	j.err = errMsg
-	j.finished = time.Now()
+	j.finished = j.clk.Now()
 	if state == StateDone && j.progress.Total > 0 {
 		j.progress.Completed = j.progress.Total
 	}
@@ -324,7 +330,7 @@ func (j *job) finishFromCache(result json.RawMessage) {
 	j.fromCache = true
 	j.state = StateDone
 	j.result = result
-	now := time.Now()
+	now := j.clk.Now()
 	j.started, j.finished = now, now
 	j.mu.Unlock()
 	j.cancel()
@@ -341,7 +347,7 @@ func (j *job) cancelQueued(reason string) bool {
 	}
 	j.state = StateCanceled
 	j.err = reason
-	j.finished = time.Now()
+	j.finished = j.clk.Now()
 	j.mu.Unlock()
 	j.cancel()
 	return true

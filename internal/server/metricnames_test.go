@@ -1,0 +1,93 @@
+package server
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestMetricNamesMatchLiveEmission pins the registry to reality: the
+// flattened key set of a live /metrics response must equal MetricNames()
+// exactly. A key the server emits but the registry misses fails, and so
+// does a registered key the server stopped emitting — so renaming or
+// dropping any metric is impossible without editing the registry, where
+// thermlint's metrickeys analyzer watches the other direction.
+func TestMetricNamesMatchLiveEmission(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, CacheSize: 4})
+	doc := metricsDoc(t, ts)
+
+	registered := make(map[string]bool)
+	for _, n := range MetricNames() {
+		registered[n] = true
+	}
+
+	// Flatten the nested document with registry-aware descent: a
+	// registered key is a leaf even when its value is a sub-document
+	// (per-kind latency, per-point fault counts have dynamic keys).
+	var emitted []string
+	var flatten func(key string, v any)
+	flatten = func(key string, v any) {
+		if registered[key] {
+			emitted = append(emitted, key)
+			return
+		}
+		if sub, ok := v.(map[string]any); ok {
+			for k, child := range sub {
+				flatten(key+"."+k, child)
+			}
+			return
+		}
+		emitted = append(emitted, key)
+	}
+	for k, v := range doc {
+		if registered[k] {
+			emitted = append(emitted, k)
+			continue
+		}
+		if sub, ok := v.(map[string]any); ok {
+			for kk, child := range sub {
+				flatten(k+"."+kk, child)
+			}
+			continue
+		}
+		emitted = append(emitted, k)
+	}
+	sort.Strings(emitted)
+
+	want := MetricNames()
+	emittedSet := make(map[string]bool, len(emitted))
+	for _, k := range emitted {
+		emittedSet[k] = true
+	}
+	for _, k := range want {
+		if !emittedSet[k] {
+			t.Errorf("registry key %q is not emitted by a live /metrics response", k)
+		}
+	}
+	for _, k := range emitted {
+		if !registered[k] {
+			t.Errorf("live /metrics emits %q, which is not in the registry (add it to metricnames.go)", k)
+		}
+	}
+	if len(emitted) != len(want) && !t.Failed() {
+		t.Errorf("emitted %d keys, registry has %d", len(emitted), len(want))
+	}
+}
+
+func TestNestMetricsShapesWireDocument(t *testing.T) {
+	doc := nestMetrics(map[string]any{
+		"jobs.submitted": 3,
+		"jobs.failed":    1,
+		"latency_ms":     map[string]any{"timing": 7},
+	})
+	jobs, ok := doc["jobs"].(map[string]any)
+	if !ok || jobs["submitted"] != 3 || jobs["failed"] != 1 {
+		t.Fatalf("jobs section = %v, want submitted:3 failed:1", doc["jobs"])
+	}
+	if _, nested := doc["jobs.submitted"]; nested {
+		t.Fatal("dotted key leaked into the wire document")
+	}
+	lat, ok := doc["latency_ms"].(map[string]any)
+	if !ok || lat["timing"] != 7 {
+		t.Fatalf("latency_ms = %v, want the sub-document untouched", doc["latency_ms"])
+	}
+}

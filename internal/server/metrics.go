@@ -42,7 +42,7 @@ func newMetrics() *metrics {
 	for _, k := range Kinds() {
 		// 40 × 250 ms buckets span 0–10 s; slower jobs land in the
 		// overflow bucket.
-		m.latency[k] = stats.NewHistogram("latency_ms_"+string(k), 0, 250, 40)
+		m.latency[k] = stats.NewHistogram(metricLatencyHistPrefix+string(k), 0, 250, 40)
 	}
 	return m
 }
@@ -75,7 +75,13 @@ type gauges struct {
 	faultsInjected map[string]uint64
 }
 
-// snapshot renders the metrics as the /metrics JSON document.
+// snapshot renders the metrics as the /metrics JSON document. The
+// document is authored flat, keyed by the metricnames registry
+// constants, and folded into the nested wire shape by nestMetrics —
+// thermlint's metrickeys analyzer verifies every key here against the
+// registry.
+//
+//thermlint:metricsdoc
 func (m *metrics) snapshot(g gauges) map[string]any {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -86,52 +92,45 @@ func (m *metrics) snapshot(g gauges) map[string]any {
 		hists[string(k)] = snap
 		if snap.Total > 0 {
 			quants[string(k)] = map[string]float64{
-				"p50": snap.Quantile(0.50),
-				"p95": snap.Quantile(0.95),
-				"p99": snap.Quantile(0.99),
+				metricQuantP50: snap.Quantile(0.50),
+				metricQuantP95: snap.Quantile(0.95),
+				metricQuantP99: snap.Quantile(0.99),
 			}
 		}
 	}
 	if g.faultsInjected == nil {
 		g.faultsInjected = map[string]uint64{}
 	}
-	return map[string]any{
-		"jobs": map[string]any{
-			"submitted":         m.submitted.Value(),
-			"running":           g.running,
-			"completed":         m.completed.Value(),
-			"failed":            m.failed.Value(),
-			"canceled":          m.canceled.Value(),
-			"rejected":          m.rejected.Value(),
-			"panics_recovered":  m.panicsRecovered.Value(),
-			"deadline_exceeded": m.deadlineExceeded.Value(),
-		},
-		"admission": map[string]any{
-			"brownout_rejects": m.brownoutRejects.Value(),
-			"brownout_active":  g.brownoutActive,
-		},
-		"workers": map[string]any{
-			"pool":     g.workers,
-			"restarts": m.workerRestarts.Value(),
-		},
-		"queue": map[string]any{
-			"depth":    g.queueDepth,
-			"capacity": g.queueCap,
-		},
-		"cache": map[string]any{
-			"hits":     m.cacheHits.Value(),
-			"misses":   m.cacheMisses.Value(),
-			"entries":  g.cacheLen,
-			"capacity": g.cacheCap,
-		},
-		"http": map[string]any{
-			"batch_requests": m.batchRequests.Value(),
-			"list_requests":  m.listRequests.Value(),
-		},
-		"faults": map[string]any{
-			"injected": g.faultsInjected,
-		},
-		"latency_ms":           hists,
-		"latency_quantiles_ms": quants,
-	}
+	return nestMetrics(map[string]any{
+		metricJobsSubmitted:        m.submitted.Value(),
+		metricJobsRunning:          g.running,
+		metricJobsCompleted:        m.completed.Value(),
+		metricJobsFailed:           m.failed.Value(),
+		metricJobsCanceled:         m.canceled.Value(),
+		metricJobsRejected:         m.rejected.Value(),
+		metricJobsPanicsRecovered:  m.panicsRecovered.Value(),
+		metricJobsDeadlineExceeded: m.deadlineExceeded.Value(),
+
+		metricAdmissionBrownoutRejects: m.brownoutRejects.Value(),
+		metricAdmissionBrownoutActive:  g.brownoutActive,
+
+		metricWorkersPool:     g.workers,
+		metricWorkersRestarts: m.workerRestarts.Value(),
+
+		metricQueueDepth:    g.queueDepth,
+		metricQueueCapacity: g.queueCap,
+
+		metricCacheHits:     m.cacheHits.Value(),
+		metricCacheMisses:   m.cacheMisses.Value(),
+		metricCacheEntries:  g.cacheLen,
+		metricCacheCapacity: g.cacheCap,
+
+		metricHTTPBatchRequests: m.batchRequests.Value(),
+		metricHTTPListRequests:  m.listRequests.Value(),
+
+		metricFaultsInjected: g.faultsInjected,
+
+		metricLatencyHist:      hists,
+		metricLatencyQuantiles: quants,
+	})
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"thermalherd/internal/clock"
 )
 
 // Queue admission errors.
@@ -19,16 +21,20 @@ var (
 type queue struct {
 	mu       sync.Mutex
 	nonEmpty *sync.Cond
+	clk      clock.Clock
 	items    []*job
 	max      int
 	closed   bool
 }
 
-func newQueue(max int) *queue {
+func newQueue(max int, clk clock.Clock) *queue {
 	if max <= 0 {
 		max = 1
 	}
-	q := &queue{max: max}
+	if clk == nil {
+		clk = clock.Real()
+	}
+	q := &queue{max: max, clk: clk}
 	q.nonEmpty = sync.NewCond(&q.mu)
 	return q
 }
@@ -85,7 +91,7 @@ func (q *queue) oldestWait() time.Duration {
 	if len(q.items) == 0 {
 		return 0
 	}
-	return time.Since(q.items[0].submitted)
+	return q.clk.Since(q.items[0].submitted)
 }
 
 // close stops admission and wakes all blocked pops. Remaining items

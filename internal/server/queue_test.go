@@ -6,7 +6,7 @@ import (
 )
 
 func testJob(id string) *job {
-	j, err := newJob(id, Spec{Kind: KindTiming, Config: "3D", Workload: "patricia"})
+	j, err := newJob(id, Spec{Kind: KindTiming, Config: "3D", Workload: "patricia"}, nil)
 	if err != nil {
 		panic(err)
 	}
@@ -14,7 +14,7 @@ func testJob(id string) *job {
 }
 
 func TestQueueFIFO(t *testing.T) {
-	q := newQueue(3)
+	q := newQueue(3, nil)
 	for _, id := range []string{"a", "b", "c"} {
 		if err := q.push(testJob(id)); err != nil {
 			t.Fatalf("push(%s): %v", id, err)
@@ -32,7 +32,7 @@ func TestQueueFIFO(t *testing.T) {
 }
 
 func TestQueueFull(t *testing.T) {
-	q := newQueue(1)
+	q := newQueue(1, nil)
 	if err := q.push(testJob("a")); err != nil {
 		t.Fatalf("push: %v", err)
 	}
@@ -42,7 +42,7 @@ func TestQueueFull(t *testing.T) {
 }
 
 func TestQueueClose(t *testing.T) {
-	q := newQueue(2)
+	q := newQueue(2, nil)
 	q.push(testJob("a"))
 	q.close()
 	if err := q.push(testJob("b")); err != ErrQueueClosed {
@@ -58,7 +58,7 @@ func TestQueueClose(t *testing.T) {
 }
 
 func TestQueueCloseWakesBlockedPop(t *testing.T) {
-	q := newQueue(1)
+	q := newQueue(1, nil)
 	done := make(chan bool, 1)
 	go func() {
 		_, ok := q.pop()
@@ -77,7 +77,7 @@ func TestQueueCloseWakesBlockedPop(t *testing.T) {
 }
 
 func TestQueueDrainPending(t *testing.T) {
-	q := newQueue(4)
+	q := newQueue(4, nil)
 	q.push(testJob("a"))
 	q.push(testJob("b"))
 	pending := q.drainPending()

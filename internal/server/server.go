@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thermalherd/internal/clock"
 	"thermalherd/internal/config"
 	"thermalherd/internal/faultinject"
 	"thermalherd/internal/trace"
@@ -49,6 +50,8 @@ import (
 // Fault points threaded through the service's hot paths; arm them on
 // a faultinject.Registry passed via Config.Faults. All are no-ops when
 // the registry is nil or disarmed.
+//
+//thermlint:faultpoints
 const (
 	// FaultExec fires in the worker just before the executor runs a
 	// job: an error action fails the job, a panic action exercises the
@@ -99,6 +102,11 @@ type Config struct {
 	// Faults is the chaos-testing fault-injection registry; nil (the
 	// production default) costs one atomic load per fault point.
 	Faults *faultinject.Registry
+
+	// Clock supplies job timestamps, queue-age measurements, and the
+	// watchdog cutoff; nil means the wall clock. Tests inject a
+	// clock.Fake to drive timing-dependent behavior synchronously.
+	Clock clock.Clock
 }
 
 // Server is the simulation-as-a-service daemon. Create one with New,
@@ -147,10 +155,13 @@ func New(cfg Config) *Server {
 			cfg.WatchdogInterval = time.Second
 		}
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
 	s := &Server{
 		cfg:          cfg,
 		mux:          http.NewServeMux(),
-		queue:        newQueue(cfg.QueueDepth),
+		queue:        newQueue(cfg.QueueDepth, cfg.Clock),
 		cache:        newResultCache(cfg.CacheSize, cfg.Faults),
 		metrics:      newMetrics(),
 		faults:       cfg.Faults,
@@ -213,6 +224,7 @@ func (s *Server) Drain(ctx context.Context) error {
 			j.cancel()
 		}
 		s.mu.Unlock()
+		//thermlint:blocking -- every job was just canceled; workers check ctx between phases and the watchdog retires slots that ignore it, so done closes promptly
 		<-done
 		return ctx.Err()
 	}
@@ -264,7 +276,7 @@ func (s *Server) watchdog() {
 // before the stuck slot is told to retire, so Drain's wg.Wait can
 // never observe a transient zero.
 func (s *Server) reapStuck() {
-	cutoff := time.Now().Add(-s.cfg.StuckAfter)
+	cutoff := s.cfg.Clock.Now().Add(-s.cfg.StuckAfter)
 	s.mu.Lock()
 	var stuck []*job
 	for _, j := range s.jobs {
@@ -302,7 +314,7 @@ func (s *Server) runJob(j *job) {
 		ctx, cancel = context.WithTimeout(j.ctx, s.cfg.JobTimeout)
 		defer cancel()
 	}
-	start := time.Now()
+	start := s.cfg.Clock.Now()
 	res, err, panicked := s.execJob(ctx, j)
 	switch {
 	case panicked:
@@ -316,7 +328,7 @@ func (s *Server) runJob(j *job) {
 		}
 	case err != nil && ctx.Err() == context.DeadlineExceeded:
 		msg := fmt.Sprintf("deadline exceeded: job ran %s against a %s job timeout",
-			time.Since(start).Round(time.Millisecond), s.cfg.JobTimeout)
+			s.cfg.Clock.Since(start).Round(time.Millisecond), s.cfg.JobTimeout)
 		if j.finishRunning(StateFailed, nil, msg) {
 			s.metrics.inc(&s.metrics.failed)
 			s.metrics.inc(&s.metrics.deadlineExceeded)
@@ -331,7 +343,7 @@ func (s *Server) runJob(j *job) {
 			s.metrics.inc(&s.metrics.completed)
 		}
 	}
-	s.metrics.observeLatency(j.spec.Kind, time.Since(start))
+	s.metrics.observeLatency(j.spec.Kind, s.cfg.Clock.Since(start))
 }
 
 // register stores j under a fresh id.
@@ -492,7 +504,7 @@ func (s *Server) admit(spec Spec) (Status, int, error) {
 	if err := spec.normalize(); err != nil {
 		return Status{}, http.StatusBadRequest, fmt.Errorf("invalid job: %w", err)
 	}
-	j, err := newJob(s.newID(), spec)
+	j, err := newJob(s.newID(), spec, s.cfg.Clock)
 	if err != nil {
 		return Status{}, http.StatusBadRequest, fmt.Errorf("invalid job: %w", err)
 	}

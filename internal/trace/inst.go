@@ -3,6 +3,11 @@
 // stands in for the paper's 106 application traces (SPEC2000, MediaBench,
 // MiBench, pointer-intensive, graphics, and bioinformatics suites run
 // under SimpleScalar/MASE with SimPoint sampling).
+//
+// Declared deterministic to thermlint: the same generator parameters
+// and seed must reproduce the same instruction stream bit for bit.
+//
+//thermlint:deterministic
 package trace
 
 import "thermalherd/internal/isa"
