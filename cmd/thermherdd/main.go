@@ -8,6 +8,7 @@
 //	thermherdd [-addr :8077] [-workers N] [-queue 64] [-cache 128] [-drain 30s]
 //	           [-job-timeout 0] [-stuck-after 0] [-brownout 0]
 //	           [-faults SPEC] [-fault-seed 1]
+//	           [-journal-dir DIR] [-fsync always|interval|off] [-no-recover]
 //
 // SIGINT/SIGTERM begin a graceful drain: new submissions are rejected
 // with 503, running jobs get the -drain deadline to finish, and the
@@ -22,12 +23,22 @@
 // THERMHERD_FAULTS environment variable) arms the chaos-testing
 // fault-injection registry; see internal/faultinject for the spec
 // grammar. Never arm faults on a daemon doing real work.
+//
+// -journal-dir enables crash-safe durability: accepted jobs are
+// written to a write-ahead log before they are acknowledged, and on
+// restart the daemon replays the journal, re-enqueues unfinished work,
+// and reports "recovering" on /readyz until the replay completes.
+// -fsync picks the append durability policy (always survives power
+// loss; interval bounds loss to ~100ms of acks; off survives process
+// crashes only). -no-recover discards any persisted state instead of
+// replaying it.
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -54,6 +65,10 @@ func main() {
 
 		faults    = flag.String("faults", os.Getenv("THERMHERD_FAULTS"), "fault-injection spec (chaos testing only); defaults to $THERMHERD_FAULTS")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for fault-injection firing decisions")
+
+		journalDir = flag.String("journal-dir", "", "write-ahead journal directory; empty disables durability")
+		fsync      = flag.String("fsync", "always", "journal fsync policy: always, interval, or off")
+		noRecover  = flag.Bool("no-recover", false, "discard persisted journal state instead of replaying it")
 	)
 	flag.Parse()
 
@@ -64,6 +79,9 @@ func main() {
 		JobTimeout:    *jobTimeout,
 		StuckAfter:    *stuckAfter,
 		BrownoutAfter: *brownout,
+		JournalDir:    *journalDir,
+		FsyncPolicy:   *fsync,
+		NoRecover:     *noRecover,
 	}
 	if *faults != "" {
 		reg := faultinject.New()
@@ -75,17 +93,31 @@ func main() {
 			*faultSeed, strings.Join(reg.Points(), ", "))
 	}
 
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("thermherdd: %v", err)
+	}
 	srv.Start()
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	if *journalDir != "" {
+		log.Printf("thermherdd: journal at %s (fsync=%s)", *journalDir, *fsync)
+	}
+
+	// Listen explicitly so ":0" resolves to a real port before the
+	// "listening on" line — the crash-consistency harness starts the
+	// daemon on an ephemeral port and parses the address from the log.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("thermherdd: %v", err)
+	}
+	hs := &http.Server{Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	go func() { errc <- hs.Serve(ln) }()
 	log.Printf("thermherdd: listening on %s (%d workers, queue %d, cache %d)",
-		*addr, *workers, *queueDepth, *cacheSize)
+		ln.Addr(), *workers, *queueDepth, *cacheSize)
 
 	select {
 	case err := <-errc:

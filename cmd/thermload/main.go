@@ -32,6 +32,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -39,6 +40,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"thermalherd/internal/faultinject"
@@ -77,6 +79,9 @@ type options struct {
 	scheduleOut string
 	dryRun      bool
 	strict      bool
+
+	statePath string
+	resume    bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -120,8 +125,14 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.scheduleOut, "schedule-out", "", "also dump the arrival schedule (ns offsets, one per line) to this path")
 	fs.BoolVar(&o.dryRun, "dry-run", false, "synthesize the schedule and specs, write -schedule-out, and exit without sending load")
 	fs.BoolVar(&o.strict, "strict", false, "exit nonzero when the SLO verdict is FAIL")
+	fs.StringVar(&o.statePath, "state", "", "persist resume state (schedule digest + last acked arrival) to this path as the run progresses")
+	fs.BoolVar(&o.resume, "resume", false, "continue the partially completed run recorded in -state instead of restarting from arrival 0")
 	if err := fs.Parse(args); err != nil {
 		return o, err
+	}
+	if o.resume && o.statePath == "" {
+		fmt.Fprintln(fs.Output(), "thermload: -resume requires -state")
+		return o, fmt.Errorf("-resume requires -state")
 	}
 	o.sched.Mode = loadgen.Mode(*mode)
 	return o, nil
@@ -185,6 +196,15 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 		fmt.Fprintf(out, "thermload: self-hosted daemon at %s\n", addr)
 	}
 
+	startIndex, onAcked, err := resumeState(o, sched, out)
+	if err != nil {
+		return nil, err
+	}
+	if startIndex >= len(sched) {
+		fmt.Fprintf(out, "thermload: nothing to resume; all %d arrivals were already acknowledged\n", len(sched))
+		return nil, nil
+	}
+
 	client := loadgen.NewClient(addr, o.retries, o.backoff, o.sched.Seed)
 	rep, err := loadgen.Run(ctx, loadgen.RunConfig{
 		Client:       client,
@@ -197,6 +217,8 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 		SLO:          loadgen.SLO{P95: o.sloP95, P99: o.sloP99, MaxErrorRate: o.sloErrors},
 		Mode:         o.sched.Mode,
 		Seed:         o.sched.Seed,
+		StartIndex:   startIndex,
+		OnAcked:      onAcked,
 	})
 	if err != nil {
 		return nil, err
@@ -214,6 +236,69 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 		}
 	}
 	return rep, nil
+}
+
+// runState is the -state file: enough to verify a later -resume
+// targets the same deterministic schedule and to continue from the
+// last acknowledged arrival. LastAcked is the highest acknowledged
+// schedule index; arrivals at or below it that were shed open-loop are
+// skipped on resume, which the per-arrival idempotency keys make safe
+// (a re-submission of an already-acked index dedupes server-side).
+type runState struct {
+	ScheduleSHA256 string `json:"schedule_sha256"`
+	Seed           int64  `json:"seed"`
+	Mode           string `json:"mode"`
+	LastAcked      int    `json:"last_acked"`
+}
+
+// resumeState wires -state/-resume: it returns the schedule index to
+// start from and an OnAcked callback persisting progress (nil when
+// -state is unset). A -resume against a state file recorded for a
+// different schedule is refused — continuing a different run would
+// silently skip work.
+func resumeState(o options, sched []time.Duration, out *os.File) (int, func(int), error) {
+	if o.statePath == "" {
+		return 0, nil, nil
+	}
+	digest := loadgen.ScheduleSHA256(sched)
+	st := runState{ScheduleSHA256: digest, Seed: o.sched.Seed, Mode: string(o.sched.Mode), LastAcked: -1}
+	if o.resume {
+		b, err := os.ReadFile(o.statePath)
+		if err != nil {
+			return 0, nil, fmt.Errorf("-resume: %w", err)
+		}
+		if err := json.Unmarshal(b, &st); err != nil {
+			return 0, nil, fmt.Errorf("-resume: bad state file %s: %w", o.statePath, err)
+		}
+		if st.ScheduleSHA256 != digest {
+			return 0, nil, fmt.Errorf("-resume: state %s records schedule %.12s but the flags synthesize %.12s (same -mode/-seed/-rps/... required)",
+				o.statePath, st.ScheduleSHA256, digest)
+		}
+		fmt.Fprintf(out, "thermload: resuming at arrival %d of %d\n", st.LastAcked+1, len(sched))
+	} else if err := writeState(o.statePath, st); err != nil {
+		// Seed the file before any ack so a run killed early is still
+		// resumable from arrival 0.
+		return 0, nil, err
+	}
+	var mu sync.Mutex
+	onAcked := func(idx int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if idx <= st.LastAcked {
+			return
+		}
+		st.LastAcked = idx
+		writeState(o.statePath, st)
+	}
+	return st.LastAcked + 1, onAcked, nil
+}
+
+func writeState(path string, st runState) error {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 // chaosCheck is the post-run resilience verdict: the daemon is still
@@ -320,7 +405,10 @@ func selfhost(o options, out *os.File) (func(), string, error) {
 		fmt.Fprintf(out, "thermload: fault points armed (seed %d): %s\n",
 			o.faultSeed, strings.Join(reg.Points(), ", "))
 	}
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		return nil, "", err
+	}
 	srv.Start()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -187,5 +188,100 @@ func TestRunRejectsBadMixFile(t *testing.T) {
 	defer cancel()
 	if _, err := run(ctx, o, os.Stderr); err == nil {
 		t.Fatal("mix with unknown workload accepted")
+	}
+}
+
+// TestResumeContinuesPartialRun exercises -state/-resume: a finished
+// run resumes as a no-op, a rewound state file resumes only the
+// unacked tail, and a state file from a different schedule is refused.
+func TestResumeContinuesPartialRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping ~1s self-hosted resume runs")
+	}
+	dir := t.TempDir()
+	state := filepath.Join(dir, "state.json")
+	flags := func(extra ...string) []string {
+		base := []string{
+			"-selfhost", "-mode", "constant", "-rps", "40", "-duration", "500ms",
+			"-seed", "7", "-inflight", "64", "-timeout", "20s", "-poll", "2ms",
+			"-out", "", "-state", state,
+		}
+		return append(base, extra...)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	mustRun := func(args []string) *loadgen.Report {
+		t.Helper()
+		o, err := parseFlags(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := run(context.Background(), o, devnull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	rep1 := mustRun(flags())
+	if rep1 == nil || rep1.Achieved.Drops != 0 {
+		t.Fatalf("first run: %+v", rep1)
+	}
+	total := rep1.Offered.Arrivals
+
+	var st struct {
+		ScheduleSHA256 string `json:"schedule_sha256"`
+		LastAcked      int    `json:"last_acked"`
+	}
+	b, err := os.ReadFile(state)
+	if err != nil {
+		t.Fatalf("state file: %v", err)
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("state file: %v", err)
+	}
+	if st.LastAcked != total-1 {
+		t.Fatalf("state last_acked = %d, want %d (every arrival acked)", st.LastAcked, total-1)
+	}
+	if st.ScheduleSHA256 != rep1.ScheduleSHA256 {
+		t.Fatalf("state digest %q != report digest %q", st.ScheduleSHA256, rep1.ScheduleSHA256)
+	}
+
+	// Resuming a finished run offers nothing and returns no report.
+	if rep := mustRun(flags("-resume")); rep != nil {
+		t.Fatalf("resume of a finished run produced a report: %+v", rep)
+	}
+
+	// Rewind the state to mid-run: the resume drives only the tail.
+	st.LastAcked = total/2 - 1
+	b, _ = json.Marshal(map[string]any{
+		"schedule_sha256": st.ScheduleSHA256, "seed": 7, "mode": "constant",
+		"last_acked": st.LastAcked,
+	})
+	if err := os.WriteFile(state, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep3 := mustRun(flags("-resume"))
+	if rep3 == nil {
+		t.Fatal("mid-run resume produced no report")
+	}
+	wantTail := total - (st.LastAcked + 1)
+	if rep3.Achieved.Submitted != wantTail {
+		t.Fatalf("resumed run submitted %d arrivals, want the %d-arrival tail",
+			rep3.Achieved.Submitted, wantTail)
+	}
+
+	// Different rate flags synthesize a different schedule; the stale
+	// state file must be refused, not silently skipped past.
+	o, err := parseFlags(flags("-resume", "-rps", "50"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(context.Background(), o, devnull); err == nil ||
+		!strings.Contains(err.Error(), "records schedule") {
+		t.Fatalf("resume against a different schedule: err = %v, want digest refusal", err)
 	}
 }

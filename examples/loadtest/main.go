@@ -31,7 +31,10 @@ func main() {
 
 func run() error {
 	// Host a daemon in-process on a loopback port.
-	srv := server.New(server.Config{Workers: runtime.NumCPU(), QueueDepth: 512, CacheSize: 512})
+	srv, err := server.New(server.Config{Workers: runtime.NumCPU(), QueueDepth: 512, CacheSize: 512})
+	if err != nil {
+		return err
+	}
 	srv.Start()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -1,0 +1,551 @@
+// Package journal is thermherdd's crash-safe write-ahead log for job
+// lifecycle events. Every accepted job and every later transition
+// (started, completed, failed, canceled) is appended as one framed
+// record before the daemon acknowledges it, so a crash — a kill -9, an
+// OOM, a chaos-layer panic that slips past recovery — loses no
+// acknowledged work: on restart the server replays the journal,
+// rebuilds its job table, and re-enqueues whatever was accepted or
+// started but never finished.
+//
+// # Record format
+//
+// The log is a flat sequence of frames:
+//
+//	| length (4B LE) | crc32 (4B LE, IEEE, over payload) | payload |
+//
+// where payload is one JSON-encoded Event. The frame is
+// self-delimiting and self-validating: recovery scans frames in order
+// and stops at the first torn or corrupt one (short header, length
+// past EOF, implausible length, or CRC mismatch), truncating the file
+// there. A torn tail is the expected crash artifact — the tail record
+// was never acknowledged (the append that wrote it did not return), so
+// dropping it breaks no promise.
+//
+// # Fsync policy
+//
+// Durability of the acknowledgment is governed by the fsync policy:
+// FsyncAlways syncs after every append (an acked job survives power
+// loss), FsyncInterval syncs at most once per configured period (a
+// crash can lose the last interval's acks, bounded data loss for much
+// cheaper appends), FsyncOff leaves flushing to the OS (process
+// crashes lose nothing, power loss may lose recent acks).
+//
+// # Snapshot compaction
+//
+// The log would otherwise grow forever, so the server periodically
+// folds its whole job table into a snapshot file (one framed record in
+// snapshot.db, written to a temp file, fsynced, and renamed) and
+// truncates the WAL. Recovery loads the snapshot first, then replays
+// the WAL's events over it; because event application is idempotent, a
+// crash between the snapshot rename and the WAL truncation only
+// replays events the snapshot already contains. A clean shutdown
+// writes a final snapshot with Clean set, so the common restart path
+// replays zero records.
+//
+// Named fault points (FaultAppend, FaultFsync, FaultSnapshot) sit on
+// the fs seam so chaos tests can inject short writes and fsync errors
+// deterministically; an injected append failure really does leave a
+// torn half-frame on disk, exercising the exact recovery path a crash
+// would.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"thermalherd/internal/clock"
+	"thermalherd/internal/faultinject"
+)
+
+// Fault points on the journal's fs seam; arm them on the registry
+// passed via Options.Faults. All are no-ops when the registry is nil
+// or disarmed.
+//
+//thermlint:faultpoints
+const (
+	// FaultAppend fires before a WAL append: an error action fails the
+	// append after writing only half the frame, leaving a genuinely
+	// torn record for recovery to truncate.
+	FaultAppend = "journal.append"
+	// FaultFsync fires before an fsync: an error action surfaces as a
+	// failed append under FsyncAlways (the ack is withheld).
+	FaultFsync = "journal.fsync"
+	// FaultSnapshot fires before a snapshot write: an error action
+	// aborts compaction, leaving the WAL intact.
+	FaultSnapshot = "journal.snapshot"
+)
+
+// EventType enumerates the journaled job-lifecycle transitions.
+type EventType string
+
+const (
+	// EventAccepted records a job entering the queue (or completing
+	// immediately from the result cache); it carries the full spec so
+	// replay can re-enqueue the job.
+	EventAccepted EventType = "accepted"
+	// EventStarted records a worker picking the job up.
+	EventStarted EventType = "started"
+	// EventCompleted records successful completion, carrying the result
+	// so the job table and result cache survive a restart.
+	EventCompleted EventType = "completed"
+	// EventFailed and EventCanceled record the failure-side terminal
+	// states.
+	EventFailed   EventType = "failed"
+	EventCanceled EventType = "canceled"
+)
+
+// Event is one journaled lifecycle transition. Accepted events carry
+// the job's identity (spec, cache key, idempotency key); terminal
+// events carry the outcome.
+type Event struct {
+	Type EventType `json:"t"`
+	ID   string    `json:"id"`
+	// Spec, Key, and IdemKey are set on accepted events.
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	Key     string          `json:"key,omitempty"`
+	IdemKey string          `json:"idem,omitempty"`
+	// Result is set on completed events; FromCache marks completions
+	// answered from the result cache at admission.
+	Result    json.RawMessage `json:"result,omitempty"`
+	FromCache bool            `json:"from_cache,omitempty"`
+	// Error is set on failed and canceled events.
+	Error string `json:"err,omitempty"`
+	// At is the transition's RFC3339Nano timestamp.
+	At string `json:"at,omitempty"`
+}
+
+// JobRecord is one job's full state inside a Snapshot.
+type JobRecord struct {
+	ID        string          `json:"id"`
+	Spec      json.RawMessage `json:"spec"`
+	Key       string          `json:"key"`
+	IdemKey   string          `json:"idem,omitempty"`
+	State     string          `json:"state"`
+	Error     string          `json:"err,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	FromCache bool            `json:"from_cache,omitempty"`
+	Submitted string          `json:"submitted,omitempty"`
+	Started   string          `json:"started,omitempty"`
+	Finished  string          `json:"finished,omitempty"`
+}
+
+// Snapshot is the compacted job table written at compaction points and
+// on clean shutdown.
+type Snapshot struct {
+	// Clean marks a snapshot written by a graceful drain: every job is
+	// terminal and the WAL behind it is empty.
+	Clean bool        `json:"clean"`
+	Jobs  []JobRecord `json:"jobs"`
+}
+
+// FsyncPolicy selects when appends reach stable storage.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs after every append; an acknowledged job
+	// survives power loss.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs at most once per Options.FsyncEvery; a crash
+	// can lose at most that window of acknowledgments.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncOff never syncs explicitly; process crashes lose nothing
+	// (the OS holds the pages), power loss may lose recent acks.
+	FsyncOff FsyncPolicy = "off"
+)
+
+// ParseFsyncPolicy validates a policy string (the -fsync flag).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncInterval, FsyncOff:
+		return FsyncPolicy(s), nil
+	case "":
+		return FsyncAlways, nil
+	}
+	return "", fmt.Errorf("journal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir holds the WAL (wal.log) and snapshot (snapshot.db) files; it
+	// is created if missing.
+	Dir string
+	// Fsync is the append durability policy; empty means FsyncAlways.
+	Fsync FsyncPolicy
+	// FsyncEvery spaces syncs under FsyncInterval; 0 means 100ms.
+	FsyncEvery time.Duration
+	// CompactBytes is the WAL size past which ShouldCompact reports
+	// true; 0 means 4 MiB.
+	CompactBytes int64
+	// Faults is the chaos-testing fault-injection registry (may be nil).
+	Faults *faultinject.Registry
+	// Clock paces interval fsyncs; nil means the wall clock.
+	Clock clock.Clock
+}
+
+// Replay is what Open recovered from disk: the last snapshot (if any)
+// and the WAL events appended after it, in order.
+type Replay struct {
+	// Snapshot is the compacted base state, nil when none was found
+	// (or the snapshot file was itself corrupt).
+	Snapshot *Snapshot
+	// Events are the valid WAL records after the snapshot.
+	Events []Event
+	// TruncatedRecords counts torn or corrupt tails dropped during the
+	// scan (at most one per recovery: the scan stops at the first).
+	TruncatedRecords int
+	// SnapshotCorrupt notes that a snapshot file existed but failed
+	// validation and was ignored.
+	SnapshotCorrupt bool
+	// CleanClose reports a graceful-shutdown artifact: a Clean snapshot
+	// with zero WAL events behind it.
+	CleanClose bool
+}
+
+// Stats counts a journal's I/O since Open.
+type Stats struct {
+	Appends uint64
+	Fsyncs  uint64
+}
+
+const (
+	walName      = "wal.log"
+	snapshotName = "snapshot.db"
+	frameHeader  = 8 // 4B length + 4B CRC32
+	// maxRecord bounds a single frame's payload; a length beyond it is
+	// treated as corruption rather than an allocation request.
+	maxRecord = 64 << 20
+)
+
+// Journal is an open write-ahead log. Methods are safe for concurrent
+// use.
+type Journal struct {
+	opts Options
+	dir  string
+
+	mu       sync.Mutex
+	f        *os.File
+	size     int64
+	lastSync time.Time
+	appends  uint64
+	fsyncs   uint64
+}
+
+// Open recovers the journal in opts.Dir and returns it ready for
+// appends, along with everything it replayed. The WAL is truncated at
+// the first torn or corrupt record so subsequent appends start from a
+// clean frame boundary.
+func Open(opts Options) (*Journal, *Replay, error) {
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("journal: Options.Dir is required")
+	}
+	if opts.Fsync == "" {
+		opts.Fsync = FsyncAlways
+	}
+	if _, err := ParseFsyncPolicy(string(opts.Fsync)); err != nil {
+		return nil, nil, err
+	}
+	if opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = 100 * time.Millisecond
+	}
+	if opts.CompactBytes <= 0 {
+		opts.CompactBytes = 4 << 20
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real()
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+
+	rep := &Replay{}
+	rep.Snapshot, rep.SnapshotCorrupt = readSnapshot(filepath.Join(opts.Dir, snapshotName))
+
+	walPath := filepath.Join(opts.Dir, walName)
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	events, good, torn, err := scanWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: scanning %s: %w", walPath, err)
+	}
+	if torn {
+		rep.TruncatedRecords = 1
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: truncating torn tail of %s: %w", walPath, err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	rep.Events = events
+	rep.CleanClose = rep.Snapshot != nil && rep.Snapshot.Clean && len(events) == 0
+
+	return &Journal{
+		opts:     opts,
+		dir:      opts.Dir,
+		f:        f,
+		size:     good,
+		lastSync: opts.Clock.Now(),
+	}, rep, nil
+}
+
+// scanWAL reads frames from the start of f, returning the decoded
+// events, the offset of the last fully valid frame, and whether a torn
+// or corrupt tail was found. I/O errors other than EOF abort the scan.
+func scanWAL(f *os.File) (events []Event, good int64, torn bool, err error) {
+	r := io.Reader(f)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, false, err
+	}
+	var header [frameHeader]byte
+	for {
+		n, err := io.ReadFull(r, header[:])
+		if err == io.EOF {
+			return events, good, false, nil // clean end on a frame boundary
+		}
+		if err == io.ErrUnexpectedEOF || (err == nil && n < frameHeader) {
+			return events, good, true, nil // torn header
+		}
+		if err != nil {
+			return nil, 0, false, err
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > maxRecord {
+			return events, good, true, nil // implausible length: corrupt
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return events, good, true, nil // torn payload
+			}
+			return nil, 0, false, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return events, good, true, nil // corrupt payload
+		}
+		var ev Event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return events, good, true, nil // CRC-valid but undecodable: corrupt
+		}
+		events = append(events, ev)
+		good += int64(frameHeader) + int64(length)
+	}
+}
+
+// readSnapshot loads and validates the snapshot file. A missing file
+// returns (nil, false); an unreadable or corrupt one returns
+// (nil, true) — recovery then falls back to the WAL alone.
+func readSnapshot(path string) (*Snapshot, bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, !os.IsNotExist(err)
+	}
+	if len(b) < frameHeader {
+		return nil, true
+	}
+	length := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	if int64(length) != int64(len(b)-frameHeader) || crc32.ChecksumIEEE(b[frameHeader:]) != sum {
+		return nil, true
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b[frameHeader:], &snap); err != nil {
+		return nil, true
+	}
+	return &snap, false
+}
+
+// frame renders one CRC32-framed, length-prefixed record.
+func frame(payload []byte) []byte {
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeader:], payload)
+	return buf
+}
+
+// Append journals one event under the configured fsync policy. When it
+// returns nil the event is recorded (durably so under FsyncAlways);
+// when it returns an error the caller must not acknowledge the
+// transition — the frame may be torn on disk, and recovery will drop
+// it.
+func (j *Journal) Append(ev Event) error {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("journal: encoding event: %w", err)
+	}
+	buf := frame(payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ferr := j.opts.Faults.Fire(FaultAppend); ferr != nil {
+		// Simulate the crash artifact an interrupted write leaves
+		// behind: half a frame, which recovery must truncate.
+		n, _ := j.f.Write(buf[:len(buf)/2])
+		j.size += int64(n)
+		return ferr
+	}
+	n, err := j.f.Write(buf)
+	j.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.appends++
+	return j.maybeSyncLocked()
+}
+
+// maybeSyncLocked applies the fsync policy after an append. Caller
+// holds j.mu.
+func (j *Journal) maybeSyncLocked() error {
+	switch j.opts.Fsync {
+	case FsyncOff:
+		return nil
+	case FsyncInterval:
+		if j.opts.Clock.Since(j.lastSync) < j.opts.FsyncEvery {
+			return nil
+		}
+	}
+	return j.syncLocked()
+}
+
+// syncLocked flushes the WAL to stable storage. Caller holds j.mu.
+func (j *Journal) syncLocked() error {
+	if ferr := j.opts.Faults.Fire(FaultFsync); ferr != nil {
+		return ferr
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.fsyncs++
+	j.lastSync = j.opts.Clock.Now()
+	return nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+// ShouldCompact reports whether the WAL has outgrown the compaction
+// threshold; the server answers by folding its job table into
+// WriteSnapshot.
+func (j *Journal) ShouldCompact() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size >= j.opts.CompactBytes
+}
+
+// WriteSnapshot atomically replaces the snapshot file with snap and
+// truncates the WAL behind it. Ordering makes the pair crash-safe:
+// the snapshot lands (temp file, fsync, rename) before the WAL is
+// cut, so a crash between the two replays snapshot-covered events,
+// which application handles idempotently.
+func (j *Journal) WriteSnapshot(snap Snapshot) error {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("journal: encoding snapshot: %w", err)
+	}
+	buf := frame(payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ferr := j.opts.Faults.Fire(FaultSnapshot); ferr != nil {
+		return ferr
+	}
+	path := filepath.Join(j.dir, snapshotName)
+	tmp := path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if _, err := tf.Write(buf); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot write: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot fsync: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot rename: %w", err)
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: truncating WAL after snapshot: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.size = 0
+	return nil
+}
+
+// Reset discards all persisted state (the -no-recover path): the WAL
+// is truncated and the snapshot removed.
+func (j *Journal) Reset() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: reset: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.size = 0
+	if err := os.Remove(filepath.Join(j.dir, snapshotName)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("journal: reset: %w", err)
+	}
+	return nil
+}
+
+// Stats returns append/fsync counts since Open.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{Appends: j.appends, Fsyncs: j.fsyncs}
+}
+
+// Size returns the WAL's current byte length.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Close syncs and closes the WAL file. It does not write a snapshot;
+// a graceful shutdown calls WriteSnapshot first.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	j.f = nil
+	if serr != nil {
+		return fmt.Errorf("journal: close sync: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("journal: close: %w", cerr)
+	}
+	return nil
+}

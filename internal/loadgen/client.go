@@ -100,15 +100,21 @@ func (c *Client) retryDelay(attempt int, retryAfter string) time.Duration {
 	return time.Duration(c.rng.Int63n(int64(ceil)))
 }
 
-// postRetry POSTs body to path, retrying 429/503 responses. It returns
-// the final response body and status code.
-func (c *Client) postRetry(ctx context.Context, path string, body []byte) ([]byte, int, error) {
+// postRetry POSTs body to path, retrying 429/503 responses. A
+// non-empty idemKey rides along as the Idempotency-Key header on every
+// attempt, so a retry (or a rerun after a client restart) of the same
+// logical submission cannot double-execute on a journaling daemon. It
+// returns the final response body and status code.
+func (c *Client) postRetry(ctx context.Context, path string, body []byte, idemKey string) ([]byte, int, error) {
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, 0, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if idemKey != "" {
+			req.Header.Set("Idempotency-Key", idemKey)
+		}
 		c.submitRequests.Add(1)
 		if attempt > 0 {
 			c.retriesUsed.Add(1)
@@ -145,12 +151,13 @@ func errorOf(body []byte, code int) error {
 }
 
 // Submit sends one job and returns its admitted (or cached) status.
-func (c *Client) Submit(ctx context.Context, spec server.Spec) (server.Status, error) {
+// A non-empty idemKey dedupes resubmissions on a journaling daemon.
+func (c *Client) Submit(ctx context.Context, spec server.Spec, idemKey string) (server.Status, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return server.Status{}, err
 	}
-	b, code, err := c.postRetry(ctx, "/v1/jobs", body)
+	b, code, err := c.postRetry(ctx, "/v1/jobs", body, idemKey)
 	if err != nil {
 		return server.Status{}, err
 	}
@@ -165,13 +172,17 @@ func (c *Client) Submit(ctx context.Context, spec server.Spec) (server.Status, e
 }
 
 // SubmitBatch sends specs through POST /v1/jobs:batch and returns the
-// per-spec outcomes in submission order.
-func (c *Client) SubmitBatch(ctx context.Context, specs []server.Spec) ([]server.BatchItem, error) {
-	body, err := json.Marshal(server.BatchRequest{Jobs: specs})
+// per-spec outcomes in submission order. idemKeys, when non-nil, must
+// be one key per spec (empty strings opt individual specs out).
+func (c *Client) SubmitBatch(ctx context.Context, specs []server.Spec, idemKeys []string) ([]server.BatchItem, error) {
+	if idemKeys != nil && len(idemKeys) != len(specs) {
+		return nil, fmt.Errorf("loadgen: %d idempotency keys for %d specs", len(idemKeys), len(specs))
+	}
+	body, err := json.Marshal(server.BatchRequest{Jobs: specs, IdempotencyKeys: idemKeys})
 	if err != nil {
 		return nil, err
 	}
-	b, code, err := c.postRetry(ctx, "/v1/jobs:batch", body)
+	b, code, err := c.postRetry(ctx, "/v1/jobs:batch", body, "")
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -14,7 +15,10 @@ import (
 // httptest for in-process full-loop runs.
 func newDaemon(t *testing.T) *httptest.Server {
 	t.Helper()
-	s := server.New(server.Config{Workers: 4, QueueDepth: 256, CacheSize: 256})
+	s, err := server.New(server.Config{Workers: 4, QueueDepth: 256, CacheSize: 256})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	s.Start()
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
@@ -245,5 +249,98 @@ func TestRunConfigValidation(t *testing.T) {
 		Client: client, Schedule: []time.Duration{0, 1}, Specs: []server.Spec{{}},
 	}); err == nil {
 		t.Error("mismatched schedule/specs accepted")
+	}
+}
+
+// TestBatchRetryAcrossRestartDedupes is the idempotency acceptance
+// test: the same keyed batch, replayed against a restarted journaling
+// daemon (as a client would after losing its connection mid-run),
+// returns the original job ids and executes nothing twice.
+func TestBatchRetryAcrossRestartDedupes(t *testing.T) {
+	const n = 6
+	dir := t.TempDir()
+	cfg := server.Config{Workers: 4, QueueDepth: 64, CacheSize: 64,
+		JournalDir: dir, FsyncPolicy: "always"}
+
+	specs := make([]server.Spec, n)
+	keys := make([]string, n)
+	for i := range specs {
+		specs[i] = server.Spec{Kind: "timing", Config: "TH", Workload: "bitcount",
+			Depths: server.Depths{FastForward: 2000 + uint64(i), Warmup: 500, Measure: 1000}}
+		keys[i] = fmt.Sprintf("lg-7-%d", i)
+	}
+
+	s1, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	s1.Start()
+	ts1 := httptest.NewServer(s1)
+	c1 := NewClient(ts1.URL, 2, 10*time.Millisecond, 1)
+	items, err := c1.SubmitBatch(context.Background(), specs, keys)
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	ids := make([]string, n)
+	for i, it := range items {
+		if it.Status == nil {
+			t.Fatalf("batch item %d rejected: %s", i, it.Error)
+		}
+		ids[i] = it.Status.ID
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			st, err := c1.JobStatus(context.Background(), ids[i])
+			if err != nil {
+				t.Fatalf("JobStatus: %v", err)
+			}
+			if st.State == server.StateDone {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", ids[i], st.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	s1.Drain(dctx)
+	dcancel()
+	ts1.Close()
+
+	// Restart on the same journal; the retried batch must dedupe.
+	s2, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New (restart): %v", err)
+	}
+	s2.Start()
+	ts2 := httptest.NewServer(s2)
+	t.Cleanup(func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Drain(ctx)
+	})
+	c2 := NewClient(ts2.URL, 2, 10*time.Millisecond, 1)
+	items2, err := c2.SubmitBatch(context.Background(), specs, keys)
+	if err != nil {
+		t.Fatalf("SubmitBatch (retry): %v", err)
+	}
+	for i, it := range items2 {
+		if it.Status == nil {
+			t.Fatalf("retried item %d rejected: %s", i, it.Error)
+		}
+		if it.Status.ID != ids[i] {
+			t.Fatalf("retried item %d got job %s, want original %s", i, it.Status.ID, ids[i])
+		}
+	}
+	doc, err := c2.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricsCounter(t, doc, "jobs", "deduped"); got != n {
+		t.Fatalf("jobs.deduped = %v, want %d", got, n)
+	}
+	if got := metricsCounter(t, doc, "jobs", "completed"); got != n {
+		t.Fatalf("jobs.completed = %v, want %d (replayed, not re-executed)", got, n)
 	}
 }

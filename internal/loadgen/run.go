@@ -35,19 +35,40 @@ type RunConfig struct {
 	// SLO is the pass/fail contract evaluated into the report.
 	SLO SLO
 	// Mode and Seed annotate the report (the schedule is already
-	// materialized; these record where it came from).
+	// materialized; these record where it came from). Seed also derives
+	// each arrival's Idempotency-Key ("lg-<seed>-<index>"), so a rerun
+	// of the same schedule against a journaling daemon dedupes instead
+	// of double-executing.
 	Mode Mode
 	Seed int64
+	// StartIndex skips arrivals before it and re-anchors the remaining
+	// offsets to fire immediately; thermload -resume continues a
+	// partially completed run with it. Skipped arrivals are not counted
+	// as drops.
+	StartIndex int
+	// OnAcked, when set, is called with an arrival's schedule index
+	// after the daemon acknowledges its submission. It may be called
+	// concurrently and out of order; thermload persists resume state
+	// from it.
+	OnAcked func(index int)
 	// Clock supplies the run's time source; nil means the wall clock.
 	// Tests inject a clock.Fake to drive the schedule synchronously.
 	Clock clock.Clock
 }
 
-// arrival is one scheduled request: its pre-sampled spec and the time
-// it was fired, which anchors its latency and timeout.
+// arrival is one scheduled request: its pre-sampled spec, its schedule
+// index (which derives its idempotency key), and the time it was
+// fired, which anchors its latency and timeout.
 type arrival struct {
 	spec server.Spec
+	idx  int
 	at   time.Time
+}
+
+// idemKey derives the deterministic Idempotency-Key for schedule index
+// idx of a run seeded with seed.
+func idemKey(seed int64, idx int) string {
+	return fmt.Sprintf("lg-%d-%d", seed, idx)
 }
 
 // Run executes the schedule open-loop: arrivals fire at their offsets
@@ -97,10 +118,18 @@ func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
 		}()
 	}
 
+	if cfg.StartIndex < 0 || cfg.StartIndex >= len(cfg.Schedule) {
+		return nil, fmt.Errorf("loadgen: StartIndex %d out of range for %d arrivals", cfg.StartIndex, len(cfg.Schedule))
+	}
+	// Resume re-anchors the remaining offsets so the first unfinished
+	// arrival fires immediately instead of waiting out the original
+	// schedule position.
+	base := cfg.Schedule[cfg.StartIndex]
+
 	start := cfg.Clock.Now()
 schedule:
-	for i := range cfg.Schedule {
-		if wait := start.Add(cfg.Schedule[i]).Sub(cfg.Clock.Now()); wait > 0 {
+	for i := cfg.StartIndex; i < len(cfg.Schedule); i++ {
+		if wait := start.Add(cfg.Schedule[i] - base).Sub(cfg.Clock.Now()); wait > 0 {
 			select {
 			case <-ctx.Done():
 				rec.dropN(len(cfg.Schedule) - i)
@@ -110,7 +139,7 @@ schedule:
 		}
 		select {
 		case sem <- struct{}{}:
-			a := arrival{spec: cfg.Specs[i], at: cfg.Clock.Now()}
+			a := arrival{spec: cfg.Specs[i], idx: i, at: cfg.Clock.Now()}
 			if cfg.BatchSize == 1 {
 				wg.Add(1)
 				go func() {
@@ -138,12 +167,15 @@ func fireOne(ctx context.Context, cfg RunConfig, rec *recorder, sem chan struct{
 	defer func() { <-sem }()
 	rctx, cancel := context.WithDeadline(ctx, a.at.Add(cfg.Timeout))
 	defer cancel()
-	st, err := cfg.Client.Submit(rctx, a.spec)
+	st, err := cfg.Client.Submit(rctx, a.spec, idemKey(cfg.Seed, a.idx))
 	if err != nil {
 		rec.submitError(rctx)
 		return
 	}
 	rec.submitted()
+	if cfg.OnAcked != nil {
+		cfg.OnAcked(a.idx)
+	}
 	track(rctx, cfg, rec, a, st)
 }
 
@@ -155,10 +187,12 @@ func fireBatch(ctx context.Context, cfg RunConfig, rec *recorder, sem chan struc
 	// buffering time cannot extend any item's budget.
 	bctx, cancel := context.WithDeadline(ctx, batch[0].at.Add(cfg.Timeout))
 	specs := make([]server.Spec, len(batch))
+	keys := make([]string, len(batch))
 	for i, a := range batch {
 		specs[i] = a.spec
+		keys[i] = idemKey(cfg.Seed, a.idx)
 	}
-	items, err := cfg.Client.SubmitBatch(bctx, specs)
+	items, err := cfg.Client.SubmitBatch(bctx, specs, keys)
 	cancel()
 	if err != nil {
 		rec.batchError(bctx, len(batch))
@@ -178,6 +212,9 @@ func fireBatch(ctx context.Context, cfg RunConfig, rec *recorder, sem chan struc
 			continue
 		}
 		rec.submitted()
+		if cfg.OnAcked != nil {
+			cfg.OnAcked(a.idx)
+		}
 		wg.Add(1)
 		go func(a arrival, st server.Status) {
 			defer wg.Done()

@@ -12,9 +12,13 @@ import (
 // admission path.
 const MaxBatchJobs = 256
 
-// BatchRequest is the POST /v1/jobs:batch payload.
+// BatchRequest is the POST /v1/jobs:batch payload. IdempotencyKeys is
+// optional; when present it must be one key per spec (empty strings
+// opt individual specs out), and each key dedupes resubmissions the
+// same way the Idempotency-Key header does for single submits.
 type BatchRequest struct {
-	Jobs []Spec `json:"jobs"`
+	Jobs            []Spec   `json:"jobs"`
+	IdempotencyKeys []string `json:"idempotency_keys,omitempty"`
 }
 
 // BatchItem is the per-spec outcome inside a BatchResponse: exactly
@@ -59,10 +63,19 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch of %d jobs exceeds the %d-job limit", len(req.Jobs), MaxBatchJobs)
 		return
 	}
+	if len(req.IdempotencyKeys) != 0 && len(req.IdempotencyKeys) != len(req.Jobs) {
+		writeError(w, http.StatusBadRequest, "idempotency_keys length %d does not match jobs length %d",
+			len(req.IdempotencyKeys), len(req.Jobs))
+		return
+	}
 	s.metrics.inc(&s.metrics.batchRequests)
 	resp := BatchResponse{Jobs: make([]BatchItem, len(req.Jobs))}
 	for i, spec := range req.Jobs {
-		st, code, err := s.admit(spec)
+		var idemKey string
+		if len(req.IdempotencyKeys) > 0 {
+			idemKey = req.IdempotencyKeys[i]
+		}
+		st, code, err := s.admit(spec, idemKey)
 		if err != nil {
 			resp.Jobs[i] = BatchItem{Error: err.Error(), Code: code}
 			continue

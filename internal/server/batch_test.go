@@ -129,7 +129,10 @@ func TestBatchSubmitRejectsBadShapes(t *testing.T) {
 }
 
 func TestBatchSubmitDraining503(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 2, CacheSize: 2})
+	s, err := New(Config{Workers: 1, QueueDepth: 2, CacheSize: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	s.Start()
 	ctx, cancel := context.WithTimeout(context.Background(), 5e9)
 	defer cancel()

@@ -389,7 +389,10 @@ func TestReadyzFresh(t *testing.T) {
 // submissions and cancellations (run under -race in CI): no crash, no
 // stuck job, and post-drain submissions bounce with 503.
 func TestDrainRacesSubmissionsAndCancels(t *testing.T) {
-	s := New(Config{Workers: 4, QueueDepth: 32, CacheSize: 8})
+	s, err := New(Config{Workers: 4, QueueDepth: 32, CacheSize: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	stubExec(s, func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error) {
 		select {
 		case <-ctx.Done():
@@ -469,7 +472,10 @@ func TestDrainRacesSubmissionsAndCancels(t *testing.T) {
 // the aged backlog is canceled, readiness reports draining (drain
 // outranks brownout), and nothing deadlocks.
 func TestDrainWhileBrownout(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 16, CacheSize: 4, BrownoutAfter: 30 * time.Millisecond})
+	s, err := New(Config{Workers: 1, QueueDepth: 16, CacheSize: 4, BrownoutAfter: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	stubExec(s, func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()

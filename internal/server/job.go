@@ -12,6 +12,7 @@ import (
 	"thermalherd/internal/clock"
 	"thermalherd/internal/config"
 	"thermalherd/internal/experiments"
+	"thermalherd/internal/journal"
 	"thermalherd/internal/trace"
 )
 
@@ -358,4 +359,81 @@ func (j *job) snapshotResult() (State, json.RawMessage, string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state, j.result, j.err
+}
+
+// record renders the job as a journal snapshot entry.
+func (j *job) record(idemKey string) journal.JobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	spec, _ := marshalSpec(j.spec)
+	rec := journal.JobRecord{
+		ID:        j.id,
+		Spec:      spec,
+		Key:       j.key,
+		IdemKey:   idemKey,
+		State:     string(j.state),
+		Error:     j.err,
+		Result:    j.result,
+		FromCache: j.fromCache,
+		Submitted: j.submitted.Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		rec.Started = j.started.Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		rec.Finished = j.finished.Format(time.RFC3339Nano)
+	}
+	return rec
+}
+
+// parseEventTime is lenient: journal timestamps are advisory metadata,
+// and a record with an unparsable one still recovers (with a zero
+// time) rather than aborting replay.
+func parseEventTime(s string) time.Time {
+	t, _ := time.Parse(time.RFC3339Nano, s)
+	return t
+}
+
+// newJobFromRecord rebuilds a job from a journal snapshot entry (or a
+// record synthesized from replayed events). Recovered pending jobs
+// come back as queued — a job that was running when the process died
+// restarts from scratch, which is safe because execution is
+// deterministic and results are content-addressed.
+func newJobFromRecord(rec journal.JobRecord, clk clock.Clock) (*job, error) {
+	var spec Spec
+	if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+		return nil, fmt.Errorf("job %s: bad journaled spec: %w", rec.ID, err)
+	}
+	if clk == nil {
+		clk = clock.Real()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:        rec.ID,
+		spec:      spec,
+		key:       rec.Key,
+		clk:       clk,
+		ctx:       ctx,
+		cancel:    cancel,
+		abandoned: make(chan struct{}),
+		err:       rec.Error,
+		result:    rec.Result,
+		fromCache: rec.FromCache,
+		submitted: parseEventTime(rec.Submitted),
+		started:   parseEventTime(rec.Started),
+		finished:  parseEventTime(rec.Finished),
+	}
+	switch State(rec.State) {
+	case StateDone, StateFailed, StateCanceled:
+		j.state = State(rec.State)
+		j.cancel() // terminal; release the context immediately
+	default:
+		// queued or running: both restart from the queue.
+		j.state = StateQueued
+		j.started = time.Time{}
+		j.finished = time.Time{}
+		j.err = ""
+		j.result = nil
+	}
+	return j, nil
 }

@@ -24,6 +24,16 @@ const (
 	metricJobsRejected         = "jobs.rejected"
 	metricJobsPanicsRecovered  = "jobs.panics_recovered"
 	metricJobsDeadlineExceeded = "jobs.deadline_exceeded"
+	metricJobsDeduped          = "jobs.deduped"
+
+	// Journal durability metrics: appends/fsyncs count WAL I/O since
+	// boot; replayed/truncated_records/recovered_jobs describe the last
+	// startup recovery. All zero when -journal-dir is unset.
+	metricJournalAppends   = "journal.appends"
+	metricJournalFsyncs    = "journal.fsyncs"
+	metricJournalReplayed  = "journal.replayed"
+	metricJournalTruncated = "journal.truncated_records"
+	metricJournalRecovered = "journal.recovered_jobs"
 
 	metricAdmissionBrownoutRejects = "admission.brownout_rejects"
 	metricAdmissionBrownoutActive  = "admission.brownout_active"
@@ -74,6 +84,12 @@ func MetricNames() []string {
 		metricJobsRejected,
 		metricJobsPanicsRecovered,
 		metricJobsDeadlineExceeded,
+		metricJobsDeduped,
+		metricJournalAppends,
+		metricJournalFsyncs,
+		metricJournalReplayed,
+		metricJournalTruncated,
+		metricJournalRecovered,
 		metricAdmissionBrownoutRejects,
 		metricAdmissionBrownoutActive,
 		metricWorkersPool,

@@ -27,6 +27,11 @@ type metrics struct {
 	brownoutRejects  stats.Counter
 	workerRestarts   stats.Counter
 
+	// deduped attributes submissions answered by idempotency-key
+	// dedup; each is also counted in submitted and cacheHits (the
+	// submission was absorbed without executing anything).
+	deduped stats.Counter
+
 	cacheHits   stats.Counter
 	cacheMisses stats.Counter
 
@@ -73,6 +78,13 @@ type gauges struct {
 	// faultsInjected is the per-fault-point injected count from the
 	// fault-injection registry (empty when disarmed).
 	faultsInjected map[string]uint64
+	// Journal durability gauges; all zero when the journal is disabled
+	// (the keys are still emitted so dashboards need no conditionals).
+	journalAppends   uint64
+	journalFsyncs    uint64
+	journalReplayed  uint64
+	journalTruncated uint64
+	journalRecovered uint64
 }
 
 // snapshot renders the metrics as the /metrics JSON document. The
@@ -110,6 +122,13 @@ func (m *metrics) snapshot(g gauges) map[string]any {
 		metricJobsRejected:         m.rejected.Value(),
 		metricJobsPanicsRecovered:  m.panicsRecovered.Value(),
 		metricJobsDeadlineExceeded: m.deadlineExceeded.Value(),
+		metricJobsDeduped:          m.deduped.Value(),
+
+		metricJournalAppends:   g.journalAppends,
+		metricJournalFsyncs:    g.journalFsyncs,
+		metricJournalReplayed:  g.journalReplayed,
+		metricJournalTruncated: g.journalTruncated,
+		metricJournalRecovered: g.journalRecovered,
 
 		metricAdmissionBrownoutRejects: m.brownoutRejects.Value(),
 		metricAdmissionBrownoutActive:  g.brownoutActive,

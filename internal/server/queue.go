@@ -71,6 +71,20 @@ func (q *queue) pop() (*job, bool) {
 	return j, true
 }
 
+// requeue appends j past the capacity bound; startup recovery uses it
+// so a replayed backlog larger than QueueDepth is never silently
+// dropped (the bound protects live admission, not recovered work).
+func (q *queue) requeue(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	q.items = append(q.items, j)
+	q.nonEmpty.Signal()
+	return nil
+}
+
 // len returns the current queue depth.
 func (q *queue) len() int {
 	q.mu.Lock()

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"thermalherd/internal/journal"
+)
+
+// This file is the server side of crash recovery: applyReplay folds
+// what journal.Open recovered into a live job table, and the small
+// helpers around it (logEvent, snapshotJobs, compactMaybe,
+// closeJournal) keep the journal in step with the table afterwards.
+
+// logEvent journals one lifecycle transition, stamping the timestamp.
+// It is a no-op without a journal. Admission treats a failure as a
+// rejection (the durability promise is the ack); later transitions
+// call it best-effort — a lost terminal event only means the job
+// re-runs after a crash, which content-addressed execution makes safe.
+func (s *Server) logEvent(ev journal.Event) error {
+	if s.journal == nil {
+		return nil
+	}
+	ev.At = s.cfg.Clock.Now().Format(time.RFC3339Nano)
+	return s.journal.Append(ev)
+}
+
+// applyReplay rebuilds the job table from the journal's snapshot plus
+// the WAL events behind it. Event application is idempotent — an
+// accepted event for a known id, or a terminal event on an already
+// terminal record, is skipped — so replaying events the snapshot
+// already covers (the crash-between-snapshot-and-truncate window)
+// changes nothing, and a completed job can never be resurrected or
+// double-counted. Jobs that were accepted or started but not finished
+// come back as queued and are re-enqueued in their original order.
+func (s *Server) applyReplay() {
+	rep := s.replay
+	if s.journal == nil || rep == nil {
+		return
+	}
+	s.replay = nil // one-shot; free the buffered events
+
+	recs := make(map[string]*journal.JobRecord)
+	var order []string
+	if rep.Snapshot != nil {
+		for i := range rep.Snapshot.Jobs {
+			rec := rep.Snapshot.Jobs[i]
+			if _, ok := recs[rec.ID]; !ok {
+				order = append(order, rec.ID)
+			}
+			recs[rec.ID] = &rec
+		}
+	}
+	terminal := func(state string) bool {
+		switch State(state) {
+		case StateDone, StateFailed, StateCanceled:
+			return true
+		}
+		return false
+	}
+	for _, ev := range rep.Events {
+		switch ev.Type {
+		case journal.EventAccepted:
+			if _, ok := recs[ev.ID]; ok {
+				continue
+			}
+			recs[ev.ID] = &journal.JobRecord{
+				ID: ev.ID, Spec: ev.Spec, Key: ev.Key, IdemKey: ev.IdemKey,
+				State: string(StateQueued), Submitted: ev.At,
+			}
+			order = append(order, ev.ID)
+		case journal.EventStarted:
+			if rec, ok := recs[ev.ID]; ok && !terminal(rec.State) {
+				rec.State = string(StateRunning)
+				rec.Started = ev.At
+			}
+		case journal.EventCompleted:
+			if rec, ok := recs[ev.ID]; ok && !terminal(rec.State) {
+				rec.State = string(StateDone)
+				rec.Result = ev.Result
+				rec.FromCache = ev.FromCache
+				rec.Finished = ev.At
+			}
+		case journal.EventFailed:
+			if rec, ok := recs[ev.ID]; ok && !terminal(rec.State) {
+				rec.State = string(StateFailed)
+				rec.Error = ev.Error
+				rec.Finished = ev.At
+			}
+		case journal.EventCanceled:
+			if rec, ok := recs[ev.ID]; ok && !terminal(rec.State) {
+				rec.State = string(StateCanceled)
+				rec.Error = ev.Error
+				rec.Finished = ev.At
+			}
+		}
+	}
+
+	var requeued uint64
+	for _, id := range order {
+		rec := recs[id]
+		j, err := newJobFromRecord(*rec, s.cfg.Clock)
+		if err != nil {
+			continue // undecodable record; drop rather than refuse to boot
+		}
+		s.register(j, rec.IdemKey)
+		// Rebuild the counters the recovered jobs would have produced
+		// live, preserving submitted == hits + terminal + rejected.
+		s.metrics.inc(&s.metrics.submitted)
+		switch State(rec.State) {
+		case StateDone:
+			if rec.FromCache {
+				s.metrics.inc(&s.metrics.cacheHits)
+			} else {
+				s.metrics.inc(&s.metrics.cacheMisses)
+				s.metrics.inc(&s.metrics.completed)
+			}
+			if len(rec.Result) > 0 && rec.Key != "" {
+				// Warm the result cache so resubmissions of recovered
+				// work stay hits across the restart.
+				s.cache.put(rec.Key, rec.Result)
+			}
+		case StateFailed:
+			s.metrics.inc(&s.metrics.cacheMisses)
+			s.metrics.inc(&s.metrics.failed)
+		case StateCanceled:
+			s.metrics.inc(&s.metrics.cacheMisses)
+			s.metrics.inc(&s.metrics.canceled)
+		default:
+			s.metrics.inc(&s.metrics.cacheMisses)
+			if err := s.queue.requeue(j); err != nil {
+				if j.cancelQueued("recovery requeue failed: " + err.Error()) {
+					s.metrics.inc(&s.metrics.canceled)
+				}
+				continue
+			}
+			requeued++
+		}
+	}
+
+	// Resume id minting past every recovered id so new jobs never
+	// collide with journaled ones.
+	s.mu.Lock()
+	for id := range s.jobs {
+		if n, ok := parseJobID(id); ok && n > s.nextID {
+			s.nextID = n
+		}
+	}
+	s.mu.Unlock()
+
+	s.replayStats.replayed = uint64(len(rep.Events))
+	s.replayStats.truncated = uint64(rep.TruncatedRecords)
+	s.replayStats.recovered = requeued
+}
+
+// parseJobID extracts the numeric suffix of a "job-%06d" id.
+func parseJobID(id string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	return n, err == nil
+}
+
+// snapshotJobs folds the current job table into journal records,
+// sorted by id for deterministic snapshots.
+func (s *Server) snapshotJobs() []journal.JobRecord {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	idemByID := make(map[string]string, len(s.idem))
+	for key, id := range s.idem {
+		idemByID[id] = key
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+	recs := make([]journal.JobRecord, len(jobs))
+	for i, j := range jobs {
+		recs[i] = j.record(idemByID[j.id])
+	}
+	return recs
+}
+
+// compactMaybe snapshots the job table when the WAL has outgrown its
+// threshold. Events appended between the table copy and the WAL
+// truncation can be lost to the snapshot's slightly older view; the
+// cost is bounded to re-running those jobs after a crash, never to
+// double-completing one (replay application is idempotent).
+func (s *Server) compactMaybe() {
+	if s.journal == nil || !s.journal.ShouldCompact() {
+		return
+	}
+	s.journal.WriteSnapshot(journal.Snapshot{Jobs: s.snapshotJobs()})
+}
+
+// closeJournal finishes a drain: the whole (now terminal) job table is
+// written as a clean snapshot so the next boot replays zero records,
+// then the WAL is closed.
+func (s *Server) closeJournal() {
+	if s.journal == nil {
+		return
+	}
+	s.journal.WriteSnapshot(journal.Snapshot{Clean: true, Jobs: s.snapshotJobs()})
+	s.journal.Close()
+}

@@ -44,6 +44,7 @@ import (
 	"thermalherd/internal/clock"
 	"thermalherd/internal/config"
 	"thermalherd/internal/faultinject"
+	"thermalherd/internal/journal"
 	"thermalherd/internal/trace"
 )
 
@@ -99,6 +100,25 @@ type Config struct {
 	// hits are still served). 0 disables brownout.
 	BrownoutAfter time.Duration
 
+	// JournalDir enables crash-safe durability: every job lifecycle
+	// transition is appended to a write-ahead log there before it is
+	// acknowledged, and on startup the journal is replayed to rebuild
+	// the job table and re-enqueue unfinished work. Empty (the default)
+	// keeps all state in memory.
+	JournalDir string
+	// FsyncPolicy is the journal's append durability policy: "always"
+	// (default), "interval", or "off". Ignored without JournalDir.
+	FsyncPolicy string
+	// FsyncEvery spaces journal syncs under the "interval" policy;
+	// 0 means 100ms.
+	FsyncEvery time.Duration
+	// JournalCompactBytes is the WAL size that triggers snapshot
+	// compaction; 0 means 4 MiB.
+	JournalCompactBytes int64
+	// NoRecover discards any persisted journal state at startup instead
+	// of replaying it.
+	NoRecover bool
+
 	// Faults is the chaos-testing fault-injection registry; nil (the
 	// production default) costs one atomic load per fault point.
 	Faults *faultinject.Registry
@@ -123,6 +143,19 @@ type Server struct {
 	mu     sync.Mutex
 	jobs   map[string]*job
 	nextID uint64
+	// idem maps client Idempotency-Key values to the job id that first
+	// carried them, so a retried submission (including one replayed
+	// across a restart) is answered with the original job instead of
+	// re-executing. Guarded by mu; rebuilt from the journal on recovery.
+	idem map[string]string
+
+	// journal is the write-ahead log (nil when durability is off);
+	// replay holds what Open recovered until Start applies it, and
+	// recovering gates /readyz until that replay completes.
+	journal     *journal.Journal
+	replay      *journal.Replay
+	recovering  atomic.Bool
+	replayStats struct{ replayed, truncated, recovered uint64 }
 
 	running  atomic.Int64
 	draining atomic.Bool
@@ -135,8 +168,11 @@ type Server struct {
 	exec func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error)
 }
 
-// New builds a server; call Start before serving requests.
-func New(cfg Config) *Server {
+// New builds a server; call Start before serving requests. With
+// Config.JournalDir set it also opens (and recovers) the write-ahead
+// journal, which can fail — a server refusing to start beats one
+// silently running without the durability it was asked for.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
@@ -166,16 +202,55 @@ func New(cfg Config) *Server {
 		metrics:      newMetrics(),
 		faults:       cfg.Faults,
 		jobs:         make(map[string]*job),
+		idem:         make(map[string]string),
 		watchdogStop: make(chan struct{}),
 		exec:         runSpec,
 	}
+	if cfg.JournalDir != "" {
+		pol, err := journal.ParseFsyncPolicy(cfg.FsyncPolicy)
+		if err != nil {
+			return nil, err
+		}
+		jnl, rep, err := journal.Open(journal.Options{
+			Dir:          cfg.JournalDir,
+			Fsync:        pol,
+			FsyncEvery:   cfg.FsyncEvery,
+			CompactBytes: cfg.JournalCompactBytes,
+			Faults:       cfg.Faults,
+			Clock:        cfg.Clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.NoRecover {
+			if err := jnl.Reset(); err != nil {
+				jnl.Close()
+				return nil, err
+			}
+			rep = nil
+		}
+		s.journal = jnl
+		s.replay = rep
+		// Not ready until Start replays; /readyz reports "recovering".
+		s.recovering.Store(true)
+	}
 	s.routes()
-	return s
+	return s, nil
 }
 
-// Start launches the worker pool and, when configured, the
-// stuck-worker watchdog.
+// Start applies the journal replay (rebuilding the job table and
+// re-enqueuing unfinished work before any worker can race it), then
+// launches the worker pool and, when configured, the stuck-worker
+// watchdog.
 func (s *Server) Start() {
+	s.applyReplay()
+	if s.journal != nil {
+		// Boot compaction: fold the recovered table into a snapshot so
+		// the WAL restarts empty and the next crash replays only events
+		// from this incarnation.
+		s.journal.WriteSnapshot(journal.Snapshot{Jobs: s.snapshotJobs()})
+	}
+	s.recovering.Store(false)
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -203,6 +278,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	for _, j := range s.queue.drainPending() {
 		if j.cancelQueued("server shutting down") {
 			s.metrics.inc(&s.metrics.canceled)
+			s.logEvent(journal.Event{Type: journal.EventCanceled, ID: j.id, Error: "server shutting down"})
 		}
 	}
 	s.queue.close()
@@ -213,6 +289,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeJournal()
 		return nil
 	case <-ctx.Done():
 		// Deadline passed: cancel whatever is still running and wait
@@ -226,6 +303,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.mu.Unlock()
 		//thermlint:blocking -- every job was just canceled; workers check ctx between phases and the watchdog retires slots that ignore it, so done closes promptly
 		<-done
+		s.closeJournal()
 		return ctx.Err()
 	}
 }
@@ -293,6 +371,7 @@ func (s *Server) reapStuck() {
 		j.cancel()
 		s.metrics.inc(&s.metrics.failed)
 		s.metrics.inc(&s.metrics.workerRestarts)
+		s.logEvent(journal.Event{Type: journal.EventFailed, ID: j.id, Error: msg})
 		s.wg.Add(1)
 		go s.worker()
 		close(j.abandoned)
@@ -306,6 +385,7 @@ func (s *Server) runJob(j *job) {
 	if !j.tryStart() {
 		return // canceled while queued; already counted
 	}
+	s.logEvent(journal.Event{Type: journal.EventStarted, ID: j.id})
 	s.running.Add(1)
 	defer s.running.Add(-1)
 	ctx := j.ctx
@@ -321,10 +401,12 @@ func (s *Server) runJob(j *job) {
 		if j.finishRunning(StateFailed, nil, "recovered "+err.Error()) {
 			s.metrics.inc(&s.metrics.failed)
 			s.metrics.inc(&s.metrics.panicsRecovered)
+			s.logEvent(journal.Event{Type: journal.EventFailed, ID: j.id, Error: "recovered panic"})
 		}
 	case j.ctx.Err() != nil:
 		if j.finishRunning(StateCanceled, nil, "canceled: "+j.ctx.Err().Error()) {
 			s.metrics.inc(&s.metrics.canceled)
+			s.logEvent(journal.Event{Type: journal.EventCanceled, ID: j.id, Error: j.ctx.Err().Error()})
 		}
 	case err != nil && ctx.Err() == context.DeadlineExceeded:
 		msg := fmt.Sprintf("deadline exceeded: job ran %s against a %s job timeout",
@@ -332,24 +414,32 @@ func (s *Server) runJob(j *job) {
 		if j.finishRunning(StateFailed, nil, msg) {
 			s.metrics.inc(&s.metrics.failed)
 			s.metrics.inc(&s.metrics.deadlineExceeded)
+			s.logEvent(journal.Event{Type: journal.EventFailed, ID: j.id, Error: msg})
 		}
 	case err != nil:
 		if j.finishRunning(StateFailed, nil, err.Error()) {
 			s.metrics.inc(&s.metrics.failed)
+			s.logEvent(journal.Event{Type: journal.EventFailed, ID: j.id, Error: err.Error()})
 		}
 	default:
 		if j.finishRunning(StateDone, res, "") {
 			s.cache.put(j.key, res)
 			s.metrics.inc(&s.metrics.completed)
+			s.logEvent(journal.Event{Type: journal.EventCompleted, ID: j.id, Result: res})
 		}
 	}
 	s.metrics.observeLatency(j.spec.Kind, s.cfg.Clock.Since(start))
+	s.compactMaybe()
 }
 
-// register stores j under a fresh id.
-func (s *Server) register(j *job) {
+// register stores j under a fresh id, recording its idempotency key
+// (when the client sent one) for dedup.
+func (s *Server) register(j *job, idemKey string) {
 	s.mu.Lock()
 	s.jobs[j.id] = j
+	if idemKey != "" {
+		s.idem[idemKey] = j.id
+	}
 	s.mu.Unlock()
 }
 
@@ -374,16 +464,24 @@ func (s *Server) newID() string {
 // logs and tests.
 func (s *Server) Metrics() map[string]any {
 	browning, _ := s.brownout()
-	return s.metrics.snapshot(gauges{
-		queueDepth:     s.queue.len(),
-		queueCap:       s.queue.cap(),
-		running:        int(s.running.Load()),
-		cacheLen:       s.cache.len(),
-		cacheCap:       s.cache.capacity(),
-		workers:        s.cfg.Workers,
-		brownoutActive: browning,
-		faultsInjected: s.faults.Counts(),
-	})
+	g := gauges{
+		queueDepth:       s.queue.len(),
+		queueCap:         s.queue.cap(),
+		running:          int(s.running.Load()),
+		cacheLen:         s.cache.len(),
+		cacheCap:         s.cache.capacity(),
+		workers:          s.cfg.Workers,
+		brownoutActive:   browning,
+		faultsInjected:   s.faults.Counts(),
+		journalReplayed:  s.replayStats.replayed,
+		journalTruncated: s.replayStats.truncated,
+		journalRecovered: s.replayStats.recovered,
+	}
+	if s.journal != nil {
+		st := s.journal.Stats()
+		g.journalAppends, g.journalFsyncs = st.Appends, st.Fsyncs
+	}
+	return s.metrics.snapshot(g)
 }
 
 // routes installs the HTTP endpoints.
@@ -496,13 +594,38 @@ func setRetryAfter(w http.ResponseWriter, err error) {
 	}
 }
 
-// admit validates one spec and either answers it from the cache or
-// enqueues it, mirroring the single-submit metrics on both paths. It
-// returns the job's status plus the HTTP code to report: 200 on a
-// cache hit, 202 when queued, 400/429/503 (with err set) on rejection.
-func (s *Server) admit(spec Spec) (Status, int, error) {
+// admit validates one spec and either answers it from the cache (or
+// idempotency-key dedup), or enqueues it, mirroring the single-submit
+// metrics on both paths. With the journal enabled, a queue-bound job
+// is journaled before it is acknowledged — the 202 is a durability
+// promise. It returns the job's status plus the HTTP code to report:
+// 200 on a cache hit or dedup, 202 when queued, 400/429/503 (with err
+// set) on rejection.
+func (s *Server) admit(spec Spec, idemKey string) (Status, int, error) {
 	if err := spec.normalize(); err != nil {
 		return Status{}, http.StatusBadRequest, fmt.Errorf("invalid job: %w", err)
+	}
+	// Idempotency-key dedup: a resubmission of a key we have already
+	// accepted (in this incarnation or, via the journal, a previous
+	// one) is answered with the original job — the retried batch after
+	// a restart must not double-execute. The submission still counts
+	// as submitted + a cache hit (it was absorbed without executing
+	// anything), keeping the accounting identity intact; deduped
+	// attributes it.
+	if idemKey != "" {
+		s.mu.Lock()
+		id, ok := s.idem[idemKey]
+		var j *job
+		if ok {
+			j = s.jobs[id]
+		}
+		s.mu.Unlock()
+		if j != nil {
+			s.metrics.inc(&s.metrics.submitted)
+			s.metrics.inc(&s.metrics.cacheHits)
+			s.metrics.inc(&s.metrics.deduped)
+			return j.status(), http.StatusOK, nil
+		}
 	}
 	j, err := newJob(s.newID(), spec, s.cfg.Clock)
 	if err != nil {
@@ -512,7 +635,11 @@ func (s *Server) admit(spec Spec) (Status, int, error) {
 	if res, ok := s.cache.get(j.key); ok {
 		s.metrics.inc(&s.metrics.cacheHits)
 		j.finishFromCache(res)
-		s.register(j)
+		s.register(j, idemKey)
+		// Best-effort journaling: the 200 response already carries the
+		// result, so losing this record costs only post-restart dedup.
+		s.logEvent(acceptedEvent(j, idemKey))
+		s.logEvent(journal.Event{Type: journal.EventCompleted, ID: j.id, Result: res, FromCache: true})
 		return j.status(), http.StatusOK, nil
 	}
 	s.metrics.inc(&s.metrics.cacheMisses)
@@ -529,12 +656,31 @@ func (s *Server) admit(spec Spec) (Status, int, error) {
 		s.metrics.inc(&s.metrics.rejected)
 		return Status{}, http.StatusServiceUnavailable, err
 	}
+	// Journal the acceptance before the job becomes reachable: if the
+	// append fails the submission is rejected un-acked, and if we crash
+	// after it the replay resurrects a job the client may never have
+	// seen acked — harmless, since execution is idempotent.
+	if err := s.logEvent(acceptedEvent(j, idemKey)); err != nil {
+		s.metrics.inc(&s.metrics.rejected)
+		return Status{}, http.StatusServiceUnavailable,
+			fmt.Errorf("journal write failed; job not accepted: %w", err)
+	}
 	if err := s.queue.push(j); err != nil {
+		// The acceptance is journaled; record the cancellation so a
+		// replay does not resurrect a job the client saw rejected.
+		j.cancelQueued("queue rejected job")
+		s.logEvent(journal.Event{Type: journal.EventCanceled, ID: j.id, Error: "queue rejected job at admission"})
 		s.metrics.inc(&s.metrics.rejected)
 		return Status{}, http.StatusServiceUnavailable, err
 	}
-	s.register(j)
+	s.register(j, idemKey)
 	return j.status(), http.StatusAccepted, nil
+}
+
+// acceptedEvent renders a job's admission for the journal.
+func acceptedEvent(j *job, idemKey string) journal.Event {
+	spec, _ := marshalSpec(j.spec)
+	return journal.Event{Type: journal.EventAccepted, ID: j.id, Spec: spec, Key: j.key, IdemKey: idemKey}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -553,7 +699,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job payload: %v", err)
 		return
 	}
-	st, code, err := s.admit(spec)
+	st, code, err := s.admit(spec, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		setRetryAfter(w, err)
 		writeError(w, code, "%v", err)
@@ -605,6 +751,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if j.cancelQueued("canceled by client") {
 		// Never started; the worker will skip it when popped.
 		s.metrics.inc(&s.metrics.canceled)
+		s.logEvent(journal.Event{Type: journal.EventCanceled, ID: j.id, Error: "canceled by client"})
 		writeJSON(w, http.StatusOK, j.status())
 		return
 	}
@@ -669,6 +816,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // drains or sheds load, so rotations pull it before clients see
 // rejections.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "recovering"})
+		return
+	}
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
 		return

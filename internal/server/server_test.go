@@ -15,7 +15,10 @@ import (
 // newTestServer builds a started server plus an httptest front end.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	s.Start()
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
@@ -321,7 +324,10 @@ func TestQueueFull503(t *testing.T) {
 }
 
 func TestDrainRejectsAndCancels(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 4, CacheSize: 2})
+	s, err := New(Config{Workers: 1, QueueDepth: 4, CacheSize: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	running := make(chan struct{})
 	stubExec(s, func(ctx context.Context, spec Spec, report progressFunc) (json.RawMessage, error) {
 		close(running)
