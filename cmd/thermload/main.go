@@ -196,7 +196,7 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 		fmt.Fprintf(out, "thermload: self-hosted daemon at %s\n", addr)
 	}
 
-	startIndex, onAcked, err := resumeState(o, sched, out)
+	startIndex, onAcked, onShed, err := resumeState(o, sched, out)
 	if err != nil {
 		return nil, err
 	}
@@ -219,6 +219,7 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 		Seed:         o.sched.Seed,
 		StartIndex:   startIndex,
 		OnAcked:      onAcked,
+		OnShed:       onShed,
 	})
 	if err != nil {
 		return nil, err
@@ -240,10 +241,16 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 
 // runState is the -state file: enough to verify a later -resume
 // targets the same deterministic schedule and to continue from the
-// last acknowledged arrival. LastAcked is the highest acknowledged
-// schedule index; arrivals at or below it that were shed open-loop are
-// skipped on resume, which the per-arrival idempotency keys make safe
-// (a re-submission of an already-acked index dedupes server-side).
+// first arrival whose outcome is unknown. LastAcked is the highest
+// schedule index below which EVERY arrival settled — acknowledged by
+// the daemon or deliberately shed by the open-loop in-flight bound
+// (sheds are final: the run counted them as drops and never sent
+// them). Acks arrive out of order, so the frontier only advances over
+// a contiguous settled prefix; an arrival whose submission errored
+// never settles and therefore pins the frontier, so -resume replays it
+// instead of silently skipping it. Replayed already-acked arrivals
+// above the frontier are safe: their per-arrival idempotency keys
+// dedupe server-side.
 type runState struct {
 	ScheduleSHA256 string `json:"schedule_sha256"`
 	Seed           int64  `json:"seed"`
@@ -252,53 +259,76 @@ type runState struct {
 }
 
 // resumeState wires -state/-resume: it returns the schedule index to
-// start from and an OnAcked callback persisting progress (nil when
-// -state is unset). A -resume against a state file recorded for a
+// start from plus OnAcked/OnShed callbacks persisting progress (nil
+// when -state is unset). A -resume against a state file recorded for a
 // different schedule is refused — continuing a different run would
 // silently skip work.
-func resumeState(o options, sched []time.Duration, out *os.File) (int, func(int), error) {
+func resumeState(o options, sched []time.Duration, out *os.File) (int, func(int), func(int), error) {
 	if o.statePath == "" {
-		return 0, nil, nil
+		return 0, nil, nil, nil
 	}
 	digest := loadgen.ScheduleSHA256(sched)
 	st := runState{ScheduleSHA256: digest, Seed: o.sched.Seed, Mode: string(o.sched.Mode), LastAcked: -1}
 	if o.resume {
 		b, err := os.ReadFile(o.statePath)
 		if err != nil {
-			return 0, nil, fmt.Errorf("-resume: %w", err)
+			return 0, nil, nil, fmt.Errorf("-resume: %w", err)
 		}
 		if err := json.Unmarshal(b, &st); err != nil {
-			return 0, nil, fmt.Errorf("-resume: bad state file %s: %w", o.statePath, err)
+			return 0, nil, nil, fmt.Errorf("-resume: bad state file %s: %w", o.statePath, err)
 		}
 		if st.ScheduleSHA256 != digest {
-			return 0, nil, fmt.Errorf("-resume: state %s records schedule %.12s but the flags synthesize %.12s (same -mode/-seed/-rps/... required)",
+			return 0, nil, nil, fmt.Errorf("-resume: state %s records schedule %.12s but the flags synthesize %.12s (same -mode/-seed/-rps/... required)",
 				o.statePath, st.ScheduleSHA256, digest)
 		}
 		fmt.Fprintf(out, "thermload: resuming at arrival %d of %d\n", st.LastAcked+1, len(sched))
 	} else if err := writeState(o.statePath, st); err != nil {
 		// Seed the file before any ack so a run killed early is still
 		// resumable from arrival 0.
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
+	// Settled indices arrive out of order; buffer the ones past the
+	// frontier and advance LastAcked only over a contiguous prefix, so
+	// resume never skips an arrival that was neither acked nor shed.
 	var mu sync.Mutex
-	onAcked := func(idx int) {
+	settled := make(map[int]bool)
+	mark := func(idx int) {
 		mu.Lock()
 		defer mu.Unlock()
-		if idx <= st.LastAcked {
+		if idx <= st.LastAcked || settled[idx] {
 			return
 		}
-		st.LastAcked = idx
-		writeState(o.statePath, st)
+		settled[idx] = true
+		advanced := false
+		for settled[st.LastAcked+1] {
+			delete(settled, st.LastAcked+1)
+			st.LastAcked++
+			advanced = true
+		}
+		if advanced {
+			writeState(o.statePath, st)
+		}
 	}
-	return st.LastAcked + 1, onAcked, nil
+	return st.LastAcked + 1, mark, mark, nil
 }
 
+// writeState replaces the -state file via a temp-file rename, so a
+// kill mid-write (exactly the scenario -resume exists for) can never
+// leave a truncated JSON document behind.
 func writeState(path string, st runState) error {
 	b, err := json.Marshal(st)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, b, 0o644)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // chaosCheck is the post-run resilience verdict: the daemon is still

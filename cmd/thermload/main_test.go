@@ -191,6 +191,69 @@ func TestRunRejectsBadMixFile(t *testing.T) {
 	}
 }
 
+// TestResumeFrontierContiguous: the resume frontier advances only over
+// a contiguous prefix of settled arrivals — out-of-order acks are
+// buffered, sheds settle their index like an ack, and an arrival that
+// never settles (an errored submit) pins the frontier so -resume
+// replays it instead of silently skipping it.
+func TestResumeFrontierContiguous(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "state.json")
+	o, err := parseFlags([]string{
+		"-mode", "constant", "-rps", "10", "-duration", "1s", "-seed", "3",
+		"-state", state, "-out", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := loadgen.Synthesize(o.sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	start, onAcked, onShed, err := resumeState(o, sched, devnull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 0 || onAcked == nil || onShed == nil {
+		t.Fatalf("fresh state: start=%d onAcked=%v onShed=%v", start, onAcked == nil, onShed == nil)
+	}
+	lastAcked := func() int {
+		t.Helper()
+		var st runState
+		b, err := os.ReadFile(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatalf("state file must always be complete JSON: %v", err)
+		}
+		return st.LastAcked
+	}
+	onAcked(0)
+	onAcked(1)
+	if got := lastAcked(); got != 1 {
+		t.Fatalf("contiguous acks 0,1: frontier = %d, want 1", got)
+	}
+	// Index 2 never settles (its submit errored); later acks buffer
+	// without advancing the frontier past the hole.
+	onAcked(3)
+	onAcked(5)
+	onAcked(4)
+	if got := lastAcked(); got != 1 {
+		t.Fatalf("unsettled index 2 must pin the frontier at 1, got %d", got)
+	}
+	// A shed is a final disposition: it fills the hole and the buffered
+	// acks drain through.
+	onShed(2)
+	if got := lastAcked(); got != 5 {
+		t.Fatalf("after shed fills the hole, frontier = %d, want 5", got)
+	}
+}
+
 // TestResumeContinuesPartialRun exercises -state/-resume: a finished
 // run resumes as a no-op, a rewound state file resumes only the
 // unacked tail, and a state file from a different schedule is refused.

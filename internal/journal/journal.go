@@ -44,9 +44,14 @@
 //
 // Named fault points (FaultAppend, FaultFsync, FaultSnapshot) sit on
 // the fs seam so chaos tests can inject short writes and fsync errors
-// deterministically; an injected append failure really does leave a
-// torn half-frame on disk, exercising the exact recovery path a crash
-// would.
+// deterministically; an injected append failure really does write a
+// torn half-frame before erroring, exercising the same restore path a
+// short write would. A failed append restores the last good frame
+// boundary (truncate + seek back) before returning, so the journal
+// keeps accepting appends afterwards and events acknowledged after a
+// transient failure are never stranded behind a torn frame; only if
+// that restore itself fails does the journal seal itself and refuse
+// further appends.
 package journal
 
 import (
@@ -71,8 +76,8 @@ import (
 //thermlint:faultpoints
 const (
 	// FaultAppend fires before a WAL append: an error action fails the
-	// append after writing only half the frame, leaving a genuinely
-	// torn record for recovery to truncate.
+	// append after writing only half the frame, exercising the
+	// torn-write restore path a short write or ENOSPC would take.
 	FaultAppend = "journal.append"
 	// FaultFsync fires before an fsync: an error action surfaces as a
 	// failed append under FsyncAlways (the ack is withheld).
@@ -153,7 +158,9 @@ const (
 	// survives power loss.
 	FsyncAlways FsyncPolicy = "always"
 	// FsyncInterval syncs at most once per Options.FsyncEvery; a crash
-	// can lose at most that window of acknowledgments.
+	// can lose at most that window of acknowledgments. A background
+	// flusher syncs the tail of a burst, so the bound holds even when
+	// no further append arrives to trigger the inline sync.
 	FsyncInterval FsyncPolicy = "interval"
 	// FsyncOff never syncs explicitly; process crashes lose nothing
 	// (the OS holds the pages), power loss may lose recent acks.
@@ -235,6 +242,19 @@ type Journal struct {
 	lastSync time.Time
 	appends  uint64
 	fsyncs   uint64
+	// dirty marks appended-but-unsynced bytes; the interval flusher
+	// syncs them even when no further append arrives.
+	dirty bool
+	// broken seals the journal after a failed append whose frame-boundary
+	// restore also failed: the WAL tail is torn and cannot be repaired,
+	// so accepting more appends would strand every later event behind
+	// the torn frame on recovery. Cleared when a compaction empties the
+	// WAL.
+	broken error
+
+	// flushStop/flushDone bracket the FsyncInterval background flusher.
+	flushStop chan struct{}
+	flushDone chan struct{}
 }
 
 // Open recovers the journal in opts.Dir and returns it ready for
@@ -291,13 +311,43 @@ func Open(opts Options) (*Journal, *Replay, error) {
 	rep.Events = events
 	rep.CleanClose = rep.Snapshot != nil && rep.Snapshot.Clean && len(events) == 0
 
-	return &Journal{
+	j := &Journal{
 		opts:     opts,
 		dir:      opts.Dir,
 		f:        f,
 		size:     good,
 		lastSync: opts.Clock.Now(),
-	}, rep, nil
+	}
+	if opts.Fsync == FsyncInterval {
+		// Without the flusher the interval policy only syncs from within
+		// a later Append, so the tail of a burst would stay unsynced
+		// indefinitely and the "at most FsyncEvery of acks" loss bound
+		// would not hold.
+		j.flushStop = make(chan struct{})
+		j.flushDone = make(chan struct{})
+		go j.flushLoop(j.flushStop, j.flushDone)
+	}
+	return j, rep, nil
+}
+
+// flushLoop is the FsyncInterval background flusher: it syncs dirty
+// appends at most once per FsyncEvery so the loss bound holds even
+// when no further append arrives to trigger the inline sync. The
+// channels are passed in because Close nils the struct fields.
+func (j *Journal) flushLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-j.opts.Clock.After(j.opts.FsyncEvery):
+		}
+		j.mu.Lock()
+		if j.f != nil && j.dirty {
+			j.syncLocked() // best-effort; an error also surfaces on the next Append
+		}
+		j.mu.Unlock()
+	}
 }
 
 // scanWAL reads frames from the start of f, returning the decoded
@@ -379,8 +429,11 @@ func frame(payload []byte) []byte {
 // Append journals one event under the configured fsync policy. When it
 // returns nil the event is recorded (durably so under FsyncAlways);
 // when it returns an error the caller must not acknowledge the
-// transition — the frame may be torn on disk, and recovery will drop
-// it.
+// transition. A failed write restores the last good frame boundary
+// (truncate + seek back over the torn half-frame) before returning, so
+// later appends land on a clean boundary and stay replayable; if the
+// restore itself fails the journal seals and every later Append errors
+// rather than silently stranding acked events behind a torn frame.
 func (j *Journal) Append(ev Event) error {
 	payload, err := json.Marshal(ev)
 	if err != nil {
@@ -389,20 +442,45 @@ func (j *Journal) Append(ev Event) error {
 	buf := frame(payload)
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.broken != nil {
+		return j.broken
+	}
+	prev := j.size
 	if ferr := j.opts.Faults.Fire(FaultAppend); ferr != nil {
-		// Simulate the crash artifact an interrupted write leaves
-		// behind: half a frame, which recovery must truncate.
+		// Simulate the disk state an interrupted write leaves behind —
+		// half a frame — then take the same restore path a real short
+		// write would.
 		n, _ := j.f.Write(buf[:len(buf)/2])
 		j.size += int64(n)
+		j.restoreTailLocked(prev)
 		return ferr
 	}
 	n, err := j.f.Write(buf)
 	j.size += int64(n)
 	if err != nil {
+		j.restoreTailLocked(prev)
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	j.appends++
+	j.dirty = true
 	return j.maybeSyncLocked()
+}
+
+// restoreTailLocked rolls the WAL back to the frame boundary at prev
+// after a failed append, so the torn half-frame never sits in front of
+// later events. If the rollback itself fails, the journal is sealed:
+// accepting more appends past an unrepaired torn frame would drop
+// every one of them at the next recovery. Caller holds j.mu.
+func (j *Journal) restoreTailLocked(prev int64) {
+	if err := j.f.Truncate(prev); err != nil {
+		j.broken = fmt.Errorf("journal: sealed: torn tail at offset %d could not be truncated: %w", prev, err)
+		return
+	}
+	if _, err := j.f.Seek(prev, io.SeekStart); err != nil {
+		j.broken = fmt.Errorf("journal: sealed: could not seek back to frame boundary %d: %w", prev, err)
+		return
+	}
+	j.size = prev
 }
 
 // maybeSyncLocked applies the fsync policy after an append. Caller
@@ -428,6 +506,7 @@ func (j *Journal) syncLocked() error {
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
 	j.fsyncs++
+	j.dirty = false
 	j.lastSync = j.opts.Clock.Now()
 	return nil
 }
@@ -449,21 +528,35 @@ func (j *Journal) ShouldCompact() bool {
 }
 
 // WriteSnapshot atomically replaces the snapshot file with snap and
-// truncates the WAL behind it. Ordering makes the pair crash-safe:
-// the snapshot lands (temp file, fsync, rename) before the WAL is
-// cut, so a crash between the two replays snapshot-covered events,
-// which application handles idempotently.
+// truncates the WAL behind it. Use Compact when the state being
+// snapshotted can change concurrently with appends — WriteSnapshot
+// takes snap as already captured, so it is only race-free when the
+// caller knows no append can land between capturing snap and calling
+// it (boot, drain, tests).
 func (j *Journal) WriteSnapshot(snap Snapshot) error {
-	payload, err := json.Marshal(snap)
-	if err != nil {
-		return fmt.Errorf("journal: encoding snapshot: %w", err)
-	}
-	buf := frame(payload)
+	return j.Compact(func() Snapshot { return snap })
+}
+
+// Compact folds capture()'s state into the snapshot file and truncates
+// the WAL behind it, holding the journal lock across the whole
+// sequence so no Append can land between the state capture and the WAL
+// truncation — an event is always covered by either the snapshot or
+// the surviving WAL, never lost to the gap. capture must not call back
+// into the Journal. Ordering makes the pair crash-safe: the snapshot
+// lands (temp file, fsync, rename) before the WAL is cut, so a crash
+// between the two replays snapshot-covered events, which application
+// handles idempotently.
+func (j *Journal) Compact(capture func() Snapshot) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if ferr := j.opts.Faults.Fire(FaultSnapshot); ferr != nil {
 		return ferr
 	}
+	payload, err := json.Marshal(capture())
+	if err != nil {
+		return fmt.Errorf("journal: encoding snapshot: %w", err)
+	}
+	buf := frame(payload)
 	path := filepath.Join(j.dir, snapshotName)
 	tmp := path + ".tmp"
 	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -495,6 +588,10 @@ func (j *Journal) WriteSnapshot(snap Snapshot) error {
 		return fmt.Errorf("journal: %w", err)
 	}
 	j.size = 0
+	j.dirty = false
+	// The WAL is empty again: whatever torn tail sealed the journal is
+	// gone, so appends may resume.
+	j.broken = nil
 	return nil
 }
 
@@ -510,6 +607,8 @@ func (j *Journal) Reset() error {
 		return fmt.Errorf("journal: %w", err)
 	}
 	j.size = 0
+	j.dirty = false
+	j.broken = nil
 	if err := os.Remove(filepath.Join(j.dir, snapshotName)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("journal: reset: %w", err)
 	}
@@ -530,9 +629,18 @@ func (j *Journal) Size() int64 {
 	return j.size
 }
 
-// Close syncs and closes the WAL file. It does not write a snapshot;
-// a graceful shutdown calls WriteSnapshot first.
+// Close stops the interval flusher, then syncs and closes the WAL
+// file. It does not write a snapshot; a graceful shutdown calls
+// WriteSnapshot first.
 func (j *Journal) Close() error {
+	j.mu.Lock()
+	stop, done := j.flushStop, j.flushDone
+	j.flushStop = nil
+	j.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done // the flusher exits promptly once stop is closed
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {

@@ -294,7 +294,11 @@ func TestCorruptSnapshotFallsBackToWAL(t *testing.T) {
 	}
 }
 
-func TestFaultInjectedAppendLeavesTornFrame(t *testing.T) {
+// TestFaultInjectedAppendRestoresBoundary: a failed append (which
+// really writes a torn half-frame first) must restore the last good
+// frame boundary before returning, so the journal keeps accepting
+// appends and none of them is stranded behind the torn frame.
+func TestFaultInjectedAppendRestoresBoundary(t *testing.T) {
 	dir := t.TempDir()
 	reg := faultinject.New()
 	if err := reg.Arm("journal.append=error:disk gone,count:1", 1); err != nil {
@@ -304,20 +308,103 @@ func TestFaultInjectedAppendLeavesTornFrame(t *testing.T) {
 	if err := j.Append(ev(EventAccepted, "job-000001")); err == nil {
 		t.Fatal("injected append fault should surface an error")
 	}
-	// The half-frame is on disk; recovery must truncate it and replay
-	// nothing.
+	if j.Size() != 0 {
+		t.Fatalf("failed append left %d bytes in the WAL, want the frame boundary restored", j.Size())
+	}
 	j.Close()
-	jj, rep, err := Open(Options{Dir: dir})
+	_, rep := open(t, Options{Dir: dir})
+	if len(rep.Events) != 0 || rep.TruncatedRecords != 0 {
+		t.Fatalf("restored boundary should replay cleanly, got %d events, %d truncated",
+			len(rep.Events), rep.TruncatedRecords)
+	}
+}
+
+// TestAppendFailThenContinue is the ack-durability regression the torn
+// half-frame used to break: events acked AFTER a transient append
+// failure must survive a restart, not be dropped at the torn frame.
+func TestAppendFailThenContinue(t *testing.T) {
+	dir := t.TempDir()
+	reg := faultinject.New()
+	j, _ := open(t, Options{Dir: dir, Faults: reg})
+	if err := j.Append(ev(EventAccepted, "job-000001")); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	// Arm a one-shot fault: the second append fails, the third succeeds.
+	if err := reg.Arm("journal.append=error:transient enospc,count:1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(ev(EventAccepted, "job-000002")); err == nil {
+		t.Fatal("injected append fault should surface an error")
+	}
+	if err := j.Append(ev(EventAccepted, "job-000003")); err != nil {
+		t.Fatalf("append after transient failure: %v", err)
+	}
+	j.Close()
+	_, rep := open(t, Options{Dir: dir})
+	if len(rep.Events) != 2 || rep.TruncatedRecords != 0 {
+		t.Fatalf("want both acked events (no truncation), got %d events, %d truncated",
+			len(rep.Events), rep.TruncatedRecords)
+	}
+	if rep.Events[0].ID != "job-000001" || rep.Events[1].ID != "job-000003" {
+		t.Fatalf("recovered wrong events: %+v", rep.Events)
+	}
+}
+
+// TestCompactHoldsOutConcurrentAppend: an append racing a compaction
+// must land in the fresh WAL after the truncation (never in the gap
+// between the state capture and the truncate, where it would be lost).
+func TestCompactHoldsOutConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := open(t, Options{Dir: dir, Fsync: FsyncOff})
+	if err := j.Append(ev(EventAccepted, "job-000001")); err != nil {
+		t.Fatal(err)
+	}
+	appended := make(chan error, 1)
+	err := j.Compact(func() Snapshot {
+		// Fire a concurrent append mid-compaction; it must block on the
+		// journal lock until the truncate is done.
+		go func() { appended <- j.Append(ev(EventAccepted, "job-000002")) }()
+		time.Sleep(20 * time.Millisecond) // give the append a chance to reach the lock
+		return Snapshot{Jobs: []JobRecord{{ID: "job-000001", State: "queued"}}}
+	})
 	if err != nil {
-		t.Fatalf("recovery after torn write: %v", err)
+		t.Fatalf("Compact: %v", err)
 	}
-	defer jj.Close()
-	if len(rep.Events) != 0 || rep.TruncatedRecords != 1 {
-		t.Fatalf("want 0 events + 1 truncation, got %d events, %d truncated", len(rep.Events), rep.TruncatedRecords)
+	if err := <-appended; err != nil {
+		t.Fatalf("concurrent append: %v", err)
 	}
-	// The fault count:1 is spent; appends work again.
-	if err := jj.Append(ev(EventAccepted, "job-000001")); err != nil {
-		t.Fatalf("append after recovery: %v", err)
+	j.Close()
+	_, rep := open(t, Options{Dir: dir})
+	if rep.Snapshot == nil || len(rep.Snapshot.Jobs) != 1 {
+		t.Fatalf("snapshot not recovered: %+v", rep.Snapshot)
+	}
+	if len(rep.Events) != 1 || rep.Events[0].ID != "job-000002" {
+		t.Fatalf("append racing compaction was lost: events = %+v", rep.Events)
+	}
+}
+
+// TestIntervalFlusherSyncsIdleTail: under fsync=interval the last acks
+// of a burst must reach stable storage within FsyncEvery even when no
+// further append arrives to trigger the inline sync.
+func TestIntervalFlusherSyncsIdleTail(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	j, _ := open(t, Options{Dir: t.TempDir(), Fsync: FsyncInterval, FsyncEvery: time.Second, Clock: fake})
+	if err := j.Append(ev(EventAccepted, "job-000001")); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Fsyncs != 0 {
+		t.Fatalf("interval not elapsed yet, synced %d times", st.Fsyncs)
+	}
+	// The flusher goroutine registers its timer and wakes
+	// asynchronously; keep advancing the fake window until its sync
+	// lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle tail never synced: the interval flusher did not run")
+		}
+		fake.Advance(time.Second)
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -48,9 +48,17 @@ type RunConfig struct {
 	StartIndex int
 	// OnAcked, when set, is called with an arrival's schedule index
 	// after the daemon acknowledges its submission. It may be called
-	// concurrently and out of order; thermload persists resume state
-	// from it.
+	// concurrently and out of order; the caller is responsible for any
+	// ordering (thermload advances its resume frontier only over a
+	// contiguous prefix). Arrivals whose submission errors are never
+	// reported through either callback — they remain unsettled.
 	OnAcked func(index int)
+	// OnShed, when set, is called with the schedule index of an arrival
+	// dropped by the open-loop in-flight bound. A shed is a deliberate,
+	// final disposition (the run counts it as a drop and never sends
+	// it), so thermload treats it like an ack when advancing its resume
+	// frontier rather than replaying it.
+	OnShed func(index int)
 	// Clock supplies the run's time source; nil means the wall clock.
 	// Tests inject a clock.Fake to drive the schedule synchronously.
 	Clock clock.Clock
@@ -154,6 +162,9 @@ schedule:
 			}
 		default:
 			rec.dropN(1) // open loop: saturation sheds, never queues
+			if cfg.OnShed != nil {
+				cfg.OnShed(i)
+			}
 		}
 	}
 	flush()

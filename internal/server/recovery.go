@@ -187,15 +187,20 @@ func (s *Server) snapshotJobs() []journal.JobRecord {
 }
 
 // compactMaybe snapshots the job table when the WAL has outgrown its
-// threshold. Events appended between the table copy and the WAL
-// truncation can be lost to the snapshot's slightly older view; the
-// cost is bounded to re-running those jobs after a crash, never to
-// double-completing one (replay application is idempotent).
+// threshold. The table copy and the WAL truncation are atomic with
+// respect to appends (Compact holds the journal lock across both), and
+// every lifecycle path mutates the job table before journaling its
+// event (admission registers before appending; workers settle the job
+// before appending), so any event the truncation drops is already
+// covered by the snapshot and any event not yet covered lands in the
+// fresh WAL — an acked job is never lost to the compaction window.
 func (s *Server) compactMaybe() {
 	if s.journal == nil || !s.journal.ShouldCompact() {
 		return
 	}
-	s.journal.WriteSnapshot(journal.Snapshot{Jobs: s.snapshotJobs()})
+	s.journal.Compact(func() journal.Snapshot {
+		return journal.Snapshot{Jobs: s.snapshotJobs()}
+	})
 }
 
 // closeJournal finishes a drain: the whole (now terminal) job table is
@@ -205,6 +210,8 @@ func (s *Server) closeJournal() {
 	if s.journal == nil {
 		return
 	}
-	s.journal.WriteSnapshot(journal.Snapshot{Clean: true, Jobs: s.snapshotJobs()})
+	s.journal.Compact(func() journal.Snapshot {
+		return journal.Snapshot{Clean: true, Jobs: s.snapshotJobs()}
+	})
 	s.journal.Close()
 }

@@ -247,8 +247,11 @@ func (s *Server) Start() {
 	if s.journal != nil {
 		// Boot compaction: fold the recovered table into a snapshot so
 		// the WAL restarts empty and the next crash replays only events
-		// from this incarnation.
-		s.journal.WriteSnapshot(journal.Snapshot{Jobs: s.snapshotJobs()})
+		// from this incarnation. Capture under the journal lock — the
+		// handler may already be serving admissions.
+		s.journal.Compact(func() journal.Snapshot {
+			return journal.Snapshot{Jobs: s.snapshotJobs()}
+		})
 	}
 	s.recovering.Store(false)
 	for i := 0; i < s.cfg.Workers; i++ {
@@ -439,6 +442,18 @@ func (s *Server) register(j *job, idemKey string) {
 	s.jobs[j.id] = j
 	if idemKey != "" {
 		s.idem[idemKey] = j.id
+	}
+	s.mu.Unlock()
+}
+
+// unregister rolls back a registration whose admission then failed
+// (journal append error, queue overflow), so the job is unreachable
+// and its idempotency key is free for a retry.
+func (s *Server) unregister(j *job, idemKey string) {
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	if idemKey != "" && s.idem[idemKey] == j.id {
+		delete(s.idem, idemKey)
 	}
 	s.mu.Unlock()
 }
@@ -656,24 +671,32 @@ func (s *Server) admit(spec Spec, idemKey string) (Status, int, error) {
 		s.metrics.inc(&s.metrics.rejected)
 		return Status{}, http.StatusServiceUnavailable, err
 	}
-	// Journal the acceptance before the job becomes reachable: if the
-	// append fails the submission is rejected un-acked, and if we crash
-	// after it the replay resurrects a job the client may never have
-	// seen acked — harmless, since execution is idempotent.
+	// Register before journaling: compaction snapshots the job table
+	// and truncates the WAL atomically with respect to appends, which
+	// is only lossless if the table is never older than the WAL — every
+	// event's in-memory state change must happen before its append (see
+	// compactMaybe). If the append then fails, the submission is
+	// rejected un-acked and the registration is rolled back; if we
+	// crash after it, the replay resurrects a job the client may never
+	// have seen acked — harmless, since execution is idempotent.
+	s.register(j, idemKey)
 	if err := s.logEvent(acceptedEvent(j, idemKey)); err != nil {
+		s.unregister(j, idemKey)
 		s.metrics.inc(&s.metrics.rejected)
 		return Status{}, http.StatusServiceUnavailable,
 			fmt.Errorf("journal write failed; job not accepted: %w", err)
 	}
 	if err := s.queue.push(j); err != nil {
 		// The acceptance is journaled; record the cancellation so a
-		// replay does not resurrect a job the client saw rejected.
+		// replay does not resurrect a job the client saw rejected, and
+		// roll back the registration so a retry of the same idempotency
+		// key re-enqueues instead of deduping to a dead job.
 		j.cancelQueued("queue rejected job")
 		s.logEvent(journal.Event{Type: journal.EventCanceled, ID: j.id, Error: "queue rejected job at admission"})
+		s.unregister(j, idemKey)
 		s.metrics.inc(&s.metrics.rejected)
 		return Status{}, http.StatusServiceUnavailable, err
 	}
-	s.register(j, idemKey)
 	return j.status(), http.StatusAccepted, nil
 }
 
