@@ -28,6 +28,17 @@
 //
 //	thermload -selfhost -chaos -faults 'job.exec=panic:chaos,p:0.05' \
 //	          -stuck-after 5s -mode constant -rps 50 -duration 5s -seed 42
+//
+// Herd runs: -nodes N (with -selfhost) spins up N in-process daemons
+// behind an in-process thermherd-gw gateway and drives the load
+// through the gateway, so sharded routing, failover, and fleet-wide
+// accounting are exercised in one process. The selfhost.backend.kill
+// fault point schedules a mid-run backend kill (the node drains
+// abruptly but keeps serving reads, exactly like a SIGTERM'd daemon):
+//
+//	thermload -selfhost -nodes 3 -chaos \
+//	          -faults 'selfhost.backend.kill=error:kill,count:1,delay:2s' \
+//	          -mode constant -rps 50 -duration 5s -seed 42
 package main
 
 import (
@@ -44,8 +55,22 @@ import (
 	"time"
 
 	"thermalherd/internal/faultinject"
+	"thermalherd/internal/gateway"
 	"thermalherd/internal/loadgen"
 	"thermalherd/internal/server"
+)
+
+// Fault points owned by the self-host harness itself (as opposed to
+// the daemon- and gateway-side points armed through the same -faults
+// spec).
+//
+//thermlint:faultpoints
+const (
+	// faultBackendKill fires from the herd kill-watcher: an error action
+	// kills one self-hosted backend mid-run (abrupt drain, HTTP kept up
+	// for reads), a delay action schedules when. Only meaningful with
+	// -selfhost -nodes N.
+	faultBackendKill = "selfhost.backend.kill"
 )
 
 // options collects every flag so tests can drive the same paths main
@@ -53,6 +78,7 @@ import (
 type options struct {
 	addr     string
 	selfhost bool
+	nodes    int
 
 	sched loadgen.ScheduleConfig
 
@@ -89,6 +115,7 @@ func parseFlags(args []string) (options, error) {
 	fs := flag.NewFlagSet("thermload", flag.ContinueOnError)
 	fs.StringVar(&o.addr, "addr", "http://localhost:8077", "thermherdd base URL")
 	fs.BoolVar(&o.selfhost, "selfhost", false, "run an in-process daemon on a loopback port instead of targeting -addr")
+	fs.IntVar(&o.nodes, "nodes", 1, "with -selfhost: run this many backends behind an in-process gateway (1 = no gateway)")
 
 	mode := fs.String("mode", "constant", "arrival schedule: constant, ramp, burst, or poisson")
 	fs.DurationVar(&o.sched.Duration, "duration", 10*time.Second, "schedule length (constant/burst/poisson; caps ramp)")
@@ -133,6 +160,14 @@ func parseFlags(args []string) (options, error) {
 	if o.resume && o.statePath == "" {
 		fmt.Fprintln(fs.Output(), "thermload: -resume requires -state")
 		return o, fmt.Errorf("-resume requires -state")
+	}
+	if o.nodes < 1 {
+		fmt.Fprintln(fs.Output(), "thermload: -nodes must be >= 1")
+		return o, fmt.Errorf("-nodes must be >= 1")
+	}
+	if o.nodes > 1 && !o.selfhost {
+		fmt.Fprintln(fs.Output(), "thermload: -nodes requires -selfhost")
+		return o, fmt.Errorf("-nodes requires -selfhost")
 	}
 	o.sched.Mode = loadgen.Mode(*mode)
 	return o, nil
@@ -187,13 +222,23 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 	}
 	addr := o.addr
 	if o.selfhost {
-		stop, base, err := selfhost(o, out)
+		var stop func()
+		var base string
+		if o.nodes > 1 {
+			stop, base, err = selfhostHerd(o, out)
+		} else {
+			stop, base, err = selfhost(o, out)
+		}
 		if err != nil {
 			return nil, err
 		}
 		defer stop()
 		addr = base
-		fmt.Fprintf(out, "thermload: self-hosted daemon at %s\n", addr)
+		if o.nodes > 1 {
+			fmt.Fprintf(out, "thermload: self-hosted herd of %d backends behind gateway at %s\n", o.nodes, addr)
+		} else {
+			fmt.Fprintf(out, "thermload: self-hosted daemon at %s\n", addr)
+		}
 	}
 
 	startIndex, onAcked, onShed, err := resumeState(o, sched, out)
@@ -453,4 +498,130 @@ func selfhost(o options, out *os.File) (func(), string, error) {
 		hs.Shutdown(ctx)
 	}
 	return stop, "http://" + ln.Addr().String(), nil
+}
+
+// herdNode is one self-hosted backend of a -nodes run.
+type herdNode struct {
+	name string
+	srv  *server.Server
+	hs   *http.Server
+	ln   net.Listener
+}
+
+// selfhostHerd starts o.nodes in-process daemons behind an in-process
+// gateway and returns the gateway's base URL. All components share one
+// fault registry, so a single -faults spec can arm backend-side points
+// (job.exec, ...), gateway-side points (gw.forward, gw.probe,
+// gw.splitbrain), and the harness's own selfhost.backend.kill — whose
+// watcher goroutine kills the last backend mid-run: an abrupt drain
+// (queued jobs canceled, new submits 503) with the HTTP listener kept
+// up, exactly the wire behavior of a SIGTERM'd daemon, so /metrics
+// stays reachable and the fleet-wide accounting identity still
+// reconciles.
+func selfhostHerd(o options, out *os.File) (func(), string, error) {
+	var reg *faultinject.Registry
+	if o.faults != "" {
+		reg = faultinject.New()
+		if err := reg.Arm(o.faults, o.faultSeed); err != nil {
+			return nil, "", err
+		}
+		fmt.Fprintf(out, "thermload: fault points armed (seed %d): %s\n",
+			o.faultSeed, strings.Join(reg.Points(), ", "))
+	}
+
+	nodes := make([]*herdNode, 0, o.nodes)
+	backends := make([]gateway.Backend, 0, o.nodes)
+	cleanup := func() {
+		for _, n := range nodes {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			n.srv.Drain(ctx)
+			n.hs.Shutdown(ctx)
+			cancel()
+		}
+	}
+	for i := 0; i < o.nodes; i++ {
+		srv, err := server.New(server.Config{
+			Workers:       runtime.NumCPU(),
+			QueueDepth:    1024,
+			CacheSize:     1024,
+			JobTimeout:    o.jobTimeout,
+			StuckAfter:    o.stuckAfter,
+			BrownoutAfter: o.brownout,
+			Faults:        reg,
+		})
+		if err != nil {
+			cleanup()
+			return nil, "", err
+		}
+		srv.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, "", err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		name := fmt.Sprintf("n%d", i)
+		nodes = append(nodes, &herdNode{name: name, srv: srv, hs: hs, ln: ln})
+		backends = append(backends, gateway.Backend{Name: name, URL: "http://" + ln.Addr().String()})
+	}
+
+	gw, err := gateway.New(gateway.Config{
+		Backends:      backends,
+		ProbeInterval: 250 * time.Millisecond,
+		Faults:        reg,
+	})
+	if err != nil {
+		cleanup()
+		return nil, "", err
+	}
+	gw.Start()
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		gw.Close()
+		cleanup()
+		return nil, "", err
+	}
+	ghs := &http.Server{Handler: gw}
+	go ghs.Serve(gln)
+
+	killStop := make(chan struct{})
+	killDone := make(chan struct{})
+	if reg != nil {
+		// Kill watcher: polls the selfhost.backend.kill point; the armed
+		// spec's delay/count/probability decide when (and whether) it
+		// fires. On fire, the LAST backend dies — deterministic, so a test
+		// or CI assertion knows which shard remapped.
+		go func() {
+			defer close(killDone)
+			victim := nodes[len(nodes)-1]
+			for {
+				if err := reg.Fire(faultBackendKill); err != nil {
+					fmt.Fprintf(out, "thermload: CHAOS: killing backend %s (%v)\n", victim.name, err)
+					ctx, cancel := context.WithCancel(context.Background())
+					cancel() // expired deadline = abrupt drain
+					victim.srv.Drain(ctx)
+					return
+				}
+				select {
+				case <-killStop:
+					return
+				case <-time.After(250 * time.Millisecond):
+				}
+			}
+		}()
+	} else {
+		close(killDone)
+	}
+
+	stop := func() {
+		close(killStop)
+		<-killDone
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		ghs.Shutdown(ctx)
+		gw.Close()
+		cleanup()
+	}
+	return stop, "http://" + gln.Addr().String(), nil
 }

@@ -348,3 +348,97 @@ func TestResumeContinuesPartialRun(t *testing.T) {
 		t.Fatalf("resume against a different schedule: err = %v, want digest refusal", err)
 	}
 }
+
+// TestHerdSelfhost drives a full schedule through -nodes 3: three
+// in-process backends behind the in-process gateway, all jobs settle,
+// and the fleet-wide accounting identity reconciles (-chaos enforces
+// it inside run()).
+func TestHerdSelfhost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping ~1s self-hosted herd run")
+	}
+	o, err := parseFlags([]string{
+		"-selfhost", "-nodes", "3", "-chaos",
+		"-mode", "constant", "-rps", "40", "-duration", "800ms",
+		"-seed", "42", "-inflight", "128",
+		"-timeout", "20s", "-poll", "2ms",
+		"-out", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	rep, err := run(context.Background(), o, devnull)
+	if err != nil {
+		t.Fatalf("herd run: %v", err) // includes the fleet-wide chaos check
+	}
+	if rep.Achieved.Errors != 0 || rep.Achieved.Timeouts != 0 || rep.Achieved.Failed != 0 {
+		t.Fatalf("clean herd run saw errors=%d timeouts=%d failed=%d",
+			rep.Achieved.Errors, rep.Achieved.Timeouts, rep.Achieved.Failed)
+	}
+	if rep.Achieved.Done != int(rep.Offered.Arrivals) {
+		t.Fatalf("done=%d, want all %d arrivals", rep.Achieved.Done, rep.Offered.Arrivals)
+	}
+}
+
+// TestHerdSelfhostBackendKill is the herd chaos acceptance run: a
+// backend dies mid-schedule, its shard fails over, no acked job is
+// lost, and the fleet-wide accounting identity still balances. The
+// generous retry budget absorbs the 503s the dying backend emits
+// while membership converges.
+func TestHerdSelfhostBackendKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping ~2s self-hosted herd kill run")
+	}
+	o, err := parseFlags([]string{
+		"-selfhost", "-nodes", "3", "-chaos",
+		"-faults", "selfhost.backend.kill=error:kill,count:1,delay:400ms",
+		"-mode", "constant", "-rps", "40", "-duration", "1200ms",
+		"-seed", "42", "-inflight", "128",
+		"-timeout", "20s", "-poll", "2ms", "-retries", "5",
+		"-slo-errors", "1",
+		"-out", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	rep, err := run(context.Background(), o, devnull)
+	if err != nil {
+		t.Fatalf("herd kill run: %v", err) // chaos check = zero lost acked jobs
+	}
+	// Every acked job reached a terminal state; canceled jobs (queued on
+	// the victim at kill time) are allowed, silent loss is not.
+	settled := rep.Achieved.Done + rep.Achieved.Failed + rep.Achieved.Canceled
+	acked := int(rep.Offered.Arrivals) - rep.Achieved.Drops - rep.Achieved.Errors - rep.Achieved.Timeouts
+	if settled != acked {
+		t.Fatalf("settled=%d != acked=%d (done=%d failed=%d canceled=%d drops=%d errors=%d timeouts=%d)",
+			settled, acked, rep.Achieved.Done, rep.Achieved.Failed, rep.Achieved.Canceled,
+			rep.Achieved.Drops, rep.Achieved.Errors, rep.Achieved.Timeouts)
+	}
+	if rep.Achieved.Done == 0 {
+		t.Fatal("no jobs completed around the backend kill")
+	}
+}
+
+// TestNodesFlagValidation: -nodes below 1 or without -selfhost is
+// rejected at flag parsing.
+func TestNodesFlagValidation(t *testing.T) {
+	if _, err := parseFlags([]string{"-nodes", "0"}); err == nil {
+		t.Fatal("-nodes 0 accepted")
+	}
+	if _, err := parseFlags([]string{"-nodes", "3"}); err == nil {
+		t.Fatal("-nodes 3 without -selfhost accepted")
+	}
+	if _, err := parseFlags([]string{"-selfhost", "-nodes", "3"}); err != nil {
+		t.Fatalf("-selfhost -nodes 3 rejected: %v", err)
+	}
+}

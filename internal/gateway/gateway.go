@@ -1,0 +1,351 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thermalherd/internal/clock"
+	"thermalherd/internal/faultinject"
+	"thermalherd/internal/server"
+)
+
+// Fault points threaded through the gateway's hot paths; arm them on a
+// faultinject.Registry passed via Config.Faults. All are no-ops when
+// the registry is nil or disarmed.
+//
+//thermlint:faultpoints
+const (
+	// FaultForward fires before a request is proxied to a backend: an
+	// error action simulates the backend being down (the forward fails
+	// and the submit path fails over to the next ring successor), a
+	// delay action stretches the proxy hop.
+	FaultForward = "gw.forward"
+	// FaultProbe fires before a membership health probe: a delay action
+	// is a slow probe (the round takes longer; under a short probe
+	// timeout the backend looks dead), an error action fails the probe
+	// outright — threshold consecutive failures eject the backend.
+	FaultProbe = "gw.probe"
+	// FaultSplitBrain fires after a successful probe response: an error
+	// action discards it, so this gateway's membership view diverges
+	// from the backend's actual state — a one-sided split-brain.
+	FaultSplitBrain = "gw.splitbrain"
+)
+
+// Config sizes the gateway.
+type Config struct {
+	// Backends is the static node set the ring is built over; at least
+	// one is required. Names must be unique, non-empty, and free of the
+	// '@' id-separator.
+	Backends []Backend
+	// VNodes is the virtual-node count per backend on the hash ring;
+	// 0 means DefaultVNodes.
+	VNodes int
+	// ProbeInterval spaces membership health probes; 0 means 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each /readyz probe; 0 means 500ms.
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive probe failures eject a
+	// backend as down; 0 means 3.
+	FailThreshold int
+	// ScatterTimeout bounds each backend's leg of a scatter-gather
+	// (GET /v1/jobs, /metrics); 0 means 2s. A leg that misses it is
+	// accounted as a partial result, never a stalled response.
+	ScatterTimeout time.Duration
+	// ForwardAttempts bounds how many backends one submit may try
+	// (first choice plus failovers); 0 means 2.
+	ForwardAttempts int
+	// Faults is the chaos-testing fault-injection registry; nil (the
+	// production default) costs one atomic load per fault point.
+	Faults *faultinject.Registry
+	// Clock supplies membership timing; nil means the wall clock.
+	Clock clock.Clock
+}
+
+// Gateway is the herd front door: an http.Handler exposing the same
+// API surface as one thermherdd node, backed by N of them. Create one
+// with New, launch the membership prober with Start, and stop it with
+// Close.
+type Gateway struct {
+	cfg     Config
+	ring    *Ring
+	members *membership
+	mux     *http.ServeMux
+	hc      *http.Client
+	metrics *gwMetrics
+	warm    *warmSet
+
+	// inflight tracks per-backend submits in flight; the
+	// power-of-two-choices spill reads it to pick the less-loaded of
+	// two candidates.
+	inflight map[string]*atomic.Int64
+
+	byName map[string]Backend
+}
+
+// New builds a gateway; call Start before serving requests.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: no backends configured")
+	}
+	if cfg.ForwardAttempts <= 0 {
+		cfg.ForwardAttempts = 2
+	}
+	if cfg.ScatterTimeout <= 0 {
+		cfg.ScatterTimeout = 2 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		ring:     NewRing(cfg.VNodes),
+		mux:      http.NewServeMux(),
+		hc:       &http.Client{},
+		metrics:  &gwMetrics{},
+		warm:     newWarmSet(8192),
+		inflight: make(map[string]*atomic.Int64, len(cfg.Backends)),
+		byName:   make(map[string]Backend, len(cfg.Backends)),
+	}
+	for _, b := range cfg.Backends {
+		if b.Name == "" || strings.Contains(b.Name, "@") {
+			return nil, fmt.Errorf("gateway: bad backend name %q (must be non-empty, without '@')", b.Name)
+		}
+		if _, dup := g.byName[b.Name]; dup {
+			return nil, fmt.Errorf("gateway: duplicate backend name %q", b.Name)
+		}
+		if b.URL == "" {
+			return nil, fmt.Errorf("gateway: backend %q has no URL", b.Name)
+		}
+		b.URL = strings.TrimRight(b.URL, "/")
+		g.byName[b.Name] = b
+		g.ring.Add(b.Name)
+		g.inflight[b.Name] = &atomic.Int64{}
+	}
+	g.members = newMembership(cfg.Backends, cfg.Clock, cfg.Faults,
+		cfg.ProbeInterval, cfg.ProbeTimeout, cfg.FailThreshold)
+	g.members.probes = func() { g.metrics.probes.Add(1) }
+	g.members.probeFailures = func() { g.metrics.probeFailures.Add(1) }
+	g.routes()
+	return g, nil
+}
+
+// Start launches the membership probe loop.
+func (g *Gateway) Start() { go g.members.run() }
+
+// Close stops the membership probe loop.
+func (g *Gateway) Close() { g.members.close() }
+
+// ProbeNow runs one synchronous probe round; tests use it to advance
+// membership without waiting out the probe interval.
+func (g *Gateway) ProbeNow() { g.members.ProbeAll(context.Background()) }
+
+// Backends returns the configured node health snapshot.
+func (g *Gateway) Backends() []NodeHealth { return g.members.snapshot() }
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// routes installs the HTTP endpoints, mirroring the backend API.
+func (g *Gateway) routes() {
+	g.route("/v1/jobs", map[string]http.HandlerFunc{
+		http.MethodPost: g.handleSubmit,
+		http.MethodGet:  g.handleList,
+	})
+	g.route("/v1/jobs:batch", map[string]http.HandlerFunc{
+		http.MethodPost: g.handleSubmitBatch,
+	})
+	g.route("/v1/jobs/{id}", map[string]http.HandlerFunc{
+		http.MethodGet:    g.handleStatus,
+		http.MethodDelete: g.handleCancel,
+	})
+	g.route("/v1/jobs/{id}/result", map[string]http.HandlerFunc{
+		http.MethodGet: g.handleResult,
+	})
+	g.route("/v1/workloads", map[string]http.HandlerFunc{http.MethodGet: g.handlePassthrough("/v1/workloads")})
+	g.route("/v1/configs", map[string]http.HandlerFunc{http.MethodGet: g.handlePassthrough("/v1/configs")})
+	g.route("/healthz", map[string]http.HandlerFunc{http.MethodGet: g.handleHealthz})
+	g.route("/readyz", map[string]http.HandlerFunc{http.MethodGet: g.handleReadyz})
+	g.route("/metrics", map[string]http.HandlerFunc{http.MethodGet: g.handleMetrics})
+}
+
+// route mirrors the backend's method-dispatch idiom: per-method
+// handlers plus a catch-all JSON 405 with an Allow header.
+func (g *Gateway) route(path string, handlers map[string]http.HandlerFunc) {
+	methods := make([]string, 0, len(handlers)+1)
+	for m, h := range handlers {
+		g.mux.HandleFunc(m+" "+path, h)
+		methods = append(methods, m)
+		if m == http.MethodGet {
+			methods = append(methods, http.MethodHead)
+		}
+	}
+	sort.Strings(methods)
+	allow := strings.Join(methods, ", ")
+	g.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s (allow: %s)", r.Method, path, allow)
+	})
+}
+
+// globalID namespaces a backend-minted job id with its node, so the
+// gateway can route the id back without keeping a table.
+func globalID(id, node string) string { return id + "@" + node }
+
+// splitID undoes globalID.
+func splitID(gid string) (id, node string, ok bool) {
+	i := strings.LastIndex(gid, "@")
+	if i <= 0 || i == len(gid)-1 {
+		return "", "", false
+	}
+	return gid[:i], gid[i+1:], true
+}
+
+// routePlan is one submit's placement decision.
+type routePlan struct {
+	// order is the preference-ordered backend list: first the chosen
+	// node, then failover candidates.
+	order []string
+	// spilled marks a cold spec spilled off a browning-out home;
+	// failedOver marks a home that was ejected outright.
+	spilled, failedOver bool
+}
+
+// planRoute places one spec hash. The home node (first ring successor)
+// takes the job when it is healthy — and even when it is browning out,
+// if the spec is warm there (its cache entry is the whole point of
+// sharding by hash). A cold spec with a browning home spills via
+// power-of-two-choices over the healthy successors: of the first two,
+// the one with fewer gateway-tracked in-flight submits wins. An
+// ejected home (down / draining / recovering) fails over to the next
+// routable successor deterministically, so dedup for that shard still
+// converges on a single node.
+func (g *Gateway) planRoute(hash string) (routePlan, error) {
+	succ := g.ring.Successors(hash, g.ring.Len())
+	if len(succ) == 0 {
+		return routePlan{}, fmt.Errorf("gateway: hash ring is empty")
+	}
+	var routable []string
+	for _, n := range succ {
+		if g.members.state(n).routable() {
+			routable = append(routable, n)
+		}
+	}
+	if len(routable) == 0 {
+		return routePlan{}, fmt.Errorf("gateway: no routable backends (%d configured, all ejected)", len(succ))
+	}
+	home := succ[0]
+	homeState := g.members.state(home)
+	if !homeState.routable() {
+		// Prefer healthy failover targets over browning-out ones.
+		order := append(filterByState(g.members, routable, NodeHealthy),
+			filterByState(g.members, routable, NodeBrownout)...)
+		return routePlan{order: order, failedOver: true}, nil
+	}
+	if homeState == NodeHealthy || g.warm.has(hash) {
+		return routePlan{order: moveToFront(routable, home)}, nil
+	}
+	// Home is browning out and the spec is cold: spill. Power of two
+	// choices over the healthy successors; the home node stays in the
+	// order as the last resort.
+	healthy := filterByState(g.members, routable, NodeHealthy)
+	if len(healthy) == 0 {
+		return routePlan{order: moveToFront(routable, home)}, nil
+	}
+	pick := healthy[0]
+	if len(healthy) >= 2 {
+		a, b := healthy[0], healthy[1]
+		if g.inflight[b].Load() < g.inflight[a].Load() {
+			pick = b
+		}
+	}
+	order := moveToFront(routable, pick)
+	return routePlan{order: order, spilled: true}, nil
+}
+
+func filterByState(m *membership, nodes []string, want NodeState) []string {
+	var out []string
+	for _, n := range nodes {
+		if m.state(n) == want {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// moveToFront returns nodes with the named node first, preserving the
+// relative order of the rest.
+func moveToFront(nodes []string, front string) []string {
+	out := make([]string, 0, len(nodes))
+	out = append(out, front)
+	for _, n := range nodes {
+		if n != front {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// warmSet remembers recently routed spec hashes so the spill logic can
+// tell a warm spec (likely cached on its home node) from a cold one.
+// Bounded by generation rotation: when the current generation fills,
+// it becomes the previous one and lookups consult both.
+type warmSet struct {
+	mu       sync.Mutex
+	capacity int
+	cur      map[string]bool
+	prev     map[string]bool
+}
+
+func newWarmSet(capacity int) *warmSet {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &warmSet{capacity: capacity, cur: make(map[string]bool)}
+}
+
+func (w *warmSet) add(hash string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.cur) >= w.capacity {
+		w.prev = w.cur
+		w.cur = make(map[string]bool, w.capacity)
+	}
+	w.cur[hash] = true
+}
+
+func (w *warmSet) has(hash string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cur[hash] || w.prev[hash]
+}
+
+// errorDoc mirrors the backend's uniform error body.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+// specHashOf decodes and content-addresses one submission body.
+func specHashOf(spec server.Spec) (string, error) {
+	return spec.CanonicalHash()
+}

@@ -1,0 +1,346 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thermalherd/internal/clock"
+	"thermalherd/internal/faultinject"
+)
+
+// NodeState is the gateway's view of one backend, derived from its
+// /readyz document (or the failure to fetch one).
+type NodeState string
+
+const (
+	// NodeHealthy backends take all traffic.
+	NodeHealthy NodeState = "healthy"
+	// NodeBrownout backends are shedding queue-bound load: they stay in
+	// the rotation for warm specs (their cache is why we route there)
+	// but cold specs spill to less-loaded peers.
+	NodeBrownout NodeState = "brownout"
+	// NodeDraining backends are shutting down; ejected from routing.
+	NodeDraining NodeState = "draining"
+	// NodeRecovering backends are replaying their journal; ejected
+	// until the replay completes.
+	NodeRecovering NodeState = "recovering"
+	// NodeDown backends failed FailThreshold consecutive probes (or
+	// returned garbage); ejected until a probe succeeds again.
+	NodeDown NodeState = "down"
+)
+
+// routable reports whether any traffic may be sent to a node in this
+// state. Brownout is routable (deprioritized, not ejected).
+func (s NodeState) routable() bool {
+	return s == NodeHealthy || s == NodeBrownout
+}
+
+// Backend names one thermherdd node and its base URL.
+type Backend struct {
+	Name string
+	URL  string
+}
+
+// NodeHealth is one backend's membership snapshot, served in the
+// gateway's /metrics and /readyz documents.
+type NodeHealth struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// State is the membership state machine's current classification.
+	State NodeState `json:"state"`
+	// Since is the backend-reported timestamp of its current readiness
+	// condition (the /readyz "since" field); for NodeDown it is the
+	// gateway-observed time of the first failed probe. It is how a
+	// freshly-browning node is distinguished from a long-dead one.
+	Since string `json:"since,omitempty"`
+	// ConsecutiveFailures counts probes failed in a row.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// LastError is the most recent probe failure, empty when healthy.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// memberInfo is the mutable per-node record behind NodeHealth.
+type memberInfo struct {
+	backend     Backend
+	state       NodeState
+	since       time.Time
+	consecFails int
+	lastErr     string
+}
+
+// membership polls each backend's /readyz on a fixed interval and
+// classifies it through the state machine above. Probes run through
+// the clock seam and the fault-injection registry, so the chaos suite
+// drives slow probes, dead backends, and split-brain views
+// deterministically.
+type membership struct {
+	clk       clock.Clock
+	hc        *http.Client
+	faults    *faultinject.Registry
+	interval  time.Duration
+	timeout   time.Duration
+	threshold int
+
+	mu   sync.Mutex
+	info map[string]*memberInfo
+
+	started  atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	probes        counterFunc
+	probeFailures counterFunc
+}
+
+// counterFunc lets membership report probe counts into the gateway's
+// metrics without a dependency cycle.
+type counterFunc func()
+
+func newMembership(backends []Backend, clk clock.Clock, faults *faultinject.Registry,
+	interval, timeout time.Duration, threshold int) *membership {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if timeout <= 0 {
+		timeout = 500 * time.Millisecond
+	}
+	if threshold <= 0 {
+		threshold = 3
+	}
+	m := &membership{
+		clk:           clk,
+		hc:            &http.Client{},
+		faults:        faults,
+		interval:      interval,
+		timeout:       timeout,
+		threshold:     threshold,
+		info:          make(map[string]*memberInfo, len(backends)),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+		probes:        func() {},
+		probeFailures: func() {},
+	}
+	for _, b := range backends {
+		// Optimistic boot: a backend starts healthy so the first requests
+		// need not wait out a probe cycle; a dead one is ejected within
+		// threshold probes (and suspected immediately on a failed forward).
+		m.info[b.Name] = &memberInfo{backend: b, state: NodeHealthy, since: clk.Now()}
+	}
+	return m
+}
+
+// run is the probe loop; Gateway.Start launches it and Close stops it.
+func (m *membership) run() {
+	m.started.Store(true)
+	defer close(m.done)
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.clk.After(m.interval):
+			m.ProbeAll(context.Background())
+		}
+	}
+}
+
+// close stops the probe loop and waits for it to exit. A membership
+// whose loop was never launched (a gateway constructed but not
+// Started) has nothing to wait for.
+func (m *membership) close() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	if !m.started.Load() {
+		return
+	}
+	//thermlint:blocking -- done is closed unconditionally when run exits; the wait is bounded by one probe round
+	<-m.done
+}
+
+// ProbeAll probes every backend once, concurrently. Tests (and the
+// suspect path) call it directly to advance membership without waiting
+// out the interval.
+func (m *membership) ProbeAll(ctx context.Context) {
+	m.mu.Lock()
+	backends := make([]Backend, 0, len(m.info))
+	//thermlint:unordered -- collecting map values to probe; probe order carries no meaning
+	for _, mi := range m.info {
+		backends = append(backends, mi.backend)
+	}
+	m.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, b := range backends {
+		wg.Add(1)
+		go func(b Backend) {
+			defer wg.Done()
+			m.probe(ctx, b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// suspect triggers an immediate asynchronous probe of one backend —
+// the forward path calls it when a request to that backend fails, so
+// ejection does not wait for the next interval tick.
+func (m *membership) suspect(name string) {
+	m.mu.Lock()
+	mi, ok := m.info[name]
+	var b Backend
+	if ok {
+		b = mi.backend
+	}
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	go m.probe(context.Background(), b)
+}
+
+// readyzDoc is the backend /readyz body the prober decodes.
+type readyzDoc struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason"`
+	Since  string `json:"since"`
+}
+
+// probe fetches one backend's /readyz and applies the result to the
+// state machine. The FaultProbe point injects slow probes (delay
+// action) and dead backends (error action); FaultSplitBrain discards a
+// successful response, so this gateway's view diverges from reality —
+// exactly the one-sided membership split the chaos suite exercises.
+func (m *membership) probe(ctx context.Context, b Backend) {
+	m.probes()
+	if err := m.faults.Fire(FaultProbe); err != nil {
+		m.applyFailure(b.Name, fmt.Errorf("probe: %w", err))
+		return
+	}
+	doc, err := m.fetchReadyz(ctx, b)
+	if err != nil {
+		m.applyFailure(b.Name, err)
+		return
+	}
+	if err := m.faults.Fire(FaultSplitBrain); err != nil {
+		m.applyFailure(b.Name, fmt.Errorf("split-brain: %w", err))
+		return
+	}
+	m.applyReadyz(b.Name, doc)
+}
+
+// fetchReadyz performs the HTTP probe under the probe timeout. Both a
+// 200 and a 503 carrying a decodable document are successful probes —
+// a browning-out backend is alive and telling us so.
+func (m *membership) fetchReadyz(ctx context.Context, b Backend) (readyzDoc, error) {
+	pctx, cancel := context.WithTimeout(ctx, m.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.URL+"/readyz", nil)
+	if err != nil {
+		return readyzDoc{}, err
+	}
+	resp, err := m.hc.Do(req)
+	if err != nil {
+		return readyzDoc{}, err
+	}
+	defer resp.Body.Close()
+	var doc readyzDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return readyzDoc{}, fmt.Errorf("bad /readyz body: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return readyzDoc{}, fmt.Errorf("/readyz HTTP %d", resp.StatusCode)
+	}
+	return doc, nil
+}
+
+// applyReadyz folds a successful probe into the state machine.
+func (m *membership) applyReadyz(name string, doc readyzDoc) {
+	state := NodeHealthy
+	if !doc.Ready {
+		switch doc.Reason {
+		case "brownout":
+			state = NodeBrownout
+		case "draining":
+			state = NodeDraining
+		case "recovering":
+			state = NodeRecovering
+		default:
+			// Not ready for a reason this gateway does not understand:
+			// treat it as down — routing to it would be a guess.
+			state = NodeDown
+		}
+	}
+	since, _ := time.Parse(time.RFC3339Nano, doc.Since)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mi, ok := m.info[name]
+	if !ok {
+		return
+	}
+	mi.consecFails = 0
+	mi.lastErr = ""
+	if mi.state != state {
+		mi.state = state
+		mi.since = m.clk.Now()
+	}
+	if !since.IsZero() {
+		// Prefer the backend's own account of when the condition began:
+		// it survives gateway restarts and is what distinguishes a
+		// freshly-browning node from a long-unready one.
+		mi.since = since
+	}
+}
+
+// applyFailure folds a failed probe into the state machine: the node
+// is marked down after threshold consecutive failures.
+func (m *membership) applyFailure(name string, err error) {
+	m.probeFailures()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mi, ok := m.info[name]
+	if !ok {
+		return
+	}
+	mi.consecFails++
+	mi.lastErr = err.Error()
+	if mi.consecFails >= m.threshold && mi.state != NodeDown {
+		mi.state = NodeDown
+		mi.since = m.clk.Now()
+	}
+}
+
+// state returns one node's current classification.
+func (m *membership) state(name string) NodeState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mi, ok := m.info[name]; ok {
+		return mi.state
+	}
+	return NodeDown
+}
+
+// snapshot renders every node's health, sorted by name.
+func (m *membership) snapshot() []NodeHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]NodeHealth, 0, len(m.info))
+	//thermlint:unordered -- collecting map values for an explicit sort below
+	for _, mi := range m.info {
+		h := NodeHealth{
+			Name:                mi.backend.Name,
+			URL:                 mi.backend.URL,
+			State:               mi.state,
+			ConsecutiveFailures: mi.consecFails,
+			LastError:           mi.lastErr,
+		}
+		if !mi.since.IsZero() {
+			h.Since = mi.since.Format(time.RFC3339Nano)
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
+	return out
+}

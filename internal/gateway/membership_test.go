@@ -1,0 +1,225 @@
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"thermalherd/internal/clock"
+	"thermalherd/internal/faultinject"
+)
+
+// fakeBackend is a scriptable /readyz (and submit) endpoint for
+// membership and routing tests.
+type fakeBackend struct {
+	mu      sync.Mutex
+	ready   bool
+	reason  string
+	since   string
+	submits int
+	ts      *httptest.Server
+}
+
+func newFakeBackend(t *testing.T) *fakeBackend {
+	t.Helper()
+	f := &fakeBackend{ready: true}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		doc := readyzDoc{Ready: f.ready, Reason: f.reason, Since: f.since}
+		f.mu.Unlock()
+		code := http.StatusOK
+		if !doc.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, doc)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.submits++
+		n := f.submits
+		f.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": "job-" + itoa6(n), "state": "queued"})
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func itoa6(n int) string {
+	const digits = "0123456789"
+	buf := []byte{'0', '0', '0', '0', '0', '0'}
+	for i := 5; i >= 0 && n > 0; i-- {
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return string(buf)
+}
+
+func (f *fakeBackend) set(ready bool, reason, since string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ready, f.reason, f.since = ready, reason, since
+}
+
+func (f *fakeBackend) submitCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.submits
+}
+
+// TestMembershipClassification: each structured /readyz reason maps to
+// its membership state, and routability follows.
+func TestMembershipClassification(t *testing.T) {
+	cases := []struct {
+		name     string
+		ready    bool
+		reason   string
+		want     NodeState
+		routable bool
+	}{
+		{"ready", true, "", NodeHealthy, true},
+		{"brownout", false, "brownout", NodeBrownout, true},
+		{"draining", false, "draining", NodeDraining, false},
+		{"recovering", false, "recovering", NodeRecovering, false},
+		{"unknown-reason", false, "weird", NodeDown, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newFakeBackend(t)
+			f.set(tc.ready, tc.reason, "")
+			m := newMembership([]Backend{{Name: "n0", URL: f.ts.URL}},
+				clock.Real(), nil, time.Hour, time.Second, 3)
+			m.ProbeAll(context.Background())
+			if got := m.state("n0"); got != tc.want {
+				t.Fatalf("state after probe = %s, want %s", got, tc.want)
+			}
+			if got := m.state("n0").routable(); got != tc.routable {
+				t.Fatalf("routable() = %v, want %v", got, tc.routable)
+			}
+		})
+	}
+}
+
+// TestMembershipDownAfterThreshold: a dead backend is ejected only
+// after the configured number of consecutive probe failures, and one
+// successful probe restores it.
+func TestMembershipDownAfterThreshold(t *testing.T) {
+	f := newFakeBackend(t)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // refuse all connections from here on
+	m := newMembership([]Backend{{Name: "n0", URL: dead.URL}},
+		clock.Real(), nil, time.Hour, 200*time.Millisecond, 3)
+
+	for i := 1; i <= 2; i++ {
+		m.ProbeAll(context.Background())
+		if got := m.state("n0"); got != NodeHealthy {
+			t.Fatalf("after %d failures state = %s, want still healthy (threshold 3)", i, got)
+		}
+	}
+	m.ProbeAll(context.Background())
+	if got := m.state("n0"); got != NodeDown {
+		t.Fatalf("after 3 failures state = %s, want down", got)
+	}
+	snap := m.snapshot()
+	if len(snap) != 1 || snap[0].ConsecutiveFailures != 3 || snap[0].LastError == "" {
+		t.Fatalf("snapshot = %+v, want 3 consecutive failures with a last error", snap)
+	}
+
+	// Point the member at a live backend: one good probe revives it.
+	m.mu.Lock()
+	m.info["n0"].backend.URL = f.ts.URL
+	m.mu.Unlock()
+	m.ProbeAll(context.Background())
+	if got := m.state("n0"); got != NodeHealthy {
+		t.Fatalf("after recovery probe state = %s, want healthy", got)
+	}
+}
+
+// TestMembershipSincePreferred: the backend's own "since" timestamp
+// wins over the gateway-observed transition time — it survives gateway
+// restarts and distinguishes freshly-browning from long-unready.
+func TestMembershipSincePreferred(t *testing.T) {
+	f := newFakeBackend(t)
+	reported := "2026-08-08T01:02:03.000000004Z"
+	f.set(false, "brownout", reported)
+	m := newMembership([]Backend{{Name: "n0", URL: f.ts.URL}},
+		clock.Real(), nil, time.Hour, time.Second, 3)
+	m.ProbeAll(context.Background())
+	snap := m.snapshot()
+	if len(snap) != 1 || snap[0].State != NodeBrownout {
+		t.Fatalf("snapshot = %+v, want one brownout node", snap)
+	}
+	got, err := time.Parse(time.RFC3339Nano, snap[0].Since)
+	if err != nil {
+		t.Fatalf("snapshot since %q does not parse: %v", snap[0].Since, err)
+	}
+	want, _ := time.Parse(time.RFC3339Nano, reported)
+	if !got.Equal(want) {
+		t.Fatalf("since = %s, want the backend-reported %s", got, want)
+	}
+}
+
+// TestMembershipProbeFault: the gw.probe fault point fails probes
+// without touching the backend — threshold failures eject it.
+func TestMembershipProbeFault(t *testing.T) {
+	f := newFakeBackend(t)
+	faults := faultinject.New()
+	if err := faults.Arm(FaultProbe+"=error:probe chaos", 1); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	m := newMembership([]Backend{{Name: "n0", URL: f.ts.URL}},
+		clock.Real(), faults, time.Hour, time.Second, 2)
+	m.ProbeAll(context.Background())
+	m.ProbeAll(context.Background())
+	if got := m.state("n0"); got != NodeDown {
+		t.Fatalf("state under probe fault = %s, want down", got)
+	}
+}
+
+// TestMembershipSplitBrainFault: gw.splitbrain discards successful
+// probe responses, so this gateway's view diverges from the backend's
+// actual (healthy) state.
+func TestMembershipSplitBrainFault(t *testing.T) {
+	f := newFakeBackend(t)
+	faults := faultinject.New()
+	if err := faults.Arm(FaultSplitBrain+"=error:split brain", 1); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	m := newMembership([]Backend{{Name: "n0", URL: f.ts.URL}},
+		clock.Real(), faults, time.Hour, time.Second, 2)
+	m.ProbeAll(context.Background())
+	m.ProbeAll(context.Background())
+	if got := m.state("n0"); got != NodeDown {
+		t.Fatalf("state under split-brain fault = %s, want down (view diverged)", got)
+	}
+	// The backend itself is fine; disarming heals the divergence.
+	faults.Disarm()
+	m.ProbeAll(context.Background())
+	if got := m.state("n0"); got != NodeHealthy {
+		t.Fatalf("state after disarm = %s, want healthy", got)
+	}
+}
+
+// TestMembershipRunLoop: the probe loop ticks on the clock seam and
+// close() terminates it.
+func TestMembershipRunLoop(t *testing.T) {
+	f := newFakeBackend(t)
+	f.set(false, "draining", "")
+	fc := clock.NewFake(time.Unix(1_700_000_000, 0))
+	m := newMembership([]Backend{{Name: "n0", URL: f.ts.URL}},
+		fc, nil, time.Second, time.Second, 3)
+	go m.run()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.state("n0") != NodeDraining {
+		fc.Advance(time.Second)
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never classified the backend as draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.close()
+}

@@ -1,0 +1,37 @@
+package gateway
+
+// The gateway's metric-name registry: every key its /metrics document
+// adds beyond the aggregated backend counters is a constant here, and
+// thermlint's metrickeys analyzer rejects emission sites that spell a
+// key any other way (the same contract internal/server keeps — see
+// that package's metricnames.go).
+//
+// The aggregated document's backend-derived sections (jobs.*, cache.*,
+// queue.*, ...) keep the backend wire names verbatim: they are summed
+// pass-through values, and the fleet-wide accounting identity
+// (submitted == hits+completed+failed+canceled+rejected) must
+// reconcile against the same keys chaosCheck already reads.
+//
+//thermlint:metricnames
+const (
+	// metricSectionGateway holds the gateway's own counters.
+	metricSectionGateway = "gateway"
+	// metricSectionBackends holds the per-backend membership snapshot.
+	metricSectionBackends = "backends"
+	// metricKeyPartial marks an aggregation that is missing at least
+	// one backend's contribution (scatter-gather timeout or error).
+	metricKeyPartial = "partial"
+
+	// Leaf keys inside the gateway section.
+	metricProxied          = "proxied"
+	metricSubmitsRouted    = "submits_routed"
+	metricSpills           = "spills"
+	metricFailovers        = "failovers"
+	metricRetries          = "forward_retries"
+	metricBackendErrors    = "backend_errors"
+	metricScatterPartials  = "scatter_partials"
+	metricProbes           = "probes"
+	metricProbeFailures    = "probe_failures"
+	metricBackendsTotal    = "backends_total"
+	metricBackendsRoutable = "backends_routable"
+)

@@ -1,0 +1,38 @@
+package gateway
+
+import "sync/atomic"
+
+// gwMetrics are the gateway's own counters, kept as atomics — the
+// forward path is the fleet's front door and must not serialize on a
+// metrics mutex.
+type gwMetrics struct {
+	proxied         atomic.Uint64 // requests forwarded to any backend
+	submitsRouted   atomic.Uint64 // submit-shaped requests placed by the ring
+	spills          atomic.Uint64 // cold submits spilled off a browning home
+	failovers       atomic.Uint64 // submits rerouted off an ejected home
+	forwardRetries  atomic.Uint64 // submits re-forwarded after a backend failure
+	backendErrors   atomic.Uint64 // forwards that failed (transport or 5xx)
+	scatterPartials atomic.Uint64 // scatter-gathers missing >= 1 backend
+	probes          atomic.Uint64 // membership probes issued
+	probeFailures   atomic.Uint64 // membership probes failed
+}
+
+// snapshot renders the gateway section of the /metrics document,
+// keyed by the metricnames registry.
+//
+//thermlint:metricsdoc
+func (m *gwMetrics) snapshot(total, routable int) map[string]any {
+	return map[string]any{
+		metricProxied:          m.proxied.Load(),
+		metricSubmitsRouted:    m.submitsRouted.Load(),
+		metricSpills:           m.spills.Load(),
+		metricFailovers:        m.failovers.Load(),
+		metricRetries:          m.forwardRetries.Load(),
+		metricBackendErrors:    m.backendErrors.Load(),
+		metricScatterPartials:  m.scatterPartials.Load(),
+		metricProbes:           m.probes.Load(),
+		metricProbeFailures:    m.probeFailures.Load(),
+		metricBackendsTotal:    total,
+		metricBackendsRoutable: routable,
+	}
+}

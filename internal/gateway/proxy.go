@@ -1,0 +1,639 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"thermalherd/internal/server"
+)
+
+// forwardResult is one backend's reply, buffered so the gateway can
+// rewrite job ids before relaying it.
+type forwardResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// forward proxies one request to a named backend. The FaultForward
+// point fires first: an error action simulates the backend being
+// unreachable without touching the wire.
+func (g *Gateway) forward(ctx context.Context, node, method, path string, body []byte, header http.Header) (forwardResult, error) {
+	b, ok := g.byName[node]
+	if !ok {
+		return forwardResult{}, fmt.Errorf("unknown backend %q", node)
+	}
+	if err := g.cfg.Faults.Fire(FaultForward); err != nil {
+		g.metrics.backendErrors.Add(1)
+		return forwardResult{}, fmt.Errorf("forward to %s: %w", node, err)
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.URL+path, rd)
+	if err != nil {
+		return forwardResult{}, err
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	g.metrics.proxied.Add(1)
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		g.metrics.backendErrors.Add(1)
+		return forwardResult{}, fmt.Errorf("forward to %s: %w", node, err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		g.metrics.backendErrors.Add(1)
+		return forwardResult{}, fmt.Errorf("read from %s: %w", node, err)
+	}
+	return forwardResult{status: resp.StatusCode, header: resp.Header, body: buf}, nil
+}
+
+// retryable reports whether a submit that got this backend status is
+// safe and useful to try on the next candidate: the backend refused or
+// sat behind a broken hop (draining 503, bad gateway) rather than
+// judging the request itself. Brownout 429s are NOT retried — the herd
+// is telling the client to back off, and hammering a peer instead
+// would defeat the shed.
+func retryable(status int) bool {
+	return status == http.StatusServiceUnavailable ||
+		status == http.StatusBadGateway ||
+		status == http.StatusGatewayTimeout
+}
+
+// relay copies a buffered backend reply to the client, preserving the
+// headers that carry semantics (content type, backoff hints).
+func relay(w http.ResponseWriter, fr forwardResult) {
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := fr.header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(fr.status)
+	w.Write(fr.body)
+}
+
+// relayStatusRewrite relays a backend reply whose body is (or may be) a
+// job Status document, rewriting its id into the gateway namespace. A
+// body that does not parse as a Status with an id is relayed verbatim.
+func relayStatusRewrite(w http.ResponseWriter, fr forwardResult, node string) {
+	var st server.Status
+	if err := json.Unmarshal(fr.body, &st); err == nil && st.ID != "" {
+		st.ID = globalID(st.ID, node)
+		if v := fr.header.Get("Retry-After"); v != "" {
+			w.Header().Set("Retry-After", v)
+		}
+		writeJSON(w, fr.status, st)
+		return
+	}
+	relay(w, fr)
+}
+
+// handleSubmit places one job by its canonical spec hash and proxies
+// the submission to the chosen backend, forwarding the client's
+// Idempotency-Key untouched — the key dedupes on whichever node the
+// hash routes to, so a client retry through any gateway replica lands
+// on the same backend and hits the same dedup table.
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job payload: %v", err)
+		return
+	}
+	var spec server.Spec
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job payload: %v", err)
+		return
+	}
+	hash, err := specHashOf(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job payload: %v", err)
+		return
+	}
+	plan, err := g.planRoute(hash)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	g.metrics.submitsRouted.Add(1)
+	if plan.spilled {
+		g.metrics.spills.Add(1)
+	}
+	if plan.failedOver {
+		g.metrics.failovers.Add(1)
+	}
+	hdr := http.Header{}
+	if k := r.Header.Get("Idempotency-Key"); k != "" {
+		hdr.Set("Idempotency-Key", k)
+	}
+	hdr.Set("Content-Type", "application/json")
+
+	attempts := plan.order
+	if len(attempts) > g.cfg.ForwardAttempts {
+		attempts = attempts[:g.cfg.ForwardAttempts]
+	}
+	var lastErr error
+	for i, node := range attempts {
+		if i > 0 {
+			g.metrics.forwardRetries.Add(1)
+		}
+		cnt := g.inflight[node]
+		cnt.Add(1)
+		fr, err := g.forward(r.Context(), node, http.MethodPost, "/v1/jobs", body, hdr)
+		cnt.Add(-1)
+		if err != nil {
+			// The backend never answered: suspect it so membership probes it
+			// now instead of at the next tick, then try the next candidate.
+			// The forwarded Idempotency-Key makes the retry safe even if the
+			// backend admitted the job before the connection died.
+			g.members.suspect(node)
+			lastErr = err
+			continue
+		}
+		if retryable(fr.status) && i < len(attempts)-1 {
+			g.members.suspect(node)
+			lastErr = fmt.Errorf("backend %s: HTTP %d", node, fr.status)
+			continue
+		}
+		if fr.status < 300 {
+			g.warm.add(hash)
+		}
+		relayStatusRewrite(w, fr, node)
+		return
+	}
+	writeError(w, http.StatusBadGateway, "all candidate backends failed: %v", lastErr)
+}
+
+// handleSubmitBatch splits a batch by each spec's ring placement,
+// forwards the per-node sub-batches concurrently, and reassembles the
+// items in request order. A sub-batch whose backend fails entirely
+// yields per-item 502s rather than failing the sibling shards.
+func (g *Gateway) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req server.BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch payload: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch (want 1..%d jobs)", server.MaxBatchJobs)
+		return
+	}
+	if len(req.Jobs) > server.MaxBatchJobs {
+		writeError(w, http.StatusBadRequest, "batch of %d jobs exceeds the %d-job limit", len(req.Jobs), server.MaxBatchJobs)
+		return
+	}
+	if len(req.IdempotencyKeys) != 0 && len(req.IdempotencyKeys) != len(req.Jobs) {
+		writeError(w, http.StatusBadRequest, "idempotency_keys length %d does not match jobs length %d",
+			len(req.IdempotencyKeys), len(req.Jobs))
+		return
+	}
+
+	resp := server.BatchResponse{Jobs: make([]server.BatchItem, len(req.Jobs))}
+	// groups maps backend -> indexes of req.Jobs routed there.
+	groups := make(map[string][]int)
+	hashes := make([]string, len(req.Jobs))
+	for i, spec := range req.Jobs {
+		hash, err := specHashOf(spec)
+		if err != nil {
+			resp.Jobs[i] = server.BatchItem{Error: fmt.Sprintf("bad job payload: %v", err), Code: http.StatusBadRequest}
+			continue
+		}
+		plan, err := g.planRoute(hash)
+		if err != nil {
+			resp.Jobs[i] = server.BatchItem{Error: err.Error(), Code: http.StatusServiceUnavailable}
+			continue
+		}
+		g.metrics.submitsRouted.Add(1)
+		if plan.spilled {
+			g.metrics.spills.Add(1)
+		}
+		if plan.failedOver {
+			g.metrics.failovers.Add(1)
+		}
+		hashes[i] = hash
+		groups[plan.order[0]] = append(groups[plan.order[0]], i)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards resp.Jobs cells across shard goroutines
+	for node, idxs := range groups {
+		wg.Add(1)
+		go func(node string, idxs []int) {
+			defer wg.Done()
+			sub := server.BatchRequest{Jobs: make([]server.Spec, len(idxs))}
+			if len(req.IdempotencyKeys) > 0 {
+				sub.IdempotencyKeys = make([]string, len(idxs))
+			}
+			for k, i := range idxs {
+				sub.Jobs[k] = req.Jobs[i]
+				if len(req.IdempotencyKeys) > 0 {
+					sub.IdempotencyKeys[k] = req.IdempotencyKeys[i]
+				}
+			}
+			payload, err := json.Marshal(sub)
+			var sr server.BatchResponse
+			if err == nil {
+				hdr := http.Header{}
+				hdr.Set("Content-Type", "application/json")
+				cnt := g.inflight[node]
+				cnt.Add(int64(len(idxs)))
+				fr, ferr := g.forward(r.Context(), node, http.MethodPost, "/v1/jobs:batch", payload, hdr)
+				cnt.Add(-int64(len(idxs)))
+				if ferr != nil {
+					g.members.suspect(node)
+					err = ferr
+				} else if fr.status != http.StatusOK {
+					if retryable(fr.status) {
+						g.members.suspect(node)
+					}
+					err = fmt.Errorf("backend %s: HTTP %d", node, fr.status)
+				} else if uerr := json.Unmarshal(fr.body, &sr); uerr != nil {
+					err = fmt.Errorf("backend %s: bad batch response: %v", node, uerr)
+				} else if len(sr.Jobs) != len(idxs) {
+					err = fmt.Errorf("backend %s: batch response has %d items, want %d", node, len(sr.Jobs), len(idxs))
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for k, i := range idxs {
+				if err != nil {
+					resp.Jobs[i] = server.BatchItem{Error: err.Error(), Code: http.StatusBadGateway}
+					continue
+				}
+				item := sr.Jobs[k]
+				if item.Status != nil {
+					st := *item.Status
+					st.ID = globalID(st.ID, node)
+					item.Status = &st
+					g.warm.add(hashes[i])
+				}
+				resp.Jobs[i] = item
+			}
+		}(node, idxs)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// byNodeForward resolves a namespaced job id and proxies the request to
+// its minting backend.
+func (g *Gateway) byNodeForward(w http.ResponseWriter, r *http.Request, method, pathSuffix string) {
+	gid := r.PathValue("id")
+	id, node, ok := splitID(gid)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q (gateway job ids look like <id>@<node>)", gid)
+		return
+	}
+	if _, known := g.byName[node]; !known {
+		writeError(w, http.StatusNotFound, "unknown job %q: no backend named %q", gid, node)
+		return
+	}
+	fr, err := g.forward(r.Context(), node, method, "/v1/jobs/"+id+pathSuffix, nil, nil)
+	if err != nil {
+		g.members.suspect(node)
+		writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	if pathSuffix != "" && fr.status == http.StatusOK {
+		// A completed result document is opaque payload; relay it as-is.
+		relay(w, fr)
+		return
+	}
+	relayStatusRewrite(w, fr, node)
+}
+
+func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
+	g.byNodeForward(w, r, http.MethodGet, "")
+}
+
+func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
+	g.byNodeForward(w, r, http.MethodGet, "/result")
+}
+
+func (g *Gateway) handleCancel(w http.ResponseWriter, r *http.Request) {
+	g.byNodeForward(w, r, http.MethodDelete, "")
+}
+
+// handlePassthrough forwards a read-only endpoint to the first
+// routable backend (the data is identical on every node).
+func (g *Gateway) handlePassthrough(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for _, node := range g.ring.Nodes() {
+			if !g.members.state(node).routable() {
+				continue
+			}
+			fr, err := g.forward(r.Context(), node, http.MethodGet, path, nil, nil)
+			if err != nil {
+				g.members.suspect(node)
+				continue
+			}
+			relay(w, fr)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "no routable backends")
+	}
+}
+
+// scatterReply is one backend's leg of a scatter-gather.
+type scatterReply struct {
+	node string
+	fr   forwardResult
+	err  error
+}
+
+// scatter issues the same GET to every configured backend (ejected
+// ones included — they may still answer, and their jobs still exist)
+// under the per-backend scatter timeout, returning one reply per node.
+func (g *Gateway) scatter(ctx context.Context, path string) []scatterReply {
+	nodes := g.ring.Nodes()
+	replies := make([]scatterReply, len(nodes))
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, g.cfg.ScatterTimeout)
+			defer cancel()
+			fr, err := g.forward(sctx, node, http.MethodGet, path, nil, nil)
+			if err == nil && fr.status != http.StatusOK {
+				err = fmt.Errorf("backend %s: HTTP %d", node, fr.status)
+			}
+			replies[i] = scatterReply{node: node, fr: fr, err: err}
+		}(i, node)
+	}
+	wg.Wait()
+	return replies
+}
+
+// ListDoc is the gateway's GET /v1/jobs document: the merged backend
+// pages plus partial-result accounting. When every backend answered,
+// Partial is false and the document is exactly what one logical node
+// holding all the jobs would return.
+type ListDoc struct {
+	server.ListResponse
+	// Partial is true when at least one backend's leg failed or timed
+	// out; Total then undercounts and BackendErrors says why.
+	Partial       bool              `json:"partial,omitempty"`
+	BackendErrors map[string]string `json:"backend_errors,omitempty"`
+}
+
+// handleList scatter-gathers GET /v1/jobs across the herd. Each leg
+// pages through its backend up to offset+limit entries (more can never
+// appear in the merged page), ids are rewritten into the gateway
+// namespace, and the merged set is re-sorted and re-paginated.
+func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 50
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 || n > 500 {
+			writeError(w, http.StatusBadRequest, "bad limit %q (want 1..500)", v)
+			return
+		}
+		limit = n
+	}
+	offset := 0
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad offset %q (want >= 0)", v)
+			return
+		}
+		offset = n
+	}
+	statusFilter := q.Get("status")
+
+	need := offset + limit
+	nodes := g.ring.Nodes()
+	type legResult struct {
+		node  string
+		jobs  []server.Status
+		total int
+		err   error
+	}
+	legs := make([]legResult, len(nodes))
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(r.Context(), g.cfg.ScatterTimeout)
+			defer cancel()
+			jobs, total, err := g.fetchJobs(sctx, node, statusFilter, need)
+			legs[i] = legResult{node: node, jobs: jobs, total: total, err: err}
+		}(i, node)
+	}
+	wg.Wait()
+
+	doc := ListDoc{}
+	var merged []server.Status
+	for _, leg := range legs {
+		if leg.err != nil {
+			doc.Partial = true
+			if doc.BackendErrors == nil {
+				doc.BackendErrors = make(map[string]string)
+			}
+			doc.BackendErrors[leg.node] = leg.err.Error()
+			continue
+		}
+		doc.Total += leg.total
+		for _, st := range leg.jobs {
+			st.ID = globalID(st.ID, leg.node)
+			merged = append(merged, st)
+		}
+	}
+	if doc.Partial {
+		g.metrics.scatterPartials.Add(1)
+	}
+	// Namespaced ids sort stably: per-node submission order is preserved
+	// and nodes interleave deterministically.
+	sort.Slice(merged, func(i, k int) bool { return merged[i].ID < merged[k].ID })
+	doc.Offset = offset
+	doc.Jobs = []server.Status{}
+	if offset < len(merged) {
+		end := offset + limit
+		if end > len(merged) {
+			end = len(merged)
+		}
+		doc.Jobs = merged[offset:end]
+		if end < doc.Total {
+			next := end
+			doc.NextOffset = &next
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// fetchJobs pages one backend's GET /v1/jobs until it has the first
+// `need` matching jobs (or the backend runs out), returning them plus
+// the backend's total match count.
+func (g *Gateway) fetchJobs(ctx context.Context, node, statusFilter string, need int) ([]server.Status, int, error) {
+	var jobs []server.Status
+	total := 0
+	offset := 0
+	for {
+		path := fmt.Sprintf("/v1/jobs?limit=500&offset=%d", offset)
+		if statusFilter != "" {
+			path += "&status=" + statusFilter
+		}
+		fr, err := g.forward(ctx, node, http.MethodGet, path, nil, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		if fr.status != http.StatusOK {
+			// Relay the backend's own complaint (e.g. a bad status filter).
+			var ed errorDoc
+			if json.Unmarshal(fr.body, &ed) == nil && ed.Error != "" {
+				return nil, 0, fmt.Errorf("backend %s: %s", node, ed.Error)
+			}
+			return nil, 0, fmt.Errorf("backend %s: HTTP %d", node, fr.status)
+		}
+		var page server.ListResponse
+		if err := json.Unmarshal(fr.body, &page); err != nil {
+			return nil, 0, fmt.Errorf("backend %s: bad list response: %v", node, err)
+		}
+		total = page.Total
+		jobs = append(jobs, page.Jobs...)
+		if page.NextOffset == nil || len(jobs) >= need {
+			return jobs, total, nil
+		}
+		offset = *page.NextOffset
+	}
+}
+
+// handleMetrics scatter-gathers every backend's /metrics and merges
+// them into one fleet-wide document: numeric leaves are summed (so the
+// accounting identity submitted == hits + completed + failed +
+// canceled + rejected reconciles across the herd exactly as it does
+// per node), booleans are OR-ed, and nested sections merge
+// recursively. The gateway then adds its own sections: "gateway" (its
+// counters), "backends" (the membership snapshot), and "partial"
+// (true when a backend's leg failed, meaning the sums undercount).
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	replies := g.scatter(r.Context(), "/metrics")
+	doc := make(map[string]any)
+	backendErrs := make(map[string]string)
+	for _, rep := range replies {
+		if rep.err != nil {
+			backendErrs[rep.node] = rep.err.Error()
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(rep.fr.body, &m); err != nil {
+			backendErrs[rep.node] = fmt.Sprintf("bad metrics body: %v", err)
+			continue
+		}
+		mergeDocs(doc, m)
+	}
+	partial := len(backendErrs) > 0
+	if partial {
+		g.metrics.scatterPartials.Add(1)
+	}
+	snap := g.members.snapshot()
+	routable := 0
+	for _, h := range snap {
+		if h.State.routable() {
+			routable++
+		}
+	}
+	doc[metricSectionGateway] = g.metrics.snapshot(len(snap), routable)
+	doc[metricSectionBackends] = snap
+	doc[metricKeyPartial] = partial
+	if partial {
+		doc[metricBackendErrors] = backendErrs
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// mergeDocs folds src into dst: numbers add, booleans OR, maps recurse.
+// Strings, arrays, and mismatched shapes keep dst's value (first
+// backend wins) — histograms and timestamps are not meaningfully
+// summable and the reconciliation identity only reads numeric leaves.
+func mergeDocs(dst, src map[string]any) {
+	for k, sv := range src {
+		dv, present := dst[k]
+		if !present {
+			dst[k] = copyValue(sv)
+			continue
+		}
+		switch d := dv.(type) {
+		case float64:
+			if s, ok := sv.(float64); ok {
+				dst[k] = d + s
+			}
+		case bool:
+			if s, ok := sv.(bool); ok {
+				dst[k] = d || s
+			}
+		case map[string]any:
+			if s, ok := sv.(map[string]any); ok {
+				mergeDocs(d, s)
+			}
+		}
+	}
+}
+
+// copyValue deep-copies a decoded-JSON value so merging never aliases
+// one backend's maps into the aggregate.
+func copyValue(v any) any {
+	if m, ok := v.(map[string]any); ok {
+		out := make(map[string]any, len(m))
+		for k, mv := range m {
+			out[k] = copyValue(mv)
+		}
+		return out
+	}
+	return v
+}
+
+// handleHealthz reports gateway process liveness, in the same shape as
+// a backend's /healthz so existing clients work unchanged.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"backends": len(g.byName),
+	})
+}
+
+// readyDoc is the gateway's /readyz body: ready while at least one
+// backend is routable, with the full membership snapshot attached so
+// operators can see which nodes are ejected and since when.
+type readyDoc struct {
+	Ready    bool         `json:"ready"`
+	Reason   string       `json:"reason,omitempty"`
+	Backends []NodeHealth `json:"backends"`
+}
+
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	snap := g.members.snapshot()
+	doc := readyDoc{Backends: snap}
+	for _, h := range snap {
+		if h.State.routable() {
+			doc.Ready = true
+			break
+		}
+	}
+	if !doc.Ready {
+		doc.Reason = "no routable backends"
+		writeJSON(w, http.StatusServiceUnavailable, doc)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}

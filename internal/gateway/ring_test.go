@@ -1,0 +1,186 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+
+	"thermalherd/internal/server"
+	"thermalherd/internal/trace"
+)
+
+// suiteHashes returns the canonical spec hash of a timing job for every
+// workload in the trace suite — the exact key population the gateway
+// shards in production.
+func suiteHashes(t *testing.T) []string {
+	t.Helper()
+	suite := trace.Suite()
+	if len(suite) != 106 {
+		t.Fatalf("trace suite has %d profiles, want 106", len(suite))
+	}
+	hashes := make([]string, 0, len(suite))
+	seen := make(map[string]bool)
+	for _, p := range suite {
+		spec := server.Spec{Kind: server.KindTiming, Workload: p.Name}
+		h, err := spec.CanonicalHash()
+		if err != nil {
+			t.Fatalf("CanonicalHash(%s): %v", p.Name, err)
+		}
+		if seen[h] {
+			t.Fatalf("duplicate spec hash for workload %s", p.Name)
+		}
+		seen[h] = true
+		hashes = append(hashes, h)
+	}
+	return hashes
+}
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("n%d", i)
+	}
+	return nodes
+}
+
+// TestRingPlacementDeterministic: placement depends only on the member
+// set, not on insertion order — two gateway replicas configured with
+// the same backends in any order agree on every key's home.
+func TestRingPlacementDeterministic(t *testing.T) {
+	hashes := suiteHashes(t)
+	a := NewRing(0)
+	for _, n := range []string{"n0", "n1", "n2"} {
+		a.Add(n)
+	}
+	b := NewRing(0)
+	for _, n := range []string{"n2", "n0", "n1"} {
+		b.Add(n)
+	}
+	for _, h := range hashes {
+		if got, want := b.Lookup(h), a.Lookup(h); got != want {
+			t.Fatalf("Lookup(%s) differs across insertion orders: %s vs %s", h, got, want)
+		}
+		succ := a.Successors(h, 3)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%s, 3) = %v, want 3 distinct nodes", h, succ)
+		}
+		if succ[0] != a.Lookup(h) {
+			t.Fatalf("Successors(%s)[0] = %s, want home %s", h, succ[0], a.Lookup(h))
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("Successors(%s) repeats node %s: %v", h, n, succ)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingRebalance: removing 1 of N backends remaps only the keys that
+// backend owned (~1/N of the 106 trace-workload spec hashes), and
+// re-adding it restores the original placement exactly. This is the
+// property that keeps a node restart from invalidating the whole
+// herd's cache locality.
+func TestRingRebalance(t *testing.T) {
+	hashes := suiteHashes(t)
+	cases := []struct {
+		n      int
+		remove string
+	}{
+		{n: 3, remove: "n1"},
+		{n: 4, remove: "n0"},
+		{n: 5, remove: "n3"},
+		{n: 8, remove: "n7"},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("N=%d remove=%s", tc.n, tc.remove), func(t *testing.T) {
+			r := NewRing(0)
+			for _, n := range ringNodes(tc.n) {
+				r.Add(n)
+			}
+			before := make(map[string]string, len(hashes))
+			owned := 0
+			for _, h := range hashes {
+				before[h] = r.Lookup(h)
+				if before[h] == tc.remove {
+					owned++
+				}
+			}
+			if owned == 0 {
+				t.Fatalf("node %s owns no suite hashes; ring badly unbalanced", tc.remove)
+			}
+
+			r.Remove(tc.remove)
+			moved := 0
+			for _, h := range hashes {
+				after := r.Lookup(h)
+				if after == tc.remove {
+					t.Fatalf("hash %s still maps to removed node %s", h, tc.remove)
+				}
+				if after != before[h] {
+					if before[h] != tc.remove {
+						t.Fatalf("hash %s moved from surviving node %s to %s; removal must only remap the removed node's keys",
+							h, before[h], after)
+					}
+					moved++
+				}
+			}
+			if moved != owned {
+				t.Fatalf("moved %d hashes, want exactly the %d the removed node owned", moved, owned)
+			}
+			// ~1/N with virtual-node smoothing: generously within 2.5x of
+			// the uniform share (and at least one key must have moved).
+			if maxMoved := 5 * len(hashes) / (2 * tc.n); moved > maxMoved {
+				t.Fatalf("removal remapped %d of %d hashes; want <= %d (~1/%d of the keyspace)",
+					moved, len(hashes), maxMoved, tc.n)
+			}
+
+			r.Add(tc.remove)
+			for _, h := range hashes {
+				if got := r.Lookup(h); got != before[h] {
+					t.Fatalf("after re-add, hash %s maps to %s, want original home %s", h, got, before[h])
+				}
+			}
+		})
+	}
+}
+
+// TestRingVNodeBalance: with DefaultVNodes the per-node shard sizes of
+// the suite stay within a sane factor of uniform.
+func TestRingVNodeBalance(t *testing.T) {
+	hashes := suiteHashes(t)
+	r := NewRing(0)
+	nodes := ringNodes(3)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	for _, h := range hashes {
+		counts[r.Lookup(h)]++
+	}
+	for _, n := range nodes {
+		if counts[n] == 0 {
+			t.Fatalf("node %s owns no keys: %v", n, counts)
+		}
+		if counts[n] > 2*len(hashes)/len(nodes) {
+			t.Fatalf("node %s owns %d of %d keys (>2x uniform): %v", n, counts[n], len(hashes), counts)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Lookup("x"); got != "" {
+		t.Fatalf("empty ring Lookup = %q, want empty", got)
+	}
+	if succ := r.Successors("x", 2); succ != nil {
+		t.Fatalf("empty ring Successors = %v, want nil", succ)
+	}
+	r.Add("solo")
+	if got := r.Lookup("x"); got != "solo" {
+		t.Fatalf("single-node ring Lookup = %q, want solo", got)
+	}
+	if succ := r.Successors("x", 5); len(succ) != 1 || succ[0] != "solo" {
+		t.Fatalf("single-node Successors = %v, want [solo]", succ)
+	}
+}

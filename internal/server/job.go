@@ -153,6 +153,19 @@ func (s *Spec) normalize() error {
 // cannot produce one organically.
 var marshalSpec = json.Marshal
 
+// CanonicalHash normalizes a copy of the spec and returns its
+// canonical content address — the hash the result cache keys on, the
+// gateway's consistent-hash ring places by, and the spec_hash field of
+// job statuses. Field order in the submitted JSON cannot affect it:
+// decoding into Spec already erased any ordering, and the hash is
+// computed from the normalized struct's fixed-order encoding.
+func (s Spec) CanonicalHash() (string, error) {
+	if err := s.normalize(); err != nil {
+		return "", err
+	}
+	return s.cacheKey()
+}
+
 // cacheKey returns the content address of a normalized spec: a
 // canonical hash over (kind, config, workload, section, depths). Two
 // submissions with the same key compute the same result. A spec the
@@ -191,8 +204,13 @@ type Progress struct {
 
 // Status is the JSON representation of a job visible to clients.
 type Status struct {
-	ID          string   `json:"id"`
-	Kind        Kind     `json:"kind"`
+	ID   string `json:"id"`
+	Kind Kind   `json:"kind"`
+	// SpecHash is the canonical content address of the job's normalized
+	// spec (Spec.CanonicalHash): the key the result cache dedupes on and
+	// the gateway's hash ring places by. Clients and tests use it to
+	// verify placement without recomputing the hash.
+	SpecHash    string   `json:"spec_hash,omitempty"`
 	State       State    `json:"state"`
 	Error       string   `json:"error,omitempty"`
 	Progress    Progress `json:"progress"`
@@ -259,6 +277,7 @@ func (j *job) status() Status {
 	st := Status{
 		ID:          j.id,
 		Kind:        j.spec.Kind,
+		SpecHash:    j.key,
 		State:       j.state,
 		Error:       j.err,
 		Progress:    j.progress,

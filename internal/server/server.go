@@ -161,6 +161,15 @@ type Server struct {
 	draining atomic.Bool
 	wg       sync.WaitGroup
 
+	// readyMu guards the /readyz since-tracking: readyReason is the
+	// reason last reported (empty when ready) and readySince is when
+	// that condition was first observed, read off the clock seam so the
+	// gateway's membership can distinguish a freshly-browning node from
+	// a long-dead one.
+	readyMu     sync.Mutex
+	readyReason string
+	readySince  time.Time
+
 	watchdogStop chan struct{}
 	watchdogOnce sync.Once
 
@@ -234,6 +243,13 @@ func New(cfg Config) (*Server, error) {
 		// Not ready until Start replays; /readyz reports "recovering".
 		s.recovering.Store(true)
 	}
+	// Anchor the readiness condition at boot so the first /readyz probe
+	// already carries a meaningful "since".
+	s.readyReason = ""
+	if s.recovering.Load() {
+		s.readyReason = "recovering"
+	}
+	s.readySince = cfg.Clock.Now()
 	s.routes()
 	return s, nil
 }
@@ -834,27 +850,57 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// sinceReason tracks how long the current readiness condition has
+// held: when the observed reason differs from the last one, the
+// transition is stamped off the clock seam; repeated probes under the
+// same reason keep the original timestamp. The returned time is
+// machine-readable in the /readyz document so gateway membership can
+// tell a freshly-browning node from a long-dead one.
+func (s *Server) sinceReason(reason string) time.Time {
+	s.readyMu.Lock()
+	defer s.readyMu.Unlock()
+	if reason != s.readyReason || s.readySince.IsZero() {
+		s.readyReason = reason
+		s.readySince = s.cfg.Clock.Now()
+	}
+	return s.readySince
+}
+
 // handleReadyz is the load-balancer readiness probe, distinct from the
 // /healthz liveness probe: a live daemon stops being ready while it
 // drains or sheds load, so rotations pull it before clients see
-// rejections.
+// rejections. Every document carries a "since" timestamp: when the
+// current condition (ready, or the specific not-ready reason) was
+// first observed.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	notReady := func(reason string, extra map[string]any) {
+		doc := map[string]any{
+			"ready":  false,
+			"reason": reason,
+			"since":  s.sinceReason(reason).Format(time.RFC3339Nano),
+		}
+		for k, v := range extra {
+			doc[k] = v
+		}
+		writeJSON(w, http.StatusServiceUnavailable, doc)
+	}
 	if s.recovering.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "recovering"})
+		notReady("recovering", nil)
 		return
 	}
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+		notReady("draining", nil)
 		return
 	}
 	if shedding, retryAfter := s.brownout(); shedding {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"ready": false, "reason": "brownout", "retry_after_sec": retryAfter,
-		})
+		notReady("brownout", map[string]any{"retry_after_sec": retryAfter})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ready": true,
+		"since": s.sinceReason("").Format(time.RFC3339Nano),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,179 @@
+package server
+
+import (
+	stdcontext "context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"thermalherd/internal/clock"
+)
+
+// TestSpecHashStableAcrossFieldOrder is the regression contract behind
+// gateway sharding: the canonical spec hash must not depend on the
+// field order of the submitted JSON, or two gateways (or one client
+// with a different encoder) would route the same logical spec to
+// different backends and break dedup.
+func TestSpecHashStableAcrossFieldOrder(t *testing.T) {
+	orderings := []string{
+		`{"kind":"timing","workload":"mcf","config":"TH","depths":{"fast_forward":100,"warmup":50,"measure":100}}`,
+		`{"config":"TH","depths":{"measure":100,"warmup":50,"fast_forward":100},"workload":"mcf","kind":"timing"}`,
+		`{"workload":"mcf","kind":"timing","depths":{"warmup":50,"fast_forward":100,"measure":100},"config":"TH"}`,
+	}
+	var want string
+	for i, body := range orderings {
+		var spec Spec
+		if err := json.Unmarshal([]byte(body), &spec); err != nil {
+			t.Fatalf("ordering %d: %v", i, err)
+		}
+		h, err := spec.CanonicalHash()
+		if err != nil {
+			t.Fatalf("ordering %d: CanonicalHash: %v", i, err)
+		}
+		if i == 0 {
+			want = h
+			continue
+		}
+		if h != want {
+			t.Fatalf("ordering %d hashed %s, ordering 0 hashed %s; field order leaked into the hash", i, h, want)
+		}
+	}
+}
+
+// TestSpecHashNormalizationInvariance: defaulted fields hash the same
+// as their explicit spellings (config defaults to 3D), so clients that
+// omit defaults share cache entries with clients that spell them out.
+func TestSpecHashNormalizationInvariance(t *testing.T) {
+	implicit := Spec{Kind: KindTiming, Workload: "mcf"}
+	explicit := Spec{Kind: KindTiming, Workload: "mcf", Config: "3D"}
+	h1, err := implicit.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := explicit.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("defaulted config hashed %s, explicit 3D hashed %s", h1, h2)
+	}
+	if _, err := (Spec{Kind: KindTiming, Workload: "no-such-benchmark"}).CanonicalHash(); err == nil {
+		t.Fatal("CanonicalHash of an invalid spec did not error")
+	}
+}
+
+// TestSubmitExposesSpecHash: both the POST /v1/jobs reply and later
+// job-status documents carry the canonical spec hash, and it matches a
+// client-side CanonicalHash of the same spec.
+func TestSubmitExposesSpecHash(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, CacheSize: 4})
+	body := `{"kind":"timing","workload":"mcf","config":"TH","depths":{"fast_forward":100,"warmup":50,"measure":100}}`
+	var spec Spec
+	if err := json.Unmarshal([]byte(body), &spec); err != nil {
+		t.Fatal(err)
+	}
+	want, err := spec.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, st := postJob(t, ts, body)
+	resp.Body.Close()
+	if st.SpecHash != want {
+		t.Fatalf("submit reply spec_hash = %q, want %q", st.SpecHash, want)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var polled Status
+	if err := json.NewDecoder(sresp.Body).Decode(&polled); err != nil {
+		t.Fatal(err)
+	}
+	if polled.SpecHash != want {
+		t.Fatalf("status spec_hash = %q, want %q", polled.SpecHash, want)
+	}
+}
+
+// readyzProbe fetches /readyz and decodes the document.
+func readyzProbe(t *testing.T, ts *httptest.Server) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, doc
+}
+
+// TestReadyzSinceStable: the /readyz "since" timestamp comes from the
+// clock seam, marks when the current condition began, and does NOT
+// advance across repeated probes under the same condition — that
+// stability is what lets a gateway distinguish a freshly-draining node
+// from a long-dead one.
+func TestReadyzSinceStable(t *testing.T) {
+	start := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	fc := clock.NewFake(start)
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, CacheSize: 4, Clock: fc})
+
+	code, doc := readyzProbe(t, ts)
+	if code != http.StatusOK || doc["ready"] != true {
+		t.Fatalf("fresh server readyz: HTTP %d %v", code, doc)
+	}
+	since1, ok := doc["since"].(string)
+	if !ok || since1 == "" {
+		t.Fatalf("ready document missing machine-readable since: %v", doc)
+	}
+	got, err := time.Parse(time.RFC3339Nano, since1)
+	if err != nil {
+		t.Fatalf("since %q is not RFC3339Nano: %v", since1, err)
+	}
+	if !got.Equal(start) {
+		t.Fatalf("ready since = %s, want clock-seam time %s", got, start)
+	}
+
+	// Repeated probes later on the fake clock keep the original stamp.
+	fc.Advance(17 * time.Second)
+	if _, doc2 := readyzProbe(t, ts); doc2["since"] != since1 {
+		t.Fatalf("ready since advanced across probes: %v then %v", since1, doc2["since"])
+	}
+
+	// A condition change re-stamps: draining begins at the current fake
+	// time, and repeated drained probes hold that new stamp.
+	fc.Advance(3 * time.Second)
+	go func() {
+		ctx, cancel := stdcontext.WithCancel(stdcontext.Background())
+		cancel() // expired deadline: settle queued work immediately
+		s.Drain(ctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	var drainSince string
+	for {
+		code, doc := readyzProbe(t, ts)
+		if code == http.StatusServiceUnavailable && doc["reason"] == "draining" {
+			drainSince, _ = doc["since"].(string)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reported draining: HTTP %d %v", code, doc)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wantDrain := start.Add(20 * time.Second)
+	gotDrain, err := time.Parse(time.RFC3339Nano, drainSince)
+	if err != nil || !gotDrain.Equal(wantDrain) {
+		t.Fatalf("draining since = %q, want %s (err %v)", drainSince, wantDrain, err)
+	}
+	fc.Advance(42 * time.Second)
+	if _, doc := readyzProbe(t, ts); doc["since"] != drainSince {
+		t.Fatalf("draining since advanced across probes: %v then %v", drainSince, doc["since"])
+	}
+}
