@@ -7,6 +7,8 @@
 //
 //	thermherdd [-addr :8077] [-workers N] [-queue 64] [-cache 128] [-drain 30s]
 //	           [-job-timeout 0] [-stuck-after 0] [-brownout 0]
+//	           [-sched fifo|qos] [-short-budget 2s] [-short-reserve 0]
+//	           [-tenant-rate 0] [-tenant-burst 0] [-tenant-weights SPEC]
 //	           [-faults SPEC] [-fault-seed 1]
 //	           [-journal-dir DIR] [-fsync always|interval|off] [-no-recover]
 //
@@ -24,6 +26,15 @@
 // fault-injection registry; see internal/faultinject for the spec
 // grammar. Never arm faults on a daemon doing real work.
 //
+// -sched qos enables the multi-tenant QoS scheduler: a 2-bit
+// cost predictor classifies jobs short/long at admission, dequeue is
+// weighted-fair across tenants (X-Tenant-ID header), long-class
+// occupancy is capped so -short-reserve worker slots always drain
+// short work, and a predicted-short job overrunning -short-budget is
+// demoted mid-flight and its predictor bucket retrained. -tenant-rate
+// and -tenant-burst arm a per-tenant token-bucket admission quota;
+// -tenant-weights biases the fair dequeue ("live=4,batch=1").
+//
 // -journal-dir enables crash-safe durability: accepted jobs are
 // written to a write-ahead log before they are acknowledged, and on
 // restart the daemon replays the journal, re-enqueues unfinished work,
@@ -37,12 +48,14 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -63,6 +76,13 @@ func main() {
 		stuckAfter = flag.Duration("stuck-after", 0, "watchdog: fail jobs running this long and restart their worker slot (0 = off)")
 		brownout   = flag.Duration("brownout", 0, "shed new submissions with 429 once the head-of-queue wait exceeds this (0 = off)")
 
+		sched         = flag.String("sched", server.SchedFIFO, "scheduling policy: fifo or qos")
+		shortBudget   = flag.Duration("short-budget", 2*time.Second, "qos: runtime budget before a predicted-short job is demoted to the long pool")
+		shortReserve  = flag.Int("short-reserve", 0, "qos: worker slots reserved for short jobs (0 = workers/4, min 1)")
+		tenantRate    = flag.Float64("tenant-rate", 0, "per-tenant admission quota in jobs/sec (0 = unlimited)")
+		tenantBurst   = flag.Int("tenant-burst", 0, "per-tenant admission quota burst size")
+		tenantWeights = flag.String("tenant-weights", "", "qos: fair-dequeue weights, e.g. live=4,batch=1 (unlisted tenants weigh 1)")
+
 		faults    = flag.String("faults", os.Getenv("THERMHERD_FAULTS"), "fault-injection spec (chaos testing only); defaults to $THERMHERD_FAULTS")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for fault-injection firing decisions")
 
@@ -72,6 +92,10 @@ func main() {
 	)
 	flag.Parse()
 
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		log.Fatalf("thermherdd: %v", err)
+	}
 	cfg := server.Config{
 		Workers:       *workers,
 		QueueDepth:    *queueDepth,
@@ -79,6 +103,12 @@ func main() {
 		JobTimeout:    *jobTimeout,
 		StuckAfter:    *stuckAfter,
 		BrownoutAfter: *brownout,
+		SchedPolicy:   *sched,
+		ShortBudget:   *shortBudget,
+		ShortReserve:  *shortReserve,
+		TenantRate:    *tenantRate,
+		TenantBurst:   *tenantBurst,
+		TenantWeights: weights,
 		JournalDir:    *journalDir,
 		FsyncPolicy:   *fsync,
 		NoRecover:     *noRecover,
@@ -100,6 +130,10 @@ func main() {
 	srv.Start()
 	if *journalDir != "" {
 		log.Printf("thermherdd: journal at %s (fsync=%s)", *journalDir, *fsync)
+	}
+	if *sched == server.SchedQoS {
+		log.Printf("thermherdd: qos scheduler (short budget %s, reserve %d, tenant rate %g/s burst %d)",
+			*shortBudget, *shortReserve, *tenantRate, *tenantBurst)
 	}
 
 	// Listen explicitly so ":0" resolves to a real port before the
@@ -137,4 +171,24 @@ func main() {
 		hs.Close()
 	}
 	log.Printf("thermherdd: stopped")
+}
+
+// parseTenantWeights parses "live=4,batch=1" into a weight map.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad tenant weight %q (want tenant=N)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad tenant weight %q: want a positive integer", part)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }

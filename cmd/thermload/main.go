@@ -39,6 +39,21 @@
 //	thermload -selfhost -nodes 3 -chaos \
 //	          -faults 'selfhost.backend.kill=error:kill,count:1,delay:2s' \
 //	          -mode constant -rps 50 -duration 5s -seed 42
+//
+// Multi-tenant QoS runs: -tenants N attributes unpinned arrivals to N
+// synthetic tenants t1..tN (Zipf-ish weights), mix entries may pin a
+// tenant of their own (see examples/mixes/multitenant.json), and
+// -tenant-p99 'live=500ms' adds per-tenant tail-latency SLO clauses —
+// a listed tenant that completes nothing is a violation, which is how
+// the starvation demo detects a drowned short-job tenant. With
+// -selfhost, -sched qos (plus -short-budget, -short-reserve,
+// -tenant-rate, -tenant-burst, -tenant-weights) starts the daemon
+// under the QoS scheduler, so one command compares FIFO against QoS:
+//
+//	thermload -selfhost -mix examples/mixes/multitenant.json \
+//	          -tenant-p99 'live=1s' -mode constant -rps 40 -duration 10s -seed 42
+//	thermload -selfhost -sched qos -short-reserve 2 -mix examples/mixes/multitenant.json \
+//	          -tenant-p99 'live=1s' -mode constant -rps 40 -duration 10s -seed 42
 package main
 
 import (
@@ -50,6 +65,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -89,13 +105,23 @@ type options struct {
 	retries  int
 	backoff  time.Duration
 	batch    int
+	tenants  int
 
 	sloP95    time.Duration
 	sloP99    time.Duration
 	sloErrors float64
+	tenantP99 string
+
+	schedPolicy   string
+	shortBudget   time.Duration
+	shortReserve  int
+	tenantRate    float64
+	tenantBurst   int
+	tenantWeights string
 
 	faults     string
 	faultSeed  int64
+	cacheSize  int
 	jobTimeout time.Duration
 	stuckAfter time.Duration
 	brownout   time.Duration
@@ -136,13 +162,23 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.retries, "retries", 3, "submit retries after 429/503 responses")
 	fs.DurationVar(&o.backoff, "backoff", 100*time.Millisecond, "first retry delay (doubles per attempt)")
 	fs.IntVar(&o.batch, "batch", 1, "group this many arrivals per POST /v1/jobs:batch request")
+	fs.IntVar(&o.tenants, "tenants", 0, "attribute arrivals to this many synthetic tenants t1..tN (Zipf-ish weights; mix entries may pin their own tenant)")
 
 	fs.DurationVar(&o.sloP95, "slo-p95", 0, "SLO: p95 end-to-end latency bound (0 = unchecked)")
 	fs.DurationVar(&o.sloP99, "slo-p99", 0, "SLO: p99 end-to-end latency bound (0 = unchecked)")
 	fs.Float64Var(&o.sloErrors, "slo-errors", 0.01, "SLO: max (errors+timeouts+failed)/arrivals")
+	fs.StringVar(&o.tenantP99, "tenant-p99", "", "SLO: per-tenant p99 bounds, e.g. live=500ms,batch=5s (a listed tenant with zero completions fails)")
+
+	fs.StringVar(&o.schedPolicy, "sched", server.SchedFIFO, "self-hosted daemon: scheduling policy, fifo or qos")
+	fs.DurationVar(&o.shortBudget, "short-budget", 2*time.Second, "self-hosted daemon: qos runtime budget before a predicted-short job is demoted")
+	fs.IntVar(&o.shortReserve, "short-reserve", 0, "self-hosted daemon: qos worker slots reserved for short jobs (0 = workers/4, min 1)")
+	fs.Float64Var(&o.tenantRate, "tenant-rate", 0, "self-hosted daemon: per-tenant admission quota in jobs/sec (0 = unlimited)")
+	fs.IntVar(&o.tenantBurst, "tenant-burst", 0, "self-hosted daemon: per-tenant admission quota burst size")
+	fs.StringVar(&o.tenantWeights, "tenant-weights", "", "self-hosted daemon: qos fair-dequeue weights, e.g. live=4,batch=1")
 
 	fs.StringVar(&o.faults, "faults", "", "arm fault injection in the self-hosted daemon (requires -selfhost); see internal/faultinject for the grammar")
 	fs.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for fault-injection firing decisions")
+	fs.IntVar(&o.cacheSize, "cache", 1024, "self-hosted daemon: result cache entries (1 effectively disables caching for repeat-spec load)")
 	fs.DurationVar(&o.jobTimeout, "job-timeout", 0, "self-hosted daemon: per-job execution deadline (0 = none)")
 	fs.DurationVar(&o.stuckAfter, "stuck-after", 0, "self-hosted daemon: watchdog threshold for stuck jobs (0 = off)")
 	fs.DurationVar(&o.brownout, "brownout", 0, "self-hosted daemon: brownout queue-wait threshold (0 = off)")
@@ -169,8 +205,57 @@ func parseFlags(args []string) (options, error) {
 		fmt.Fprintln(fs.Output(), "thermload: -nodes requires -selfhost")
 		return o, fmt.Errorf("-nodes requires -selfhost")
 	}
+	if o.schedPolicy != server.SchedFIFO && !o.selfhost {
+		fmt.Fprintln(fs.Output(), "thermload: -sched configures the self-hosted daemon; it requires -selfhost")
+		return o, fmt.Errorf("-sched requires -selfhost")
+	}
+	if o.tenants < 0 {
+		fmt.Fprintln(fs.Output(), "thermload: -tenants must be >= 0")
+		return o, fmt.Errorf("-tenants must be >= 0")
+	}
 	o.sched.Mode = loadgen.Mode(*mode)
 	return o, nil
+}
+
+// parseTenantP99 parses "live=500ms,batch=5s" into SLO.TenantP99.
+func parseTenantP99(s string) (map[string]time.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	bounds := make(map[string]time.Duration)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -tenant-p99 entry %q (want tenant=duration)", part)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad -tenant-p99 entry %q: want a positive duration", part)
+		}
+		bounds[name] = d
+	}
+	return bounds, nil
+}
+
+// parseTenantWeights parses "live=4,batch=1" into a weight map for the
+// self-hosted daemon's fair dequeue.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q (want tenant=N)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q: want a positive integer", part)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }
 
 func main() {
@@ -201,7 +286,11 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 			return nil, err
 		}
 	}
-	specs, err := mix.SampleSpecs(len(sched), o.sched.Seed)
+	specs, tenants, err := mix.SampleArrivals(len(sched), o.sched.Seed, o.tenants)
+	if err != nil {
+		return nil, err
+	}
+	tenantSLO, err := parseTenantP99(o.tenantP99)
 	if err != nil {
 		return nil, err
 	}
@@ -239,6 +328,10 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 		} else {
 			fmt.Fprintf(out, "thermload: self-hosted daemon at %s\n", addr)
 		}
+		if o.schedPolicy == server.SchedQoS {
+			fmt.Fprintf(out, "thermload: qos scheduler (short budget %s, reserve %d, tenant rate %g/s burst %d)\n",
+				o.shortBudget, o.shortReserve, o.tenantRate, o.tenantBurst)
+		}
 	}
 
 	startIndex, onAcked, onShed, err := resumeState(o, sched, out)
@@ -255,11 +348,12 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 		Client:       client,
 		Schedule:     sched,
 		Specs:        specs,
+		Tenants:      tenants,
 		MaxInFlight:  o.inflight,
 		Timeout:      o.timeout,
 		PollInterval: o.poll,
 		BatchSize:    o.batch,
-		SLO:          loadgen.SLO{P95: o.sloP95, P99: o.sloP99, MaxErrorRate: o.sloErrors},
+		SLO:          loadgen.SLO{P95: o.sloP95, P99: o.sloP99, MaxErrorRate: o.sloErrors, TenantP99: tenantSLO},
 		Mode:         o.sched.Mode,
 		Seed:         o.sched.Seed,
 		StartIndex:   startIndex,
@@ -459,17 +553,36 @@ func chaosCheck(ctx context.Context, client *loadgen.Client, rep *loadgen.Report
 	return nil
 }
 
+// daemonConfig builds the server.Config shared by every self-hosted
+// backend: o's resilience knobs plus the QoS scheduler knobs.
+func daemonConfig(o options) (server.Config, error) {
+	weights, err := parseTenantWeights(o.tenantWeights)
+	if err != nil {
+		return server.Config{}, err
+	}
+	return server.Config{
+		Workers:       runtime.NumCPU(),
+		QueueDepth:    1024,
+		CacheSize:     o.cacheSize,
+		JobTimeout:    o.jobTimeout,
+		StuckAfter:    o.stuckAfter,
+		BrownoutAfter: o.brownout,
+		SchedPolicy:   o.schedPolicy,
+		ShortBudget:   o.shortBudget,
+		ShortReserve:  o.shortReserve,
+		TenantRate:    o.tenantRate,
+		TenantBurst:   o.tenantBurst,
+		TenantWeights: weights,
+	}, nil
+}
+
 // selfhost starts an in-process daemon on a loopback port, configured
 // with o's resilience knobs and (optionally) armed faults, and returns
 // a stop function that drains it.
 func selfhost(o options, out *os.File) (func(), string, error) {
-	cfg := server.Config{
-		Workers:       runtime.NumCPU(),
-		QueueDepth:    1024,
-		CacheSize:     1024,
-		JobTimeout:    o.jobTimeout,
-		StuckAfter:    o.stuckAfter,
-		BrownoutAfter: o.brownout,
+	cfg, err := daemonConfig(o)
+	if err != nil {
+		return nil, "", err
 	}
 	if o.faults != "" {
 		reg := faultinject.New()
@@ -539,16 +652,13 @@ func selfhostHerd(o options, out *os.File) (func(), string, error) {
 			cancel()
 		}
 	}
+	cfg, err := daemonConfig(o)
+	if err != nil {
+		return nil, "", err
+	}
+	cfg.Faults = reg
 	for i := 0; i < o.nodes; i++ {
-		srv, err := server.New(server.Config{
-			Workers:       runtime.NumCPU(),
-			QueueDepth:    1024,
-			CacheSize:     1024,
-			JobTimeout:    o.jobTimeout,
-			StuckAfter:    o.stuckAfter,
-			BrownoutAfter: o.brownout,
-			Faults:        reg,
-		})
+		srv, err := server.New(cfg)
 		if err != nil {
 			cleanup()
 			return nil, "", err

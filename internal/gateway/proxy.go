@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"sync"
@@ -141,6 +142,11 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if k := r.Header.Get("Idempotency-Key"); k != "" {
 		hdr.Set("Idempotency-Key", k)
 	}
+	// The tenant identity travels byte-for-byte: the backend owns
+	// normalization, quota, and attribution.
+	if tenant := r.Header.Get(server.TenantHeader); tenant != "" {
+		hdr.Set(server.TenantHeader, tenant)
+	}
 	hdr.Set("Content-Type", "application/json")
 
 	attempts := plan.order
@@ -204,6 +210,11 @@ func (g *Gateway) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			len(req.IdempotencyKeys), len(req.Jobs))
 		return
 	}
+	if len(req.Tenants) != 0 && len(req.Tenants) != len(req.Jobs) {
+		writeError(w, http.StatusBadRequest, "tenants length %d does not match jobs length %d",
+			len(req.Tenants), len(req.Jobs))
+		return
+	}
 
 	resp := server.BatchResponse{Jobs: make([]server.BatchItem, len(req.Jobs))}
 	// groups maps backend -> indexes of req.Jobs routed there.
@@ -241,10 +252,16 @@ func (g *Gateway) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			if len(req.IdempotencyKeys) > 0 {
 				sub.IdempotencyKeys = make([]string, len(idxs))
 			}
+			if len(req.Tenants) > 0 {
+				sub.Tenants = make([]string, len(idxs))
+			}
 			for k, i := range idxs {
 				sub.Jobs[k] = req.Jobs[i]
 				if len(req.IdempotencyKeys) > 0 {
 					sub.IdempotencyKeys[k] = req.IdempotencyKeys[i]
+				}
+				if len(req.Tenants) > 0 {
+					sub.Tenants[k] = req.Tenants[i]
 				}
 			}
 			payload, err := json.Marshal(sub)
@@ -252,6 +269,9 @@ func (g *Gateway) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			if err == nil {
 				hdr := http.Header{}
 				hdr.Set("Content-Type", "application/json")
+				if tenant := r.Header.Get(server.TenantHeader); tenant != "" {
+					hdr.Set(server.TenantHeader, tenant)
+				}
 				cnt := g.inflight[node]
 				cnt.Add(int64(len(idxs)))
 				fr, ferr := g.forward(r.Context(), node, http.MethodPost, "/v1/jobs:batch", payload, hdr)
@@ -419,6 +439,7 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 		offset = n
 	}
 	statusFilter := q.Get("status")
+	tenantFilter := q.Get("tenant")
 
 	need := offset + limit
 	nodes := g.ring.Nodes()
@@ -436,7 +457,7 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sctx, cancel := context.WithTimeout(r.Context(), g.cfg.ScatterTimeout)
 			defer cancel()
-			jobs, total, err := g.fetchJobs(sctx, node, statusFilter, need)
+			jobs, total, err := g.fetchJobs(sctx, node, statusFilter, tenantFilter, need)
 			legs[i] = legResult{node: node, jobs: jobs, total: total, err: err}
 		}(i, node)
 	}
@@ -484,7 +505,7 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 // fetchJobs pages one backend's GET /v1/jobs until it has the first
 // `need` matching jobs (or the backend runs out), returning them plus
 // the backend's total match count.
-func (g *Gateway) fetchJobs(ctx context.Context, node, statusFilter string, need int) ([]server.Status, int, error) {
+func (g *Gateway) fetchJobs(ctx context.Context, node, statusFilter, tenantFilter string, need int) ([]server.Status, int, error) {
 	var jobs []server.Status
 	total := 0
 	offset := 0
@@ -492,6 +513,9 @@ func (g *Gateway) fetchJobs(ctx context.Context, node, statusFilter string, need
 		path := fmt.Sprintf("/v1/jobs?limit=500&offset=%d", offset)
 		if statusFilter != "" {
 			path += "&status=" + statusFilter
+		}
+		if tenantFilter != "" {
+			path += "&tenant=" + url.QueryEscape(tenantFilter)
 		}
 		fr, err := g.forward(ctx, node, http.MethodGet, path, nil, nil)
 		if err != nil {

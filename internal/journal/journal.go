@@ -116,6 +116,10 @@ type Event struct {
 	Spec    json.RawMessage `json:"spec,omitempty"`
 	Key     string          `json:"key,omitempty"`
 	IdemKey string          `json:"idem,omitempty"`
+	// Tenant attributes accepted events to the submitting tenant so
+	// replay can rebuild per-tenant accounting. Optional: events from
+	// journals written before multi-tenancy simply have none.
+	Tenant string `json:"tenant,omitempty"`
 	// Result is set on completed events; FromCache marks completions
 	// answered from the result cache at admission.
 	Result    json.RawMessage `json:"result,omitempty"`
@@ -132,6 +136,7 @@ type JobRecord struct {
 	Spec      json.RawMessage `json:"spec"`
 	Key       string          `json:"key"`
 	IdemKey   string          `json:"idem,omitempty"`
+	Tenant    string          `json:"tenant,omitempty"`
 	State     string          `json:"state"`
 	Error     string          `json:"err,omitempty"`
 	Result    json.RawMessage `json:"result,omitempty"`

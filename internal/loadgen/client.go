@@ -105,7 +105,7 @@ func (c *Client) retryDelay(attempt int, retryAfter string) time.Duration {
 // attempt, so a retry (or a rerun after a client restart) of the same
 // logical submission cannot double-execute on a journaling daemon. It
 // returns the final response body and status code.
-func (c *Client) postRetry(ctx context.Context, path string, body []byte, idemKey string) ([]byte, int, error) {
+func (c *Client) postRetry(ctx context.Context, path string, body []byte, idemKey, tenant string) ([]byte, int, error) {
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 		if err != nil {
@@ -114,6 +114,9 @@ func (c *Client) postRetry(ctx context.Context, path string, body []byte, idemKe
 		req.Header.Set("Content-Type", "application/json")
 		if idemKey != "" {
 			req.Header.Set("Idempotency-Key", idemKey)
+		}
+		if tenant != "" {
+			req.Header.Set(server.TenantHeader, tenant)
 		}
 		c.submitRequests.Add(1)
 		if attempt > 0 {
@@ -153,11 +156,17 @@ func errorOf(body []byte, code int) error {
 // Submit sends one job and returns its admitted (or cached) status.
 // A non-empty idemKey dedupes resubmissions on a journaling daemon.
 func (c *Client) Submit(ctx context.Context, spec server.Spec, idemKey string) (server.Status, error) {
+	return c.SubmitT(ctx, spec, idemKey, "")
+}
+
+// SubmitT is Submit with an explicit tenant: non-empty tenant rides
+// the X-Tenant-ID header so the daemon attributes and quotas the job.
+func (c *Client) SubmitT(ctx context.Context, spec server.Spec, idemKey, tenant string) (server.Status, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return server.Status{}, err
 	}
-	b, code, err := c.postRetry(ctx, "/v1/jobs", body, idemKey)
+	b, code, err := c.postRetry(ctx, "/v1/jobs", body, idemKey, tenant)
 	if err != nil {
 		return server.Status{}, err
 	}
@@ -175,14 +184,24 @@ func (c *Client) Submit(ctx context.Context, spec server.Spec, idemKey string) (
 // per-spec outcomes in submission order. idemKeys, when non-nil, must
 // be one key per spec (empty strings opt individual specs out).
 func (c *Client) SubmitBatch(ctx context.Context, specs []server.Spec, idemKeys []string) ([]server.BatchItem, error) {
+	return c.SubmitBatchT(ctx, specs, idemKeys, nil)
+}
+
+// SubmitBatchT is SubmitBatch with per-spec tenants; tenants, when
+// non-nil, must be one tenant per spec (empty strings fall to the
+// daemon's default tenant).
+func (c *Client) SubmitBatchT(ctx context.Context, specs []server.Spec, idemKeys, tenants []string) ([]server.BatchItem, error) {
 	if idemKeys != nil && len(idemKeys) != len(specs) {
 		return nil, fmt.Errorf("loadgen: %d idempotency keys for %d specs", len(idemKeys), len(specs))
 	}
-	body, err := json.Marshal(server.BatchRequest{Jobs: specs, IdempotencyKeys: idemKeys})
+	if tenants != nil && len(tenants) != len(specs) {
+		return nil, fmt.Errorf("loadgen: %d tenants for %d specs", len(tenants), len(specs))
+	}
+	body, err := json.Marshal(server.BatchRequest{Jobs: specs, IdempotencyKeys: idemKeys, Tenants: tenants})
 	if err != nil {
 		return nil, err
 	}
-	b, code, err := c.postRetry(ctx, "/v1/jobs:batch", body, "")
+	b, code, err := c.postRetry(ctx, "/v1/jobs:batch", body, "", "")
 	if err != nil {
 		return nil, err
 	}

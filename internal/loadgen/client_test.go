@@ -87,7 +87,7 @@ func TestPostRetryBacksOffAndRecovers(t *testing.T) {
 	defer ts.Close()
 
 	c := NewClient(ts.URL, 3, time.Millisecond, 7)
-	body, code, err := c.postRetry(context.Background(), "/v1/jobs", []byte(`{}`), "")
+	body, code, err := c.postRetry(context.Background(), "/v1/jobs", []byte(`{}`), "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestPostRetryExhaustsBudget(t *testing.T) {
 	defer ts.Close()
 
 	c := NewClient(ts.URL, 2, time.Millisecond, 7)
-	_, code, err := c.postRetry(context.Background(), "/v1/jobs", []byte(`{}`), "")
+	_, code, err := c.postRetry(context.Background(), "/v1/jobs", []byte(`{}`), "", "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,4 +11,8 @@ const (
 	metricE2ELatency = "e2e_latency_ms"
 	// metricQueueWait is the daemon-reported queue-wait histogram.
 	metricQueueWait = "queue_wait_ms"
+	// metricTenantLatencyPrefix names the per-tenant end-to-end latency
+	// histograms ("tenant_latency_ms_<tenant>"); a name prefix, not a
+	// report key.
+	metricTenantLatencyPrefix = "tenant_latency_ms_"
 )

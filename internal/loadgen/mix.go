@@ -28,6 +28,11 @@ type MixEntry struct {
 	Section string `json:"section,omitempty"`
 	// Weight is the entry's relative draw probability; empty means 1.
 	Weight float64 `json:"weight,omitempty"`
+	// Tenant attributes the entry's jobs to one tenant (the X-Tenant-ID
+	// header). Empty means unpinned: jobs draw a synthetic tenant when
+	// the run samples with a tenant count, or fall to the daemon's
+	// default tenant otherwise.
+	Tenant string `json:"tenant,omitempty"`
 	// Depths tunes the simulation depth of sampled jobs.
 	Depths server.Depths `json:"depths,omitempty"`
 }
@@ -106,12 +111,37 @@ func (m Mix) Validate() error {
 // any unpinned workload/config field. Equal (mix, n, seed) inputs
 // return identical spec sequences.
 func (m Mix) SampleSpecs(n int, seed int64) ([]server.Spec, error) {
+	specs, _, err := m.SampleArrivals(n, seed, 0)
+	return specs, err
+}
+
+// SampleArrivals draws one spec plus its tenant per schedule arrival.
+// An entry's pinned Tenant wins; otherwise, when nTenants > 0, the
+// arrival draws a synthetic tenant "t1".."t<nTenants>" from a Zipf-ish
+// distribution (tenant k has weight 1/k, so t1 dominates like a heavy
+// interactive tenant while the tail trickles) — and when nTenants is
+// 0, the tenant is "" and the daemon attributes the job to its default
+// tenant. Equal (mix, n, seed, nTenants) inputs return identical
+// sequences, and the spec stream is unchanged by the tenant draw (the
+// tenant RNG is a separate stream), so adding -tenants to an existing
+// seeded run re-labels the same jobs.
+func (m Mix) SampleArrivals(n int, seed int64, nTenants int) ([]server.Spec, []string, error) {
 	if err := m.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// A distinct stream from the schedule's: the same seed must not
 	// correlate arrival gaps with spec choices.
 	rng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+	// And a third stream for tenants, so tenant sampling never perturbs
+	// the spec sequence.
+	trng := rand.New(rand.NewSource(seed ^ 0x7E57A117))
+	var tenantWeights []float64
+	tenantTotal := 0.0
+	for k := 1; k <= nTenants; k++ {
+		w := 1.0 / float64(k)
+		tenantWeights = append(tenantWeights, w)
+		tenantTotal += w
+	}
 	weights := make([]float64, len(m.Entries))
 	total := 0.0
 	for i, e := range m.Entries {
@@ -125,6 +155,7 @@ func (m Mix) SampleSpecs(n int, seed int64) ([]server.Spec, error) {
 	workloads := trace.Names()
 	configs := config.Registry()
 	specs := make([]server.Spec, n)
+	tenants := make([]string, n)
 	for i := 0; i < n; i++ {
 		r := rng.Float64() * total
 		k := 0
@@ -151,6 +182,15 @@ func (m Mix) SampleSpecs(n int, seed int64) ([]server.Spec, error) {
 			}
 		}
 		specs[i] = spec
+		tenants[i] = e.Tenant
+		if tenants[i] == "" && nTenants > 0 {
+			tr := trng.Float64() * tenantTotal
+			tk := 0
+			for ; tk < len(tenantWeights)-1 && tr >= tenantWeights[tk]; tk++ {
+				tr -= tenantWeights[tk]
+			}
+			tenants[i] = fmt.Sprintf("t%d", tk+1)
+		}
 	}
-	return specs, nil
+	return specs, tenants, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -21,6 +22,12 @@ type SLO struct {
 	// arrivals. Drops are reported separately: they measure the
 	// generator shedding offered load, not the server failing it.
 	MaxErrorRate float64
+	// TenantP99 bounds one or more tenants' end-to-end p99 latency —
+	// the QoS contract: an interactive tenant's tail must hold even
+	// when a batch tenant floods the queue. A listed tenant with zero
+	// completions is a violation (its traffic was starved out
+	// entirely).
+	TenantP99 map[string]time.Duration
 }
 
 // LatencyStats summarizes one latency histogram in milliseconds.
@@ -82,7 +89,18 @@ type Report struct {
 	CacheHitRate   float64       `json:"cache_hit_rate"`
 	Latency        LatencyStats  `json:"latency"`
 	QueueWait      LatencyStats  `json:"queue_wait"`
-	SLO            SLOResult     `json:"slo"`
+	// Tenants breaks completion latency down per tenant; present only
+	// when the run attributed arrivals to tenants.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+	SLO     SLOResult              `json:"slo"`
+}
+
+// TenantStats is one tenant's slice of the run.
+type TenantStats struct {
+	Done  int     `json:"done"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
 }
 
 // report reduces the recorder into the final document.
@@ -118,6 +136,23 @@ func (r *recorder) report(cfg RunConfig, wall time.Duration) *Report {
 		},
 		Latency:   latencyStats(r.latency, r.latencySumMs, r.latencyMaxMs),
 		QueueWait: latencyStats(r.queueWait, 0, 0),
+	}
+	if len(r.tenantLat) > 0 {
+		rep.Tenants = make(map[string]TenantStats, len(r.tenantLat))
+		names := make([]string, 0, len(r.tenantLat))
+		for tenant := range r.tenantLat {
+			names = append(names, tenant)
+		}
+		sort.Strings(names)
+		for _, tenant := range names {
+			snap := r.tenantLat[tenant].Snapshot()
+			rep.Tenants[tenant] = TenantStats{
+				Done:  r.tenantN[tenant],
+				P50Ms: snap.Quantile(0.50),
+				P95Ms: snap.Quantile(0.95),
+				P99Ms: snap.Quantile(0.99),
+			}
+		}
 	}
 	if wall > 0 {
 		rep.Achieved.RPS = float64(r.nDone) / wall.Seconds()
@@ -172,6 +207,22 @@ func evalSLO(slo SLO, rep *Report, arrivals int) SLOResult {
 	if rep.Latency.Count == 0 {
 		violate("no requests completed")
 	}
+	tenants := make([]string, 0, len(slo.TenantP99))
+	for tenant := range slo.TenantP99 {
+		tenants = append(tenants, tenant)
+	}
+	sort.Strings(tenants)
+	for _, tenant := range tenants {
+		limitMs := float64(slo.TenantP99[tenant]) / float64(time.Millisecond)
+		ts, ok := rep.Tenants[tenant]
+		if !ok || ts.Done == 0 {
+			violate("tenant %s completed no requests (p99 limit %.1fms)", tenant, limitMs)
+			continue
+		}
+		if ts.P99Ms > limitMs {
+			violate("tenant %s p99 %.1fms > limit %.1fms", tenant, ts.P99Ms, limitMs)
+		}
+	}
 	return res
 }
 
@@ -196,6 +247,18 @@ func (r *Report) Summary() string {
 		r.Latency.P50Ms, r.Latency.P95Ms, r.Latency.P99Ms, r.Latency.MaxMs)
 	fmt.Fprintf(&b, "  queue wait p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
 		r.QueueWait.P50Ms, r.QueueWait.P95Ms, r.QueueWait.P99Ms)
+	if len(r.Tenants) > 0 {
+		names := make([]string, 0, len(r.Tenants))
+		for tenant := range r.Tenants {
+			names = append(names, tenant)
+		}
+		sort.Strings(names)
+		for _, tenant := range names {
+			ts := r.Tenants[tenant]
+			fmt.Fprintf(&b, "  tenant %-8s done %d  p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+				tenant, ts.Done, ts.P50Ms, ts.P95Ms, ts.P99Ms)
+		}
+	}
 	if r.SLO.Pass {
 		fmt.Fprintf(&b, "  SLO: PASS (error rate %.4f)\n", r.SLO.ErrorRate)
 	} else {

@@ -19,6 +19,10 @@ type RunConfig struct {
 	// per arrival; they must be the same length.
 	Schedule []time.Duration
 	Specs    []server.Spec
+	// Tenants optionally attributes each arrival to a tenant (parallel
+	// to Specs; empty strings fall to the daemon's default tenant). Nil
+	// runs everything untenanted.
+	Tenants []string
 	// MaxInFlight bounds concurrently tracked requests; an arrival
 	// finding no free slot is dropped and counted. 0 means 64.
 	MaxInFlight int
@@ -68,9 +72,10 @@ type RunConfig struct {
 // index (which derives its idempotency key), and the time it was
 // fired, which anchors its latency and timeout.
 type arrival struct {
-	spec server.Spec
-	idx  int
-	at   time.Time
+	spec   server.Spec
+	tenant string
+	idx    int
+	at     time.Time
 }
 
 // idemKey derives the deterministic Idempotency-Key for schedule index
@@ -92,6 +97,10 @@ func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
 	if len(cfg.Schedule) == 0 || len(cfg.Schedule) != len(cfg.Specs) {
 		return nil, fmt.Errorf("loadgen: schedule (%d) and specs (%d) must be equal-length and non-empty",
 			len(cfg.Schedule), len(cfg.Specs))
+	}
+	if cfg.Tenants != nil && len(cfg.Tenants) != len(cfg.Specs) {
+		return nil, fmt.Errorf("loadgen: tenants (%d) and specs (%d) must be equal-length",
+			len(cfg.Tenants), len(cfg.Specs))
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 64
@@ -148,6 +157,9 @@ schedule:
 		select {
 		case sem <- struct{}{}:
 			a := arrival{spec: cfg.Specs[i], idx: i, at: cfg.Clock.Now()}
+			if cfg.Tenants != nil {
+				a.tenant = cfg.Tenants[i]
+			}
 			if cfg.BatchSize == 1 {
 				wg.Add(1)
 				go func() {
@@ -178,7 +190,7 @@ func fireOne(ctx context.Context, cfg RunConfig, rec *recorder, sem chan struct{
 	defer func() { <-sem }()
 	rctx, cancel := context.WithDeadline(ctx, a.at.Add(cfg.Timeout))
 	defer cancel()
-	st, err := cfg.Client.Submit(rctx, a.spec, idemKey(cfg.Seed, a.idx))
+	st, err := cfg.Client.SubmitT(rctx, a.spec, idemKey(cfg.Seed, a.idx), a.tenant)
 	if err != nil {
 		rec.submitError(rctx)
 		return
@@ -199,11 +211,18 @@ func fireBatch(ctx context.Context, cfg RunConfig, rec *recorder, sem chan struc
 	bctx, cancel := context.WithDeadline(ctx, batch[0].at.Add(cfg.Timeout))
 	specs := make([]server.Spec, len(batch))
 	keys := make([]string, len(batch))
+	var tenants []string
+	if cfg.Tenants != nil {
+		tenants = make([]string, len(batch))
+	}
 	for i, a := range batch {
 		specs[i] = a.spec
 		keys[i] = idemKey(cfg.Seed, a.idx)
+		if tenants != nil {
+			tenants[i] = a.tenant
+		}
 	}
-	items, err := cfg.Client.SubmitBatch(bctx, specs, keys)
+	items, err := cfg.Client.SubmitBatchT(bctx, specs, keys, tenants)
 	cancel()
 	if err != nil {
 		rec.batchError(bctx, len(batch))
@@ -290,6 +309,12 @@ type recorder struct {
 	nTimeouts     int
 	nDrops        int
 	nQueueWaitObs int
+
+	// Per-tenant completion latencies, keyed by the tenant the arrival
+	// was submitted as ("" never appears: untenanted runs record
+	// nothing here).
+	tenantLat map[string]*stats.Histogram
+	tenantN   map[string]int
 }
 
 func newRecorder(clk clock.Clock) *recorder {
@@ -297,6 +322,8 @@ func newRecorder(clk clock.Clock) *recorder {
 		clk:       clk,
 		latency:   stats.NewHistogram(metricE2ELatency, 0, 1, 60_000),
 		queueWait: stats.NewHistogram(metricQueueWait, 0, 1, 60_000),
+		tenantLat: make(map[string]*stats.Histogram),
+		tenantN:   make(map[string]int),
 	}
 }
 
@@ -382,6 +409,15 @@ func (r *recorder) done(a arrival, st server.Status) {
 	if waitOK {
 		r.queueWait.Observe(int(waitMs))
 		r.nQueueWaitObs++
+	}
+	if a.tenant != "" {
+		h, ok := r.tenantLat[a.tenant]
+		if !ok {
+			h = stats.NewHistogram(metricTenantLatencyPrefix+a.tenant, 0, 1, 60_000)
+			r.tenantLat[a.tenant] = h
+		}
+		h.Observe(int(e2eMs))
+		r.tenantN[a.tenant]++
 	}
 	r.mu.Unlock()
 }

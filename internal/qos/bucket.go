@@ -1,0 +1,76 @@
+package qos
+
+import (
+	"sync"
+	"time"
+)
+
+// Buckets is a set of per-tenant token buckets for admission quotas:
+// each tenant accrues rate tokens/second up to burst, and every
+// admission takes one token. Time enters only through the now argument
+// (the caller owns the clock seam), so refill is lazy and the type
+// stays deterministic under test.
+type Buckets struct {
+	mu    sync.Mutex
+	rate  float64
+	burst float64
+	m     map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBucketTenants bounds the per-tenant map; beyond it, unseen tenants
+// share one overflow bucket (keyed "") rather than growing memory
+// without bound under tenant-churn abuse.
+const maxBucketTenants = 4096
+
+// NewBuckets builds a bucket set granting rate tokens/second with the
+// given burst capacity to every tenant. Returns nil if rate <= 0,
+// meaning quotas are disabled.
+func NewBuckets(rate float64, burst int) *Buckets {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Buckets{rate: rate, burst: float64(burst), m: make(map[string]*bucket)}
+}
+
+// Take attempts to spend one token from tenant's bucket at time now.
+// On refusal it returns how long until a token will be available, for
+// the Retry-After header. A nil *Buckets admits everything.
+func (b *Buckets) Take(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bk, exists := b.m[tenant]
+	if !exists {
+		if len(b.m) >= maxBucketTenants {
+			tenant = ""
+			bk = b.m[tenant]
+		}
+		if bk == nil {
+			bk = &bucket{tokens: b.burst, last: now}
+			b.m[tenant] = bk
+		}
+	}
+	if now.After(bk.last) {
+		bk.tokens += b.rate * now.Sub(bk.last).Seconds()
+		if bk.tokens > b.burst {
+			bk.tokens = b.burst
+		}
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	need := (1 - bk.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}

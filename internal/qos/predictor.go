@@ -1,0 +1,190 @@
+// Package qos is the service-level analogue of the paper's width
+// predictor: where the microarchitecture classifies instructions as
+// narrow/wide with PC-indexed 2-bit saturating counters so the hot ones
+// can be herded to the cool die, this package classifies *jobs* as
+// short/long with spec-indexed 2-bit saturating counters so heavyweight
+// sweeps can be herded away from the interactive fast pool.
+//
+// It provides the three mechanisms the server's QoS scheduler composes:
+//
+//   - Predictor: 2-bit saturating counters keyed by a caller-derived
+//     (workload, config-class) string, trained on observed runtimes,
+//     with the demotion path as the analogue of the paper's
+//     unsafe-mispredict stall/retrain loop.
+//   - FairQueue: per-tenant, per-class FIFO queues with weighted
+//     round-robin dequeue across tenants, so no tenant's backlog can
+//     monopolize admission.
+//   - Buckets: per-tenant token buckets for admission quotas.
+//
+// Everything here is pure data: time enters only as explicit arguments,
+// so equal call sequences give equal outcomes.
+//
+//thermlint:deterministic
+package qos
+
+import "sync"
+
+// Class is a job's predicted cost class.
+type Class uint8
+
+const (
+	// ClassShort marks jobs predicted to finish within the short-class
+	// budget; they are eligible for the reserved fast pool.
+	ClassShort Class = iota
+	// ClassLong marks jobs predicted to overrun the budget; their
+	// concurrency is capped so they cannot occupy the whole worker pool.
+	ClassLong
+)
+
+// NumClasses sizes per-class arrays.
+const NumClasses = 2
+
+// String returns the wire name of the class ("short" or "long").
+func (c Class) String() string {
+	if c == ClassLong {
+		return "long"
+	}
+	return "short"
+}
+
+// ParseClass maps a wire name back to a Class; anything but "long" is
+// short (the optimistic default).
+func ParseClass(s string) Class {
+	if s == "long" {
+		return ClassLong
+	}
+	return ClassShort
+}
+
+// PredictorStats is a snapshot of the predictor's accounting.
+type PredictorStats struct {
+	// Predictions counts Predict calls; PredictedShort/PredictedLong
+	// attribute the outcomes.
+	Predictions    uint64
+	PredictedShort uint64
+	PredictedLong  uint64
+	// Mispredicts counts Observe calls whose observed class differed
+	// from the prediction made at admission.
+	Mispredicts uint64
+	// Demotions counts Demote calls: predicted-short jobs that overran
+	// their budget mid-flight and were retrained toward long.
+	Demotions uint64
+}
+
+// Predictor classifies jobs short/long with 2-bit saturating counters,
+// exactly the internal/predictor twoBitTable idiom lifted to a
+// string-keyed table: counter values 0..1 predict short, 2..3 predict
+// long. Unseen keys start weakly short (1) — optimistic, because the
+// demotion path bounds the damage of a wrong short guess, while a wrong
+// long guess would silently waste reserved capacity.
+//
+// Unlike the fixed hardware tables, the key space is open-ended, so the
+// table is bounded: once maxEntries keys exist, unseen keys read the
+// default and updates to them are dropped (the hot keys that matter
+// were trained long before the table fills).
+type Predictor struct {
+	mu       sync.Mutex
+	counters map[string]uint8
+	max      int
+	stats    PredictorStats
+}
+
+// defaultPredictorEntries bounds the counter table; at ~50 bytes a key
+// that is a few MB worst case.
+const defaultPredictorEntries = 1 << 16
+
+// weaklyShort is the initial counter value for unseen keys.
+const weaklyShort = 1
+
+// NewPredictor builds a predictor bounded to maxEntries keys; 0 means
+// a default of 65536.
+func NewPredictor(maxEntries int) *Predictor {
+	if maxEntries <= 0 {
+		maxEntries = defaultPredictorEntries
+	}
+	return &Predictor{counters: make(map[string]uint8), max: maxEntries}
+}
+
+// counter reads key's counter without creating it.
+func (p *Predictor) counter(key string) uint8 {
+	if c, ok := p.counters[key]; ok {
+		return c
+	}
+	return weaklyShort
+}
+
+// bump moves key's counter toward long (+1) or short (-1), saturating
+// at [0,3]. Unseen keys materialize at the default first, unless the
+// table is full.
+func (p *Predictor) bump(key string, towardLong bool) {
+	c, ok := p.counters[key]
+	if !ok {
+		if len(p.counters) >= p.max {
+			return
+		}
+		c = weaklyShort
+	}
+	if towardLong {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	p.counters[key] = c
+}
+
+// Predict classifies the job behind key: counters >= 2 predict long.
+func (p *Predictor) Predict(key string) Class {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Predictions++
+	if p.counter(key) >= 2 {
+		p.stats.PredictedLong++
+		return ClassLong
+	}
+	p.stats.PredictedShort++
+	return ClassShort
+}
+
+// Observe trains key's counter with a finished job's outcome: overran
+// reports whether the job ran past the short-class budget. predicted is
+// the class Predict returned at admission, for mispredict accounting.
+func (p *Predictor) Observe(key string, predicted Class, overran bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	observed := ClassShort
+	if overran {
+		observed = ClassLong
+	}
+	if observed != predicted {
+		p.stats.Mispredicts++
+	}
+	p.bump(key, overran)
+}
+
+// Demote retrains key toward long immediately — the service-level
+// analogue of the paper's unsafe-mispredict stall/retrain: a
+// predicted-short job overran its budget mid-flight, so the very next
+// prediction for a weakly-short key already flips to long, while a
+// strongly-short key keeps one notch of hysteresis.
+func (p *Predictor) Demote(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Demotions++
+	p.bump(key, true)
+}
+
+// Stats snapshots the predictor's accounting.
+func (p *Predictor) Stats() PredictorStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Len returns the number of trained keys.
+func (p *Predictor) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.counters)
+}

@@ -16,9 +16,12 @@ const MaxBatchJobs = 256
 // optional; when present it must be one key per spec (empty strings
 // opt individual specs out), and each key dedupes resubmissions the
 // same way the Idempotency-Key header does for single submits.
+// Tenants is likewise optional and per-spec; empty strings fall back
+// to the request's X-Tenant-ID header (then to the default tenant).
 type BatchRequest struct {
 	Jobs            []Spec   `json:"jobs"`
 	IdempotencyKeys []string `json:"idempotency_keys,omitempty"`
+	Tenants         []string `json:"tenants,omitempty"`
 }
 
 // BatchItem is the per-spec outcome inside a BatchResponse: exactly
@@ -42,9 +45,12 @@ type BatchResponse struct {
 // spec: a full queue or invalid spec fails that item only, and the
 // response always carries one item per submitted spec, in order.
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	hdrTenant := tenantOrDefault(r.Header.Get(TenantHeader))
 	if s.draining.Load() {
 		s.metrics.inc(&s.metrics.submitted)
 		s.metrics.inc(&s.metrics.rejected)
+		s.metrics.tinc(hdrTenant, tcSubmitted)
+		s.metrics.tinc(hdrTenant, tcRejected)
 		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
 		return
 	}
@@ -68,6 +74,11 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			len(req.IdempotencyKeys), len(req.Jobs))
 		return
 	}
+	if len(req.Tenants) != 0 && len(req.Tenants) != len(req.Jobs) {
+		writeError(w, http.StatusBadRequest, "tenants length %d does not match jobs length %d",
+			len(req.Tenants), len(req.Jobs))
+		return
+	}
 	s.metrics.inc(&s.metrics.batchRequests)
 	resp := BatchResponse{Jobs: make([]BatchItem, len(req.Jobs))}
 	for i, spec := range req.Jobs {
@@ -75,7 +86,11 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		if len(req.IdempotencyKeys) > 0 {
 			idemKey = req.IdempotencyKeys[i]
 		}
-		st, code, err := s.admit(spec, idemKey)
+		tenant := hdrTenant
+		if len(req.Tenants) > 0 && req.Tenants[i] != "" {
+			tenant = req.Tenants[i]
+		}
+		st, code, err := s.admit(spec, idemKey, tenant)
 		if err != nil {
 			resp.Jobs[i] = BatchItem{Error: err.Error(), Code: code}
 			continue
@@ -101,8 +116,9 @@ const (
 	maxListLimit     = 500
 )
 
-// handleList serves GET /v1/jobs?status=&limit=&offset=: all known
-// jobs in id order, optionally filtered to one lifecycle state.
+// handleList serves GET /v1/jobs?status=&tenant=&limit=&offset=: all
+// known jobs in id order, optionally filtered to one lifecycle state
+// and/or one tenant.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	var filter State
@@ -115,6 +131,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tenantFilter := q.Get("tenant")
 	limit, err := queryInt(q.Get("limit"), defaultListLimit)
 	if err != nil || limit <= 0 || limit > maxListLimit {
 		writeError(w, http.StatusBadRequest, "bad limit %q (want 1..%d)", q.Get("limit"), maxListLimit)
@@ -137,6 +154,9 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for _, j := range jobs {
 		st := j.status()
 		if filter != "" && st.State != filter {
+			continue
+		}
+		if tenantFilter != "" && st.Tenant != tenantFilter {
 			continue
 		}
 		statuses = append(statuses, st)

@@ -13,6 +13,7 @@ import (
 	"thermalherd/internal/config"
 	"thermalherd/internal/experiments"
 	"thermalherd/internal/journal"
+	"thermalherd/internal/qos"
 	"thermalherd/internal/trace"
 )
 
@@ -210,9 +211,17 @@ type Status struct {
 	// spec (Spec.CanonicalHash): the key the result cache dedupes on and
 	// the gateway's hash ring places by. Clients and tests use it to
 	// verify placement without recomputing the hash.
-	SpecHash    string   `json:"spec_hash,omitempty"`
-	State       State    `json:"state"`
-	Error       string   `json:"error,omitempty"`
+	SpecHash string `json:"spec_hash,omitempty"`
+	State    State  `json:"state"`
+	Error    string `json:"error,omitempty"`
+	// Tenant is who submitted the job (the X-Tenant-ID header,
+	// defaulting to "default"); Class is the cost predictor's verdict at
+	// admission ("short" or "long", empty for jobs answered from cache);
+	// Demoted marks a predicted-short job the scheduler demoted to the
+	// long pool mid-flight for overrunning its class budget.
+	Tenant      string   `json:"tenant,omitempty"`
+	Class       string   `json:"class,omitempty"`
+	Demoted     bool     `json:"demoted,omitempty"`
 	Progress    Progress `json:"progress"`
 	FromCache   bool     `json:"from_cache,omitempty"`
 	SubmittedAt string   `json:"submitted_at"`
@@ -226,6 +235,11 @@ type job struct {
 	spec Spec
 	key  string
 	clk  clock.Clock
+	// tenant is the submitting tenant (set once at admission/recovery,
+	// before the job is published); pkey is the predictor bucket the
+	// cost predictor indexes by (derived from the normalized spec).
+	tenant string
+	pkey   string
 
 	// ctx is canceled by DELETE /v1/jobs/{id} or a drain deadline; the
 	// runner observes it between simulation phases.
@@ -243,6 +257,8 @@ type job struct {
 	result    json.RawMessage
 	progress  Progress
 	fromCache bool
+	class     string // "short"/"long", or "" for jobs never classified
+	demoted   bool
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -261,6 +277,7 @@ func newJob(id string, spec Spec, clk clock.Clock) (*job, error) {
 		id:        id,
 		spec:      spec,
 		key:       key,
+		pkey:      predictorKey(spec),
 		clk:       clk,
 		ctx:       ctx,
 		cancel:    cancel,
@@ -280,6 +297,9 @@ func (j *job) status() Status {
 		SpecHash:    j.key,
 		State:       j.state,
 		Error:       j.err,
+		Tenant:      j.tenant,
+		Class:       j.class,
+		Demoted:     j.demoted,
 		Progress:    j.progress,
 		FromCache:   j.fromCache,
 		SubmittedAt: j.submitted.Format(time.RFC3339Nano),
@@ -336,6 +356,37 @@ func (j *job) finishRunning(state State, result json.RawMessage, errMsg string) 
 	return true
 }
 
+// setClass records the cost predictor's admission verdict.
+func (j *job) setClass(c qos.Class) {
+	j.mu.Lock()
+	j.class = c.String()
+	j.mu.Unlock()
+}
+
+// qclass returns the job's current class for scheduling; unclassified
+// jobs parse as short (the optimistic default).
+func (j *job) qclass() qos.Class {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return qos.ParseClass(j.class)
+}
+
+// markDemoted flips the job to the long class and flags the demotion
+// for status visibility.
+func (j *job) markDemoted() {
+	j.mu.Lock()
+	j.class = qos.ClassLong.String()
+	j.demoted = true
+	j.mu.Unlock()
+}
+
+// startedAt returns when the job began running (zero if it never did).
+func (j *job) startedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started
+}
+
 // runningSince reports whether the job has been running since before
 // cutoff; the watchdog's overdue test.
 func (j *job) runningSince(cutoff time.Time) bool {
@@ -390,6 +441,7 @@ func (j *job) record(idemKey string) journal.JobRecord {
 		Spec:      spec,
 		Key:       j.key,
 		IdemKey:   idemKey,
+		Tenant:    j.tenant,
 		State:     string(j.state),
 		Error:     j.err,
 		Result:    j.result,
@@ -431,6 +483,8 @@ func newJobFromRecord(rec journal.JobRecord, clk clock.Clock) (*job, error) {
 		id:        rec.ID,
 		spec:      spec,
 		key:       rec.Key,
+		pkey:      predictorKey(spec),
+		tenant:    tenantOrDefault(rec.Tenant),
 		clk:       clk,
 		ctx:       ctx,
 		cancel:    cancel,

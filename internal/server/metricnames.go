@@ -65,6 +65,41 @@ const (
 	// ("latency_ms_<kind>"); it is a name prefix, not a document key.
 	metricLatencyHistPrefix = "latency_ms_"
 
+	// QoS scheduler metrics. policy is the configured discipline ("fifo"
+	// or "qos"); the predictor counters mirror qos.PredictorStats; the
+	// queued/running pairs are per-class occupancy gauges (zero under
+	// FIFO, where jobs are never classified).
+	metricQoSPolicy         = "qos.policy"
+	metricQoSPredictions    = "qos.predictions"
+	metricQoSPredictedShort = "qos.predicted_short"
+	metricQoSPredictedLong  = "qos.predicted_long"
+	metricQoSMispredicts    = "qos.mispredicts"
+	metricQoSDemotions      = "qos.demotions"
+	metricQoSQueuedShort    = "qos.queued_short"
+	metricQoSQueuedLong     = "qos.queued_long"
+	metricQoSRunningShort   = "qos.running_short"
+	metricQoSRunningLong    = "qos.running_long"
+
+	// metricAdmissionQuotaRejects counts submissions bounced by a
+	// tenant's token-bucket quota; each is also counted in
+	// jobs.rejected.
+	metricAdmissionQuotaRejects = "admission.quota_rejects"
+
+	// metricTenants holds a sub-document keyed by tenant id, each tenant
+	// carrying its own slice of the accounting identity (submitted ==
+	// hits + completed + failed + canceled + rejected).
+	metricTenants = "tenants"
+
+	// metricQueueWaitHist and metricQueueWaitQuantiles hold
+	// sub-documents keyed by predicted class ("short"/"long").
+	metricQueueWaitHist      = "queue_wait_ms"
+	metricQueueWaitQuantiles = "queue_wait_quantiles_ms"
+
+	// metricQueueWaitHistPrefix names the per-class queue-wait
+	// histograms ("queue_wait_ms_<class>"); a name prefix, not a
+	// document key.
+	metricQueueWaitHistPrefix = "queue_wait_ms_"
+
 	// Quantile labels inside each latency_quantiles_ms sub-document.
 	metricQuantP50 = "p50"
 	metricQuantP95 = "p95"
@@ -105,6 +140,20 @@ func MetricNames() []string {
 		metricFaultsInjected,
 		metricLatencyHist,
 		metricLatencyQuantiles,
+		metricQoSPolicy,
+		metricQoSPredictions,
+		metricQoSPredictedShort,
+		metricQoSPredictedLong,
+		metricQoSMispredicts,
+		metricQoSDemotions,
+		metricQoSQueuedShort,
+		metricQoSQueuedLong,
+		metricQoSRunningShort,
+		metricQoSRunningLong,
+		metricAdmissionQuotaRejects,
+		metricTenants,
+		metricQueueWaitHist,
+		metricQueueWaitQuantiles,
 	}
 	sort.Strings(names)
 	return names

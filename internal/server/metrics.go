@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"thermalherd/internal/qos"
 	"thermalherd/internal/stats"
 )
 
@@ -20,11 +21,12 @@ type metrics struct {
 	rejected  stats.Counter
 
 	// Resilience sub-counters: panicsRecovered and deadlineExceeded
-	// jobs are also counted in failed; brownoutRejects are also counted
-	// in rejected. The sub-counters attribute *why*.
+	// jobs are also counted in failed; brownoutRejects and quotaRejects
+	// are also counted in rejected. The sub-counters attribute *why*.
 	panicsRecovered  stats.Counter
 	deadlineExceeded stats.Counter
 	brownoutRejects  stats.Counter
+	quotaRejects     stats.Counter
 	workerRestarts   stats.Counter
 
 	// deduped attributes submissions answered by idempotency-key
@@ -40,14 +42,62 @@ type metrics struct {
 
 	// latency histograms per job kind, in milliseconds.
 	latency map[Kind]*stats.Histogram
+	// qwait histograms attribute queue wait per predicted class — the
+	// direct measure of whether the short fast pool is working.
+	qwait map[string]*stats.Histogram
+
+	// tenants holds the per-tenant accounting identity counters, in
+	// first-seen order for deterministic emission. Bounded: beyond
+	// maxTenantCounters distinct tenants, new ones fold into "other".
+	tenants     map[string]*tenantCounters
+	tenantOrder []string
 }
 
+// tenantCounters is one tenant's slice of the accounting identity:
+// submitted == hits + completed + failed + canceled + rejected must
+// reconcile within each tenant exactly as it does globally.
+type tenantCounters struct {
+	submitted stats.Counter
+	hits      stats.Counter
+	completed stats.Counter
+	failed    stats.Counter
+	canceled  stats.Counter
+	rejected  stats.Counter
+}
+
+// tcField selects which tenantCounters counter tinc bumps.
+type tcField int
+
+const (
+	tcSubmitted tcField = iota
+	tcHits
+	tcCompleted
+	tcFailed
+	tcCanceled
+	tcRejected
+)
+
+// maxTenantCounters bounds the per-tenant metric map against tenant
+// churn; overflow tenants share the "other" bucket.
+const maxTenantCounters = 64
+
+// overflowTenant aggregates tenants beyond maxTenantCounters.
+const overflowTenant = "other"
+
 func newMetrics() *metrics {
-	m := &metrics{latency: make(map[Kind]*stats.Histogram)}
+	m := &metrics{
+		latency: make(map[Kind]*stats.Histogram),
+		qwait:   make(map[string]*stats.Histogram),
+		tenants: make(map[string]*tenantCounters),
+	}
 	for _, k := range Kinds() {
 		// 40 × 250 ms buckets span 0–10 s; slower jobs land in the
 		// overflow bucket.
 		m.latency[k] = stats.NewHistogram(metricLatencyHistPrefix+string(k), 0, 250, 40)
+	}
+	for c := qos.Class(0); c < qos.NumClasses; c++ {
+		// 50 × 100 ms buckets span 0–5 s of queue wait.
+		m.qwait[c.String()] = stats.NewHistogram(metricQueueWaitHistPrefix+c.String(), 0, 100, 50)
 	}
 	return m
 }
@@ -55,6 +105,53 @@ func newMetrics() *metrics {
 func (m *metrics) inc(c *stats.Counter) {
 	m.mu.Lock()
 	c.Inc()
+	m.mu.Unlock()
+}
+
+// tinc bumps one of tenant's identity counters, creating the tenant's
+// slot on first sight (or folding into the overflow bucket once the
+// map is full).
+func (m *metrics) tinc(tenant string, f tcField) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	m.mu.Lock()
+	tc, ok := m.tenants[tenant]
+	if !ok {
+		if len(m.tenants) >= maxTenantCounters {
+			tenant = overflowTenant
+			tc = m.tenants[tenant]
+		}
+		if tc == nil {
+			tc = &tenantCounters{}
+			m.tenants[tenant] = tc
+			m.tenantOrder = append(m.tenantOrder, tenant)
+		}
+	}
+	switch f {
+	case tcSubmitted:
+		tc.submitted.Inc()
+	case tcHits:
+		tc.hits.Inc()
+	case tcCompleted:
+		tc.completed.Inc()
+	case tcFailed:
+		tc.failed.Inc()
+	case tcCanceled:
+		tc.canceled.Inc()
+	case tcRejected:
+		tc.rejected.Inc()
+	}
+	m.mu.Unlock()
+}
+
+// observeQueueWait records one popped job's time in queue under its
+// predicted class.
+func (m *metrics) observeQueueWait(c qos.Class, d time.Duration) {
+	m.mu.Lock()
+	if h, ok := m.qwait[c.String()]; ok {
+		h.Observe(int(d.Milliseconds()))
+	}
 	m.mu.Unlock()
 }
 
@@ -75,6 +172,12 @@ type gauges struct {
 	cacheLen, cacheCap   int
 	workers              int
 	brownoutActive       bool
+	// schedPolicy is the configured queue discipline; the per-class
+	// occupancy gauges below are populated only under the qos policy.
+	schedPolicy               string
+	predictor                 qos.PredictorStats
+	queuedShort, queuedLong   int
+	runningShort, runningLong int
 	// faultsInjected is the per-fault-point injected count from the
 	// fault-injection registry (empty when disarmed).
 	faultsInjected map[string]uint64
@@ -110,6 +213,23 @@ func (m *metrics) snapshot(g gauges) map[string]any {
 			}
 		}
 	}
+	qhists := make(map[string]stats.HistogramSnapshot, len(m.qwait))
+	qquants := make(map[string]map[string]float64)
+	for class, h := range m.qwait {
+		snap := h.Snapshot()
+		qhists[class] = snap
+		if snap.Total > 0 {
+			qquants[class] = map[string]float64{
+				metricQuantP50: snap.Quantile(0.50),
+				metricQuantP95: snap.Quantile(0.95),
+				metricQuantP99: snap.Quantile(0.99),
+			}
+		}
+	}
+	tenants := make(map[string]any, len(m.tenantOrder))
+	for _, t := range m.tenantOrder {
+		tenants[t] = m.tenants[t].doc()
+	}
 	if g.faultsInjected == nil {
 		g.faultsInjected = map[string]uint64{}
 	}
@@ -132,6 +252,23 @@ func (m *metrics) snapshot(g gauges) map[string]any {
 
 		metricAdmissionBrownoutRejects: m.brownoutRejects.Value(),
 		metricAdmissionBrownoutActive:  g.brownoutActive,
+		metricAdmissionQuotaRejects:    m.quotaRejects.Value(),
+
+		metricQoSPolicy:         g.schedPolicy,
+		metricQoSPredictions:    g.predictor.Predictions,
+		metricQoSPredictedShort: g.predictor.PredictedShort,
+		metricQoSPredictedLong:  g.predictor.PredictedLong,
+		metricQoSMispredicts:    g.predictor.Mispredicts,
+		metricQoSDemotions:      g.predictor.Demotions,
+		metricQoSQueuedShort:    g.queuedShort,
+		metricQoSQueuedLong:     g.queuedLong,
+		metricQoSRunningShort:   g.runningShort,
+		metricQoSRunningLong:    g.runningLong,
+
+		metricTenants: tenants,
+
+		metricQueueWaitHist:      qhists,
+		metricQueueWaitQuantiles: qquants,
 
 		metricWorkersPool:     g.workers,
 		metricWorkersRestarts: m.workerRestarts.Value(),
@@ -152,4 +289,18 @@ func (m *metrics) snapshot(g gauges) map[string]any {
 		metricLatencyHist:      hists,
 		metricLatencyQuantiles: quants,
 	})
+}
+
+// doc renders one tenant's counters as its sub-document under the
+// registered "tenants" key. The leaf names deliberately mirror the
+// global jobs.* identity counters. Caller holds m.mu.
+func (tc *tenantCounters) doc() map[string]any {
+	return map[string]any{
+		"submitted": tc.submitted.Value(),
+		"hits":      tc.hits.Value(),
+		"completed": tc.completed.Value(),
+		"failed":    tc.failed.Value(),
+		"canceled":  tc.canceled.Value(),
+		"rejected":  tc.rejected.Value(),
+	}
 }

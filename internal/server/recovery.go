@@ -68,7 +68,8 @@ func (s *Server) applyReplay() {
 			}
 			recs[ev.ID] = &journal.JobRecord{
 				ID: ev.ID, Spec: ev.Spec, Key: ev.Key, IdemKey: ev.IdemKey,
-				State: string(StateQueued), Submitted: ev.At,
+				Tenant: ev.Tenant,
+				State:  string(StateQueued), Submitted: ev.At,
 			}
 			order = append(order, ev.ID)
 		case journal.EventStarted:
@@ -107,15 +108,19 @@ func (s *Server) applyReplay() {
 		}
 		s.register(j, rec.IdemKey)
 		// Rebuild the counters the recovered jobs would have produced
-		// live, preserving submitted == hits + terminal + rejected.
+		// live — global and per-tenant — preserving submitted == hits +
+		// terminal + rejected on both axes.
 		s.metrics.inc(&s.metrics.submitted)
+		s.metrics.tinc(j.tenant, tcSubmitted)
 		switch State(rec.State) {
 		case StateDone:
 			if rec.FromCache {
 				s.metrics.inc(&s.metrics.cacheHits)
+				s.metrics.tinc(j.tenant, tcHits)
 			} else {
 				s.metrics.inc(&s.metrics.cacheMisses)
 				s.metrics.inc(&s.metrics.completed)
+				s.metrics.tinc(j.tenant, tcCompleted)
 			}
 			if len(rec.Result) > 0 && rec.Key != "" {
 				// Warm the result cache so resubmissions of recovered
@@ -125,14 +130,21 @@ func (s *Server) applyReplay() {
 		case StateFailed:
 			s.metrics.inc(&s.metrics.cacheMisses)
 			s.metrics.inc(&s.metrics.failed)
+			s.metrics.tinc(j.tenant, tcFailed)
 		case StateCanceled:
 			s.metrics.inc(&s.metrics.cacheMisses)
 			s.metrics.inc(&s.metrics.canceled)
+			s.metrics.tinc(j.tenant, tcCanceled)
 		default:
 			s.metrics.inc(&s.metrics.cacheMisses)
-			if err := s.queue.requeue(j); err != nil {
+			// Re-classify at requeue time: the predictor may have trained
+			// since this job was first admitted (or be empty after a cold
+			// restart, defaulting the class to short).
+			j.setClass(s.predictor.Predict(j.pkey))
+			if err := s.sched.requeue(j); err != nil {
 				if j.cancelQueued("recovery requeue failed: " + err.Error()) {
 					s.metrics.inc(&s.metrics.canceled)
+					s.metrics.tinc(j.tenant, tcCanceled)
 				}
 				continue
 			}

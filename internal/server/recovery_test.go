@@ -271,7 +271,7 @@ func TestTornWriteSweep(t *testing.T) {
 		if got := s.metrics.completed.Value(); got > 1 {
 			t.Fatalf("prefix %d: completed = %d; a torn tail resurrected a completed job twice", n, got)
 		}
-		if got := s.queue.len(); got != pending {
+		if got := s.sched.len(); got != pending {
 			t.Fatalf("prefix %d: queue holds %d jobs but %d are pending (%d terminal) — a terminal job was re-enqueued",
 				n, got, pending, done)
 		}
@@ -327,7 +327,7 @@ func TestReplaySnapshotWALOverlap(t *testing.T) {
 	if got := s.metrics.completed.Value(); got != 1 {
 		t.Fatalf("completed = %d, want exactly 1 (idempotent overlap replay)", got)
 	}
-	if got := s.queue.len(); got != 0 {
+	if got := s.sched.len(); got != 0 {
 		t.Fatalf("queue holds %d jobs; the done job must not re-run", got)
 	}
 }
@@ -401,7 +401,7 @@ func TestGracefulDrainWritesCleanClose(t *testing.T) {
 	if len(s2.jobs) != 3 {
 		t.Fatalf("snapshot restored %d jobs, want 3", len(s2.jobs))
 	}
-	if got := s2.queue.len(); got != 0 {
+	if got := s2.sched.len(); got != 0 {
 		t.Fatalf("clean restart re-enqueued %d jobs, want 0 (all terminal)", got)
 	}
 	states := map[State]int{}

@@ -45,8 +45,30 @@ import (
 	"thermalherd/internal/config"
 	"thermalherd/internal/faultinject"
 	"thermalherd/internal/journal"
+	"thermalherd/internal/qos"
 	"thermalherd/internal/trace"
 )
+
+// TenantHeader is the HTTP header attributing a submission to a
+// tenant; the gateway forwards it byte-for-byte. Missing or empty
+// means the "default" tenant.
+const TenantHeader = "X-Tenant-ID"
+
+// DefaultTenant buckets submissions that carry no X-Tenant-ID.
+const DefaultTenant = "default"
+
+// tenantOrDefault normalizes a raw X-Tenant-ID value: trimmed,
+// bounded, defaulted.
+func tenantOrDefault(t string) string {
+	t = strings.TrimSpace(t)
+	if t == "" {
+		return DefaultTenant
+	}
+	if len(t) > 64 {
+		t = t[:64]
+	}
+	return t
+}
 
 // Fault points threaded through the service's hot paths; arm them on
 // a faultinject.Registry passed via Config.Faults. All are no-ops when
@@ -69,6 +91,10 @@ const (
 	// FaultRespond fires while writing job-API responses: a delay
 	// action slows the write, an error action turns it into a 500.
 	FaultRespond = "http.respond"
+	// FaultQuota rejects a queue-bound submission as if the tenant's
+	// token bucket were empty (429 + Retry-After), regardless of the
+	// real quota state.
+	FaultQuota = "qos.quota"
 )
 
 // Config sizes the daemon.
@@ -99,6 +125,28 @@ type Config struct {
 	// queue-bound submissions are shed with 429 + Retry-After (cache
 	// hits are still served). 0 disables brownout.
 	BrownoutAfter time.Duration
+
+	// SchedPolicy selects the queue discipline: SchedFIFO (the default)
+	// or SchedQoS, the cost-predicted multi-tenant scheduler.
+	SchedPolicy string
+	// ShortBudget is the runtime budget of the predicted-short class
+	// under SchedQoS: a short job running past it is demoted to the
+	// long pool mid-flight and its predictor bucket retrained. 0 means
+	// 2s.
+	ShortBudget time.Duration
+	// ShortReserve is how many worker slots SchedQoS reserves for
+	// short-class jobs; long-class concurrency is capped at
+	// Workers - ShortReserve. 0 means max(1, Workers/4); values are
+	// clamped to leave at least one long slot.
+	ShortReserve int
+	// TenantRate and TenantBurst arm per-tenant token-bucket admission
+	// quotas (jobs/second accrual and bucket capacity). Rate 0 disables
+	// quotas. Quotas apply under both scheduling policies.
+	TenantRate  float64
+	TenantBurst int
+	// TenantWeights sets per-tenant weighted-fair dequeue weights under
+	// SchedQoS; unlisted tenants weigh 1.
+	TenantWeights map[string]int
 
 	// JournalDir enables crash-safe durability: every job lifecycle
 	// transition is appended to a write-ahead log there before it is
@@ -135,10 +183,16 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
-	queue   *queue
+	sched   Scheduler
 	cache   *resultCache
 	metrics *metrics
 	faults  *faultinject.Registry
+
+	// predictor classifies jobs short/long at admission (it annotates
+	// statuses under every policy; only SchedQoS acts on it), and
+	// quotas holds the per-tenant token buckets (nil when disabled).
+	predictor *qos.Predictor
+	quotas    *qos.Buckets
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -203,17 +257,32 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real()
 	}
+	if cfg.ShortBudget <= 0 {
+		cfg.ShortBudget = 2 * time.Second
+	}
 	s := &Server{
 		cfg:          cfg,
 		mux:          http.NewServeMux(),
-		queue:        newQueue(cfg.QueueDepth, cfg.Clock),
 		cache:        newResultCache(cfg.CacheSize, cfg.Faults),
 		metrics:      newMetrics(),
 		faults:       cfg.Faults,
+		predictor:    qos.NewPredictor(0),
+		quotas:       qos.NewBuckets(cfg.TenantRate, cfg.TenantBurst),
 		jobs:         make(map[string]*job),
 		idem:         make(map[string]string),
 		watchdogStop: make(chan struct{}),
 		exec:         runSpec,
+	}
+	switch cfg.SchedPolicy {
+	case "", SchedFIFO:
+		s.cfg.SchedPolicy = SchedFIFO
+		s.sched = newQueue(cfg.QueueDepth, cfg.Clock)
+	case SchedQoS:
+		s.sched = newQoSSched(cfg.QueueDepth, cfg.Workers, cfg.ShortReserve,
+			s.cfg.ShortBudget, cfg.TenantWeights, s.predictor, cfg.Clock)
+	default:
+		return nil, fmt.Errorf("unknown scheduling policy %q (want %s or %s)",
+			cfg.SchedPolicy, SchedFIFO, SchedQoS)
 	}
 	if cfg.JournalDir != "" {
 		pol, err := journal.ParseFsyncPolicy(cfg.FsyncPolicy)
@@ -277,6 +346,32 @@ func (s *Server) Start() {
 	if s.cfg.StuckAfter > 0 {
 		go s.watchdog()
 	}
+	if qs, ok := s.sched.(*qosSched); ok {
+		go s.demoteLoop(qs)
+	}
+}
+
+// demoteLoop periodically sweeps running jobs for predicted-shorts that
+// have overrun the short budget and demotes them (see
+// qosSched.demoteOverruns). It runs on the clock seam so fake-clock
+// tests drive demotion deterministically, and stops with the watchdog
+// at drain.
+func (s *Server) demoteLoop(q *qosSched) {
+	interval := s.cfg.ShortBudget / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	for {
+		select {
+		case <-s.watchdogStop:
+			return
+		case <-s.cfg.Clock.After(interval):
+			q.demoteOverruns()
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -294,13 +389,14 @@ func (s *Server) Drain(ctx context.Context) error {
 		return nil // already draining
 	}
 	defer s.watchdogOnce.Do(func() { close(s.watchdogStop) })
-	for _, j := range s.queue.drainPending() {
+	for _, j := range s.sched.drainPending() {
 		if j.cancelQueued("server shutting down") {
 			s.metrics.inc(&s.metrics.canceled)
+			s.metrics.tinc(j.tenant, tcCanceled)
 			s.logEvent(journal.Event{Type: journal.EventCanceled, ID: j.id, Error: "server shutting down"})
 		}
 	}
-	s.queue.close()
+	s.sched.close()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -336,10 +432,11 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		j, ok := s.queue.pop()
+		j, ok := s.sched.pop()
 		if !ok {
 			return
 		}
+		s.metrics.observeQueueWait(j.qclass(), s.cfg.Clock.Since(j.submitted))
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
@@ -389,8 +486,12 @@ func (s *Server) reapStuck() {
 		}
 		j.cancel()
 		s.metrics.inc(&s.metrics.failed)
+		s.metrics.tinc(j.tenant, tcFailed)
 		s.metrics.inc(&s.metrics.workerRestarts)
 		s.logEvent(journal.Event{Type: journal.EventFailed, ID: j.id, Error: msg})
+		// Release the scheduler's slot charge for the reaped job; the
+		// straggling executor's own deferred release becomes a no-op.
+		s.sched.finished(j)
 		s.wg.Add(1)
 		go s.worker()
 		close(j.abandoned)
@@ -401,6 +502,10 @@ func (s *Server) reapStuck() {
 // terminal state, result cache entry, and metrics. Executor panics are
 // recovered into failed jobs; the daemon survives.
 func (s *Server) runJob(j *job) {
+	// Release the scheduler's slot charge (and train the predictor on
+	// the observed runtime) however this job settles. Idempotent: the
+	// watchdog releases reaped jobs first and this becomes a no-op.
+	defer s.sched.finished(j)
 	if !j.tryStart() {
 		return // canceled while queued; already counted
 	}
@@ -419,12 +524,14 @@ func (s *Server) runJob(j *job) {
 	case panicked:
 		if j.finishRunning(StateFailed, nil, "recovered "+err.Error()) {
 			s.metrics.inc(&s.metrics.failed)
+			s.metrics.tinc(j.tenant, tcFailed)
 			s.metrics.inc(&s.metrics.panicsRecovered)
 			s.logEvent(journal.Event{Type: journal.EventFailed, ID: j.id, Error: "recovered panic"})
 		}
 	case j.ctx.Err() != nil:
 		if j.finishRunning(StateCanceled, nil, "canceled: "+j.ctx.Err().Error()) {
 			s.metrics.inc(&s.metrics.canceled)
+			s.metrics.tinc(j.tenant, tcCanceled)
 			s.logEvent(journal.Event{Type: journal.EventCanceled, ID: j.id, Error: j.ctx.Err().Error()})
 		}
 	case err != nil && ctx.Err() == context.DeadlineExceeded:
@@ -432,18 +539,21 @@ func (s *Server) runJob(j *job) {
 			s.cfg.Clock.Since(start).Round(time.Millisecond), s.cfg.JobTimeout)
 		if j.finishRunning(StateFailed, nil, msg) {
 			s.metrics.inc(&s.metrics.failed)
+			s.metrics.tinc(j.tenant, tcFailed)
 			s.metrics.inc(&s.metrics.deadlineExceeded)
 			s.logEvent(journal.Event{Type: journal.EventFailed, ID: j.id, Error: msg})
 		}
 	case err != nil:
 		if j.finishRunning(StateFailed, nil, err.Error()) {
 			s.metrics.inc(&s.metrics.failed)
+			s.metrics.tinc(j.tenant, tcFailed)
 			s.logEvent(journal.Event{Type: journal.EventFailed, ID: j.id, Error: err.Error()})
 		}
 	default:
 		if j.finishRunning(StateDone, res, "") {
 			s.cache.put(j.key, res)
 			s.metrics.inc(&s.metrics.completed)
+			s.metrics.tinc(j.tenant, tcCompleted)
 			s.logEvent(journal.Event{Type: journal.EventCompleted, ID: j.id, Result: res})
 		}
 	}
@@ -496,8 +606,8 @@ func (s *Server) newID() string {
 func (s *Server) Metrics() map[string]any {
 	browning, _ := s.brownout()
 	g := gauges{
-		queueDepth:       s.queue.len(),
-		queueCap:         s.queue.cap(),
+		queueDepth:       s.sched.len(),
+		queueCap:         s.sched.cap(),
 		running:          int(s.running.Load()),
 		cacheLen:         s.cache.len(),
 		cacheCap:         s.cache.capacity(),
@@ -507,6 +617,11 @@ func (s *Server) Metrics() map[string]any {
 		journalReplayed:  s.replayStats.replayed,
 		journalTruncated: s.replayStats.truncated,
 		journalRecovered: s.replayStats.recovered,
+		schedPolicy:      s.cfg.SchedPolicy,
+		predictor:        s.predictor.Stats(),
+	}
+	if qs, ok := s.sched.(*qosSched); ok {
+		g.queuedShort, g.queuedLong, g.runningShort, g.runningLong = qs.counts()
 	}
 	if s.journal != nil {
 		st := s.journal.Stats()
@@ -607,7 +722,7 @@ func (s *Server) brownout() (bool, int) {
 	if s.cfg.BrownoutAfter <= 0 {
 		return false, 0
 	}
-	wait := s.queue.oldestWait()
+	wait := s.sched.oldestWait()
 	if wait <= s.cfg.BrownoutAfter {
 		return false, 0
 	}
@@ -617,11 +732,28 @@ func (s *Server) brownout() (bool, int) {
 	return true, int(wait/time.Second) + 1
 }
 
-// setRetryAfter stamps the Retry-After header for brownout rejections.
+// quotaError is admit's per-tenant quota rejection; the HTTP layer
+// maps it to a 429 with a Retry-After header, like brownout.
+type quotaError struct {
+	tenant     string
+	retryAfter int // seconds
+}
+
+func (e *quotaError) Error() string {
+	return fmt.Sprintf("tenant %q over admission quota; retry in %ds", e.tenant, e.retryAfter)
+}
+
+// setRetryAfter stamps the Retry-After header for brownout and quota
+// rejections.
 func setRetryAfter(w http.ResponseWriter, err error) {
 	var be *brownoutError
 	if errors.As(err, &be) {
 		w.Header().Set("Retry-After", strconv.Itoa(be.retryAfter))
+		return
+	}
+	var qe *quotaError
+	if errors.As(err, &qe) {
+		w.Header().Set("Retry-After", strconv.Itoa(qe.retryAfter))
 	}
 }
 
@@ -629,13 +761,16 @@ func setRetryAfter(w http.ResponseWriter, err error) {
 // idempotency-key dedup), or enqueues it, mirroring the single-submit
 // metrics on both paths. With the journal enabled, a queue-bound job
 // is journaled before it is acknowledged — the 202 is a durability
-// promise. It returns the job's status plus the HTTP code to report:
-// 200 on a cache hit or dedup, 202 when queued, 400/429/503 (with err
-// set) on rejection.
-func (s *Server) admit(spec Spec, idemKey string) (Status, int, error) {
+// promise. tenant is the raw X-Tenant-ID value; every path attributes
+// the submission to its (normalized) tenant so the accounting identity
+// holds per tenant as well as globally. It returns the job's status
+// plus the HTTP code to report: 200 on a cache hit or dedup, 202 when
+// queued, 400/429/503 (with err set) on rejection.
+func (s *Server) admit(spec Spec, idemKey, tenant string) (Status, int, error) {
 	if err := spec.normalize(); err != nil {
 		return Status{}, http.StatusBadRequest, fmt.Errorf("invalid job: %w", err)
 	}
+	tenant = tenantOrDefault(tenant)
 	// Idempotency-key dedup: a resubmission of a key we have already
 	// accepted (in this incarnation or, via the journal, a previous
 	// one) is answered with the original job — the retried batch after
@@ -655,6 +790,8 @@ func (s *Server) admit(spec Spec, idemKey string) (Status, int, error) {
 			s.metrics.inc(&s.metrics.submitted)
 			s.metrics.inc(&s.metrics.cacheHits)
 			s.metrics.inc(&s.metrics.deduped)
+			s.metrics.tinc(tenant, tcSubmitted)
+			s.metrics.tinc(tenant, tcHits)
 			return j.status(), http.StatusOK, nil
 		}
 	}
@@ -662,9 +799,12 @@ func (s *Server) admit(spec Spec, idemKey string) (Status, int, error) {
 	if err != nil {
 		return Status{}, http.StatusBadRequest, fmt.Errorf("invalid job: %w", err)
 	}
+	j.tenant = tenant
 	s.metrics.inc(&s.metrics.submitted)
+	s.metrics.tinc(tenant, tcSubmitted)
 	if res, ok := s.cache.get(j.key); ok {
 		s.metrics.inc(&s.metrics.cacheHits)
+		s.metrics.tinc(tenant, tcHits)
 		j.finishFromCache(res)
 		s.register(j, idemKey)
 		// Best-effort journaling: the 200 response already carries the
@@ -674,19 +814,40 @@ func (s *Server) admit(spec Spec, idemKey string) (Status, int, error) {
 		return j.status(), http.StatusOK, nil
 	}
 	s.metrics.inc(&s.metrics.cacheMisses)
+	// Per-tenant quota: a tenant over its token bucket is shed with
+	// 429 + Retry-After before it can occupy queue space. Cache hits
+	// and dedups above are free — quotas meter execution capacity.
+	if ferr := s.faults.Fire(FaultQuota); ferr != nil {
+		s.metrics.inc(&s.metrics.rejected)
+		s.metrics.inc(&s.metrics.quotaRejects)
+		s.metrics.tinc(tenant, tcRejected)
+		return Status{}, http.StatusTooManyRequests, &quotaError{tenant: tenant, retryAfter: 1}
+	}
+	if ok, retry := s.quotas.Take(tenant, s.cfg.Clock.Now()); !ok {
+		s.metrics.inc(&s.metrics.rejected)
+		s.metrics.inc(&s.metrics.quotaRejects)
+		s.metrics.tinc(tenant, tcRejected)
+		return Status{}, http.StatusTooManyRequests,
+			&quotaError{tenant: tenant, retryAfter: int(retry/time.Second) + 1}
+	}
 	// Brownout sheds queue-bound work while admission is still
 	// technically possible — a 429 the client can back off on beats a
 	// 503 storm when the queue finally overflows.
 	if shedding, retryAfter := s.brownout(); shedding {
 		s.metrics.inc(&s.metrics.rejected)
 		s.metrics.inc(&s.metrics.brownoutRejects)
+		s.metrics.tinc(tenant, tcRejected)
 		return Status{}, http.StatusTooManyRequests,
-			&brownoutError{wait: s.queue.oldestWait(), retryAfter: retryAfter}
+			&brownoutError{wait: s.sched.oldestWait(), retryAfter: retryAfter}
 	}
 	if err := s.faults.Fire(FaultAdmit); err != nil {
 		s.metrics.inc(&s.metrics.rejected)
+		s.metrics.tinc(tenant, tcRejected)
 		return Status{}, http.StatusServiceUnavailable, err
 	}
+	// Classify for the scheduler: the cost predictor's verdict rides on
+	// the job into the queue (and into its visible status).
+	j.setClass(s.predictor.Predict(j.pkey))
 	// Register before journaling: compaction snapshots the job table
 	// and truncates the WAL atomically with respect to appends, which
 	// is only lossless if the table is never older than the WAL — every
@@ -699,10 +860,11 @@ func (s *Server) admit(spec Spec, idemKey string) (Status, int, error) {
 	if err := s.logEvent(acceptedEvent(j, idemKey)); err != nil {
 		s.unregister(j, idemKey)
 		s.metrics.inc(&s.metrics.rejected)
+		s.metrics.tinc(tenant, tcRejected)
 		return Status{}, http.StatusServiceUnavailable,
 			fmt.Errorf("journal write failed; job not accepted: %w", err)
 	}
-	if err := s.queue.push(j); err != nil {
+	if err := s.sched.push(j); err != nil {
 		// The acceptance is journaled; record the cancellation so a
 		// replay does not resurrect a job the client saw rejected, and
 		// roll back the registration so a retry of the same idempotency
@@ -711,6 +873,7 @@ func (s *Server) admit(spec Spec, idemKey string) (Status, int, error) {
 		s.logEvent(journal.Event{Type: journal.EventCanceled, ID: j.id, Error: "queue rejected job at admission"})
 		s.unregister(j, idemKey)
 		s.metrics.inc(&s.metrics.rejected)
+		s.metrics.tinc(tenant, tcRejected)
 		return Status{}, http.StatusServiceUnavailable, err
 	}
 	return j.status(), http.StatusAccepted, nil
@@ -719,15 +882,18 @@ func (s *Server) admit(spec Spec, idemKey string) (Status, int, error) {
 // acceptedEvent renders a job's admission for the journal.
 func acceptedEvent(j *job, idemKey string) journal.Event {
 	spec, _ := marshalSpec(j.spec)
-	return journal.Event{Type: journal.EventAccepted, ID: j.id, Spec: spec, Key: j.key, IdemKey: idemKey}
+	return journal.Event{Type: journal.EventAccepted, ID: j.id, Spec: spec, Key: j.key, IdemKey: idemKey, Tenant: j.tenant}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get(TenantHeader)
 	if s.draining.Load() {
 		// Count the rejection as a submission too, preserving the
 		// accounting identity submitted == hits + terminal outcomes.
 		s.metrics.inc(&s.metrics.submitted)
 		s.metrics.inc(&s.metrics.rejected)
+		s.metrics.tinc(tenantOrDefault(tenant), tcSubmitted)
+		s.metrics.tinc(tenantOrDefault(tenant), tcRejected)
 		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
 		return
 	}
@@ -738,7 +904,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job payload: %v", err)
 		return
 	}
-	st, code, err := s.admit(spec, r.Header.Get("Idempotency-Key"))
+	st, code, err := s.admit(spec, r.Header.Get("Idempotency-Key"), tenant)
 	if err != nil {
 		setRetryAfter(w, err)
 		writeError(w, code, "%v", err)
@@ -790,6 +956,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if j.cancelQueued("canceled by client") {
 		// Never started; the worker will skip it when popped.
 		s.metrics.inc(&s.metrics.canceled)
+		s.metrics.tinc(j.tenant, tcCanceled)
 		s.logEvent(journal.Event{Type: journal.EventCanceled, ID: j.id, Error: "canceled by client"})
 		writeJSON(w, http.StatusOK, j.status())
 		return
