@@ -23,9 +23,26 @@
 // recovering, down after -fail-threshold consecutive failures) or
 // deprioritizes (brownout) the node. A browning-out node still serves
 // the specs it has cached; cold specs spill to the less-loaded of two
-// healthy peers. -faults arms the gateway's chaos points (gw.forward,
-// gw.probe, gw.splitbrain); never arm faults on a gateway doing real
-// work.
+// healthy peers. A backend flapping between healthy and down is held
+// "suspect" for a cooldown instead of re-entering rotation on every
+// good probe. -faults arms the gateway's chaos points (gw.forward,
+// gw.probe, gw.splitbrain, gw.straggler, gw.hedge, gw.breaker,
+// gw.admin); never arm faults on a gateway doing real work.
+//
+// Resilience knobs:
+//
+//   - -hedge enables request hedging: idempotent reads and
+//     Idempotency-Key-bearing submits get a second attempt after the
+//     per-route-class p95 delay (clamped into [-hedge-min, -hedge-max]);
+//     the first reply wins and the loser is cancelled or reaped.
+//   - -retry-budget / -retry-burst bound retry+hedge amplification to
+//     ~budget of base traffic (a Finagle-style token bucket).
+//   - -breaker-threshold / -breaker-cooldown tune the per-backend
+//     circuit breakers fed by forward and probe outcomes.
+//   - -admin-token (or $THERMHERD_ADMIN_TOKEN) enables the authenticated
+//     live-membership API: POST/GET /v1/admin/nodes, POST
+//     /v1/admin/nodes/{name}/drain, DELETE /v1/admin/nodes/{name}.
+//     Without a token the admin API answers 403.
 package main
 
 import (
@@ -80,6 +97,15 @@ func main() {
 		scatterTO     = flag.Duration("scatter-timeout", 2*time.Second, "per-backend timeout for scatter-gather reads")
 		faults        = flag.String("faults", os.Getenv("THERMHERD_FAULTS"), "fault-injection spec (chaos testing only); defaults to $THERMHERD_FAULTS")
 		faultSeed     = flag.Int64("fault-seed", 1, "seed for fault-injection firing decisions")
+
+		hedge       = flag.Bool("hedge", false, "hedge idempotent reads and keyed submits after the per-class p95 delay")
+		hedgeMin    = flag.Duration("hedge-min", 5*time.Millisecond, "lower clamp on the hedge delay")
+		hedgeMax    = flag.Duration("hedge-max", 100*time.Millisecond, "upper clamp on the hedge delay")
+		retryBudget = flag.Float64("retry-budget", 0.1, "retry+hedge tokens deposited per base request")
+		retryBurst  = flag.Float64("retry-burst", 10, "retry-budget bucket capacity")
+		brkThresh   = flag.Int("breaker-threshold", 5, "consecutive failures that open a backend's circuit")
+		brkCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit waits before a half-open trial")
+		adminToken  = flag.String("admin-token", os.Getenv("THERMHERD_ADMIN_TOKEN"), "bearer token for the /v1/admin/nodes API; empty disables it; defaults to $THERMHERD_ADMIN_TOKEN")
 	)
 	flag.Parse()
 
@@ -88,12 +114,20 @@ func main() {
 		log.Fatalf("thermherd-gw: %v", err)
 	}
 	cfg := gateway.Config{
-		Backends:       backends,
-		VNodes:         *vnodes,
-		ProbeInterval:  *probeInterval,
-		ProbeTimeout:   *probeTimeout,
-		FailThreshold:  *failThreshold,
-		ScatterTimeout: *scatterTO,
+		Backends:         backends,
+		VNodes:           *vnodes,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		FailThreshold:    *failThreshold,
+		ScatterTimeout:   *scatterTO,
+		Hedge:            *hedge,
+		HedgeMin:         *hedgeMin,
+		HedgeMax:         *hedgeMax,
+		RetryBudgetRatio: *retryBudget,
+		RetryBudgetBurst: *retryBurst,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		AdminToken:       *adminToken,
 	}
 	if *faults != "" {
 		reg := faultinject.New()
@@ -129,6 +163,13 @@ func main() {
 	}
 	log.Printf("thermherd-gw: listening on %s, herding %d backends (%s)",
 		ln.Addr(), len(backends), strings.Join(names, ", "))
+	if *hedge {
+		log.Printf("thermherd-gw: hedging enabled (delay clamp %v..%v, retry budget %.2f burst %.0f)",
+			*hedgeMin, *hedgeMax, *retryBudget, *retryBurst)
+	}
+	if *adminToken != "" {
+		log.Printf("thermherd-gw: admin API enabled on /v1/admin/nodes")
+	}
 
 	select {
 	case err := <-errc:

@@ -40,6 +40,21 @@
 //	          -faults 'selfhost.backend.kill=error:kill,count:1,delay:2s' \
 //	          -mode constant -rps 50 -duration 5s -seed 42
 //
+// The selfhost.backend.join and selfhost.backend.drain points resize
+// the herd mid-run through the gateway's authenticated admin API: join
+// starts an extra backend that probes to healthy and takes its
+// deterministic ring shard live, drain pins the last backend draining
+// while its admitted jobs settle. -hedge enables gateway request
+// hedging (second attempt after the per-class p95 delay, bounded by a
+// retry budget) so a straggling backend stops owning the tail:
+//
+//	thermload -selfhost -nodes 3 -hedge -chaos \
+//	          -faults 'gw.straggler=delay:250ms' \
+//	          -mode constant -rps 40 -duration 5s -seed 42
+//	thermload -selfhost -nodes 3 -chaos \
+//	          -faults 'selfhost.backend.join=error:join,count:1,delay:2s' \
+//	          -mode constant -rps 40 -duration 5s -seed 42
+//
 // Multi-tenant QoS runs: -tenants N attributes unpinned arrivals to N
 // synthetic tenants t1..tN (Zipf-ish weights), mix entries may pin a
 // tenant of their own (see examples/mixes/multitenant.json), and
@@ -57,6 +72,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -87,7 +103,25 @@ const (
 	// for reads), a delay action schedules when. Only meaningful with
 	// -selfhost -nodes N.
 	faultBackendKill = "selfhost.backend.kill"
+	// faultBackendJoin fires from the herd join-watcher: an error action
+	// starts one extra self-hosted backend mid-run and adds it through
+	// the gateway's admin API, so it probes to healthy and takes its
+	// deterministic ring shard without a restart. A delay action
+	// schedules when. Only meaningful with -selfhost -nodes N.
+	faultBackendJoin = "selfhost.backend.join"
+	// faultBackendDrain fires from the herd drain-watcher: an error
+	// action pins the LAST backend draining through the gateway's admin
+	// API mid-run — new placements fail over, existing jobs keep
+	// settling, and the node is deliberately NOT deleted so the
+	// fleet-wide accounting still sees its jobs. A delay action
+	// schedules when. Only meaningful with -selfhost -nodes N.
+	faultBackendDrain = "selfhost.backend.drain"
 )
+
+// selfhostAdminToken authorizes the in-process gateway's admin API for
+// the join/drain watchers; the herd lives and dies inside one process,
+// so a fixed token costs nothing.
+const selfhostAdminToken = "selfhost-admin"
 
 // options collects every flag so tests can drive the same paths main
 // does.
@@ -126,6 +160,7 @@ type options struct {
 	stuckAfter time.Duration
 	brownout   time.Duration
 	chaos      bool
+	hedge      bool
 
 	out         string
 	scheduleOut string
@@ -183,6 +218,7 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.stuckAfter, "stuck-after", 0, "self-hosted daemon: watchdog threshold for stuck jobs (0 = off)")
 	fs.DurationVar(&o.brownout, "brownout", 0, "self-hosted daemon: brownout queue-wait threshold (0 = off)")
 	fs.BoolVar(&o.chaos, "chaos", false, "after the run, verify the daemon survived, all jobs settled, and /metrics accounting reconciles")
+	fs.BoolVar(&o.hedge, "hedge", false, "self-hosted herd: enable gateway request hedging (requires -selfhost -nodes >= 2)")
 
 	fs.StringVar(&o.out, "out", "BENCH_loadgen.json", "report output path")
 	fs.StringVar(&o.scheduleOut, "schedule-out", "", "also dump the arrival schedule (ns offsets, one per line) to this path")
@@ -212,6 +248,10 @@ func parseFlags(args []string) (options, error) {
 	if o.tenants < 0 {
 		fmt.Fprintln(fs.Output(), "thermload: -tenants must be >= 0")
 		return o, fmt.Errorf("-tenants must be >= 0")
+	}
+	if o.hedge && o.nodes < 2 {
+		fmt.Fprintln(fs.Output(), "thermload: -hedge requires -selfhost -nodes >= 2")
+		return o, fmt.Errorf("-hedge requires -selfhost -nodes >= 2")
 	}
 	o.sched.Mode = loadgen.Mode(*mode)
 	return o, nil
@@ -537,12 +577,22 @@ func chaosCheck(ctx context.Context, client *loadgen.Client, rep *loadgen.Report
 		return fmt.Errorf("accounting identity broken: submitted %.0f != hits+completed+failed+canceled+rejected %.0f",
 			submitted, terminal)
 	}
+	// A hedged herd run reaps losing submit attempts by canceling them
+	// gateway-side; those cancels never belonged to the generator, so
+	// reconcile them out of the fleet's canceled count. Single-node runs
+	// have no gateway section in the merged document — zero there.
+	var hedgeCancels float64
+	if gwsec, ok := doc["gateway"].(map[string]any); ok {
+		if v, ok := gwsec["hedge_cancels"].(float64); ok {
+			hedgeCancels = v
+		}
+	}
 	// When the generator saw every job through (no timeouts or transport
 	// errors), its failure counts must agree with the daemon's exactly.
 	if rep.Achieved.Timeouts == 0 && rep.Achieved.Errors == 0 {
-		if vals[3] != float64(rep.Achieved.Failed) || vals[4] != float64(rep.Achieved.Canceled) {
-			return fmt.Errorf("error accounting mismatch: daemon failed=%.0f canceled=%.0f, report failed=%d canceled=%d",
-				vals[3], vals[4], rep.Achieved.Failed, rep.Achieved.Canceled)
+		if vals[3] != float64(rep.Achieved.Failed) || vals[4] != float64(rep.Achieved.Canceled)+hedgeCancels {
+			return fmt.Errorf("error accounting mismatch: daemon failed=%.0f canceled=%.0f, report failed=%d canceled=%d (+%.0f hedge cancels)",
+				vals[3], vals[4], rep.Achieved.Failed, rep.Achieved.Canceled, hedgeCancels)
 		}
 	}
 	panics, _ := jc("jobs", "panics_recovered")
@@ -621,16 +671,62 @@ type herdNode struct {
 	ln   net.Listener
 }
 
+// adminCall hits the in-process gateway's admin API with the selfhost
+// token; the join/drain watchers use it to change ring membership
+// mid-run exactly the way an operator would — over the wire.
+func adminCall(method, url string, body any) error {
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+selfhostAdminToken)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s %s: HTTP %d", method, url, resp.StatusCode)
+	}
+	return nil
+}
+
 // selfhostHerd starts o.nodes in-process daemons behind an in-process
 // gateway and returns the gateway's base URL. All components share one
 // fault registry, so a single -faults spec can arm backend-side points
 // (job.exec, ...), gateway-side points (gw.forward, gw.probe,
-// gw.splitbrain), and the harness's own selfhost.backend.kill — whose
-// watcher goroutine kills the last backend mid-run: an abrupt drain
-// (queued jobs canceled, new submits 503) with the HTTP listener kept
-// up, exactly the wire behavior of a SIGTERM'd daemon, so /metrics
-// stays reachable and the fleet-wide accounting identity still
-// reconciles.
+// gw.splitbrain, gw.straggler, gw.hedge, gw.breaker, gw.admin), and
+// the harness's own watcher-driven points:
+//
+//   - selfhost.backend.kill — the LAST backend dies mid-run: an abrupt
+//     drain (queued jobs canceled, new submits 503) with the HTTP
+//     listener kept up, exactly the wire behavior of a SIGTERM'd
+//     daemon, so /metrics stays reachable and the fleet-wide
+//     accounting identity still reconciles.
+//   - selfhost.backend.join — an extra backend starts mid-run and is
+//     added through the gateway's authenticated admin API; it probes
+//     to healthy and takes its deterministic ring shard live.
+//   - selfhost.backend.drain — the LAST backend is pinned draining
+//     through the admin API; new placements fail over while its
+//     admitted jobs keep settling (it is never deleted, so the
+//     fleet-wide accounting still sees them).
+//
+// The gateway always carries the selfhost admin token (the herd is one
+// process; the token exists for the watchers), and -hedge switches on
+// request hedging with a CI-friendly 1s breaker cooldown.
 func selfhostHerd(o options, out *os.File) (func(), string, error) {
 	var reg *faultinject.Registry
 	if o.faults != "" {
@@ -642,10 +738,14 @@ func selfhostHerd(o options, out *os.File) (func(), string, error) {
 			o.faultSeed, strings.Join(reg.Points(), ", "))
 	}
 
+	var nodesMu sync.Mutex
 	nodes := make([]*herdNode, 0, o.nodes)
 	backends := make([]gateway.Backend, 0, o.nodes)
 	cleanup := func() {
-		for _, n := range nodes {
+		nodesMu.Lock()
+		snapshot := append([]*herdNode(nil), nodes...)
+		nodesMu.Unlock()
+		for _, n := range snapshot {
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			n.srv.Drain(ctx)
 			n.hs.Shutdown(ctx)
@@ -657,29 +757,43 @@ func selfhostHerd(o options, out *os.File) (func(), string, error) {
 		return nil, "", err
 	}
 	cfg.Faults = reg
-	for i := 0; i < o.nodes; i++ {
+	startBackend := func(name string) (*herdNode, error) {
 		srv, err := server.New(cfg)
 		if err != nil {
-			cleanup()
-			return nil, "", err
+			return nil, err
 		}
 		srv.Start()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			cleanup()
-			return nil, "", err
+			sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			srv.Drain(sctx)
+			cancel()
+			return nil, err
 		}
 		hs := &http.Server{Handler: srv}
 		go hs.Serve(ln)
-		name := fmt.Sprintf("n%d", i)
-		nodes = append(nodes, &herdNode{name: name, srv: srv, hs: hs, ln: ln})
-		backends = append(backends, gateway.Backend{Name: name, URL: "http://" + ln.Addr().String()})
+		n := &herdNode{name: name, srv: srv, hs: hs, ln: ln}
+		nodesMu.Lock()
+		nodes = append(nodes, n)
+		nodesMu.Unlock()
+		return n, nil
+	}
+	for i := 0; i < o.nodes; i++ {
+		n, err := startBackend(fmt.Sprintf("n%d", i))
+		if err != nil {
+			cleanup()
+			return nil, "", err
+		}
+		backends = append(backends, gateway.Backend{Name: n.name, URL: "http://" + n.ln.Addr().String()})
 	}
 
 	gw, err := gateway.New(gateway.Config{
-		Backends:      backends,
-		ProbeInterval: 250 * time.Millisecond,
-		Faults:        reg,
+		Backends:        backends,
+		ProbeInterval:   250 * time.Millisecond,
+		Faults:          reg,
+		Hedge:           o.hedge,
+		BreakerCooldown: time.Second,
+		AdminToken:      selfhostAdminToken,
 	})
 	if err != nil {
 		cleanup()
@@ -694,44 +808,71 @@ func selfhostHerd(o options, out *os.File) (func(), string, error) {
 	}
 	ghs := &http.Server{Handler: gw}
 	go ghs.Serve(gln)
+	gwURL := "http://" + gln.Addr().String()
 
-	killStop := make(chan struct{})
-	killDone := make(chan struct{})
-	if reg != nil {
-		// Kill watcher: polls the selfhost.backend.kill point; the armed
-		// spec's delay/count/probability decide when (and whether) it
-		// fires. On fire, the LAST backend dies — deterministic, so a test
-		// or CI assertion knows which shard remapped.
+	// Chaos watchers: each polls its harness fault point; the armed
+	// spec's delay/count/probability decide when (and whether) it fires,
+	// and the watcher then runs its action once. Victims are always the
+	// LAST initial backend — deterministic, so a test or CI assertion
+	// knows which shard remapped.
+	watchStop := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watch := func(fire func() error, act func(fired error)) {
+		if reg == nil {
+			return
+		}
+		watchWG.Add(1)
 		go func() {
-			defer close(killDone)
-			victim := nodes[len(nodes)-1]
+			defer watchWG.Done()
 			for {
-				if err := reg.Fire(faultBackendKill); err != nil {
-					fmt.Fprintf(out, "thermload: CHAOS: killing backend %s (%v)\n", victim.name, err)
-					ctx, cancel := context.WithCancel(context.Background())
-					cancel() // expired deadline = abrupt drain
-					victim.srv.Drain(ctx)
+				if err := fire(); err != nil {
+					act(err)
 					return
 				}
 				select {
-				case <-killStop:
+				case <-watchStop:
 					return
 				case <-time.After(250 * time.Millisecond):
 				}
 			}
 		}()
-	} else {
-		close(killDone)
 	}
+	victim := nodes[len(nodes)-1]
+	watch(func() error { return reg.Fire(faultBackendKill) }, func(fired error) {
+		fmt.Fprintf(out, "thermload: CHAOS: killing backend %s (%v)\n", victim.name, fired)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // expired deadline = abrupt drain
+		victim.srv.Drain(ctx)
+	})
+	watch(func() error { return reg.Fire(faultBackendJoin) }, func(fired error) {
+		name := fmt.Sprintf("n%d", o.nodes)
+		n, err := startBackend(name)
+		if err != nil {
+			fmt.Fprintf(out, "thermload: CHAOS: join of backend %s failed: %v\n", name, err)
+			return
+		}
+		fmt.Fprintf(out, "thermload: CHAOS: joining backend %s mid-run (%v)\n", name, fired)
+		err = adminCall(http.MethodPost, gwURL+"/v1/admin/nodes",
+			map[string]string{"name": name, "url": "http://" + n.ln.Addr().String()})
+		if err != nil {
+			fmt.Fprintf(out, "thermload: CHAOS: admin add of %s failed: %v\n", name, err)
+		}
+	})
+	watch(func() error { return reg.Fire(faultBackendDrain) }, func(fired error) {
+		fmt.Fprintf(out, "thermload: CHAOS: draining backend %s mid-run (%v)\n", victim.name, fired)
+		if err := adminCall(http.MethodPost, gwURL+"/v1/admin/nodes/"+victim.name+"/drain", nil); err != nil {
+			fmt.Fprintf(out, "thermload: CHAOS: admin drain of %s failed: %v\n", victim.name, err)
+		}
+	})
 
 	stop := func() {
-		close(killStop)
-		<-killDone
+		close(watchStop)
+		watchWG.Wait()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		ghs.Shutdown(ctx)
 		gw.Close()
 		cleanup()
 	}
-	return stop, "http://" + gln.Addr().String(), nil
+	return stop, gwURL, nil
 }

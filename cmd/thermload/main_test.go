@@ -429,8 +429,126 @@ func TestHerdSelfhostBackendKill(t *testing.T) {
 	}
 }
 
+// TestHerdSelfhostHedged is the straggler acceptance run: one backend
+// is slowed 250ms per forward (gw.straggler targets the lexically-last
+// node), hedging re-issues the slow attempts to the ring successor,
+// and the run still settles cleanly — the chaos check inside run()
+// reconciles the gateway's hedge cancels against the fleet's canceled
+// count, so a duplicate admission or a leaked loser fails the test.
+func TestHerdSelfhostHedged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping ~2s self-hosted herd hedge run")
+	}
+	o, err := parseFlags([]string{
+		"-selfhost", "-nodes", "3", "-hedge", "-chaos",
+		"-faults", "gw.straggler=delay:250ms",
+		"-mode", "constant", "-rps", "40", "-duration", "1200ms",
+		"-seed", "42", "-inflight", "128",
+		"-timeout", "20s", "-poll", "2ms", "-retries", "5",
+		"-slo-errors", "1",
+		"-out", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	rep, err := run(context.Background(), o, devnull)
+	if err != nil {
+		t.Fatalf("herd hedge run: %v", err) // chaos check = no duplicates, cancels reconcile
+	}
+	settled := rep.Achieved.Done + rep.Achieved.Failed + rep.Achieved.Canceled
+	acked := int(rep.Offered.Arrivals) - rep.Achieved.Drops - rep.Achieved.Errors - rep.Achieved.Timeouts
+	if settled != acked {
+		t.Fatalf("settled=%d != acked=%d (done=%d failed=%d canceled=%d drops=%d errors=%d timeouts=%d)",
+			settled, acked, rep.Achieved.Done, rep.Achieved.Failed, rep.Achieved.Canceled,
+			rep.Achieved.Drops, rep.Achieved.Errors, rep.Achieved.Timeouts)
+	}
+	if rep.Achieved.Done == 0 {
+		t.Fatal("no jobs completed through the straggling herd")
+	}
+}
+
+// TestHerdSelfhostResizeJoin: a fourth backend joins mid-run through
+// the gateway's admin API, probes to healthy, and takes its ring shard
+// live. Adding capacity disturbs nothing: every arrival completes and
+// the fleet-wide accounting (which now spans four nodes) reconciles.
+func TestHerdSelfhostResizeJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping ~2s self-hosted herd resize run")
+	}
+	o, err := parseFlags([]string{
+		"-selfhost", "-nodes", "3", "-chaos",
+		"-faults", "selfhost.backend.join=error:join,count:1,delay:300ms",
+		"-mode", "constant", "-rps", "40", "-duration", "1200ms",
+		"-seed", "42", "-inflight", "128",
+		"-timeout", "20s", "-poll", "2ms", "-retries", "5",
+		"-out", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	rep, err := run(context.Background(), o, devnull)
+	if err != nil {
+		t.Fatalf("herd resize run: %v", err) // chaos check spans the joined node
+	}
+	if rep.Achieved.Errors != 0 || rep.Achieved.Timeouts != 0 || rep.Achieved.Failed != 0 {
+		t.Fatalf("join run saw errors=%d timeouts=%d failed=%d",
+			rep.Achieved.Errors, rep.Achieved.Timeouts, rep.Achieved.Failed)
+	}
+	if rep.Achieved.Done != int(rep.Offered.Arrivals) {
+		t.Fatalf("done=%d, want all %d arrivals (lost a job across the resize)", rep.Achieved.Done, rep.Offered.Arrivals)
+	}
+}
+
+// TestHerdSelfhostDrain: the last backend is pinned draining mid-run
+// through the admin API. The gateway stops placing new work there but
+// the backend itself keeps running, so every job it had already
+// admitted still completes — a drain loses nothing.
+func TestHerdSelfhostDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping ~2s self-hosted herd drain run")
+	}
+	o, err := parseFlags([]string{
+		"-selfhost", "-nodes", "3", "-chaos",
+		"-faults", "selfhost.backend.drain=error:drain,count:1,delay:300ms",
+		"-mode", "constant", "-rps", "40", "-duration", "1200ms",
+		"-seed", "42", "-inflight", "128",
+		"-timeout", "20s", "-poll", "2ms", "-retries", "5",
+		"-out", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	rep, err := run(context.Background(), o, devnull)
+	if err != nil {
+		t.Fatalf("herd drain run: %v", err)
+	}
+	if rep.Achieved.Errors != 0 || rep.Achieved.Timeouts != 0 || rep.Achieved.Failed != 0 {
+		t.Fatalf("drain run saw errors=%d timeouts=%d failed=%d",
+			rep.Achieved.Errors, rep.Achieved.Timeouts, rep.Achieved.Failed)
+	}
+	if rep.Achieved.Done != int(rep.Offered.Arrivals) {
+		t.Fatalf("done=%d, want all %d arrivals (a drain must lose nothing)", rep.Achieved.Done, rep.Offered.Arrivals)
+	}
+}
+
 // TestNodesFlagValidation: -nodes below 1 or without -selfhost is
-// rejected at flag parsing.
+// rejected at flag parsing, as is -hedge without a herd to hedge
+// across.
 func TestNodesFlagValidation(t *testing.T) {
 	if _, err := parseFlags([]string{"-nodes", "0"}); err == nil {
 		t.Fatal("-nodes 0 accepted")
@@ -440,5 +558,11 @@ func TestNodesFlagValidation(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-selfhost", "-nodes", "3"}); err != nil {
 		t.Fatalf("-selfhost -nodes 3 rejected: %v", err)
+	}
+	if _, err := parseFlags([]string{"-selfhost", "-hedge"}); err == nil {
+		t.Fatal("-hedge on a single node accepted")
+	}
+	if _, err := parseFlags([]string{"-selfhost", "-nodes", "2", "-hedge"}); err != nil {
+		t.Fatalf("-selfhost -nodes 2 -hedge rejected: %v", err)
 	}
 }

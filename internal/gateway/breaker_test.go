@@ -1,0 +1,130 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"thermalherd/internal/clock"
+	"thermalherd/internal/faultinject"
+)
+
+// TestBreakerStateMachine walks one node's circuit through every
+// transition on a fake clock: closed under threshold, open at
+// threshold, half-open after the cooldown with exactly one trial slot,
+// re-open on a failed trial, closed on a successful one.
+func TestBreakerStateMachine(t *testing.T) {
+	fc := clock.NewFake(time.Unix(1_700_000_000, 0))
+	opens := 0
+	b := newBreaker(fc, nil, 3, 5*time.Second)
+	b.onOpen = func() { opens++ }
+	b.add("n0")
+
+	// Closed: failures below threshold leave it passing traffic.
+	for i := 1; i <= 2; i++ {
+		b.failure("n0")
+		if got := b.stateOf("n0"); got != breakerClosed {
+			t.Fatalf("after %d failures state = %s, want closed", i, got)
+		}
+		if !b.allow("n0") {
+			t.Fatalf("closed breaker denied traffic after %d failures", i)
+		}
+	}
+
+	// A success resets the consecutive-failure count.
+	b.success("n0")
+	b.failure("n0")
+	b.failure("n0")
+	if got := b.stateOf("n0"); got != breakerClosed {
+		t.Fatalf("success did not reset the failure count: state = %s", got)
+	}
+
+	// Threshold consecutive failures open the circuit.
+	b.failure("n0")
+	if got := b.stateOf("n0"); got != breakerOpen {
+		t.Fatalf("state at threshold = %s, want open", got)
+	}
+	if opens != 1 {
+		t.Fatalf("onOpen fired %d times, want 1", opens)
+	}
+	if b.allow("n0") || b.available("n0") {
+		t.Fatal("open breaker passed traffic inside the cooldown")
+	}
+
+	// Cooldown elapsed: exactly one half-open trial is granted.
+	fc.Advance(5 * time.Second)
+	if !b.available("n0") {
+		t.Fatal("breaker not available after the cooldown elapsed")
+	}
+	if !b.allow("n0") {
+		t.Fatal("breaker denied the half-open trial")
+	}
+	if got := b.stateOf("n0"); got != breakerHalfOpen {
+		t.Fatalf("state after trial grant = %s, want half-open", got)
+	}
+	if b.allow("n0") || b.available("n0") {
+		t.Fatal("second trial granted while the first is in flight")
+	}
+
+	// The trial fails: the circuit re-opens and the cooldown re-arms.
+	b.failure("n0")
+	if got := b.stateOf("n0"); got != breakerOpen {
+		t.Fatalf("state after failed trial = %s, want open", got)
+	}
+	if opens != 2 {
+		t.Fatalf("onOpen fired %d times after the failed trial, want 2", opens)
+	}
+	if b.allow("n0") {
+		t.Fatal("re-opened breaker passed traffic before the fresh cooldown")
+	}
+
+	// Second trial succeeds: the circuit closes fully.
+	fc.Advance(5 * time.Second)
+	if !b.allow("n0") {
+		t.Fatal("breaker denied the second trial")
+	}
+	b.success("n0")
+	if got := b.stateOf("n0"); got != breakerClosed {
+		t.Fatalf("state after successful trial = %s, want closed", got)
+	}
+	if !b.allow("n0") || !b.available("n0") {
+		t.Fatal("closed breaker denied traffic")
+	}
+}
+
+// TestBreakerUnknownNode: nodes the breaker does not track (removed, or
+// never added) pass traffic — the breaker fails open, membership is the
+// authority on their existence.
+func TestBreakerUnknownNode(t *testing.T) {
+	b := newBreaker(clock.NewFake(time.Unix(1_700_000_000, 0)), nil, 3, time.Second)
+	if !b.allow("ghost") || !b.available("ghost") {
+		t.Fatal("untracked node denied traffic")
+	}
+	if got := b.stateOf("ghost"); got != breakerClosed {
+		t.Fatalf("untracked node state = %s, want closed", got)
+	}
+	b.add("n0")
+	b.failure("n0")
+	b.failure("n0")
+	b.failure("n0")
+	b.remove("n0")
+	if !b.allow("n0") {
+		t.Fatal("removed node kept its open circuit")
+	}
+}
+
+// TestBreakerFault: the gw.breaker fault point forces admission
+// denials without any real failures.
+func TestBreakerFault(t *testing.T) {
+	faults := faultinject.New()
+	if err := faults.Arm(FaultBreaker+"=error:chaos denial,count:2", 1); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	b := newBreaker(clock.NewFake(time.Unix(1_700_000_000, 0)), faults, 3, time.Second)
+	b.add("n0")
+	if b.allow("n0") || b.allow("n0") {
+		t.Fatal("armed gw.breaker fault did not deny admission")
+	}
+	if !b.allow("n0") {
+		t.Fatal("exhausted (count:2) fault still denying admission")
+	}
+}

@@ -36,6 +36,24 @@ const (
 	// action discards it, so this gateway's membership view diverges
 	// from the backend's actual state — a one-sided split-brain.
 	FaultSplitBrain = "gw.splitbrain"
+	// FaultStraggler fires before a non-DELETE forward to the
+	// lexically-last ring node: a delay action turns exactly one
+	// backend into a deterministic straggler — the scenario request
+	// hedging exists to absorb. Probes are not affected (the straggler
+	// stays "healthy"; that is what makes it dangerous).
+	FaultStraggler = "gw.straggler"
+	// FaultHedge fires when the hedge timer expires, just before the
+	// second attempt launches: an error action suppresses the hedge, a
+	// delay action stretches it.
+	FaultHedge = "gw.hedge"
+	// FaultBreaker fires inside every circuit-breaker admission check:
+	// an error action forces a denial, simulating a wrongly-open
+	// breaker.
+	FaultBreaker = "gw.breaker"
+	// FaultAdmin fires at the top of every admin-API operation: an
+	// error action fails it after authentication, before any topology
+	// mutation.
+	FaultAdmin = "gw.admin"
 )
 
 // Config sizes the gateway.
@@ -66,6 +84,35 @@ type Config struct {
 	Faults *faultinject.Registry
 	// Clock supplies membership timing; nil means the wall clock.
 	Clock clock.Clock
+
+	// Hedge enables request hedging: idempotent reads and
+	// Idempotency-Key-bearing submits get a second attempt after the
+	// per-route p95 hedge delay, first response wins.
+	Hedge bool
+	// HedgeMin / HedgeMax clamp the estimator-driven hedge delay;
+	// 0 means 5ms / 100ms. The max clamp is what keeps hedging useful
+	// when a straggler is common enough to drag the p95 itself.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+	// RetryBudgetRatio is the token-bucket deposit per base request
+	// (0 means 0.1: retries+hedges bounded to ~10% of base traffic);
+	// RetryBudgetBurst is the bucket capacity (0 means 10).
+	RetryBudgetRatio float64
+	RetryBudgetBurst float64
+	// BreakerThreshold consecutive forward/probe failures open a
+	// backend's circuit (0 means 5); BreakerCooldown is how long it
+	// stays open before a half-open trial (0 means 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// AdminToken authorizes the /v1/admin/nodes API (Bearer token);
+	// empty leaves the admin API disabled.
+	AdminToken string
+	// FlapWindow / FlapFlips / FlapCooldown tune membership flap
+	// damping: FlapFlips routability changes within FlapWindow hold a
+	// node suspect for FlapCooldown. Zero values mean 10s / 3 / 5s.
+	FlapWindow   time.Duration
+	FlapFlips    int
+	FlapCooldown time.Duration
 }
 
 // Gateway is the herd front door: an http.Handler exposing the same
@@ -74,19 +121,37 @@ type Config struct {
 // Close.
 type Gateway struct {
 	cfg     Config
-	ring    *Ring
 	members *membership
 	mux     *http.ServeMux
 	hc      *http.Client
 	metrics *gwMetrics
 	warm    *warmSet
+	breaker *breaker
+	hedger  *hedger
+	budget  *retryBudget
 
+	// epoch counts topology generations: 1 after the initial build,
+	// bumped on every admin add/remove. Routing decisions inside one
+	// request all read the same generation because they take topo once.
+	epoch atomic.Uint64
+
+	// topo guards the mutable topology below: the ring, the name
+	// tables, and the per-backend in-flight counters. Request paths
+	// take it shared; only the admin API takes it exclusive.
+	topo sync.RWMutex
+	ring *Ring
+	// byName maps active backends; removed holds tombstones for nodes
+	// deleted via the admin API, so <id>@<node> reads minted before the
+	// removal still route while the process lives.
+	byName  map[string]Backend
+	removed map[string]Backend
 	// inflight tracks per-backend submits in flight; the
 	// power-of-two-choices spill reads it to pick the less-loaded of
 	// two candidates.
 	inflight map[string]*atomic.Int64
-
-	byName map[string]Backend
+	// lastNode caches the lexically-last ring node: the deterministic
+	// FaultStraggler target, recomputed on topology change.
+	lastNode string
 }
 
 // New builds a gateway; call Start before serving requests.
@@ -110,30 +175,116 @@ func New(cfg Config) (*Gateway, error) {
 		hc:       &http.Client{},
 		metrics:  &gwMetrics{},
 		warm:     newWarmSet(8192),
+		hedger:   newHedger(cfg.HedgeMin, cfg.HedgeMax),
+		budget:   newRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
 		inflight: make(map[string]*atomic.Int64, len(cfg.Backends)),
 		byName:   make(map[string]Backend, len(cfg.Backends)),
+		removed:  make(map[string]Backend),
 	}
+	g.breaker = newBreaker(cfg.Clock, cfg.Faults, cfg.BreakerThreshold, cfg.BreakerCooldown)
+	g.breaker.onOpen = func() { g.metrics.breakerOpens.Add(1) }
 	for _, b := range cfg.Backends {
-		if b.Name == "" || strings.Contains(b.Name, "@") {
-			return nil, fmt.Errorf("gateway: bad backend name %q (must be non-empty, without '@')", b.Name)
+		b.URL = strings.TrimRight(b.URL, "/")
+		if err := validateBackend(b); err != nil {
+			return nil, err
 		}
 		if _, dup := g.byName[b.Name]; dup {
 			return nil, fmt.Errorf("gateway: duplicate backend name %q", b.Name)
 		}
-		if b.URL == "" {
-			return nil, fmt.Errorf("gateway: backend %q has no URL", b.Name)
-		}
-		b.URL = strings.TrimRight(b.URL, "/")
 		g.byName[b.Name] = b
 		g.ring.Add(b.Name)
 		g.inflight[b.Name] = &atomic.Int64{}
+		g.breaker.add(b.Name)
 	}
+	g.recomputeLastLocked()
+	g.epoch.Store(1)
 	g.members = newMembership(cfg.Backends, cfg.Clock, cfg.Faults,
 		cfg.ProbeInterval, cfg.ProbeTimeout, cfg.FailThreshold)
+	if cfg.FlapWindow > 0 {
+		g.members.flapWindow = cfg.FlapWindow
+	}
+	if cfg.FlapFlips > 0 {
+		g.members.flapFlips = cfg.FlapFlips
+	}
+	if cfg.FlapCooldown > 0 {
+		g.members.flapCooldown = cfg.FlapCooldown
+	}
 	g.members.probes = func() { g.metrics.probes.Add(1) }
 	g.members.probeFailures = func() { g.metrics.probeFailures.Add(1) }
+	g.members.onProbe = func(name string, ok bool) {
+		if ok {
+			g.breaker.success(name)
+		} else {
+			g.breaker.failure(name)
+		}
+	}
 	g.routes()
 	return g, nil
+}
+
+// validateBackend checks one backend definition; New and the admin add
+// path share it so a node added at runtime meets the same contract.
+func validateBackend(b Backend) error {
+	if b.Name == "" || strings.Contains(b.Name, "@") {
+		return fmt.Errorf("gateway: bad backend name %q (must be non-empty, without '@')", b.Name)
+	}
+	if b.URL == "" {
+		return fmt.Errorf("gateway: backend %q has no URL", b.Name)
+	}
+	return nil
+}
+
+// recomputeLastLocked refreshes the cached straggler-fault target (the
+// lexically-last ring node); callers hold topo exclusively or are
+// still inside New.
+func (g *Gateway) recomputeLastLocked() {
+	nodes := g.ring.Nodes()
+	g.lastNode = ""
+	if len(nodes) > 0 {
+		g.lastNode = nodes[len(nodes)-1]
+	}
+}
+
+// Epoch returns the current topology generation.
+func (g *Gateway) Epoch() uint64 { return g.epoch.Load() }
+
+// lookupBackend resolves a node name to its backend, consulting the
+// tombstones so reads routed by an old <id>@<node> still work after an
+// admin removal.
+func (g *Gateway) lookupBackend(node string) (Backend, bool) {
+	g.topo.RLock()
+	defer g.topo.RUnlock()
+	if b, ok := g.byName[node]; ok {
+		return b, true
+	}
+	b, ok := g.removed[node]
+	return b, ok
+}
+
+// ringNodes snapshots the active ring membership.
+func (g *Gateway) ringNodes() []string {
+	g.topo.RLock()
+	defer g.topo.RUnlock()
+	return g.ring.Nodes()
+}
+
+// inflightOf returns the node's in-flight submit counter; a node
+// removed mid-request gets a throwaway so callers never nil-deref.
+func (g *Gateway) inflightOf(node string) *atomic.Int64 {
+	g.topo.RLock()
+	cnt, ok := g.inflight[node]
+	g.topo.RUnlock()
+	if !ok {
+		return &atomic.Int64{}
+	}
+	return cnt
+}
+
+// stragglerTarget reports the deterministic FaultStraggler victim.
+func (g *Gateway) stragglerTarget() string {
+	g.topo.RLock()
+	defer g.topo.RUnlock()
+	return g.lastNode
 }
 
 // Start launches the membership probe loop.
@@ -146,8 +297,15 @@ func (g *Gateway) Close() { g.members.close() }
 // membership without waiting out the probe interval.
 func (g *Gateway) ProbeNow() { g.members.ProbeAll(context.Background()) }
 
-// Backends returns the configured node health snapshot.
-func (g *Gateway) Backends() []NodeHealth { return g.members.snapshot() }
+// Backends returns the configured node health snapshot, annotated
+// with each node's circuit-breaker position.
+func (g *Gateway) Backends() []NodeHealth {
+	snap := g.members.snapshot()
+	for i := range snap {
+		snap[i].Breaker = string(g.breaker.stateOf(snap[i].Name))
+	}
+	return snap
+}
 
 // ServeHTTP implements http.Handler.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -175,6 +333,16 @@ func (g *Gateway) routes() {
 	g.route("/healthz", map[string]http.HandlerFunc{http.MethodGet: g.handleHealthz})
 	g.route("/readyz", map[string]http.HandlerFunc{http.MethodGet: g.handleReadyz})
 	g.route("/metrics", map[string]http.HandlerFunc{http.MethodGet: g.handleMetrics})
+	g.route("/v1/admin/nodes", map[string]http.HandlerFunc{
+		http.MethodPost: g.requireAdmin(g.handleAdminAddNode),
+		http.MethodGet:  g.requireAdmin(g.handleAdminListNodes),
+	})
+	g.route("/v1/admin/nodes/{name}", map[string]http.HandlerFunc{
+		http.MethodDelete: g.requireAdmin(g.handleAdminRemoveNode),
+	})
+	g.route("/v1/admin/nodes/{name}/drain", map[string]http.HandlerFunc{
+		http.MethodPost: g.requireAdmin(g.handleAdminDrainNode),
+	})
 }
 
 // route mirrors the backend's method-dispatch idiom: per-method
@@ -227,15 +395,19 @@ type routePlan struct {
 // the one with fewer gateway-tracked in-flight submits wins. An
 // ejected home (down / draining / recovering) fails over to the next
 // routable successor deterministically, so dedup for that shard still
-// converges on a single node.
+// converges on a single node. A node whose circuit breaker is open is
+// skipped the same way an ejected one is — the breaker trips on
+// forward failures faster than probes re-classify.
 func (g *Gateway) planRoute(hash string) (routePlan, error) {
+	g.topo.RLock()
+	defer g.topo.RUnlock()
 	succ := g.ring.Successors(hash, g.ring.Len())
 	if len(succ) == 0 {
 		return routePlan{}, fmt.Errorf("gateway: hash ring is empty")
 	}
 	var routable []string
 	for _, n := range succ {
-		if g.members.state(n).routable() {
+		if g.members.state(n).routable() && g.breaker.available(n) {
 			routable = append(routable, n)
 		}
 	}

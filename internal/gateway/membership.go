@@ -33,6 +33,14 @@ const (
 	// NodeDown backends failed FailThreshold consecutive probes (or
 	// returned garbage); ejected until a probe succeeds again.
 	NodeDown NodeState = "down"
+	// NodeJoining backends were just added through the admin API; they
+	// take no traffic until a probe confirms them healthy, so a typo'd
+	// URL or a still-booting node never eats live submits.
+	NodeJoining NodeState = "joining"
+	// NodeSuspect backends flapped healthy<->down too fast; they are
+	// held out of rotation for a cooldown instead of re-entering on
+	// every flip (each re-entry costs real requests that fail over).
+	NodeSuspect NodeState = "suspect"
 )
 
 // routable reports whether any traffic may be sent to a node in this
@@ -63,6 +71,9 @@ type NodeHealth struct {
 	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
 	// LastError is the most recent probe failure, empty when healthy.
 	LastError string `json:"last_error,omitempty"`
+	// Breaker is the node's circuit-breaker position (closed / open /
+	// half-open), filled in by the gateway when it renders a snapshot.
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // memberInfo is the mutable per-node record behind NodeHealth.
@@ -72,6 +83,15 @@ type memberInfo struct {
 	since       time.Time
 	consecFails int
 	lastErr     string
+	// pinnedDrain forces the state to NodeDraining regardless of what
+	// probes report: the admin API set it, and only a re-add clears it.
+	pinnedDrain bool
+	// flips timestamps recent routable<->nonroutable transitions; too
+	// many inside flapWindow marks the node suspect.
+	flips []time.Time
+	// suspectUntil bars the node from re-entering rotation before the
+	// flap cooldown has elapsed.
+	suspectUntil time.Time
 }
 
 // membership polls each backend's /readyz on a fixed interval and
@@ -87,6 +107,12 @@ type membership struct {
 	timeout   time.Duration
 	threshold int
 
+	// Flap damping: flapFlips routability transitions within flapWindow
+	// hold the node suspect for flapCooldown.
+	flapWindow   time.Duration
+	flapFlips    int
+	flapCooldown time.Duration
+
 	mu   sync.Mutex
 	info map[string]*memberInfo
 
@@ -97,6 +123,9 @@ type membership struct {
 
 	probes        counterFunc
 	probeFailures counterFunc
+	// onProbe reports each probe's outcome (reached the backend or
+	// not) so the gateway can feed its circuit breakers.
+	onProbe func(name string, ok bool)
 }
 
 // counterFunc lets membership report probe counts into the gateway's
@@ -121,11 +150,15 @@ func newMembership(backends []Backend, clk clock.Clock, faults *faultinject.Regi
 		interval:      interval,
 		timeout:       timeout,
 		threshold:     threshold,
+		flapWindow:    10 * time.Second,
+		flapFlips:     3,
+		flapCooldown:  5 * time.Second,
 		info:          make(map[string]*memberInfo, len(backends)),
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
 		probes:        func() {},
 		probeFailures: func() {},
+		onProbe:       func(string, bool) {},
 	}
 	for _, b := range backends {
 		// Optimistic boot: a backend starts healthy so the first requests
@@ -217,18 +250,24 @@ func (m *membership) probe(ctx context.Context, b Backend) {
 	m.probes()
 	if err := m.faults.Fire(FaultProbe); err != nil {
 		m.applyFailure(b.Name, fmt.Errorf("probe: %w", err))
+		m.onProbe(b.Name, false)
 		return
 	}
 	doc, err := m.fetchReadyz(ctx, b)
 	if err != nil {
 		m.applyFailure(b.Name, err)
+		m.onProbe(b.Name, false)
 		return
 	}
 	if err := m.faults.Fire(FaultSplitBrain); err != nil {
 		m.applyFailure(b.Name, fmt.Errorf("split-brain: %w", err))
+		m.onProbe(b.Name, false)
 		return
 	}
 	m.applyReadyz(b.Name, doc)
+	// Any decodable /readyz — even a draining 503 — means the backend
+	// is alive: a good outcome as far as the circuit breaker cares.
+	m.onProbe(b.Name, true)
 }
 
 // fetchReadyz performs the HTTP probe under the probe timeout. Both a
@@ -282,14 +321,13 @@ func (m *membership) applyReadyz(name string, doc readyzDoc) {
 	}
 	mi.consecFails = 0
 	mi.lastErr = ""
-	if mi.state != state {
-		mi.state = state
-		mi.since = m.clk.Now()
-	}
-	if !since.IsZero() {
+	m.transition(mi, state)
+	if !since.IsZero() && mi.state == state {
 		// Prefer the backend's own account of when the condition began:
 		// it survives gateway restarts and is what distinguishes a
-		// freshly-browning node from a long-unready one.
+		// freshly-browning node from a long-unready one. A transition
+		// the damper or the drain pin overrode keeps the gateway's own
+		// timestamp — the backend's story is not the one we believed.
 		mi.since = since
 	}
 }
@@ -306,10 +344,88 @@ func (m *membership) applyFailure(name string, err error) {
 	}
 	mi.consecFails++
 	mi.lastErr = err.Error()
-	if mi.consecFails >= m.threshold && mi.state != NodeDown {
-		mi.state = NodeDown
-		mi.since = m.clk.Now()
+	if mi.consecFails >= m.threshold {
+		m.transition(mi, NodeDown)
 	}
+}
+
+// transition moves one node through the state machine under m.mu,
+// applying the two policies that may override the raw observation: the
+// admin drain pin (a pinned node never leaves draining until re-added)
+// and flap damping — flapFlips routability changes inside flapWindow
+// hold the node in NodeSuspect for flapCooldown, so an oscillating
+// backend stops re-entering rotation on every good probe. A node that
+// has served its cooldown re-enters with a clean flip history.
+func (m *membership) transition(mi *memberInfo, to NodeState) {
+	now := m.clk.Now()
+	if mi.pinnedDrain {
+		to = NodeDraining
+	}
+	from := mi.state
+	if to.routable() && !from.routable() && now.Before(mi.suspectUntil) {
+		to = NodeSuspect
+	}
+	if to == from {
+		return
+	}
+	// Count routability flips; the initial joining->healthy promotion
+	// is a node taking traffic for the first time, not a flap.
+	if to.routable() != from.routable() && from != NodeJoining {
+		kept := mi.flips[:0]
+		for _, ts := range mi.flips {
+			if now.Sub(ts) <= m.flapWindow {
+				kept = append(kept, ts)
+			}
+		}
+		mi.flips = append(kept, now)
+		if len(mi.flips) >= m.flapFlips {
+			mi.suspectUntil = now.Add(m.flapCooldown)
+			mi.flips = nil
+			if to.routable() {
+				to = NodeSuspect
+			}
+		}
+	}
+	if to.routable() && from == NodeSuspect {
+		mi.flips = nil
+		mi.suspectUntil = time.Time{}
+	}
+	if to == from {
+		return
+	}
+	mi.state = to
+	mi.since = now
+}
+
+// addMember registers a node added at runtime, starting in the given
+// state (the admin API uses NodeJoining so it takes no traffic until
+// probed healthy). Re-adding an existing name resets its record —
+// including a drain pin.
+func (m *membership) addMember(b Backend, state NodeState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.info[b.Name] = &memberInfo{backend: b, state: state, since: m.clk.Now()}
+}
+
+// removeMember forgets a node; its probes stop at the next round.
+func (m *membership) removeMember(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.info, name)
+}
+
+// pinDrain forces a node into NodeDraining and keeps it there against
+// anything its probes report; only removal or re-add clears the pin.
+func (m *membership) pinDrain(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mi, ok := m.info[name]
+	if !ok {
+		return false
+	}
+	mi.pinnedDrain = true
+	m.transition(mi, NodeDraining)
+	return true
 }
 
 // state returns one node's current classification.

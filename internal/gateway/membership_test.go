@@ -204,6 +204,95 @@ func TestMembershipSplitBrainFault(t *testing.T) {
 	}
 }
 
+// TestMembershipFlapDamping: a backend oscillating between healthy and
+// down is held NodeSuspect for the flap cooldown instead of re-entering
+// rotation on every good probe, and a node that has served its cooldown
+// re-enters with a clean flip history. Runs entirely on a fake clock.
+func TestMembershipFlapDamping(t *testing.T) {
+	f := newFakeBackend(t)
+	fc := clock.NewFake(time.Unix(1_700_000_000, 0))
+	m := newMembership([]Backend{{Name: "n0", URL: f.ts.URL}},
+		fc, nil, time.Hour, time.Second, 3)
+
+	// flip scripts the backend's /readyz and probes once; an unknown
+	// not-ready reason classifies as down without waiting out the
+	// consecutive-failure threshold.
+	flip := func(ready bool) {
+		reason := ""
+		if !ready {
+			reason = "weird"
+		}
+		f.set(ready, reason, "")
+		m.ProbeAll(context.Background())
+	}
+
+	flip(false) // routable -> down: flip 1
+	flip(true)  // down -> healthy: flip 2
+	if got := m.state("n0"); got != NodeHealthy {
+		t.Fatalf("state after two flips = %s, want still healthy (damping threshold 3)", got)
+	}
+	flip(false) // healthy -> down: flip 3 arms the cooldown
+	if got := m.state("n0"); got != NodeDown {
+		t.Fatalf("state after third flip = %s, want down", got)
+	}
+
+	// Good probes inside the cooldown park the node in suspect instead
+	// of letting it re-enter rotation.
+	flip(true)
+	if got := m.state("n0"); got != NodeSuspect {
+		t.Fatalf("state on re-entry inside cooldown = %s, want suspect", got)
+	}
+	if m.state("n0").routable() {
+		t.Fatal("suspect node reports routable")
+	}
+	fc.Advance(2 * time.Second) // still inside the 5s cooldown
+	flip(true)
+	if got := m.state("n0"); got != NodeSuspect {
+		t.Fatalf("state mid-cooldown = %s, want still suspect", got)
+	}
+
+	// Cooldown served: the next good probe restores the node...
+	fc.Advance(4 * time.Second)
+	flip(true)
+	if got := m.state("n0"); got != NodeHealthy {
+		t.Fatalf("state after cooldown = %s, want healthy", got)
+	}
+	// ...with a clean history: one fresh bounce is not an instant
+	// re-suspect.
+	flip(false)
+	flip(true)
+	if got := m.state("n0"); got != NodeHealthy {
+		t.Fatalf("state after one post-cooldown bounce = %s, want healthy (history was reset)", got)
+	}
+}
+
+// TestMembershipDrainPin: an admin drain pin overrides healthy probe
+// results until the node is re-added.
+func TestMembershipDrainPin(t *testing.T) {
+	f := newFakeBackend(t)
+	m := newMembership([]Backend{{Name: "n0", URL: f.ts.URL}},
+		clock.Real(), nil, time.Hour, time.Second, 3)
+	if !m.pinDrain("n0") {
+		t.Fatal("pinDrain refused a known node")
+	}
+	if got := m.state("n0"); got != NodeDraining {
+		t.Fatalf("state after pin = %s, want draining", got)
+	}
+	m.ProbeAll(context.Background()) // backend still answers healthy
+	if got := m.state("n0"); got != NodeDraining {
+		t.Fatalf("healthy probe unpinned the drain: state = %s", got)
+	}
+	if m.pinDrain("ghost") {
+		t.Fatal("pinDrain accepted an unknown node")
+	}
+	// Re-adding resets the record, clearing the pin.
+	m.addMember(Backend{Name: "n0", URL: f.ts.URL}, NodeJoining)
+	m.ProbeAll(context.Background())
+	if got := m.state("n0"); got != NodeHealthy {
+		t.Fatalf("state after re-add + probe = %s, want healthy", got)
+	}
+}
+
 // TestMembershipRunLoop: the probe loop ticks on the clock seam and
 // close() terminates it.
 func TestMembershipRunLoop(t *testing.T) {

@@ -34,4 +34,19 @@ const (
 	metricProbeFailures    = "probe_failures"
 	metricBackendsTotal    = "backends_total"
 	metricBackendsRoutable = "backends_routable"
+
+	// Resilience-layer leaf keys: hedging, the retry budget, circuit
+	// breakers, and live ring membership.
+	metricHedgesFired     = "hedges_fired"
+	metricHedgesWon       = "hedges_won"
+	metricHedgesWasted    = "hedges_wasted"
+	metricHedgeCancels    = "hedge_cancels"
+	metricBudgetExhausted = "retry_budget_exhausted"
+	metricRetryBackoffMs  = "retry_backoff_ms"
+	metricBreakerOpens    = "breaker_opens"
+	metricBreakerDenied   = "breaker_denied"
+	metricRingEpoch       = "ring_epoch"
+	metricNodesAdded      = "nodes_added"
+	metricNodesRemoved    = "nodes_removed"
+	metricNodesDrained    = "nodes_drained"
 )

@@ -15,13 +15,25 @@ type gwMetrics struct {
 	scatterPartials atomic.Uint64 // scatter-gathers missing >= 1 backend
 	probes          atomic.Uint64 // membership probes issued
 	probeFailures   atomic.Uint64 // membership probes failed
+
+	hedgesFired     atomic.Uint64 // second attempts launched
+	hedgesWon       atomic.Uint64 // races the hedge attempt won
+	hedgesWasted    atomic.Uint64 // races the primary won after a hedge fired
+	hedgeCancels    atomic.Uint64 // losing submit attempts reaped via DELETE
+	budgetExhausted atomic.Uint64 // retries/hedges refused by the retry budget
+	retryBackoffMs  atomic.Uint64 // ms slept honoring backend Retry-After
+	breakerOpens    atomic.Uint64 // circuit-breaker open transitions
+	breakerDenied   atomic.Uint64 // submit attempts denied by an open breaker
+	nodesAdded      atomic.Uint64 // backends added via the admin API
+	nodesRemoved    atomic.Uint64 // backends removed via the admin API
+	nodesDrained    atomic.Uint64 // backends drained via the admin API
 }
 
 // snapshot renders the gateway section of the /metrics document,
 // keyed by the metricnames registry.
 //
 //thermlint:metricsdoc
-func (m *gwMetrics) snapshot(total, routable int) map[string]any {
+func (m *gwMetrics) snapshot(total, routable int, epoch uint64) map[string]any {
 	return map[string]any{
 		metricProxied:          m.proxied.Load(),
 		metricSubmitsRouted:    m.submitsRouted.Load(),
@@ -34,5 +46,17 @@ func (m *gwMetrics) snapshot(total, routable int) map[string]any {
 		metricProbeFailures:    m.probeFailures.Load(),
 		metricBackendsTotal:    total,
 		metricBackendsRoutable: routable,
+		metricHedgesFired:      m.hedgesFired.Load(),
+		metricHedgesWon:        m.hedgesWon.Load(),
+		metricHedgesWasted:     m.hedgesWasted.Load(),
+		metricHedgeCancels:     m.hedgeCancels.Load(),
+		metricBudgetExhausted:  m.budgetExhausted.Load(),
+		metricRetryBackoffMs:   m.retryBackoffMs.Load(),
+		metricBreakerOpens:     m.breakerOpens.Load(),
+		metricBreakerDenied:    m.breakerDenied.Load(),
+		metricRingEpoch:        epoch,
+		metricNodesAdded:       m.nodesAdded.Load(),
+		metricNodesRemoved:     m.nodesRemoved.Load(),
+		metricNodesDrained:     m.nodesDrained.Load(),
 	}
 }

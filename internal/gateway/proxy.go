@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,9 +12,27 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"thermalherd/internal/server"
 )
+
+const (
+	// raceAttemptTimeout bounds each leg of a hedged submit race. The
+	// attempts are detached from the client's context (a loser must be
+	// observable after the winner is relayed), so they need their own
+	// deadline.
+	raceAttemptTimeout = 30 * time.Second
+	// reapTimeout bounds the loser-cancel DELETE.
+	reapTimeout = 5 * time.Second
+	// retryAfterCap bounds how long the submit failover path will
+	// honor a backend's Retry-After hint.
+	retryAfterCap = 2 * time.Second
+)
+
+// errAborted marks a racing attempt stopped by its sendGate before it
+// hit the wire; no backend ever saw it.
+var errAborted = errors.New("attempt aborted pre-send (lost the hedge race)")
 
 // forwardResult is one backend's reply, buffered so the gateway can
 // rewrite job ids before relaying it.
@@ -27,13 +46,35 @@ type forwardResult struct {
 // point fires first: an error action simulates the backend being
 // unreachable without touching the wire.
 func (g *Gateway) forward(ctx context.Context, node, method, path string, body []byte, header http.Header) (forwardResult, error) {
-	b, ok := g.byName[node]
+	return g.forwardGated(ctx, nil, node, method, path, body, header)
+}
+
+// forwardGated is forward with an optional sendGate for hedge races:
+// the gateway-side fault delays (FaultForward, FaultStraggler) fire
+// before the gate check, so a racing attempt that loses while still
+// stuck in an injected delay is stopped before it ever reaches the
+// backend — the deterministic pre-send window the loser-cancellation
+// design leans on.
+func (g *Gateway) forwardGated(ctx context.Context, gate *sendGate, node, method, path string, body []byte, header http.Header) (forwardResult, error) {
+	b, ok := g.lookupBackend(node)
 	if !ok {
 		return forwardResult{}, fmt.Errorf("unknown backend %q", node)
 	}
 	if err := g.cfg.Faults.Fire(FaultForward); err != nil {
 		g.metrics.backendErrors.Add(1)
 		return forwardResult{}, fmt.Errorf("forward to %s: %w", node, err)
+	}
+	if method != http.MethodDelete && node == g.stragglerTarget() {
+		// The straggler fault targets the lexically-last ring node and
+		// skips DELETEs, so the loser-cancel reaper is never slowed by
+		// the very straggler it is cleaning up after.
+		if err := g.cfg.Faults.Fire(FaultStraggler); err != nil {
+			g.metrics.backendErrors.Add(1)
+			return forwardResult{}, fmt.Errorf("forward to %s: %w", node, err)
+		}
+	}
+	if gate != nil && !gate.tryBegin() {
+		return forwardResult{}, errAborted
 	}
 	var rd io.Reader
 	if body != nil {
@@ -73,6 +114,276 @@ func retryable(status int) bool {
 	return status == http.StatusServiceUnavailable ||
 		status == http.StatusBadGateway ||
 		status == http.StatusGatewayTimeout
+}
+
+// timedForward forwards one request and, on success, feeds the
+// attempt's latency into the hedge-delay estimator for its route
+// class.
+func (g *Gateway) timedForward(ctx context.Context, gate *sendGate, class, node, method, path string, body []byte, header http.Header) (forwardResult, error) {
+	start := g.cfg.Clock.Now()
+	fr, err := g.forwardGated(ctx, gate, node, method, path, body, header)
+	if err == nil {
+		g.hedger.observe(class, g.cfg.Clock.Since(start))
+	}
+	return fr, err
+}
+
+// feedBreakerOutcome folds one forward outcome into the node's
+// circuit breaker: a transport error or a retryable 5xx is a failure
+// (the backend ate the request); any other reply — including a 4xx —
+// proves the backend alive.
+func (g *Gateway) feedBreakerOutcome(node string, status int, err error) {
+	if err != nil || retryable(status) {
+		g.breaker.failure(node)
+		return
+	}
+	g.breaker.success(node)
+}
+
+// raceRead hedges one idempotent GET against the same backend: after
+// the class's hedge delay a duplicate request launches, the first
+// reply wins, and the loser is ctx-cancelled mid-flight (a GET has
+// nothing to reap). Hedging reads to the job's own node — not a ring
+// successor — is deliberate: a namespaced <id>@<node> exists on
+// exactly one backend, so a successor could only ever answer 404.
+func (g *Gateway) raceRead(ctx context.Context, class, node, path string) (forwardResult, error) {
+	single := func() (forwardResult, error) {
+		return g.timedForward(ctx, nil, class, node, http.MethodGet, path, nil, nil)
+	}
+	if !g.cfg.Hedge {
+		return single()
+	}
+	delay, ok := g.hedger.delay(class)
+	if !ok {
+		return single()
+	}
+	type res struct {
+		fr  forwardResult
+		err error
+	}
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	pch := make(chan res, 1)
+	go func() {
+		fr, err := g.timedForward(pctx, nil, class, node, http.MethodGet, path, nil, nil)
+		pch <- res{fr, err}
+	}()
+	//thermlint:blocking -- the primary attempt is ctx-bound and the timer always fires; one arm resolves
+	select {
+	case r := <-pch:
+		return r.fr, r.err
+	case <-g.cfg.Clock.After(delay):
+	}
+	if err := g.cfg.Faults.Fire(FaultHedge); err != nil {
+		//thermlint:blocking -- the primary attempt is ctx-bound; this receive resolves when it does
+		r := <-pch
+		return r.fr, r.err
+	}
+	if !g.budget.take() {
+		g.metrics.budgetExhausted.Add(1)
+		//thermlint:blocking -- the primary attempt is ctx-bound; this receive resolves when it does
+		r := <-pch
+		return r.fr, r.err
+	}
+	g.metrics.hedgesFired.Add(1)
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	hch := make(chan res, 1)
+	go func() {
+		fr, err := g.timedForward(hctx, nil, class, node, http.MethodGet, path, nil, nil)
+		hch <- res{fr, err}
+	}()
+	var first res
+	var fromHedge bool
+	//thermlint:blocking -- both attempts are ctx-bound; one arm resolves
+	select {
+	case first = <-pch:
+	case first = <-hch:
+		fromHedge = true
+	}
+	if first.err == nil {
+		if fromHedge {
+			g.metrics.hedgesWon.Add(1)
+		} else {
+			g.metrics.hedgesWasted.Add(1)
+		}
+		return first.fr, nil
+	}
+	// The first finisher failed; the race is decided by the other leg.
+	var second res
+	if fromHedge {
+		//thermlint:blocking -- the primary attempt is ctx-bound; this receive resolves when it does
+		second = <-pch
+		if second.err == nil {
+			g.metrics.hedgesWasted.Add(1)
+			return second.fr, nil
+		}
+		return second.fr, second.err // the primary's outcome
+	}
+	//thermlint:blocking -- the hedge attempt is ctx-bound; this receive resolves when it does
+	second = <-hch
+	if second.err == nil {
+		g.metrics.hedgesWon.Add(1)
+		return second.fr, nil
+	}
+	return first.fr, first.err // the primary's outcome
+}
+
+// submitRes is one leg's outcome in a hedged submit race.
+type submitRes struct {
+	fr  forwardResult
+	err error
+}
+
+// raceSubmit races an Idempotency-Key-bearing submit between its home
+// node and the ring successor: the hedge launches after the submit
+// class's p95 delay, the first acceptable reply wins, and the loser is
+// either stopped pre-send (its sendGate aborts it while it is still
+// stuck in the gateway-side straggler delay) or reaped — awaited to
+// completion on a detached context and its admitted job DELETEd, so a
+// hedged submit never leaves two live copies of the job behind.
+// Returns the winning reply and the node that produced it.
+func (g *Gateway) raceSubmit(ctx context.Context, primary, hedgeNode string, body []byte, hdr http.Header) (forwardResult, string, error) {
+	// Attempts detach from the client's context: once a submit may
+	// have been admitted somewhere, the gateway must observe the
+	// outcome even if the client hangs up — otherwise it could neither
+	// relay nor reap the job.
+	base := context.WithoutCancel(ctx)
+	launch := func(node string) (*sendGate, chan submitRes) {
+		gate := &sendGate{}
+		actx, cancel := context.WithTimeout(base, raceAttemptTimeout)
+		ch := make(chan submitRes, 1)
+		cnt := g.inflightOf(node)
+		cnt.Add(1)
+		go func() {
+			defer cancel()
+			defer cnt.Add(-1)
+			fr, err := g.timedForward(actx, gate, hedgeClassSubmit, node, http.MethodPost, "/v1/jobs", body, hdr)
+			ch <- submitRes{fr, err}
+		}()
+		return gate, ch
+	}
+	pgate, pch := launch(primary)
+	settlePrimary := func() (forwardResult, string, error) {
+		//thermlint:blocking -- the attempt is deadline-bound by raceAttemptTimeout
+		r := <-pch
+		g.feedBreakerOutcome(primary, r.fr.status, r.err)
+		return r.fr, primary, r.err
+	}
+	delay, ok := g.hedger.delay(hedgeClassSubmit)
+	if !ok {
+		return settlePrimary()
+	}
+	//thermlint:blocking -- the attempt is deadline-bound by raceAttemptTimeout and the timer always fires
+	select {
+	case r := <-pch:
+		g.feedBreakerOutcome(primary, r.fr.status, r.err)
+		return r.fr, primary, r.err
+	case <-g.cfg.Clock.After(delay):
+	}
+	if err := g.cfg.Faults.Fire(FaultHedge); err != nil {
+		return settlePrimary()
+	}
+	if !g.budget.take() {
+		g.metrics.budgetExhausted.Add(1)
+		return settlePrimary()
+	}
+	if !g.breaker.allow(hedgeNode) {
+		g.metrics.breakerDenied.Add(1)
+		return settlePrimary()
+	}
+	g.metrics.hedgesFired.Add(1)
+	hgate, hch := launch(hedgeNode)
+
+	var winner submitRes
+	winNode, loserNode := primary, hedgeNode
+	loserGate, loserCh := hgate, hch
+	//thermlint:blocking -- both attempts are deadline-bound by raceAttemptTimeout; one arm resolves
+	select {
+	case winner = <-pch:
+	case winner = <-hch:
+		winNode, loserNode = hedgeNode, primary
+		loserGate, loserCh = pgate, pch
+	}
+	g.feedBreakerOutcome(winNode, winner.fr.status, winner.err)
+	if winner.err != nil || retryable(winner.fr.status) {
+		// The first finisher failed; let the other leg decide. A failed
+		// leg admitted nothing (transport errors and retryable 503s are
+		// refusals), so there is nothing to reap behind it.
+		//thermlint:blocking -- the attempt is deadline-bound by raceAttemptTimeout
+		second := <-loserCh
+		g.feedBreakerOutcome(loserNode, second.fr.status, second.err)
+		if second.err == nil && !retryable(second.fr.status) {
+			if loserNode == hedgeNode {
+				g.metrics.hedgesWon.Add(1)
+			} else {
+				g.metrics.hedgesWasted.Add(1)
+			}
+			return second.fr, loserNode, nil
+		}
+		// Both legs failed: report the primary's outcome so the caller's
+		// failover loop sees the same thing an unhedged attempt would.
+		if winNode == primary {
+			return winner.fr, primary, winner.err
+		}
+		return second.fr, primary, second.err
+	}
+	if winNode == hedgeNode {
+		g.metrics.hedgesWon.Add(1)
+	} else {
+		g.metrics.hedgesWasted.Add(1)
+	}
+	if !loserGate.abort() {
+		// The loser is already on the wire; reap it off the request path.
+		go g.reapLoser(loserNode, loserCh)
+	}
+	return winner.fr, winNode, nil
+}
+
+// reapLoser awaits a losing submit attempt that had already hit the
+// wire and cancels whatever job it admitted. DELETE marks a queued or
+// running job canceled; a job that somehow finished first answers 409
+// and is left as-is. The reap runs on a fresh background context — the
+// client's request is long since answered by the winner.
+func (g *Gateway) reapLoser(node string, ch chan submitRes) {
+	//thermlint:blocking -- the attempt is deadline-bound by raceAttemptTimeout
+	r := <-ch
+	g.feedBreakerOutcome(node, r.fr.status, r.err)
+	if r.err != nil || r.fr.status >= 300 {
+		return // nothing was admitted
+	}
+	var st server.Status
+	if err := json.Unmarshal(r.fr.body, &st); err != nil || st.ID == "" {
+		return
+	}
+	rctx, cancel := context.WithTimeout(context.Background(), reapTimeout)
+	defer cancel()
+	fr, err := g.forward(rctx, node, http.MethodDelete, "/v1/jobs/"+st.ID, nil, nil)
+	if err == nil && fr.status == http.StatusOK {
+		g.metrics.hedgeCancels.Add(1)
+	}
+}
+
+// sleepRetryAfter honors the previous attempt's Retry-After hint
+// before a failover retry, capped at retryAfterCap, counting the
+// requested wait in gw.retry_backoff_ms.
+func (g *Gateway) sleepRetryAfter(ctx context.Context, fr *forwardResult) {
+	if fr == nil {
+		return
+	}
+	secs, err := strconv.Atoi(fr.header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return
+	}
+	d := time.Duration(secs) * time.Second
+	if d > retryAfterCap {
+		d = retryAfterCap
+	}
+	g.metrics.retryBackoffMs.Add(uint64(d / time.Millisecond))
+	select {
+	case <-ctx.Done():
+	case <-g.cfg.Clock.After(d):
+	}
 }
 
 // relay copies a buffered backend reply to the client, preserving the
@@ -153,15 +464,44 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if len(attempts) > g.cfg.ForwardAttempts {
 		attempts = attempts[:g.cfg.ForwardAttempts]
 	}
+	// One base request funds the retry budget; every failover retry and
+	// hedge below withdraws from it.
+	g.budget.deposit(1)
+	idemKey := r.Header.Get("Idempotency-Key")
 	var lastErr error
+	var lastFr *forwardResult
 	for i, node := range attempts {
 		if i > 0 {
+			if !g.budget.take() {
+				g.metrics.budgetExhausted.Add(1)
+				lastErr = fmt.Errorf("retry budget exhausted after: %v", lastErr)
+				break
+			}
 			g.metrics.forwardRetries.Add(1)
+			// Honor the refusing backend's backoff hint before hammering
+			// the successor — a draining 503 with Retry-After is the herd
+			// asking for breathing room, not a race to the next node.
+			g.sleepRetryAfter(r.Context(), lastFr)
 		}
-		cnt := g.inflight[node]
-		cnt.Add(1)
-		fr, err := g.forward(r.Context(), node, http.MethodPost, "/v1/jobs", body, hdr)
-		cnt.Add(-1)
+		if !g.breaker.allow(node) {
+			g.metrics.breakerDenied.Add(1)
+			lastErr = fmt.Errorf("backend %s: circuit open", node)
+			continue
+		}
+		var fr forwardResult
+		var err error
+		if g.cfg.Hedge && i == 0 && idemKey != "" && len(attempts) > 1 {
+			// Only Idempotency-Key-bearing submits are hedged: the key is
+			// what makes a second copy of the request safe to send at all.
+			// raceSubmit feeds the breaker for both legs itself.
+			fr, node, err = g.raceSubmit(r.Context(), node, attempts[1], body, hdr)
+		} else {
+			cnt := g.inflightOf(node)
+			cnt.Add(1)
+			fr, err = g.timedForward(r.Context(), nil, hedgeClassSubmit, node, http.MethodPost, "/v1/jobs", body, hdr)
+			cnt.Add(-1)
+			g.feedBreakerOutcome(node, fr.status, err)
+		}
 		if err != nil {
 			// The backend never answered: suspect it so membership probes it
 			// now instead of at the next tick, then try the next candidate.
@@ -169,11 +509,14 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// backend admitted the job before the connection died.
 			g.members.suspect(node)
 			lastErr = err
+			lastFr = nil
 			continue
 		}
 		if retryable(fr.status) && i < len(attempts)-1 {
 			g.members.suspect(node)
 			lastErr = fmt.Errorf("backend %s: HTTP %d", node, fr.status)
+			frCopy := fr
+			lastFr = &frCopy
 			continue
 		}
 		if fr.status < 300 {
@@ -272,10 +615,12 @@ func (g *Gateway) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 				if tenant := r.Header.Get(server.TenantHeader); tenant != "" {
 					hdr.Set(server.TenantHeader, tenant)
 				}
-				cnt := g.inflight[node]
+				g.budget.deposit(len(idxs))
+				cnt := g.inflightOf(node)
 				cnt.Add(int64(len(idxs)))
 				fr, ferr := g.forward(r.Context(), node, http.MethodPost, "/v1/jobs:batch", payload, hdr)
 				cnt.Add(-int64(len(idxs)))
+				g.feedBreakerOutcome(node, fr.status, ferr)
 				if ferr != nil {
 					g.members.suspect(node)
 					err = ferr
@@ -321,11 +666,20 @@ func (g *Gateway) byNodeForward(w http.ResponseWriter, r *http.Request, method, 
 		writeError(w, http.StatusNotFound, "unknown job %q (gateway job ids look like <id>@<node>)", gid)
 		return
 	}
-	if _, known := g.byName[node]; !known {
+	if _, known := g.lookupBackend(node); !known {
 		writeError(w, http.StatusNotFound, "unknown job %q: no backend named %q", gid, node)
 		return
 	}
-	fr, err := g.forward(r.Context(), node, method, "/v1/jobs/"+id+pathSuffix, nil, nil)
+	g.budget.deposit(1)
+	var fr forwardResult
+	var err error
+	if method == http.MethodGet {
+		// Status polls and result fetches are idempotent: hedge them.
+		fr, err = g.raceRead(r.Context(), hedgeClassStatus, node, "/v1/jobs/"+id+pathSuffix)
+	} else {
+		fr, err = g.forward(r.Context(), node, method, "/v1/jobs/"+id+pathSuffix, nil, nil)
+	}
+	g.feedBreakerOutcome(node, fr.status, err)
 	if err != nil {
 		g.members.suspect(node)
 		writeError(w, http.StatusBadGateway, "%v", err)
@@ -355,10 +709,11 @@ func (g *Gateway) handleCancel(w http.ResponseWriter, r *http.Request) {
 // routable backend (the data is identical on every node).
 func (g *Gateway) handlePassthrough(path string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		for _, node := range g.ring.Nodes() {
+		for _, node := range g.ringNodes() {
 			if !g.members.state(node).routable() {
 				continue
 			}
+			g.budget.deposit(1)
 			fr, err := g.forward(r.Context(), node, http.MethodGet, path, nil, nil)
 			if err != nil {
 				g.members.suspect(node)
@@ -382,7 +737,7 @@ type scatterReply struct {
 // ones included — they may still answer, and their jobs still exist)
 // under the per-backend scatter timeout, returning one reply per node.
 func (g *Gateway) scatter(ctx context.Context, path string) []scatterReply {
-	nodes := g.ring.Nodes()
+	nodes := g.ringNodes()
 	replies := make([]scatterReply, len(nodes))
 	var wg sync.WaitGroup
 	for i, node := range nodes {
@@ -391,7 +746,11 @@ func (g *Gateway) scatter(ctx context.Context, path string) []scatterReply {
 			defer wg.Done()
 			sctx, cancel := context.WithTimeout(ctx, g.cfg.ScatterTimeout)
 			defer cancel()
-			fr, err := g.forward(sctx, node, http.MethodGet, path, nil, nil)
+			// Each leg is a base request (deposit) and may hedge against
+			// its own node — the merge keeps one reply per node either
+			// way, so a won hedge can never double-count a backend.
+			g.budget.deposit(1)
+			fr, err := g.raceRead(sctx, hedgeClassScatter, node, path)
 			if err == nil && fr.status != http.StatusOK {
 				err = fmt.Errorf("backend %s: HTTP %d", node, fr.status)
 			}
@@ -442,7 +801,7 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 	tenantFilter := q.Get("tenant")
 
 	need := offset + limit
-	nodes := g.ring.Nodes()
+	nodes := g.ringNodes()
 	type legResult struct {
 		node  string
 		jobs  []server.Status
@@ -457,6 +816,7 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sctx, cancel := context.WithTimeout(r.Context(), g.cfg.ScatterTimeout)
 			defer cancel()
+			g.budget.deposit(1)
 			jobs, total, err := g.fetchJobs(sctx, node, statusFilter, tenantFilter, need)
 			legs[i] = legResult{node: node, jobs: jobs, total: total, err: err}
 		}(i, node)
@@ -517,7 +877,7 @@ func (g *Gateway) fetchJobs(ctx context.Context, node, statusFilter, tenantFilte
 		if tenantFilter != "" {
 			path += "&tenant=" + url.QueryEscape(tenantFilter)
 		}
-		fr, err := g.forward(ctx, node, http.MethodGet, path, nil, nil)
+		fr, err := g.raceRead(ctx, hedgeClassScatter, node, path)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -570,14 +930,14 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if partial {
 		g.metrics.scatterPartials.Add(1)
 	}
-	snap := g.members.snapshot()
+	snap := g.Backends()
 	routable := 0
 	for _, h := range snap {
 		if h.State.routable() {
 			routable++
 		}
 	}
-	doc[metricSectionGateway] = g.metrics.snapshot(len(snap), routable)
+	doc[metricSectionGateway] = g.metrics.snapshot(len(snap), routable, g.epoch.Load())
 	doc[metricSectionBackends] = snap
 	doc[metricKeyPartial] = partial
 	if partial {
@@ -630,9 +990,12 @@ func copyValue(v any) any {
 // handleHealthz reports gateway process liveness, in the same shape as
 // a backend's /healthz so existing clients work unchanged.
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g.topo.RLock()
+	n := len(g.byName)
+	g.topo.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"backends": len(g.byName),
+		"backends": n,
 	})
 }
 
@@ -640,14 +1003,18 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // backend is routable, with the full membership snapshot attached so
 // operators can see which nodes are ejected and since when.
 type readyDoc struct {
-	Ready    bool         `json:"ready"`
-	Reason   string       `json:"reason,omitempty"`
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+	// Epoch is the topology generation: 1 at startup, bumped on every
+	// admin add/remove, so operators can tell which ring a reply
+	// reflects.
+	Epoch    uint64       `json:"epoch"`
 	Backends []NodeHealth `json:"backends"`
 }
 
 func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	snap := g.members.snapshot()
-	doc := readyDoc{Backends: snap}
+	snap := g.Backends()
+	doc := readyDoc{Epoch: g.epoch.Load(), Backends: snap}
 	for _, h := range snap {
 		if h.State.routable() {
 			doc.Ready = true
