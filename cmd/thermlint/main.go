@@ -1,11 +1,20 @@
 // Command thermlint runs the repo's project-specific static analyzers
 // (internal/analysis) over the packages matching its arguments:
 //
-//	go run ./cmd/thermlint ./...        # lint the whole tree
-//	go run ./cmd/thermlint -list        # describe the analyzers
+//	go run ./cmd/thermlint ./...                 # lint the whole tree
+//	go run ./cmd/thermlint -list                 # describe the analyzers
 //	go run ./cmd/thermlint -run determinism ./internal/loadgen
+//	go run ./cmd/thermlint -fix ./...            # apply suggested fixes
+//	go run ./cmd/thermlint -format sarif -out thermlint.sarif ./...
+//	go run ./cmd/thermlint -cache-dir .thermlint-cache -stats ./...
 //
-// Diagnostics print one per line as file:line:col: analyzer: message.
+// Diagnostics print one per line as file:line:col: analyzer: message
+// (-format json|sarif renders machine-readable reports instead; -out
+// writes the report to a file while keeping findings on stdout's exit
+// contract). The analysis cache makes warm runs cheap: point -cache-dir
+// (or THERMLINT_CACHE) at a directory and unchanged packages replay
+// their cached diagnostics and facts without being type-checked.
+//
 // Exit status: 0 clean, 1 diagnostics reported, 2 load/usage error —
 // the same contract as go vet, so CI can gate on it directly.
 package main
@@ -22,8 +31,14 @@ import (
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source, then re-run")
+	format := flag.String("format", "text", "report format: text, json, or sarif")
+	out := flag.String("out", "", "write the formatted report to this file (default stdout)")
+	cacheDir := flag.String("cache-dir", os.Getenv("THERMLINT_CACHE"), "analysis cache directory (default $THERMLINT_CACHE; empty disables)")
+	noCache := flag.Bool("no-cache", false, "disable the analysis cache even when -cache-dir is set")
+	stats := flag.Bool("stats", false, "print per-run cache statistics to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: thermlint [-list] [-run analyzers] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: thermlint [-list] [-run analyzers] [-fix] [-format text|json|sarif] [-out file] [-cache-dir dir] [-no-cache] [-stats] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,22 +66,69 @@ func main() {
 			analyzers = append(analyzers, a)
 		}
 	}
+	if *noCache {
+		*cacheDir = ""
+	}
 
-	pkgs, err := analysis.Load("", flag.Args()...)
+	cfg := analysis.RunConfig{Patterns: flag.Args(), Analyzers: analyzers, CacheDir: *cacheDir}
+	res, err := analysis.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "thermlint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if *fix {
+		applied, err := analysis.ApplyFixes(res.Diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "thermlint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "thermlint: applied fixes for %d finding(s)\n", applied)
+		// Fixed packages have new content hashes, so the re-run below
+		// re-analyzes exactly them; surviving findings report normally.
+		if res, err = analysis.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "thermlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "thermlint: %d/%d package(s) from cache\n", res.Hits(), len(res.Pkgs))
+	}
+
+	diags := res.Diags
+	var report []byte
+	switch *format {
+	case "text":
+		var sb strings.Builder
+		for _, d := range diags {
+			fmt.Fprintln(&sb, d)
+		}
+		report = []byte(sb.String())
+	case "json":
+		if report, err = analysis.FormatJSON(diags); err == nil {
+			report = append(report, '\n')
+		}
+	case "sarif":
+		if report, err = analysis.FormatSARIF(diags, analyzers); err == nil {
+			report = append(report, '\n')
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "thermlint: unknown format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "thermlint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *out != "" {
+		if err := os.WriteFile(*out, report, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "thermlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		os.Stdout.Write(report)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "thermlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		fmt.Fprintf(os.Stderr, "thermlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

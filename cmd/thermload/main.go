@@ -544,6 +544,7 @@ func chaosCheck(ctx context.Context, client *loadgen.Client, rep *loadgen.Report
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
+		//thermlint:timer -- settle-poll against a live daemon; wall time is the contract
 		case <-time.After(50 * time.Millisecond):
 		}
 	}
@@ -832,6 +833,7 @@ func selfhostHerd(o options, out *os.File) (func(), string, error) {
 				select {
 				case <-watchStop:
 					return
+				//thermlint:timer -- chaos re-fire cadence against live processes
 				case <-time.After(250 * time.Millisecond):
 				}
 			}

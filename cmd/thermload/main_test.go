@@ -6,12 +6,34 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"thermalherd/internal/loadgen"
 )
+
+// checkGoroutineLeak asserts the self-hosted fleet wound down: after
+// run() returns, the goroutine count must settle back near the pre-run
+// baseline. A leaked gateway prober, hedge attempt, admin watcher, or
+// journal flusher keeps the count elevated and fails here — the
+// runtime-level counterpart of thermlint's static goleak proof.
+func checkGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	const slack = 8 // runtime/test machinery and netpoll wiggle room
+	deadline := time.Now().Add(5 * time.Second)
+	after := runtime.NumGoroutine()
+	for after > before+slack && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before+slack {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak after herd run: before=%d after=%d\n%s", before, after, buf[:n])
+	}
+}
 
 // TestScheduleDumpByteIdentical is the acceptance determinism check at
 // the CLI layer: two `-mode ramp -seed 42` invocations dump
@@ -411,10 +433,12 @@ func TestHerdSelfhostBackendKill(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer devnull.Close()
+	before := runtime.NumGoroutine()
 	rep, err := run(context.Background(), o, devnull)
 	if err != nil {
 		t.Fatalf("herd kill run: %v", err) // chaos check = zero lost acked jobs
 	}
+	checkGoroutineLeak(t, before)
 	// Every acked job reached a terminal state; canceled jobs (queued on
 	// the victim at kill time) are allowed, silent loss is not.
 	settled := rep.Achieved.Done + rep.Achieved.Failed + rep.Achieved.Canceled
@@ -496,10 +520,12 @@ func TestHerdSelfhostResizeJoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer devnull.Close()
+	before := runtime.NumGoroutine()
 	rep, err := run(context.Background(), o, devnull)
 	if err != nil {
 		t.Fatalf("herd resize run: %v", err) // chaos check spans the joined node
 	}
+	checkGoroutineLeak(t, before)
 	if rep.Achieved.Errors != 0 || rep.Achieved.Timeouts != 0 || rep.Achieved.Failed != 0 {
 		t.Fatalf("join run saw errors=%d timeouts=%d failed=%d",
 			rep.Achieved.Errors, rep.Achieved.Timeouts, rep.Achieved.Failed)
@@ -533,10 +559,12 @@ func TestHerdSelfhostDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer devnull.Close()
+	before := runtime.NumGoroutine()
 	rep, err := run(context.Background(), o, devnull)
 	if err != nil {
 		t.Fatalf("herd drain run: %v", err)
 	}
+	checkGoroutineLeak(t, before)
 	if rep.Achieved.Errors != 0 || rep.Achieved.Timeouts != 0 || rep.Achieved.Failed != 0 {
 		t.Fatalf("drain run saw errors=%d timeouts=%d failed=%d",
 			rep.Achieved.Errors, rep.Achieved.Timeouts, rep.Achieved.Failed)

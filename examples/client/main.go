@@ -73,6 +73,7 @@ func run(base, kind, workload, cfg, section, preset string) error {
 	fmt.Printf("submitted %s (cache hit: %v)\n", st.ID, st.FromCache)
 
 	for st.State == "queued" || st.State == "running" {
+		//thermlint:timer -- example polls a real daemon; no clock seam to thread
 		time.Sleep(250 * time.Millisecond)
 		if st, err = getStatus(base, st.ID); err != nil {
 			return err

@@ -20,11 +20,26 @@
 //	//thermlint:metricnames          marks a const block as the metric-name registry
 //	//thermlint:metricsdoc           marks a function whose map keys must be registered
 //	//thermlint:faultpoints          marks a const block as the fault-point registry
+//	//thermlint:goroutines           opts a package into goroutine-leak proving
+//	//thermlint:goroutine -- why     allows one unproven goroutine spawn
+//	//thermlint:timer -- why         allows one raw time.Timer/Ticker/Sleep/After
+//	//thermlint:identity O: l = a+b  declares a counter accounting identity (acctid)
+//	//thermlint:settleonce           marks a func as an exactly-once settlement guard
+//	//thermlint:settled -- why       allows one settlement outside a guard
+//	//thermlint:handoff -- why       allows one return that defers settlement
+//	//thermlint:metricsmerge         marks a func as a linear metrics-doc merge
 //
-// Line directives (wallclock, unordered, blocking, locked) attach to
-// the line they trail or the line immediately below when they stand
-// alone; the `-- why` justification is required reading for reviewers,
-// not parsed. Run the suite with `go run ./cmd/thermlint ./...`.
+// Line directives (wallclock, unordered, blocking, locked, goroutine,
+// timer, settled, handoff) attach to the line they trail or the line
+// immediately below when they stand alone; the `-- why` justification
+// is required reading for reviewers, not parsed.
+//
+// Since v2 the engine is whole-program: packages load dependency-first
+// over `go list -json -deps`, analyzers export typed Facts about
+// package-level functions that importing packages consume (see
+// facts.go), and results are memoized in an on-disk cache keyed on
+// package content hashes (see cache.go). Run the suite with
+// `go run ./cmd/thermlint ./...`.
 package analysis
 
 import (
@@ -46,11 +61,22 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// Diagnostic is one finding, positioned in the analyzed source.
+// TextEdit is one byte-offset replacement inside a source file; the
+// unit of a suggested fix applied by `thermlint -fix`.
+type TextEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"` // byte offset, inclusive
+	End   int    `json:"end"`   // byte offset, exclusive
+	New   string `json:"new"`
+}
+
+// Diagnostic is one finding, positioned in the analyzed source. Fixes,
+// when present, are a mechanical rewrite that resolves the finding.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []TextEdit
 }
 
 func (d Diagnostic) String() string {
@@ -67,6 +93,7 @@ type Pass struct {
 
 	dirs   *directiveIndex
 	report func(Diagnostic)
+	facts  *factStore
 }
 
 // Reportf records a diagnostic at pos.
@@ -76,6 +103,36 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ReportFix records a diagnostic at pos carrying a suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fixes []TextEdit, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
+	})
+}
+
+// Offset returns the byte offset of pos inside its file, for building
+// TextEdits.
+func (p *Pass) Offset(pos token.Pos) int {
+	return p.Fset.Position(pos).Offset
+}
+
+// ExportObjectFact associates fact with obj — a package-level function
+// or method of the package under analysis — for importing packages to
+// read back with ImportObjectFact. See facts.go.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.facts.export(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact copies the fact of ptr's type previously exported
+// for obj (by this analyzer, in this or any dependency package) into
+// ptr, reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	return p.facts.importInto(p.Analyzer.Name, obj, ptr)
 }
 
 // Allowed reports whether a line directive named name suppresses a
@@ -225,26 +282,48 @@ func (idx *directiveIndex) allowedAt(pos token.Position, name string) bool {
 func (idx *directiveIndex) packageHas(name string) bool { return idx.pkg[name] }
 
 // RunAnalyzers applies each analyzer to each package and returns every
-// diagnostic, sorted by position then analyzer name.
+// diagnostic, sorted by position then analyzer name. Packages must be
+// in dependency order when analyzers consume cross-package facts: the
+// facts store is shared across the whole run, so facts exported while
+// analyzing a dependency are visible to its importers.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := newFactStore()
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		dirs := buildDirectiveIndex(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-				dirs:      dirs,
-				report:    func(d Diagnostic) { diags = append(diags, d) },
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
-			}
+		ds, err := runOne(pkg, analyzers, facts)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// runOne applies the analyzers to a single package against a shared
+// facts store and returns its diagnostics, unsorted.
+func runOne(pkg *Package, analyzers []*Analyzer, facts *factStore) ([]Diagnostic, error) {
+	dirs := buildDirectiveIndex(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			dirs:      dirs,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+			facts:     facts,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
 		}
 	}
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, k int) bool {
 		a, b := diags[i], diags[k]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -258,10 +337,12 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }
 
 // All returns the thermlint analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MetricKeys, FaultPoints, CtxFlow, LockScope}
+	return []*Analyzer{
+		Determinism, MetricKeys, FaultPoints, CtxFlow, LockScope,
+		GoLeak, AcctID, ClockSeam,
+	}
 }

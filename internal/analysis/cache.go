@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// suiteVersion participates in every action ID; bump it when analyzer
+// semantics change so stale cache entries self-invalidate.
+const suiteVersion = "thermlint-v2"
+
+// cacheEntry is the persisted outcome of analyzing one package: its
+// diagnostics (with suggested fixes) and the facts it exported. On a
+// hit the facts replay into the run's store so importers see exactly
+// what a live analysis would have produced.
+type cacheEntry struct {
+	PkgPath string       `json:"pkg_path"`
+	Diags   []Diagnostic `json:"diags"`
+	Facts   []cachedFact `json:"facts"`
+}
+
+// analysisCache memoizes per-package analysis results on disk, keyed
+// by action ID. A nil *analysisCache is a valid always-miss cache.
+type analysisCache struct {
+	dir string
+}
+
+// openCache returns a cache rooted at dir, creating it if needed.
+func openCache(dir string) (*analysisCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("create analysis cache dir: %w", err)
+	}
+	return &analysisCache{dir: dir}, nil
+}
+
+func (c *analysisCache) path(actionID string) string {
+	return filepath.Join(c.dir, actionID+".json")
+}
+
+// get loads the entry for actionID; ok is false on miss or any decode
+// problem (a corrupt entry behaves as a miss and is overwritten).
+func (c *analysisCache) get(actionID string) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(actionID))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	return &e, true
+}
+
+// put stores the entry under actionID via rename so concurrent lints
+// never observe a torn file.
+func (c *analysisCache) put(actionID string, e *cacheEntry) error {
+	if c == nil {
+		return nil
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "entry-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(actionID))
+}
+
+// actionIDs computes the cache key for every module package,
+// dependency-first: sha256 over the suite version, the analyzer names,
+// the package's own content hash, and the action IDs of its in-module
+// imports. A one-byte source change therefore changes exactly that
+// package's ID and — transitively — its reverse dependencies' IDs,
+// leaving unrelated packages' entries valid.
+func actionIDs(l *loader, analyzers []*Analyzer) (map[string]string, error) {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	ids := make(map[string]string, len(l.listed))
+	for _, path := range l.order {
+		lp := l.listed[path]
+		content, err := lp.hash()
+		if err != nil {
+			return nil, fmt.Errorf("hash %s: %w", path, err)
+		}
+		h := sha256.New()
+		fmt.Fprintf(h, "version %s\n", suiteVersion)
+		fmt.Fprintf(h, "pkg %s\n", path)
+		fmt.Fprintf(h, "analyzers %v\n", names)
+		fmt.Fprintf(h, "content %s\n", content)
+		deps := append([]string(nil), lp.Imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if id, inModule := ids[dep]; inModule {
+				fmt.Fprintf(h, "dep %s %s\n", dep, id)
+			}
+		}
+		ids[path] = hex.EncodeToString(h.Sum(nil))
+	}
+	return ids, nil
+}

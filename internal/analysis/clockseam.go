@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"strings"
+)
+
+// ClockSeam extends the determinism rule tree-wide: every timer must go
+// through the internal/clock seam so tests can drive time with a Fake.
+// Any time.Timer/Ticker/After/Sleep outside internal/clock itself is a
+// finding; //thermlint:timer allows the audited wall-time exceptions
+// (injected fault latency, example programs).
+//
+// Where the package already imports internal/clock the finding carries
+// a suggested fix: time.After(d) → clock.Real().After(d), and
+// time.Sleep(d) → <-clock.Real().After(d).
+var ClockSeam = &Analyzer{
+	Name: "clockseam",
+	Doc:  "raw time.Timer/Ticker/After/Sleep outside internal/clock must use the clock seam",
+	Run:  runClockSeam,
+}
+
+// clockPkgPath is the one package allowed to touch raw timers: the
+// seam's own implementation.
+const clockPkgPath = "thermalherd/internal/clock"
+
+// timerFuncs are the time-package entry points that arm a raw timer.
+// time.Now/Since/Until stay the determinism analyzer's business: they
+// read the clock but never schedule against it.
+var timerFuncs = map[string]bool{
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func runClockSeam(pass *Pass) error {
+	if pass.Pkg.Path() == clockPkgPath {
+		return nil
+	}
+	clockName := importedClockName(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !timerFuncs[fn.Name()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if pass.Allowed(call.Pos(), "timer") {
+				return true
+			}
+			fixes := clockSeamFix(pass, call, fn.Name(), clockName)
+			if fixes != nil {
+				pass.ReportFix(call.Pos(), fixes,
+					"time.%s bypasses the clock seam (use %s.Real().After, or annotate //thermlint:timer -- why)",
+					fn.Name(), clockName)
+			} else {
+				pass.Reportf(call.Pos(),
+					"time.%s bypasses the clock seam (thread a clock.Clock through, or annotate //thermlint:timer -- why)",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// importedClockName returns the local name internal/clock is imported
+// under in the package, or "" when it is not imported anywhere.
+func importedClockName(pass *Pass) string {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			if strings.Trim(imp.Path.Value, `"`) != clockPkgPath {
+				continue
+			}
+			if imp.Name != nil {
+				return imp.Name.Name
+			}
+			return "clock"
+		}
+	}
+	return ""
+}
+
+// clockSeamFix builds the mechanical rewrite for the two seam-friendly
+// shapes — After and Sleep with a single duration argument — when the
+// package already imports the clock package (so no import surgery is
+// needed).
+func clockSeamFix(pass *Pass, call *ast.CallExpr, fnName, clockName string) []TextEdit {
+	if clockName == "" || len(call.Args) != 1 {
+		return nil
+	}
+	arg := formatNode(pass, call.Args[0])
+	if arg == "" {
+		return nil
+	}
+	file := pass.Fset.Position(call.Pos()).Filename
+	edit := TextEdit{File: file, Start: pass.Offset(call.Pos()), End: pass.Offset(call.End())}
+	switch fnName {
+	case "After":
+		edit.New = clockName + ".Real().After(" + arg + ")"
+	case "Sleep":
+		edit.New = "<-" + clockName + ".Real().After(" + arg + ")"
+	default:
+		return nil
+	}
+	return []TextEdit{edit}
+}
+
+// formatNode renders an AST node back to source text.
+func formatNode(pass *Pass, n ast.Node) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, pass.Fset, n); err != nil {
+		return ""
+	}
+	return sb.String()
+}

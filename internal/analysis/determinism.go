@@ -2,7 +2,10 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strconv"
+	"strings"
 )
 
 // Determinism enforces the reproduction's byte-identical-replay claim:
@@ -94,7 +97,103 @@ func checkMapRange(pass *Pass, rng *ast.RangeStmt, fnSorts bool) {
 	if fnSorts || pass.Allowed(rng.Pos(), "unordered") {
 		return
 	}
+	if fixes := sortedRangeFix(pass, rng, t.Underlying().(*types.Map)); fixes != nil {
+		pass.ReportFix(rng.Pos(), fixes, "map iteration order leaks into a deterministic package (sort the keys, or annotate //thermlint:unordered -- why)")
+		return
+	}
 	pass.Reportf(rng.Pos(), "map iteration order leaks into a deterministic package (sort the keys, or annotate //thermlint:unordered -- why)")
+}
+
+// sortedRangeFix rewrites `for k, v := range m` over an ordered-key map
+// to iterate slices.Sorted(maps.Keys(m)), re-deriving v inside the
+// body, and adds the imports the rewrite needs. Nil when the shape is
+// not mechanically rewritable (non-ordered keys, non-ident loop vars,
+// no parenthesized import block to extend).
+func sortedRangeFix(pass *Pass, rng *ast.RangeStmt, m *types.Map) []TextEdit {
+	if rng.Tok != token.DEFINE {
+		return nil
+	}
+	if basic, ok := m.Key().Underlying().(*types.Basic); !ok ||
+		basic.Info()&(types.IsOrdered|types.IsString) == 0 {
+		return nil // slices.Sorted needs cmp.Ordered keys
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return nil
+	}
+	var value *ast.Ident
+	if rng.Value != nil {
+		if value, ok = rng.Value.(*ast.Ident); !ok {
+			return nil
+		}
+	}
+	mapSrc := formatNode(pass, rng.X)
+	if mapSrc == "" {
+		return nil
+	}
+	pos := pass.Fset.Position(rng.Pos())
+	indent := strings.Repeat("\t", max(pos.Column-1, 0))
+	header := "for _, " + key.Name + " := range slices.Sorted(maps.Keys(" + mapSrc + ")) {"
+	if value != nil && value.Name != "_" {
+		header += "\n" + indent + "\t" + value.Name + " := " + mapSrc + "[" + key.Name + "]"
+	}
+	edits := []TextEdit{{
+		File:  pos.Filename,
+		Start: pass.Offset(rng.Pos()),
+		End:   pass.Offset(rng.Body.Lbrace) + 1,
+		New:   header,
+	}}
+	imports := missingImportEdits(pass, rng.Pos(), "maps", "slices")
+	if imports == nil {
+		return nil
+	}
+	return append(imports, edits...)
+}
+
+// missingImportEdits returns insertions adding the named stdlib imports
+// to the file containing pos, skipping ones already present. It
+// requires a parenthesized import block to extend; nil (distinct from
+// empty) means the file cannot be mechanically extended.
+func missingImportEdits(pass *Pass, pos token.Pos, names ...string) []TextEdit {
+	filename := pass.Fset.Position(pos).Filename
+	for _, file := range pass.Files {
+		if pass.Fset.Position(file.Pos()).Filename != filename {
+			continue
+		}
+		have := make(map[string]bool)
+		var rparen token.Pos
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.IMPORT {
+				continue
+			}
+			if gd.Rparen.IsValid() {
+				rparen = gd.Rparen
+			}
+			for _, spec := range gd.Specs {
+				if is, ok := spec.(*ast.ImportSpec); ok {
+					have[strings.Trim(is.Path.Value, `"`)] = true
+				}
+			}
+		}
+		edits := []TextEdit{}
+		for _, name := range names {
+			if have[name] {
+				continue
+			}
+			if !rparen.IsValid() {
+				return nil
+			}
+			edits = append(edits, TextEdit{
+				File:  filename,
+				Start: pass.Offset(rparen),
+				End:   pass.Offset(rparen),
+				New:   "\t" + strconv.Quote(name) + "\n",
+			})
+		}
+		return edits
+	}
+	return nil
 }
 
 // containsSortCall reports whether body calls into package sort or

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeCacheModule lays out a tiny module with a dependency chain
+// (b imports a) and an independent package c, so invalidation can be
+// observed per-package.
+func writeCacheModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachemod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nconst A = 1\n",
+		"b/b.go": "package b\n\nimport \"cachemod/a\"\n\nconst B = a.A + 1\n",
+		"c/c.go": "package c\n\nconst C = 3\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runCached(t *testing.T, dir, cacheDir string) *RunResult {
+	t.Helper()
+	res, err := Run(RunConfig{Dir: dir, Patterns: []string{"./..."}, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatalf("engine run: %v", err)
+	}
+	return res
+}
+
+func cachedByPath(res *RunResult) map[string]bool {
+	m := make(map[string]bool, len(res.Pkgs))
+	for _, p := range res.Pkgs {
+		m[p.PkgPath] = p.Cached
+	}
+	return m
+}
+
+// TestCacheWarmReloadFullHit: re-running over unchanged sources must
+// serve every package from the cache.
+func TestCacheWarmReloadFullHit(t *testing.T) {
+	dir := writeCacheModule(t)
+	cacheDir := t.TempDir()
+
+	cold := runCached(t, dir, cacheDir)
+	if got := cold.Hits(); got != 0 {
+		t.Fatalf("cold run served %d packages from cache, want 0", got)
+	}
+	if len(cold.Pkgs) != 3 {
+		t.Fatalf("cold run analyzed %d packages, want 3: %+v", len(cold.Pkgs), cold.Pkgs)
+	}
+
+	warm := runCached(t, dir, cacheDir)
+	if got := warm.Hits(); got != len(warm.Pkgs) {
+		t.Fatalf("warm run served %d/%d packages from cache, want all: %+v",
+			got, len(warm.Pkgs), warm.Pkgs)
+	}
+}
+
+// TestCacheInvalidationIsExact: a one-byte change to package a must
+// invalidate a and its reverse dependency b, and nothing else.
+func TestCacheInvalidationIsExact(t *testing.T) {
+	dir := writeCacheModule(t)
+	cacheDir := t.TempDir()
+	runCached(t, dir, cacheDir)
+
+	aFile := filepath.Join(dir, "a", "a.go")
+	data, err := os.ReadFile(aFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aFile, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res := runCached(t, dir, cacheDir)
+	got := cachedByPath(res)
+	want := map[string]bool{"cachemod/a": false, "cachemod/b": false, "cachemod/c": true}
+	for path, cached := range want {
+		if got[path] != cached {
+			t.Errorf("after editing a: %s cached=%v, want %v", path, got[path], cached)
+		}
+	}
+
+	// Edit the leaf c: only c re-analyzes.
+	cFile := filepath.Join(dir, "c", "c.go")
+	data, err = os.ReadFile(cFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cFile, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res = runCached(t, dir, cacheDir)
+	got = cachedByPath(res)
+	want = map[string]bool{"cachemod/a": true, "cachemod/b": true, "cachemod/c": false}
+	for path, cached := range want {
+		if got[path] != cached {
+			t.Errorf("after editing c: %s cached=%v, want %v", path, got[path], cached)
+		}
+	}
+}

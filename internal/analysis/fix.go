@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix carried by diags to the files
+// on disk, returning how many diagnostics were fixed. Edits are applied
+// per file from the end backward so earlier offsets stay valid;
+// overlapping edits are skipped (first one wins) and left for a
+// re-run after the surviving fixes land.
+func ApplyFixes(diags []Diagnostic) (applied int, err error) {
+	type edit struct {
+		TextEdit
+		diag int // index into diags, to count fixed diagnostics
+	}
+	byFile := make(map[string][]edit)
+	for i, d := range diags {
+		for _, e := range d.Fixes {
+			byFile[e.File] = append(byFile[e.File], edit{TextEdit: e, diag: i})
+		}
+	}
+	fixed := make(map[int]bool)
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		edits := byFile[file]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return 0, fmt.Errorf("apply fixes: %w", err)
+		}
+		// Drop overlaps, then apply back-to-front.
+		kept := edits[:0]
+		lastEnd := -1
+		for _, e := range edits {
+			if e.Start < lastEnd || e.Start < 0 || e.End > len(data) || e.End < e.Start {
+				continue
+			}
+			kept = append(kept, e)
+			lastEnd = e.End
+		}
+		for i := len(kept) - 1; i >= 0; i-- {
+			e := kept[i]
+			data = append(data[:e.Start], append([]byte(e.New), data[e.End:]...)...)
+			fixed[e.diag] = true
+		}
+		if err := os.WriteFile(file, data, 0o644); err != nil {
+			return 0, fmt.Errorf("apply fixes: %w", err)
+		}
+	}
+	return len(fixed), nil
+}

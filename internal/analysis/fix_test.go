@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFixRoundTrip copies the fixable fixture aside, applies every
+// suggested fix the suite produces, and checks the rewritten package
+// comes back clean: the metrickeys substitutions (one existing
+// constant, one minted), the determinism sorted-range rewrite with its
+// import insertions, and the clock-seam rewrite all have to compose in
+// one pass.
+func TestFixRoundTrip(t *testing.T) {
+	srcDir := filepath.Join("testdata", "src", "fixable")
+	dir := t.TempDir()
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load fixable copy: %v", err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixable fixture produced no findings")
+	}
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			t.Errorf("finding without a suggested fix: %s: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	applied, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("apply fixes: %v", err)
+	}
+	if applied == 0 {
+		t.Fatal("no fixes applied")
+	}
+
+	pkg2, err := LoadDir(dir)
+	if err != nil {
+		fixed, _ := os.ReadFile(filepath.Join(dir, "fixable.go"))
+		t.Fatalf("fixed package no longer loads: %v\n%s", err, fixed)
+	}
+	diags2, err := RunAnalyzers([]*Package{pkg2}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags2) != 0 {
+		fixed, _ := os.ReadFile(filepath.Join(dir, "fixable.go"))
+		for _, d := range diags2 {
+			t.Errorf("finding survived -fix: %s: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+		t.Fatalf("fixed source:\n%s", fixed)
+	}
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak proves goroutine shutdown. In packages opted in with a
+// package-scope //thermlint:goroutines directive, every `go` statement
+// must have a provable shutdown path: the spawned body — directly, or
+// transitively through the functions it calls, cross-package via
+// exported facts — observes shutdown (receives from ctx.Done() or a
+// done channel, ranges over a channel, or blocks in
+// sync.WaitGroup.Wait) or is joined (calls sync.WaitGroup.Done so a
+// waiter can collect it). Audited escapes carry
+// //thermlint:goroutine -- why on the go statement.
+//
+// The analyzer exports a goroutineFact for every package-level function
+// in every package it visits, so `go journal.FlushLoop`-style spawns of
+// imported functions are provable without re-reading the callee's
+// source.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every goroutine in a //thermlint:goroutines package must observe shutdown or be joined",
+	Run:  runGoLeak,
+}
+
+// goroutineFact is the exported claim about a package-level function:
+// running it observes shutdown, and/or it participates in a
+// WaitGroup join.
+type goroutineFact struct {
+	Observes bool `json:"observes,omitempty"`
+	Joins    bool `json:"joins,omitempty"`
+}
+
+func (*goroutineFact) AFact() {}
+
+// leakInfo is the per-function analysis state during the intra-package
+// fixpoint.
+type leakInfo struct {
+	observes bool
+	joins    bool
+	callees  []*types.Func
+}
+
+func (li *leakInfo) bounded() bool { return li.observes || li.joins }
+
+func runGoLeak(pass *Pass) error {
+	// Pass 1: direct evidence and call edges for every package-level
+	// function, then an intra-package fixpoint that also pulls in
+	// facts already exported by dependency packages (the load order is
+	// dependency-first, so those are all present).
+	infos := make(map[*types.Func]*leakInfo)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			infos[fn] = scanLeakEvidence(pass, fd.Body)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, info := range infos {
+			for _, callee := range info.callees {
+				o, j := leakFactFor(pass, infos, callee)
+				if (o && !info.observes) || (j && !info.joins) {
+					info.observes = info.observes || o
+					info.joins = info.joins || j
+					changed = true
+				}
+			}
+		}
+	}
+	for fn, info := range infos {
+		if info.bounded() {
+			pass.ExportObjectFact(fn, &goroutineFact{Observes: info.observes, Joins: info.joins})
+		}
+	}
+
+	// Pass 2: prove every spawn in opted-in packages.
+	if !pass.PackageMarked("goroutines") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if pass.Allowed(g.Pos(), "goroutine") {
+				return true
+			}
+			if !spawnBounded(pass, infos, g.Call) {
+				pass.Reportf(g.Pos(), "goroutine has no provable shutdown path (observe ctx.Done()/a done channel/WaitGroup.Wait, join via WaitGroup.Done, or annotate //thermlint:goroutine -- why)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnBounded reports whether the spawned call provably terminates
+// under shutdown: a function literal whose body carries (or reaches,
+// through named callees) shutdown evidence, or a named function whose
+// fact says so.
+func spawnBounded(pass *Pass, infos map[*types.Func]*leakInfo, call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		info := scanLeakEvidence(pass, lit.Body)
+		for _, callee := range info.callees {
+			o, j := leakFactFor(pass, infos, callee)
+			info.observes = info.observes || o
+			info.joins = info.joins || j
+		}
+		return info.bounded()
+	}
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return false // indirect spawn: nothing to prove against
+	}
+	o, j := leakFactFor(pass, infos, fn)
+	return o || j
+}
+
+// leakFactFor resolves a callee's goroutineFact from the current
+// package's fixpoint state or, cross-package, from the facts store.
+func leakFactFor(pass *Pass, infos map[*types.Func]*leakInfo, fn *types.Func) (observes, joins bool) {
+	if info, ok := infos[fn]; ok {
+		return info.observes, info.joins
+	}
+	var fact goroutineFact
+	if pass.ImportObjectFact(fn, &fact) {
+		return fact.Observes, fact.Joins
+	}
+	return false, false
+}
+
+// scanLeakEvidence collects a body's direct shutdown evidence and its
+// named callees. Nested function literals are skipped: evidence inside
+// them runs on some other goroutine's schedule and proves nothing
+// about this body.
+func scanLeakEvidence(pass *Pass, body *ast.BlockStmt) *leakInfo {
+	info := &leakInfo{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			if selectObservesShutdown(pass, n) {
+				info.observes = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isShutdownRecv(pass, n.X) {
+				info.observes = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					info.observes = true
+				}
+			}
+		case *ast.CallExpr:
+			switch {
+			case pass.IsMethod(n, "sync", "WaitGroup", "Wait"):
+				info.observes = true
+			case pass.IsMethod(n, "sync", "WaitGroup", "Done"):
+				info.joins = true
+			default:
+				if fn := pass.CalleeFunc(n); fn != nil {
+					info.callees = append(info.callees, fn)
+				}
+			}
+		}
+		return true
+	})
+	return info
+}
+
+// selectObservesShutdown reports whether a select has a case receiving
+// from a shutdown-signal source. Unlike ctxflow's cancellation check, a
+// default clause does NOT count: it keeps the select from blocking but
+// proves nothing about the surrounding loop terminating.
+func selectObservesShutdown(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc := clause.(*ast.CommClause)
+		var recvSrc ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recvSrc = u.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if u, ok := comm.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recvSrc = u.X
+				}
+			}
+		}
+		if recvSrc != nil && isShutdownRecv(pass, recvSrc) {
+			return true
+		}
+	}
+	return false
+}
+
+// isShutdownRecv reports whether receiving from src observes shutdown:
+// src is a Done()-style call or a chan struct{} completion channel.
+func isShutdownRecv(pass *Pass, src ast.Expr) bool {
+	src = ast.Unparen(src)
+	if call, ok := src.(*ast.CallExpr); ok {
+		if fn := pass.CalleeFunc(call); fn != nil && fn.Name() == "Done" {
+			return true
+		}
+	}
+	return isDoneChannel(pass.TypeOf(src))
+}

@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -28,26 +30,44 @@ type Package struct {
 	TypesInfo *types.Info
 }
 
-// listedPackage is the subset of `go list -json` output the loader
-// needs.
+// listedPackage is the subset of `go list -json -deps` output the
+// loader needs. DepOnly marks packages pulled in as dependencies of
+// the requested patterns rather than matching them directly; Standard
+// marks the standard library.
 type listedPackage struct {
 	Dir        string
 	ImportPath string
 	Name       string
 	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
 }
 
-// Load enumerates the packages matching patterns with `go list` (run in
-// dir, "" meaning the current directory) and type-checks each from
-// source. Test files are excluded, matching the linter's scope: shipped
-// code. Dependencies — including the standard library — resolve through
-// go/importer's source importer, so loading works without network
-// access or a populated module cache.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+// loader enumerates and lazily type-checks packages. In-module
+// packages are checked at most once each and served to importers from
+// the same table, so a function object observed while analyzing an
+// importing package is pointer-identical to the one observed while
+// analyzing its home package — the property the facts store keys on.
+// Standard-library imports fall through to go/importer's source
+// importer.
+type loader struct {
+	fset   *token.FileSet
+	listed map[string]*listedPackage // module packages by import path
+	order  []string                  // module packages, dependency-first
+	roots  []string                  // packages matching the requested patterns
+	pkgs   map[string]*Package       // lazily checked module packages
+	std    types.ImporterFrom        // stdlib fallback
+}
+
+// newLoader runs `go list -json -deps` over patterns (in dir, ""
+// meaning the current directory) and indexes the module's packages in
+// dependency-first order. Nothing is type-checked yet.
+func newLoader(dir string, patterns ...string) (*loader, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"list", "-json", "--"}, patterns...)
+	args := append([]string{"list", "-json", "-deps", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -56,7 +76,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
-	var listed []listedPackage
+	l := &loader{
+		fset:   token.NewFileSet(),
+		listed: make(map[string]*listedPackage),
+		pkgs:   make(map[string]*Package),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var lp listedPackage
@@ -65,21 +90,131 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("decode go list output: %w", err)
 		}
-		if len(lp.GoFiles) > 0 {
-			listed = append(listed, lp)
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		p := lp
+		l.listed[p.ImportPath] = &p
+		if !p.DepOnly {
+			l.roots = append(l.roots, p.ImportPath)
 		}
 	}
-	sort.Slice(listed, func(i, k int) bool { return listed[i].ImportPath < listed[k].ImportPath })
+	sort.Strings(l.roots)
+	l.order = topoOrder(l.listed)
+	return l, nil
+}
 
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
-	pkgs := make([]*Package, 0, len(listed))
-	for _, lp := range listed {
-		files := make([]string, len(lp.GoFiles))
-		for i, f := range lp.GoFiles {
-			files[i] = filepath.Join(lp.Dir, f)
+// topoOrder sorts the module packages dependency-first (a package
+// follows everything it imports), breaking ties by import path so the
+// order is deterministic.
+func topoOrder(listed map[string]*listedPackage) []string {
+	paths := make([]string, 0, len(listed))
+	for p := range listed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(string)
+	visit = func(path string) {
+		if state[path] != 0 {
+			return
 		}
-		pkg, err := check(fset, imp, lp.ImportPath, lp.Dir, files)
+		state[path] = 1
+		lp := listed[path]
+		deps := append([]string(nil), lp.Imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, inModule := listed[dep]; inModule {
+				visit(dep)
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return order
+}
+
+// Import implements types.Importer by serving module packages from the
+// loader's own table (type-checking them on demand) and everything
+// else from the source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if _, ok := l.listed[path]; ok {
+		pkg, err := l.pkg(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// pkg returns the type-checked module package, checking it (and,
+// recursively, its module dependencies) on first demand.
+func (l *loader) pkg(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	lp, ok := l.listed[path]
+	if !ok {
+		return nil, fmt.Errorf("package %s is not part of the loaded module graph", path)
+	}
+	files := make([]string, len(lp.GoFiles))
+	for i, f := range lp.GoFiles {
+		files[i] = filepath.Join(lp.Dir, f)
+	}
+	pkg, err := check(l.fset, l, lp.ImportPath, lp.Dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// hash returns the package's content hash: the sha256 of its file
+// names and contents, in go list order. Dependency contents are NOT
+// folded in here — the cache combines this with the dependencies'
+// action IDs instead (see actionID), so a one-byte change invalidates
+// exactly the changed package and its reverse dependencies.
+func (lp *listedPackage) hash() (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "pkg %s\n", lp.ImportPath)
+	for _, f := range lp.GoFiles {
+		data, err := os.ReadFile(filepath.Join(lp.Dir, f))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "file %s %d\n", f, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Load enumerates the packages matching patterns with `go list` (run
+// in dir, "" meaning the current directory) and type-checks each from
+// source, dependency-first. Test files are excluded, matching the
+// linter's scope: shipped code. Standard-library imports resolve
+// through go/importer's source importer; module-internal imports are
+// served from the same load, so cross-package objects are canonical.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	l, err := newLoader(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(l.roots))
+	for _, path := range l.order {
+		if lp := l.listed[path]; lp.DepOnly {
+			continue
+		}
+		pkg, err := l.pkg(path)
 		if err != nil {
 			return nil, err
 		}

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"go/ast"
 	"go/constant"
+	"go/token"
 	"go/types"
+	"strconv"
+	"strings"
 )
 
 // MetricKeys closes the metric namespace: in packages that declare a
@@ -28,6 +31,7 @@ func runMetricKeys(pass *Pass) error {
 	if registry == nil {
 		return nil // package declares no metric-name registry; out of scope
 	}
+	fixer := newRegistryFixer(pass, registry)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -39,11 +43,11 @@ func runMetricKeys(pass *Pass) error {
 				switch n := n.(type) {
 				case *ast.CallExpr:
 					if pass.IsPkgFunc(n, statsPkgPath, "NewHistogram") && len(n.Args) > 0 {
-						checkMetricName(pass, registry, n.Args[0], "stats.NewHistogram name")
+						checkMetricName(pass, registry, fixer, n.Args[0], "stats.NewHistogram name")
 					}
 				case *ast.CompositeLit:
 					if docChecked {
-						checkMetricsDocLit(pass, registry, n)
+						checkMetricsDocLit(pass, registry, fixer, n)
 					}
 				}
 				return true
@@ -55,7 +59,7 @@ func runMetricKeys(pass *Pass) error {
 
 // checkMetricsDocLit validates every key of a string-keyed map literal
 // inside a //thermlint:metricsdoc function.
-func checkMetricsDocLit(pass *Pass, registry map[string]string, lit *ast.CompositeLit) {
+func checkMetricsDocLit(pass *Pass, registry map[string]string, fixer *registryFixer, lit *ast.CompositeLit) {
 	t := pass.TypeOf(lit)
 	if t == nil {
 		return
@@ -72,23 +76,29 @@ func checkMetricsDocLit(pass *Pass, registry map[string]string, lit *ast.Composi
 		if !ok {
 			continue
 		}
-		checkMetricName(pass, registry, kv.Key, "metrics document key")
+		checkMetricName(pass, registry, fixer, kv.Key, "metrics document key")
 	}
 }
 
 // checkMetricName requires expr to be a named constant from the
 // registry, or (for histogram name prefixes like "latency_ms_"+kind) a
-// concatenation whose leftmost operand is one.
-func checkMetricName(pass *Pass, registry map[string]string, expr ast.Expr, site string) {
+// concatenation whose leftmost operand is one. Raw string literals get
+// a suggested fix: substitute the registered constant for the value, or
+// mint a new registry constant when none exists.
+func checkMetricName(pass *Pass, registry map[string]string, fixer *registryFixer, expr ast.Expr, site string) {
 	expr = ast.Unparen(expr)
 	if bin, ok := expr.(*ast.BinaryExpr); ok {
 		// A dynamic suffix is fine as long as the prefix is registered.
-		checkMetricName(pass, registry, bin.X, site)
+		checkMetricName(pass, registry, fixer, bin.X, site)
 		return
 	}
 	name, val, ok := constIdent(pass, expr)
 	if !ok {
-		pass.Reportf(expr.Pos(), "%s must be a //thermlint:metricnames registry constant, not %s", site, describeExpr(expr))
+		if fixes := fixer.fixLiteral(expr); fixes != nil {
+			pass.ReportFix(expr.Pos(), fixes, "%s must be a //thermlint:metricnames registry constant, not %s", site, describeExpr(expr))
+		} else {
+			pass.Reportf(expr.Pos(), "%s must be a //thermlint:metricnames registry constant, not %s", site, describeExpr(expr))
+		}
 		return
 	}
 	if _, registered := registry[name]; !registered {
@@ -124,6 +134,91 @@ func describeExpr(expr ast.Expr) string {
 	default:
 		return "a dynamic expression"
 	}
+}
+
+// registryFixer builds suggested fixes for raw metric-name literals:
+// substitute the registry constant that already holds the value, or
+// mint one — an insertion into the registry const block plus the
+// substitution.
+type registryFixer struct {
+	pass    *Pass
+	byValue map[string]string // registry value -> const name
+	insert  token.Pos         // before the registry block's closing paren
+}
+
+func newRegistryFixer(pass *Pass, registry map[string]string) *registryFixer {
+	f := &registryFixer{pass: pass, byValue: make(map[string]string, len(registry))}
+	for name, val := range registry {
+		f.byValue[val] = name
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if ok && DeclMarked(gd.Doc, "metricnames") && gd.Rparen.IsValid() {
+				f.insert = gd.Rparen
+				return f
+			}
+		}
+	}
+	return f
+}
+
+// fixLiteral returns edits resolving a raw string-literal metric name,
+// or nil when expr is not a plain string literal.
+func (f *registryFixer) fixLiteral(expr ast.Expr) []TextEdit {
+	lit, ok := expr.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	val, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return nil
+	}
+	file := f.pass.Fset.Position(lit.Pos()).Filename
+	if name, ok := f.byValue[val]; ok {
+		return []TextEdit{{File: file, Start: f.pass.Offset(lit.Pos()), End: f.pass.Offset(lit.End()), New: name}}
+	}
+	if !f.insert.IsValid() {
+		return nil
+	}
+	name := mintConstName(val)
+	if name == "" {
+		return nil
+	}
+	f.byValue[val] = name // later literals with the same value reuse it
+	regFile := f.pass.Fset.Position(f.insert).Filename
+	return []TextEdit{
+		{File: regFile, Start: f.pass.Offset(f.insert), End: f.pass.Offset(f.insert),
+			New: "\t" + name + " = " + strconv.Quote(val) + "\n"},
+		{File: file, Start: f.pass.Offset(lit.Pos()), End: f.pass.Offset(lit.End()), New: name},
+	}
+}
+
+// mintConstName derives a registry constant name from a dotted wire
+// key: "jobs.lost" -> metricJobsLost.
+func mintConstName(val string) string {
+	var sb strings.Builder
+	sb.WriteString("metric")
+	upper := true
+	for _, r := range val {
+		switch {
+		case r >= 'a' && r <= 'z':
+			if upper {
+				r -= 'a' - 'A'
+				upper = false
+			}
+			sb.WriteRune(r)
+		case r >= 'A' && r <= 'Z' || r >= '0' && r <= '9':
+			sb.WriteRune(r)
+			upper = false
+		default:
+			upper = true // separator: next letter starts a word
+		}
+	}
+	if sb.Len() == len("metric") {
+		return ""
+	}
+	return sb.String()
 }
 
 // collectStringRegistry gathers the string constants of every const

@@ -1,0 +1,43 @@
+// Package acctidmerge exercises the merge-mode identity: a marked
+// metrics merge must treat keys uniformly and combine numeric leaves
+// only with +, so a structural sum of per-node documents preserves each
+// node's accounting identity.
+package acctidmerge
+
+//thermlint:identity merge: jobs.submitted = jobs.completed + jobs.failed
+
+// mergeDocs is the well-behaved merge: recursion over maps, addition on
+// numeric leaves, no key special-casing.
+//
+//thermlint:metricsmerge
+func mergeDocs(dst, src map[string]any) {
+	for k, s := range src {
+		switch s := s.(type) {
+		case float64:
+			if d, ok := dst[k].(float64); ok {
+				dst[k] = d + s
+			} else {
+				dst[k] = s
+			}
+		case map[string]any:
+			if d, ok := dst[k].(map[string]any); ok {
+				mergeDocs(d, s)
+			} else {
+				dst[k] = s
+			}
+		default:
+			dst[k] = s
+		}
+	}
+}
+
+//thermlint:metricsmerge
+func badMerge(dst, src map[string]float64) {
+	submitted := src["jobs.submitted"] // want "special-cases identity key \"jobs.submitted\""
+	dst["jobs.submitted"] = submitted  // want "special-cases identity key \"jobs.submitted\""
+	for k, v := range src {
+		if k != "" {
+			dst[k] = dst[k] * v // want "non-linear ... on numeric leaves"
+		}
+	}
+}

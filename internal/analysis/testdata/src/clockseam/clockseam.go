@@ -1,0 +1,44 @@
+// Package clockseam exercises the tree-wide timer rule: raw
+// time.Timer/Ticker/After/Sleep must go through internal/clock.
+package clockseam
+
+import (
+	"time"
+
+	"thermalherd/internal/clock"
+)
+
+func sleepy() {
+	time.Sleep(time.Second) // want "time.Sleep bypasses the clock seam"
+}
+
+func after(d time.Duration) <-chan time.Time {
+	return time.After(d) // want "time.After bypasses the clock seam"
+}
+
+func ticking(stop chan struct{}) {
+	t := time.NewTicker(time.Second) // want "time.NewTicker bypasses the clock seam"
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func audited() {
+	//thermlint:timer -- injected wall-clock latency is the point
+	time.Sleep(time.Millisecond)
+}
+
+// seamed goes through the clock interface: no findings.
+func seamed(c clock.Clock, d time.Duration) <-chan time.Time {
+	return c.After(d)
+}
+
+// realSeam uses the process-wide real clock: still seam-respecting.
+func realSeam(d time.Duration) {
+	<-clock.Real().After(d)
+}

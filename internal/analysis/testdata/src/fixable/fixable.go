@@ -1,0 +1,44 @@
+// Package fixable is the -fix round-trip fixture: every finding in
+// this package carries a suggested fix, and applying them all yields a
+// package the full analyzer suite reports clean.
+//
+//thermlint:deterministic
+package fixable
+
+import (
+	"time"
+
+	"thermalherd/internal/clock"
+)
+
+//thermlint:metricnames
+const (
+	metricJobsHits = "jobs.hits"
+)
+
+func use(k string, v int) {}
+
+// doc builds a metrics document with one key that should reuse the
+// registered constant and one that needs a freshly minted constant.
+//
+//thermlint:metricsdoc
+func doc(hits, lost int) map[string]int {
+	return map[string]int{
+		"jobs.hits": hits,
+		"jobs.lost": lost,
+	}
+}
+
+func sum(m map[string]int) {
+	for k, v := range m {
+		use(k, v)
+	}
+}
+
+func wait(d time.Duration) {
+	<-time.After(d)
+}
+
+func seam(d time.Duration) {
+	<-clock.Real().After(d)
+}

@@ -1,0 +1,81 @@
+// Package goleak exercises the goroutine-leak prover: spawns must
+// observe shutdown or be joined.
+//
+//thermlint:goroutines
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// leakyLoop never observes shutdown.
+func leakyLoop() {
+	for {
+		work()
+	}
+}
+
+// boundedLoop observes a done channel.
+func boundedLoop(stop chan struct{}, ch chan int) {
+	for {
+		select {
+		case <-stop:
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// drainer terminates when its channel closes.
+func drainer(ch chan int) {
+	for range ch {
+		work()
+	}
+}
+
+// viaHelper observes shutdown transitively through boundedLoop.
+func viaHelper(stop chan struct{}, ch chan int) {
+	work()
+	boundedLoop(stop, ch)
+}
+
+func spawns(ctx context.Context, stop chan struct{}, ch chan int) {
+	go leakyLoop() // want "no provable shutdown path"
+
+	go boundedLoop(stop, ch) // proven: selects on the stop channel
+	go drainer(ch)           // proven: for-range over a closable channel
+	go viaHelper(stop, ch)   // proven: transitively via boundedLoop's fact
+
+	go func() { // proven: observes ctx.Done directly
+		<-ctx.Done()
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // proven: joined via wg.Done
+		defer wg.Done()
+		work()
+	}()
+
+	done := make(chan struct{})
+	go func() { // proven: blocks in wg.Wait (a collector)
+		wg.Wait()
+		close(done)
+	}()
+
+	go func() { // want "no provable shutdown path"
+		for {
+			work()
+		}
+	}()
+
+	fn := leakyLoop
+	go fn() // want "no provable shutdown path"
+
+	//thermlint:goroutine -- audited: process-lifetime metrics pump
+	go leakyLoop()
+}

@@ -1,0 +1,13 @@
+// Package unmarked has not opted into goroutine-leak proving: the same
+// leaky spawn that goleak flags in a //thermlint:goroutines package is
+// out of scope here.
+package unmarked
+
+func spin() {
+	for {
+	}
+}
+
+func spawn() {
+	go spin() // no finding: package not marked //thermlint:goroutines
+}

@@ -22,6 +22,16 @@ func TestCtxFlowFixture(t *testing.T) { runFixture(t, CtxFlow, "ctxflow") }
 
 func TestLockScopeFixture(t *testing.T) { runFixture(t, LockScope, "lockscope") }
 
+func TestGoLeakFixture(t *testing.T) { runFixture(t, GoLeak, "goleak") }
+
+func TestGoLeakUnmarkedPackageExempt(t *testing.T) { runFixture(t, GoLeak, "goleak_unmarked") }
+
+func TestAcctIDFixture(t *testing.T) { runFixture(t, AcctID, "acctid") }
+
+func TestAcctIDMergeFixture(t *testing.T) { runFixture(t, AcctID, "acctid_merge") }
+
+func TestClockSeamFixture(t *testing.T) { runFixture(t, ClockSeam, "clockseam") }
+
 func TestParseDirective(t *testing.T) {
 	cases := []struct {
 		text string
@@ -53,7 +63,7 @@ func TestAllAnalyzersNamedAndDocumented(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Errorf("suite has %d analyzers, want 5", len(seen))
+	if len(seen) != 8 {
+		t.Errorf("suite has %d analyzers, want 8", len(seen))
 	}
 }

@@ -213,6 +213,7 @@ func (r *Registry) fire(point string) error {
 	delay, errMsg, panicMsg := p.Delay, p.Err, p.Panic
 	r.mu.Unlock()
 	if delay > 0 {
+		//thermlint:timer -- the injected latency IS the fault being modeled
 		time.Sleep(delay)
 	}
 	if panicMsg != "" {

@@ -231,6 +231,7 @@ func (m *membership) suspect(name string) {
 	if !ok {
 		return
 	}
+	//thermlint:goroutine -- one /readyz fetch bounded by the probe client's timeout
 	go m.probe(context.Background(), b)
 }
 

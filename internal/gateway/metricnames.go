@@ -1,5 +1,7 @@
 package gateway
 
+import "sort"
+
 // The gateway's metric-name registry: every key its /metrics document
 // adds beyond the aggregated backend counters is a constant here, and
 // thermlint's metrickeys analyzer rejects emission sites that spell a
@@ -12,6 +14,14 @@ package gateway
 // (submitted == hits+completed+failed+canceled+rejected) must
 // reconcile against the same keys chaosCheck already reads.
 //
+// The fleet-wide accounting identity survives aggregation only if the
+// merge is a structural sum: every numeric leaf combined with +, no
+// key treated specially. thermlint's acctid analyzer enforces exactly
+// that over the //thermlint:metricsmerge-marked merge function — the
+// declared keys are the identity's leaves as the nested wire documents
+// spell them.
+//
+//thermlint:identity merge: submitted = hits + completed + failed + canceled + rejected
 //thermlint:metricnames
 const (
 	// metricSectionGateway holds the gateway's own counters.
@@ -50,3 +60,44 @@ const (
 	metricNodesRemoved    = "nodes_removed"
 	metricNodesDrained    = "nodes_drained"
 )
+
+// MetricNames returns the keys the gateway's aggregated /metrics
+// document adds beyond the summed backend keys, in the flattened
+// dotted namespace ("gateway.proxied", "backends", "partial"), sorted.
+// The top-level backend_errors sub-document is deliberately absent: it
+// is emitted only when a scatter-gather came back partial. Together
+// with server.MetricNames this is the fleet's complete metric
+// namespace, and metricnames_union_test pins the union to a live herd.
+func MetricNames() []string {
+	leaves := []string{
+		metricProxied,
+		metricSubmitsRouted,
+		metricSpills,
+		metricFailovers,
+		metricRetries,
+		metricBackendErrors,
+		metricScatterPartials,
+		metricProbes,
+		metricProbeFailures,
+		metricBackendsTotal,
+		metricBackendsRoutable,
+		metricHedgesFired,
+		metricHedgesWon,
+		metricHedgesWasted,
+		metricHedgeCancels,
+		metricBudgetExhausted,
+		metricRetryBackoffMs,
+		metricBreakerOpens,
+		metricBreakerDenied,
+		metricRingEpoch,
+		metricNodesAdded,
+		metricNodesRemoved,
+		metricNodesDrained,
+	}
+	names := []string{metricSectionBackends, metricKeyPartial}
+	for _, leaf := range leaves {
+		names = append(names, metricSectionGateway+"."+leaf)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -164,6 +164,7 @@ func (g *Gateway) raceRead(ctx context.Context, class, node, path string) (forwa
 	pctx, pcancel := context.WithCancel(ctx)
 	defer pcancel()
 	pch := make(chan res, 1)
+	//thermlint:goroutine -- exits when the pctx-bound forward returns; pcancel is deferred and the channel is buffered
 	go func() {
 		fr, err := g.timedForward(pctx, nil, class, node, http.MethodGet, path, nil, nil)
 		pch <- res{fr, err}
@@ -189,6 +190,7 @@ func (g *Gateway) raceRead(ctx context.Context, class, node, path string) (forwa
 	hctx, hcancel := context.WithCancel(ctx)
 	defer hcancel()
 	hch := make(chan res, 1)
+	//thermlint:goroutine -- exits when the hctx-bound forward returns; hcancel is deferred and the channel is buffered
 	go func() {
 		fr, err := g.timedForward(hctx, nil, class, node, http.MethodGet, path, nil, nil)
 		hch <- res{fr, err}
@@ -255,6 +257,7 @@ func (g *Gateway) raceSubmit(ctx context.Context, primary, hedgeNode string, bod
 		ch := make(chan submitRes, 1)
 		cnt := g.inflightOf(node)
 		cnt.Add(1)
+		//thermlint:goroutine -- exits when the raceAttemptTimeout-bound forward returns; the result channel is buffered
 		go func() {
 			defer cancel()
 			defer cnt.Add(-1)
@@ -335,6 +338,7 @@ func (g *Gateway) raceSubmit(ctx context.Context, primary, hedgeNode string, bod
 	}
 	if !loserGate.abort() {
 		// The loser is already on the wire; reap it off the request path.
+		//thermlint:goroutine -- the losing attempt and its cancel DELETE are both deadline-bound
 		go g.reapLoser(loserNode, loserCh)
 	}
 	return winner.fr, winNode, nil
@@ -950,6 +954,8 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // Strings, arrays, and mismatched shapes keep dst's value (first
 // backend wins) — histograms and timestamps are not meaningfully
 // summable and the reconciliation identity only reads numeric leaves.
+//
+//thermlint:metricsmerge
 func mergeDocs(dst, src map[string]any) {
 	for k, sv := range src {
 		dv, present := dst[k]

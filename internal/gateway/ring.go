@@ -14,6 +14,8 @@
 // backends mint ids independently, so the node suffix is what lets the
 // gateway route status polls, result fetches, and cancels statelessly
 // (a restarted gateway needs no id table).
+//
+//thermlint:goroutines
 package gateway
 
 import (

@@ -52,6 +52,8 @@
 // transient failure are never stranded behind a torn frame; only if
 // that restore itself fails does the journal seal itself and refuse
 // further appends.
+//
+//thermlint:goroutines
 package journal
 
 import (

@@ -14,6 +14,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thermalherd/internal/clock"
+
 	"thermalherd/internal/server"
 )
 
@@ -34,6 +36,7 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	clk     clock.Clock
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -59,6 +62,7 @@ func NewClient(base string, retries int, backoff time.Duration, seed int64) *Cli
 		hc:      &http.Client{},
 		retries: retries,
 		backoff: backoff,
+		clk:     clock.Real(),
 		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
@@ -137,7 +141,7 @@ func (c *Client) postRetry(ctx context.Context, path string, body []byte, idemKe
 		select {
 		case <-ctx.Done():
 			return b, resp.StatusCode, ctx.Err()
-		case <-time.After(c.retryDelay(attempt, resp.Header.Get("Retry-After"))):
+		case <-c.clk.After(c.retryDelay(attempt, resp.Header.Get("Retry-After"))):
 		}
 	}
 }

@@ -17,6 +17,7 @@
 // and unseeded randomness are lint errors outside audited exceptions.
 //
 //thermlint:deterministic
+//thermlint:goroutines
 package loadgen
 
 import (

@@ -20,6 +20,7 @@
 // so equal call sequences give equal outcomes.
 //
 //thermlint:deterministic
+//thermlint:goroutines
 package qos
 
 import "sync"

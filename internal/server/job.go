@@ -338,6 +338,8 @@ func (j *job) setProgress(completed, total int) {
 // settle-once guard that keeps the worker, the watchdog, and an
 // abandoned executor straggling back from settling the same job twice
 // (the winner also owns the matching metrics and cache updates).
+//
+//thermlint:settleonce
 func (j *job) finishRunning(state State, result json.RawMessage, errMsg string) bool {
 	j.mu.Lock()
 	if j.state != StateRunning {
@@ -410,6 +412,8 @@ func (j *job) finishFromCache(result json.RawMessage) {
 // cancelQueued transitions queued → canceled; it reports false if the
 // job had already started (the caller then cancels the context
 // instead).
+//
+//thermlint:settleonce
 func (j *job) cancelQueued(reason string) bool {
 	j.mu.Lock()
 	if j.state != StateQueued {

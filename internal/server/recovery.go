@@ -112,6 +112,7 @@ func (s *Server) applyReplay() {
 		// terminal + rejected on both axes.
 		s.metrics.inc(&s.metrics.submitted)
 		s.metrics.tinc(j.tenant, tcSubmitted)
+		//thermlint:handoff -- the unfinished (default) arm re-enqueues: the requeued job settles when it runs
 		switch State(rec.State) {
 		case StateDone:
 			if rec.FromCache {
@@ -146,6 +147,7 @@ func (s *Server) applyReplay() {
 					s.metrics.inc(&s.metrics.canceled)
 					s.metrics.tinc(j.tenant, tcCanceled)
 				}
+				//thermlint:handoff -- settled just above under the cancelQueued settle-once guard
 				continue
 			}
 			requeued++

@@ -25,6 +25,8 @@
 // with 429 + Retry-After before the queue fills. Named fault points
 // (see the Fault* constants) let chaos tests inject latency, errors,
 // and panics into the hot paths deterministically.
+//
+//thermlint:goroutines
 package server
 
 import (
@@ -438,6 +440,7 @@ func (s *Server) worker() {
 		}
 		s.metrics.observeQueueWait(j.qclass(), s.cfg.Clock.Since(j.submitted))
 		done := make(chan struct{})
+		//thermlint:goroutine -- exits when runJob returns; a stuck executor is deliberately abandoned by the watchdog, which restarts the slot
 		go func() {
 			defer close(done)
 			s.runJob(j)
@@ -453,13 +456,11 @@ func (s *Server) worker() {
 // watchdog periodically sweeps for jobs stuck past StuckAfter and
 // reaps them: the job is failed, its slot restarted.
 func (s *Server) watchdog() {
-	t := time.NewTicker(s.cfg.WatchdogInterval)
-	defer t.Stop()
 	for {
 		select {
 		case <-s.watchdogStop:
 			return
-		case <-t.C:
+		case <-s.cfg.Clock.After(s.cfg.WatchdogInterval):
 			s.reapStuck()
 		}
 	}
@@ -876,6 +877,7 @@ func (s *Server) admit(spec Spec, idemKey, tenant string) (Status, int, error) {
 		s.metrics.tinc(tenant, tcRejected)
 		return Status{}, http.StatusServiceUnavailable, err
 	}
+	//thermlint:handoff -- the 202 hands the obligation to the worker: runJob (or the watchdog) settles it via finishRunning
 	return j.status(), http.StatusAccepted, nil
 }
 
