@@ -43,6 +43,13 @@
 //     live-membership API: POST/GET /v1/admin/nodes, POST
 //     /v1/admin/nodes/{name}/drain, DELETE /v1/admin/nodes/{name}.
 //     Without a token the admin API answers 403.
+//   - -takeover-after arms failover (repl.takeover): a backend down
+//     that long is adopted by its ring successor — the successor
+//     replays the replica journal the dead node streamed to it (see
+//     thermherdd -repl), an alias keeps the dead node's job ids
+//     resolving, and the corpse leaves the ring. Drains become
+//     proactive: queued jobs migrate to the successor immediately,
+//     and DELETE ?force=1 adopts before removing.
 package main
 
 import (
@@ -106,6 +113,8 @@ func main() {
 		brkThresh   = flag.Int("breaker-threshold", 5, "consecutive failures that open a backend's circuit")
 		brkCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit waits before a half-open trial")
 		adminToken  = flag.String("admin-token", os.Getenv("THERMHERD_ADMIN_TOKEN"), "bearer token for the /v1/admin/nodes API; empty disables it; defaults to $THERMHERD_ADMIN_TOKEN")
+
+		takeoverAfter = flag.Duration("takeover-after", 0, "adopt a backend dead this long onto its ring successor (0 = takeover disabled; requires backends running -repl)")
 	)
 	flag.Parse()
 
@@ -128,6 +137,7 @@ func main() {
 		BreakerThreshold: *brkThresh,
 		BreakerCooldown:  *brkCooldown,
 		AdminToken:       *adminToken,
+		TakeoverAfter:    *takeoverAfter,
 	}
 	if *faults != "" {
 		reg := faultinject.New()
@@ -169,6 +179,9 @@ func main() {
 	}
 	if *adminToken != "" {
 		log.Printf("thermherd-gw: admin API enabled on /v1/admin/nodes")
+	}
+	if *takeoverAfter > 0 {
+		log.Printf("thermherd-gw: failover armed: takeover after %v down, drains migrate queued jobs", *takeoverAfter)
 	}
 
 	select {

@@ -11,6 +11,7 @@
 //	           [-tenant-rate 0] [-tenant-burst 0] [-tenant-weights SPEC]
 //	           [-faults SPEC] [-fault-seed 1]
 //	           [-journal-dir DIR] [-fsync always|interval|off] [-no-recover]
+//	           [-node NAME] [-repl none|async|sync] [-repl-peer NAME=URL]
 //
 // SIGINT/SIGTERM begin a graceful drain: new submissions are rejected
 // with 503, running jobs get the -drain deadline to finish, and the
@@ -43,6 +44,14 @@
 // loss; interval bounds loss to ~100ms of acks; off survives process
 // crashes only). -no-recover discards any persisted state instead of
 // replaying it.
+//
+// -repl arms successor replication: journal events stream to the
+// -repl-peer node (name=url), which buffers them in its replica store
+// and can adopt this node's jobs if it dies. Under -repl sync a submit
+// is acked only after the peer's append — an acked job then survives
+// this node's death; async streams in the background and bounds, not
+// eliminates, the loss window. Requires -node so adopted job ids can
+// be suffixed with their origin.
 package main
 
 import (
@@ -61,6 +70,7 @@ import (
 	"time"
 
 	"thermalherd/internal/faultinject"
+	"thermalherd/internal/replication"
 	"thermalherd/internal/server"
 )
 
@@ -89,14 +99,44 @@ func main() {
 		journalDir = flag.String("journal-dir", "", "write-ahead journal directory; empty disables durability")
 		fsync      = flag.String("fsync", "always", "journal fsync policy: always, interval, or off")
 		noRecover  = flag.Bool("no-recover", false, "discard persisted journal state instead of replaying it")
+
+		nodeName = flag.String("node", "", "this node's herd name (required with -repl)")
+		repl     = flag.String("repl", "", "replication ack policy: none, async, or sync (empty = none)")
+		replPeer = flag.String("repl-peer", "", "successor peer as name=url; journal events stream there")
 	)
 	flag.Parse()
 
-	weights, err := parseTenantWeights(*tenantWeights)
+	replPolicy, err := replication.ParsePolicy(*repl)
 	if err != nil {
 		log.Fatalf("thermherdd: %v", err)
 	}
+	var streamer *replication.Streamer
+	if replPolicy != replication.PolicyNone {
+		peerName, peerURL, ok := strings.Cut(*replPeer, "=")
+		if !ok || peerName == "" || peerURL == "" {
+			log.Fatalf("thermherdd: -repl %s requires -repl-peer name=url", replPolicy)
+		}
+		if *nodeName == "" {
+			log.Fatalf("thermherdd: -repl %s requires -node", replPolicy)
+		}
+		peerURL = strings.TrimRight(peerURL, "/")
+		streamer, err = replication.New(replication.Options{
+			Policy: replPolicy,
+			Origin: *nodeName,
+			Target: func() (string, string) { return peerName, peerURL },
+		})
+		if err != nil {
+			log.Fatalf("thermherdd: %v", err)
+		}
+	}
+
+	weights, werr := parseTenantWeights(*tenantWeights)
+	if werr != nil {
+		log.Fatalf("thermherdd: %v", werr)
+	}
 	cfg := server.Config{
+		NodeName:      *nodeName,
+		Repl:          streamer,
 		Workers:       *workers,
 		QueueDepth:    *queueDepth,
 		CacheSize:     *cacheSize,
@@ -130,6 +170,9 @@ func main() {
 	srv.Start()
 	if *journalDir != "" {
 		log.Printf("thermherdd: journal at %s (fsync=%s)", *journalDir, *fsync)
+	}
+	if streamer != nil {
+		log.Printf("thermherdd: replication %s -> %s", replPolicy, *replPeer)
 	}
 	if *sched == server.SchedQoS {
 		log.Printf("thermherdd: qos scheduler (short budget %s, reserve %d, tenant rate %g/s burst %d)",

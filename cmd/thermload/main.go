@@ -55,6 +55,21 @@
 //	          -faults 'selfhost.backend.join=error:join,count:1,delay:2s' \
 //	          -mode constant -rps 40 -duration 5s -seed 42
 //
+// Failover runs: -repl none|async|sync (with -selfhost -nodes >= 2)
+// chains each backend's journal to its ring successor, arms the
+// gateway's takeover machinery, and appends a post-run reconciliation
+// that re-polls every acked job id to a terminal state — the
+// fleet-wide zero-acked-loss audit. The selfhost.backend.kill9 point
+// is the hard variant of kill: the victim's listener and connections
+// are torn down instantly and its replication stream goes silent, the
+// wire behavior of a kill -9. Under -repl sync the successor adopts
+// the dead node's replica journal and no acked job is lost; under
+// -repl none the same kill measurably loses the victim's backlog:
+//
+//	thermload -selfhost -nodes 3 -repl sync -chaos \
+//	          -faults 'selfhost.backend.kill9=error:kill9,count:1,delay:2s' \
+//	          -mode constant -rps 40 -duration 6s -seed 42
+//
 // Multi-tenant QoS runs: -tenants N attributes unpinned arrivals to N
 // synthetic tenants t1..tN (Zipf-ish weights), mix entries may pin a
 // tenant of their own (see examples/mixes/multitenant.json), and
@@ -89,6 +104,7 @@ import (
 	"thermalherd/internal/faultinject"
 	"thermalherd/internal/gateway"
 	"thermalherd/internal/loadgen"
+	"thermalherd/internal/replication"
 	"thermalherd/internal/server"
 )
 
@@ -116,6 +132,16 @@ const (
 	// fleet-wide accounting still sees its jobs. A delay action
 	// schedules when. Only meaningful with -selfhost -nodes N.
 	faultBackendDrain = "selfhost.backend.drain"
+	// faultBackendKill9 fires from the herd kill9-watcher: an error
+	// action kills the LAST backend the hard way — its listener and
+	// in-flight connections are torn down instantly, its replication
+	// stream goes silent, and nothing drains — the wire behavior of a
+	// kill -9. With -repl armed the gateway's takeover adopts the
+	// victim's replica journal onto its ring successor; the post-run
+	// reconciliation then measures exactly what the ack policy
+	// promised. A delay action schedules when. Only meaningful with
+	// -selfhost -nodes N.
+	faultBackendKill9 = "selfhost.backend.kill9"
 )
 
 // selfhostAdminToken authorizes the in-process gateway's admin API for
@@ -161,6 +187,7 @@ type options struct {
 	brownout   time.Duration
 	chaos      bool
 	hedge      bool
+	repl       string
 
 	out         string
 	scheduleOut string
@@ -219,6 +246,7 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.brownout, "brownout", 0, "self-hosted daemon: brownout queue-wait threshold (0 = off)")
 	fs.BoolVar(&o.chaos, "chaos", false, "after the run, verify the daemon survived, all jobs settled, and /metrics accounting reconciles")
 	fs.BoolVar(&o.hedge, "hedge", false, "self-hosted herd: enable gateway request hedging (requires -selfhost -nodes >= 2)")
+	fs.StringVar(&o.repl, "repl", "", "self-hosted herd: replication ack policy (none, async, or sync) — chains each backend's journal to its ring successor, arms gateway takeover, and reconciles acked-job loss after the run (requires -selfhost -nodes >= 2)")
 
 	fs.StringVar(&o.out, "out", "BENCH_loadgen.json", "report output path")
 	fs.StringVar(&o.scheduleOut, "schedule-out", "", "also dump the arrival schedule (ns offsets, one per line) to this path")
@@ -252,6 +280,16 @@ func parseFlags(args []string) (options, error) {
 	if o.hedge && o.nodes < 2 {
 		fmt.Fprintln(fs.Output(), "thermload: -hedge requires -selfhost -nodes >= 2")
 		return o, fmt.Errorf("-hedge requires -selfhost -nodes >= 2")
+	}
+	if o.repl != "" {
+		if _, err := replication.ParsePolicy(o.repl); err != nil {
+			fmt.Fprintln(fs.Output(), "thermload:", err)
+			return o, err
+		}
+		if o.nodes < 2 {
+			fmt.Fprintln(fs.Output(), "thermload: -repl requires -selfhost -nodes >= 2")
+			return o, fmt.Errorf("-repl requires -selfhost -nodes >= 2")
+		}
 	}
 	o.sched.Mode = loadgen.Mode(*mode)
 	return o, nil
@@ -384,6 +422,22 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 	}
 
 	client := loadgen.NewClient(addr, o.retries, o.backoff, o.sched.Seed)
+	// With -repl armed, record every acked job id: the post-run
+	// reconciliation re-polls each to a terminal state, so a failover
+	// that silently dropped acked work is caught even though the
+	// generator itself gave up on those jobs (poll errors) mid-takeover.
+	var (
+		ackedMu     sync.Mutex
+		ackedIDs    []string
+		onSubmitted func(int, string)
+	)
+	if o.repl != "" {
+		onSubmitted = func(_ int, id string) {
+			ackedMu.Lock()
+			ackedIDs = append(ackedIDs, id)
+			ackedMu.Unlock()
+		}
+	}
 	rep, err := loadgen.Run(ctx, loadgen.RunConfig{
 		Client:       client,
 		Schedule:     sched,
@@ -399,9 +453,16 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 		StartIndex:   startIndex,
 		OnAcked:      onAcked,
 		OnShed:       onShed,
+		OnSubmitted:  onSubmitted,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if o.repl != "" {
+		ackedMu.Lock()
+		ids := ackedIDs
+		ackedMu.Unlock()
+		rep.Failover = reconcileAcked(ctx, client, o.repl, ids, out)
 	}
 	if o.out != "" {
 		if err := rep.WriteFile(o.out); err != nil {
@@ -416,6 +477,49 @@ func run(ctx context.Context, o options, out *os.File) (*loadgen.Report, error) 
 		}
 	}
 	return rep, nil
+}
+
+// reconcileAcked is the fleet-wide zero-acked-loss audit: every job id
+// the daemon acknowledged during the run is re-polled through the
+// gateway until it reports a terminal state (done, failed, canceled —
+// migrated jobs chase to their adopter transparently). Ids still
+// unresolved at the deadline are lost acked jobs: work the fleet took
+// responsibility for and then dropped. Under -repl sync that count
+// must be zero even across a kill -9; under none it measures exactly
+// the loss window the sync ack closes.
+func reconcileAcked(ctx context.Context, client *loadgen.Client, policy string, ids []string, out *os.File) *loadgen.FailoverStats {
+	fo := &loadgen.FailoverStats{Policy: policy, Acked: len(ids)}
+	deadline := time.Now().Add(30 * time.Second)
+	pending := ids
+	for len(pending) > 0 && time.Now().Before(deadline) && ctx.Err() == nil {
+		still := pending[:0:0]
+		for _, id := range pending {
+			st, err := client.JobStatus(ctx, id)
+			if err != nil {
+				still = append(still, id) // 404 or unreachable: retry until deadline
+				continue
+			}
+			switch st.State {
+			case server.StateDone, server.StateFailed, server.StateCanceled:
+				fo.Resolved++
+			default:
+				still = append(still, id) // queued/running on the adopter; keep polling
+			}
+		}
+		pending = still
+		if len(pending) == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		//thermlint:timer -- reconcile-poll against a live fleet; wall time is the contract
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	fo.Lost = len(pending)
+	fmt.Fprintf(out, "thermload: failover reconcile (repl=%s): %d acked, %d resolved terminal, %d lost\n",
+		policy, fo.Acked, fo.Resolved, fo.Lost)
+	return fo
 }
 
 // runState is the -state file: enough to verify a later -resume
@@ -564,18 +668,19 @@ func chaosCheck(ctx context.Context, client *loadgen.Client, rep *loadgen.Report
 		}
 		return v, nil
 	}
-	var vals [6]float64
+	var vals [7]float64
 	for i, key := range []struct{ section, name string }{
 		{"jobs", "submitted"}, {"cache", "hits"}, {"jobs", "completed"},
 		{"jobs", "failed"}, {"jobs", "canceled"}, {"jobs", "rejected"},
+		{"jobs", "migrated"},
 	} {
 		if vals[i], err = jc(key.section, key.name); err != nil {
 			return err
 		}
 	}
-	submitted, terminal := vals[0], vals[1]+vals[2]+vals[3]+vals[4]+vals[5]
+	submitted, terminal := vals[0], vals[1]+vals[2]+vals[3]+vals[4]+vals[5]+vals[6]
 	if submitted != terminal {
-		return fmt.Errorf("accounting identity broken: submitted %.0f != hits+completed+failed+canceled+rejected %.0f",
+		return fmt.Errorf("accounting identity broken: submitted %.0f != hits+completed+failed+canceled+rejected+migrated %.0f",
 			submitted, terminal)
 	}
 	// A hedged herd run reaps losing submit attempts by canceling them
@@ -595,6 +700,13 @@ func chaosCheck(ctx context.Context, client *loadgen.Client, rep *loadgen.Report
 			return fmt.Errorf("error accounting mismatch: daemon failed=%.0f canceled=%.0f, report failed=%d canceled=%d (+%.0f hedge cancels)",
 				vals[3], vals[4], rep.Achieved.Failed, rep.Achieved.Canceled, hedgeCancels)
 		}
+	}
+	// The failover reconciliation (when -repl ran one) is part of the
+	// chaos verdict: acked work the fleet dropped is the one loss the
+	// replication chain exists to prevent.
+	if rep.Failover != nil && rep.Failover.Lost > 0 {
+		return fmt.Errorf("acked-job loss: %d of %d acked jobs never reached a terminal state (repl=%s)",
+			rep.Failover.Lost, rep.Failover.Acked, rep.Failover.Policy)
 	}
 	panics, _ := jc("jobs", "panics_recovered")
 	restarts, _ := jc("workers", "restarts")
@@ -670,6 +782,7 @@ type herdNode struct {
 	srv  *server.Server
 	hs   *http.Server
 	ln   net.Listener
+	repl *replication.Streamer
 }
 
 // adminCall hits the in-process gateway's admin API with the selfhost
@@ -724,10 +837,18 @@ func adminCall(method, url string, body any) error {
 //     through the admin API; new placements fail over while its
 //     admitted jobs keep settling (it is never deleted, so the
 //     fleet-wide accounting still sees them).
+//   - selfhost.backend.kill9 — the LAST backend dies the hard way:
+//     listener and connections torn down instantly, replication stream
+//     silenced, workers reaped with nothing drained or journaled — a
+//     kill -9 at the wire. With -repl armed the gateway's takeover
+//     adopts its replica journal onto the ring successor.
 //
 // The gateway always carries the selfhost admin token (the herd is one
 // process; the token exists for the watchers), and -hedge switches on
-// request hedging with a CI-friendly 1s breaker cooldown.
+// request hedging with a CI-friendly 1s breaker cooldown. -repl chains
+// each backend's journal to its ring successor and arms the gateway's
+// takeover (250ms after a node goes down) plus proactive
+// drain-migration.
 func selfhostHerd(o options, out *os.File) (func(), string, error) {
 	var reg *faultinject.Registry
 	if o.faults != "" {
@@ -751,6 +872,9 @@ func selfhostHerd(o options, out *os.File) (func(), string, error) {
 			n.srv.Drain(ctx)
 			n.hs.Shutdown(ctx)
 			cancel()
+			if n.repl != nil {
+				n.repl.Close()
+			}
 		}
 	}
 	cfg, err := daemonConfig(o)
@@ -758,9 +882,60 @@ func selfhostHerd(o options, out *os.File) (func(), string, error) {
 		return nil, "", err
 	}
 	cfg.Faults = reg
+
+	// The replication chain: each backend streams its journal to its
+	// ring successor, resolved lazily per send against the same vnode
+	// hash the gateway routes by — so the chain a streamer picks is the
+	// chain takeover will consult. A node marked dead (kill9) stops
+	// streaming AND stops being chosen as anyone's target, the wire
+	// silence of a killed process.
+	replPolicy, err := replication.ParsePolicy(o.repl)
+	if err != nil {
+		return nil, "", err
+	}
+	var (
+		chainMu   sync.Mutex
+		chainURL  = make(map[string]string)
+		chainDead = make(map[string]bool)
+		chainRing = gateway.NewRing(0)
+	)
+	newStreamer := func(name string) (*replication.Streamer, error) {
+		if replPolicy == replication.PolicyNone {
+			return nil, nil
+		}
+		return replication.New(replication.Options{
+			Policy: replPolicy,
+			Origin: name,
+			Target: func() (string, string) {
+				chainMu.Lock()
+				defer chainMu.Unlock()
+				if chainDead[name] {
+					return "", ""
+				}
+				succ := chainRing.SuccessorOf(name)
+				if succ == "" || chainDead[succ] {
+					return "", ""
+				}
+				return succ, chainURL[succ]
+			},
+			Faults: reg,
+		})
+	}
 	startBackend := func(name string) (*herdNode, error) {
-		srv, err := server.New(cfg)
+		ncfg := cfg
+		if o.repl != "" {
+			st, err := newStreamer(name)
+			if err != nil {
+				return nil, err
+			}
+			ncfg.NodeName = name
+			ncfg.Repl = st
+		}
+		srv, err := server.New(ncfg)
 		if err != nil {
+			if ncfg.Repl != nil {
+				ncfg.Repl.Close()
+			}
 			return nil, err
 		}
 		srv.Start()
@@ -769,11 +944,18 @@ func selfhostHerd(o options, out *os.File) (func(), string, error) {
 			sctx, cancel := context.WithTimeout(context.Background(), time.Second)
 			srv.Drain(sctx)
 			cancel()
+			if ncfg.Repl != nil {
+				ncfg.Repl.Close()
+			}
 			return nil, err
 		}
 		hs := &http.Server{Handler: srv}
 		go hs.Serve(ln)
-		n := &herdNode{name: name, srv: srv, hs: hs, ln: ln}
+		n := &herdNode{name: name, srv: srv, hs: hs, ln: ln, repl: ncfg.Repl}
+		chainMu.Lock()
+		chainURL[name] = "http://" + ln.Addr().String()
+		chainRing.Add(name)
+		chainMu.Unlock()
 		nodesMu.Lock()
 		nodes = append(nodes, n)
 		nodesMu.Unlock()
@@ -788,14 +970,21 @@ func selfhostHerd(o options, out *os.File) (func(), string, error) {
 		backends = append(backends, gateway.Backend{Name: n.name, URL: "http://" + n.ln.Addr().String()})
 	}
 
-	gw, err := gateway.New(gateway.Config{
+	gwCfg := gateway.Config{
 		Backends:        backends,
 		ProbeInterval:   250 * time.Millisecond,
 		Faults:          reg,
 		Hedge:           o.hedge,
 		BreakerCooldown: time.Second,
 		AdminToken:      selfhostAdminToken,
-	})
+	}
+	if o.repl != "" {
+		// Arm takeover even under -repl none: the A/B's control arm runs
+		// the same failover machinery against an empty replica store, so
+		// the loss it measures is the ack policy's, not the harness's.
+		gwCfg.TakeoverAfter = 250 * time.Millisecond
+	}
+	gw, err := gateway.New(gwCfg)
 	if err != nil {
 		cleanup()
 		return nil, "", err
@@ -844,6 +1033,19 @@ func selfhostHerd(o options, out *os.File) (func(), string, error) {
 		fmt.Fprintf(out, "thermload: CHAOS: killing backend %s (%v)\n", victim.name, fired)
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel() // expired deadline = abrupt drain
+		victim.srv.Drain(ctx)
+	})
+	watch(func() error { return reg.Fire(faultBackendKill9) }, func(fired error) {
+		fmt.Fprintf(out, "thermload: CHAOS: kill -9 backend %s (%v)\n", victim.name, fired)
+		// Order matters: go wire-silent first (no farewell replication or
+		// cancel events — a killed process sends nothing), then tear down
+		// the listener and every live connection, then reap the workers.
+		chainMu.Lock()
+		chainDead[victim.name] = true
+		chainMu.Unlock()
+		victim.hs.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // expired deadline = immediate worker reap, nothing drains
 		victim.srv.Drain(ctx)
 	})
 	watch(func() error { return reg.Fire(faultBackendJoin) }, func(fired error) {

@@ -574,9 +574,104 @@ func TestHerdSelfhostDrain(t *testing.T) {
 	}
 }
 
+// TestHerdSelfhostReplKill9 is the failover acceptance run: a 3-node
+// herd chained with -repl sync loses a backend to a kill -9 (listener
+// torn down, replication silenced, nothing drained) and the gateway's
+// takeover adopts the victim's replica journal onto its ring
+// successor. The post-run reconciliation re-polls every acked job id
+// through the gateway — with a sync ack, zero may be lost — and the
+// goroutine count must settle afterwards, proving the takeover and
+// adoption machinery (takeover goroutine, adopted-frontier watcher,
+// streamer flushers) all wound down.
+func TestHerdSelfhostReplKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping ~4s self-hosted failover run")
+	}
+	o, err := parseFlags([]string{
+		"-selfhost", "-nodes", "3", "-repl", "sync", "-chaos",
+		"-faults", "selfhost.backend.kill9=error:kill9,count:1,delay:400ms",
+		"-mode", "constant", "-rps", "40", "-duration", "1500ms",
+		"-seed", "42", "-inflight", "128",
+		"-timeout", "20s", "-poll", "2ms", "-retries", "5",
+		"-slo-errors", "1",
+		"-out", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	before := runtime.NumGoroutine()
+	rep, err := run(context.Background(), o, devnull)
+	if err != nil {
+		t.Fatalf("failover run: %v", err) // chaos check = zero acked-job loss
+	}
+	checkGoroutineLeak(t, before)
+	if rep.Failover == nil {
+		t.Fatal("-repl run produced no failover reconciliation")
+	}
+	if rep.Failover.Acked == 0 {
+		t.Fatal("reconciliation saw no acked jobs")
+	}
+	if rep.Failover.Lost != 0 {
+		t.Fatalf("sync replication lost %d of %d acked jobs across the kill -9",
+			rep.Failover.Lost, rep.Failover.Acked)
+	}
+	if rep.Failover.Resolved < rep.Failover.Acked {
+		t.Fatalf("resolved %d < acked %d with zero lost", rep.Failover.Resolved, rep.Failover.Acked)
+	}
+	if rep.Achieved.Done == 0 {
+		t.Fatal("no jobs completed around the kill -9")
+	}
+}
+
+// TestHerdSelfhostReplDrainMigrate: with replication armed, a drain is
+// proactive herding — the gateway migrates the draining backend's
+// queued jobs to its ring successor instead of waiting them out. Every
+// acked job still reaches a terminal state (the migrated ones on their
+// adopter, chased transparently through the gateway), and the herd
+// winds down without leaking the migration goroutines.
+func TestHerdSelfhostReplDrainMigrate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping ~4s self-hosted drain-migration run")
+	}
+	o, err := parseFlags([]string{
+		"-selfhost", "-nodes", "3", "-repl", "sync", "-chaos",
+		"-faults", "selfhost.backend.drain=error:drain,count:1,delay:300ms",
+		"-mode", "constant", "-rps", "40", "-duration", "1200ms",
+		"-seed", "42", "-inflight", "128",
+		"-timeout", "20s", "-poll", "2ms", "-retries", "5",
+		"-slo-errors", "1",
+		"-out", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	before := runtime.NumGoroutine()
+	rep, err := run(context.Background(), o, devnull)
+	if err != nil {
+		t.Fatalf("drain-migration run: %v", err)
+	}
+	checkGoroutineLeak(t, before)
+	if rep.Failover == nil || rep.Failover.Lost != 0 {
+		t.Fatalf("drain with migration lost acked jobs: %+v", rep.Failover)
+	}
+	if rep.Achieved.Done == 0 {
+		t.Fatal("no jobs completed across the migrating drain")
+	}
+}
+
 // TestNodesFlagValidation: -nodes below 1 or without -selfhost is
-// rejected at flag parsing, as is -hedge without a herd to hedge
-// across.
+// rejected at flag parsing, as are -hedge and -repl without a herd to
+// span.
 func TestNodesFlagValidation(t *testing.T) {
 	if _, err := parseFlags([]string{"-nodes", "0"}); err == nil {
 		t.Fatal("-nodes 0 accepted")
@@ -592,5 +687,14 @@ func TestNodesFlagValidation(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-selfhost", "-nodes", "2", "-hedge"}); err != nil {
 		t.Fatalf("-selfhost -nodes 2 -hedge rejected: %v", err)
+	}
+	if _, err := parseFlags([]string{"-selfhost", "-repl", "sync"}); err == nil {
+		t.Fatal("-repl on a single node accepted")
+	}
+	if _, err := parseFlags([]string{"-selfhost", "-nodes", "2", "-repl", "paxos"}); err == nil {
+		t.Fatal("unknown -repl policy accepted")
+	}
+	if _, err := parseFlags([]string{"-selfhost", "-nodes", "2", "-repl", "sync"}); err != nil {
+		t.Fatalf("-selfhost -nodes 2 -repl sync rejected: %v", err)
 	}
 }

@@ -138,7 +138,10 @@ func (g *Gateway) handleAdminListNodes(w http.ResponseWriter, r *http.Request) {
 // stop routing there immediately (its ring shard fails over
 // deterministically to the successor), while status reads and result
 // fetches for its existing jobs keep flowing. Probes cannot unpin it;
-// only removal or re-add can.
+// only removal or re-add can. With takeover armed, drain is proactive
+// herding: the node's queued jobs migrate to its ring successor now,
+// instead of sitting out the drain — so the node can exit as soon as
+// its running jobs finish, not after its whole queue does.
 func (g *Gateway) handleAdminDrainNode(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if _, ok := g.activeBackend(name); !ok {
@@ -150,11 +153,24 @@ func (g *Gateway) handleAdminDrainNode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.metrics.nodesDrained.Add(1)
-	writeJSON(w, http.StatusAccepted, map[string]any{
+	doc := map[string]any{
 		"epoch":    g.epoch.Load(),
 		"draining": name,
 		"inflight": g.inflightOf(name).Load(),
-	})
+	}
+	if g.cfg.TakeoverAfter > 0 {
+		mctx, cancel := context.WithTimeout(r.Context(), takeoverTimeout)
+		defer cancel()
+		succ, err := g.migrateNode(mctx, name)
+		if err != nil {
+			// The pin stands either way; migration is an optimization, and
+			// the drain workflow still settles without it.
+			doc["migrate_error"] = err.Error()
+		} else {
+			doc["migrated_to"] = succ
+		}
+	}
+	writeJSON(w, http.StatusAccepted, doc)
 }
 
 // handleAdminRemoveNode removes a backend from the ring. Unless
@@ -163,11 +179,12 @@ func (g *Gateway) handleAdminDrainNode(w http.ResponseWriter, r *http.Request) {
 // drain workflow (drain, wait for its jobs to settle, then delete) is
 // what guarantees zero lost acked jobs. The name survives as a
 // tombstone so <id>@<node> reads minted before the removal still
-// route while the backend process lives.
+// route while the backend process lives. With takeover armed, force=1
+// is no longer lossy: the ring successor adopts the node's replica
+// journal first, and an alias keeps its job ids resolving.
 func (g *Gateway) handleAdminRemoveNode(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	b, ok := g.activeBackend(name)
-	if !ok {
+	if _, ok := g.activeBackend(name); !ok {
 		writeError(w, http.StatusNotFound, "no backend named %q", name)
 		return
 	}
@@ -191,18 +208,33 @@ func (g *Gateway) handleAdminRemoveNode(w http.ResponseWriter, r *http.Request) 
 			return
 		}
 	}
+	var adoptedBy string
+	if force && g.cfg.TakeoverAfter > 0 {
+		g.topo.RLock()
+		succ := g.ring.SuccessorOf(name)
+		g.topo.RUnlock()
+		if sb, ok := g.activeBackend(succ); ok && succ != "" {
+			actx, cancel := context.WithTimeout(r.Context(), takeoverTimeout)
+			defer cancel()
+			if err := g.postAdopt(actx, sb, name); err == nil {
+				adoptedBy = succ
+			}
+		}
+	}
 	g.topo.Lock()
-	delete(g.byName, name)
-	delete(g.inflight, name)
-	g.removed[name] = b
-	g.ring.Remove(name)
-	g.recomputeLastLocked()
-	epoch := g.epoch.Add(1)
+	if adoptedBy != "" {
+		g.aliases[name] = adoptedBy
+	}
+	epoch := g.ejectLocked(name)
 	g.topo.Unlock()
 	g.members.removeMember(name)
 	g.breaker.remove(name)
 	g.metrics.nodesRemoved.Add(1)
-	writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "removed": name})
+	doc := map[string]any{"epoch": epoch, "removed": name}
+	if adoptedBy != "" {
+		doc["adopted_by"] = adoptedBy
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // backendLoad counts one backend's unsettled jobs via its own list

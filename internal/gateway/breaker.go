@@ -147,6 +147,29 @@ func (b *breaker) success(name string) {
 	bn.trialInFlight = false
 }
 
+// probeSuccess records a good outcome observed by a membership probe
+// rather than a real forward. While a half-open trial is in flight it
+// must NOT close the circuit: the trial slot was granted to exactly one
+// forwarded request, and letting a concurrent probe (or a second racing
+// request) close the circuit early would admit a second probe through
+// the half-open state — the single-flight guarantee the half-open state
+// exists to provide. Outside that window it behaves like success.
+func (b *breaker) probeSuccess(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bn, ok := b.nodes[name]
+	if !ok {
+		return
+	}
+	if bn.state == breakerHalfOpen && bn.trialInFlight {
+		bn.consecFails = 0
+		return
+	}
+	bn.state = breakerClosed
+	bn.consecFails = 0
+	bn.trialInFlight = false
+}
+
 // failure records a bad outcome; threshold consecutive failures open
 // the circuit, and a failed half-open trial re-opens it immediately.
 func (b *breaker) failure(name string) {

@@ -54,6 +54,12 @@ const (
 	// error action fails it after authentication, before any topology
 	// mutation.
 	FaultAdmin = "gw.admin"
+	// FaultTakeover fires when a takeover is about to run — after the
+	// deadline decision, before the successor is asked to adopt. An
+	// error action suppresses the takeover (the dead node stays ejected
+	// but unadopted), a delay action stretches the unavailability
+	// window the chaos suite measures.
+	FaultTakeover = "repl.takeover"
 )
 
 // Config sizes the gateway.
@@ -113,6 +119,14 @@ type Config struct {
 	FlapWindow   time.Duration
 	FlapFlips    int
 	FlapCooldown time.Duration
+	// TakeoverAfter arms failover: a backend that has sat in NodeDown
+	// this long is taken over — its ring successor is told to adopt the
+	// replica journal it streamed, an alias routes the dead node's job
+	// ids to the successor, and the dead node leaves the ring. Zero
+	// (the default) disables takeover entirely; acked jobs on a dead
+	// node then stay unreachable until it returns, exactly the
+	// pre-replication behavior.
+	TakeoverAfter time.Duration
 }
 
 // Gateway is the herd front door: an http.Handler exposing the same
@@ -152,6 +166,17 @@ type Gateway struct {
 	// lastNode caches the lexically-last ring node: the deterministic
 	// FaultStraggler target, recomputed on topology change.
 	lastNode string
+	// aliases routes a taken-over node's job ids: aliases[dead] names
+	// the successor now serving <id>@<dead> (under its local id
+	// "<id>@<dead>"). Chains form when a successor itself dies before
+	// the aliased ids age out. Guarded by topo.
+	aliases map[string]string
+
+	// takeover single-flight state: one adoption per dead node, run on
+	// a goroutine the gateway Close waits out.
+	takeoverMu sync.Mutex
+	takingOver map[string]bool
+	takeoverWG sync.WaitGroup
 }
 
 // New builds a gateway; call Start before serving requests.
@@ -169,17 +194,19 @@ func New(cfg Config) (*Gateway, error) {
 		cfg.Clock = clock.Real()
 	}
 	g := &Gateway{
-		cfg:      cfg,
-		ring:     NewRing(cfg.VNodes),
-		mux:      http.NewServeMux(),
-		hc:       &http.Client{},
-		metrics:  &gwMetrics{},
-		warm:     newWarmSet(8192),
-		hedger:   newHedger(cfg.HedgeMin, cfg.HedgeMax),
-		budget:   newRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
-		inflight: make(map[string]*atomic.Int64, len(cfg.Backends)),
-		byName:   make(map[string]Backend, len(cfg.Backends)),
-		removed:  make(map[string]Backend),
+		cfg:        cfg,
+		ring:       NewRing(cfg.VNodes),
+		mux:        http.NewServeMux(),
+		hc:         &http.Client{},
+		metrics:    &gwMetrics{},
+		warm:       newWarmSet(8192),
+		hedger:     newHedger(cfg.HedgeMin, cfg.HedgeMax),
+		budget:     newRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
+		inflight:   make(map[string]*atomic.Int64, len(cfg.Backends)),
+		byName:     make(map[string]Backend, len(cfg.Backends)),
+		removed:    make(map[string]Backend),
+		aliases:    make(map[string]string),
+		takingOver: make(map[string]bool),
 	}
 	g.breaker = newBreaker(cfg.Clock, cfg.Faults, cfg.BreakerThreshold, cfg.BreakerCooldown)
 	g.breaker.onOpen = func() { g.metrics.breakerOpens.Add(1) }
@@ -213,9 +240,13 @@ func New(cfg Config) (*Gateway, error) {
 	g.members.probeFailures = func() { g.metrics.probeFailures.Add(1) }
 	g.members.onProbe = func(name string, ok bool) {
 		if ok {
-			g.breaker.success(name)
+			// Probes close the circuit only outside a half-open trial:
+			// the trial slot's single-flight guarantee belongs to the one
+			// forwarded request that consumed it.
+			g.breaker.probeSuccess(name)
 		} else {
 			g.breaker.failure(name)
+			g.maybeTakeover(name)
 		}
 	}
 	g.routes()
@@ -290,8 +321,13 @@ func (g *Gateway) stragglerTarget() string {
 // Start launches the membership probe loop.
 func (g *Gateway) Start() { go g.members.run() }
 
-// Close stops the membership probe loop.
-func (g *Gateway) Close() { g.members.close() }
+// Close stops the membership probe loop and waits out any in-flight
+// takeover adoptions.
+func (g *Gateway) Close() {
+	g.members.close()
+	//thermlint:blocking -- each takeover goroutine is bounded by takeoverTimeout HTTP deadlines
+	g.takeoverWG.Wait()
+}
 
 // ProbeNow runs one synchronous probe round; tests use it to advance
 // membership without waiting out the probe interval.
@@ -365,8 +401,17 @@ func (g *Gateway) route(path string, handlers map[string]http.HandlerFunc) {
 }
 
 // globalID namespaces a backend-minted job id with its node, so the
-// gateway can route the id back without keeping a table.
-func globalID(id, node string) string { return id + "@" + node }
+// gateway can route the id back without keeping a table. Backends mint
+// bare ids; an "@" already present means an adopted or migrated job
+// living under "<id>@<origin>" — that form is globally routable as-is
+// (alias and tombstone tables resolve the origin), and re-suffixing it
+// would hand the client a different id than the one it acked.
+func globalID(id, node string) string {
+	if strings.Contains(id, "@") {
+		return id
+	}
+	return id + "@" + node
+}
 
 // splitID undoes globalID.
 func splitID(gid string) (id, node string, ok bool) {

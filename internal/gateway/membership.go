@@ -429,6 +429,18 @@ func (m *membership) pinDrain(name string) bool {
 	return true
 }
 
+// downSince reports when the named node entered NodeDown; the zero
+// time when it is absent or in any other state. The takeover path
+// reads it to decide whether a dead node has been dead long enough.
+func (m *membership) downSince(name string) time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mi, ok := m.info[name]; ok && mi.state == NodeDown {
+		return mi.since
+	}
+	return time.Time{}
+}
+
 // state returns one node's current classification.
 func (m *membership) state(name string) NodeState {
 	m.mu.Lock()

@@ -21,7 +21,7 @@ import "sort"
 // declared keys are the identity's leaves as the nested wire documents
 // spell them.
 //
-//thermlint:identity merge: submitted = hits + completed + failed + canceled + rejected
+//thermlint:identity merge: submitted = hits + completed + failed + canceled + rejected + migrated
 //thermlint:metricnames
 const (
 	// metricSectionGateway holds the gateway's own counters.
@@ -59,6 +59,13 @@ const (
 	metricNodesAdded      = "nodes_added"
 	metricNodesRemoved    = "nodes_removed"
 	metricNodesDrained    = "nodes_drained"
+
+	// Failover-layer leaf keys: successor takeover, drain-time job
+	// migration, and the alias table that reroutes adopted job ids.
+	metricTakeovers         = "takeovers"
+	metricMigrations        = "migrations"
+	metricFailoverDedupHits = "failover_dedup_hits"
+	metricAliasesActive     = "aliases_active"
 )
 
 // MetricNames returns the keys the gateway's aggregated /metrics
@@ -93,6 +100,10 @@ func MetricNames() []string {
 		metricNodesAdded,
 		metricNodesRemoved,
 		metricNodesDrained,
+		metricTakeovers,
+		metricMigrations,
+		metricFailoverDedupHits,
+		metricAliasesActive,
 	}
 	names := []string{metricSectionBackends, metricKeyPartial}
 	for _, leaf := range leaves {

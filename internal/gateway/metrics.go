@@ -27,13 +27,17 @@ type gwMetrics struct {
 	nodesAdded      atomic.Uint64 // backends added via the admin API
 	nodesRemoved    atomic.Uint64 // backends removed via the admin API
 	nodesDrained    atomic.Uint64 // backends drained via the admin API
+
+	takeovers         atomic.Uint64 // dead backends adopted by their ring successor
+	migrations        atomic.Uint64 // drain-time proactive job migrations triggered
+	failoverDedupHits atomic.Uint64 // failover retries answered from a backend dedup table
 }
 
 // snapshot renders the gateway section of the /metrics document,
 // keyed by the metricnames registry.
 //
 //thermlint:metricsdoc
-func (m *gwMetrics) snapshot(total, routable int, epoch uint64) map[string]any {
+func (m *gwMetrics) snapshot(total, routable, aliases int, epoch uint64) map[string]any {
 	return map[string]any{
 		metricProxied:          m.proxied.Load(),
 		metricSubmitsRouted:    m.submitsRouted.Load(),
@@ -58,5 +62,10 @@ func (m *gwMetrics) snapshot(total, routable int, epoch uint64) map[string]any {
 		metricNodesAdded:       m.nodesAdded.Load(),
 		metricNodesRemoved:     m.nodesRemoved.Load(),
 		metricNodesDrained:     m.nodesDrained.Load(),
+
+		metricTakeovers:         m.takeovers.Load(),
+		metricMigrations:        m.migrations.Load(),
+		metricFailoverDedupHits: m.failoverDedupHits.Load(),
+		metricAliasesActive:     aliases,
 	}
 }

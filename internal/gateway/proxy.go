@@ -525,6 +525,14 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		if fr.status < 300 {
 			g.warm.add(hash)
+			if i > 0 && fr.header.Get(server.DedupHeader) != "" {
+				// A failover retry the backend answered from its
+				// Idempotency-Key table: the earlier attempt did land
+				// before its connection died, and dedup — not a second
+				// admit — is what the client got back. Counted so chaos
+				// runs can prove the double-send never happens.
+				g.metrics.failoverDedupHits.Add(1)
+			}
 		}
 		relayStatusRewrite(w, fr, node)
 		return
@@ -662,7 +670,13 @@ func (g *Gateway) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // byNodeForward resolves a namespaced job id and proxies the request to
-// its minting backend.
+// the backend now serving it: the minting node normally, its takeover
+// successor when an alias says the minting node is dead and adopted.
+// GETs additionally chase live migrations — a reply that says the job
+// moved ("migrated" with a destination) is re-fetched from the
+// destination, where the job lives under "<id>@<origin>". The reply is
+// always relayed under the id the client asked with, so old ids keep
+// resolving no matter how many hops the job has made.
 func (g *Gateway) byNodeForward(w http.ResponseWriter, r *http.Request, method, pathSuffix string) {
 	gid := r.PathValue("id")
 	id, node, ok := splitID(gid)
@@ -670,6 +684,9 @@ func (g *Gateway) byNodeForward(w http.ResponseWriter, r *http.Request, method, 
 		writeError(w, http.StatusNotFound, "unknown job %q (gateway job ids look like <id>@<node>)", gid)
 		return
 	}
+	// The alias chain wins over tombstones: a taken-over node's jobs
+	// are served by its successor, not the corpse.
+	id, node = g.resolveAlias(id, node)
 	if _, known := g.lookupBackend(node); !known {
 		writeError(w, http.StatusNotFound, "unknown job %q: no backend named %q", gid, node)
 		return
@@ -680,6 +697,9 @@ func (g *Gateway) byNodeForward(w http.ResponseWriter, r *http.Request, method, 
 	if method == http.MethodGet {
 		// Status polls and result fetches are idempotent: hedge them.
 		fr, err = g.raceRead(r.Context(), hedgeClassStatus, node, "/v1/jobs/"+id+pathSuffix)
+		if err == nil {
+			fr, node = g.chaseMigrated(r.Context(), fr, id, node, pathSuffix)
+		}
 	} else {
 		fr, err = g.forward(r.Context(), node, method, "/v1/jobs/"+id+pathSuffix, nil, nil)
 	}
@@ -694,7 +714,52 @@ func (g *Gateway) byNodeForward(w http.ResponseWriter, r *http.Request, method, 
 		relay(w, fr)
 		return
 	}
-	relayStatusRewrite(w, fr, node)
+	relayStatusRewriteAs(w, fr, gid)
+}
+
+// chaseMigrated follows a migrated job to its destination: both the
+// status endpoint (200) and the result endpoint (its 409 for an
+// unfinished job) reply with the job's Status document, so a reply
+// naming a migration destination is re-fetched from that node under
+// the adopted id "<id>@<origin>". Bounded at 4 hops — a job migrates
+// at most once per drain, and a chain that long means cascading drains
+// the client can retry through. A hop that fails keeps the previous
+// reply: a stale "migrated" answer is still a truthful one.
+func (g *Gateway) chaseMigrated(ctx context.Context, fr forwardResult, id, node, pathSuffix string) (forwardResult, string) {
+	for hop := 0; hop < 4; hop++ {
+		var st server.Status
+		if err := json.Unmarshal(fr.body, &st); err != nil ||
+			st.State != server.StateMigrated || st.MigratedTo == "" {
+			return fr, node
+		}
+		if _, known := g.lookupBackend(st.MigratedTo); !known {
+			return fr, node
+		}
+		nextID, nextNode := id+"@"+node, st.MigratedTo
+		nfr, err := g.raceRead(ctx, hedgeClassStatus, nextNode, "/v1/jobs/"+nextID+pathSuffix)
+		if err != nil {
+			return fr, node
+		}
+		fr, id, node = nfr, nextID, nextNode
+	}
+	return fr, node
+}
+
+// relayStatusRewriteAs relays a backend reply whose body is (or may
+// be) a job Status document, forcing its id to the given gateway-
+// namespaced id — the one the client asked with, which alias and
+// migration chases may have internally rewritten several hops away.
+func relayStatusRewriteAs(w http.ResponseWriter, fr forwardResult, gid string) {
+	var st server.Status
+	if err := json.Unmarshal(fr.body, &st); err == nil && st.ID != "" {
+		st.ID = gid
+		if v := fr.header.Get("Retry-After"); v != "" {
+			w.Header().Set("Retry-After", v)
+		}
+		writeJSON(w, fr.status, st)
+		return
+	}
+	relay(w, fr)
 }
 
 func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -941,7 +1006,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			routable++
 		}
 	}
-	doc[metricSectionGateway] = g.metrics.snapshot(len(snap), routable, g.epoch.Load())
+	doc[metricSectionGateway] = g.metrics.snapshot(len(snap), routable, g.aliasCount(), g.epoch.Load())
 	doc[metricSectionBackends] = snap
 	doc[metricKeyPartial] = partial
 	if partial {

@@ -135,6 +135,28 @@ func (r *Ring) Lookup(key string) string {
 	return succ[0]
 }
 
+// SuccessorOf returns the member node immediately clockwise from the
+// named member's first virtual node — the replication chain's backup
+// for that member, and the takeover target when it dies. Every gateway
+// replica (and every backend deriving its own streaming target)
+// computes the same successor from the same membership, which is what
+// makes the primary→backup chain a ring property rather than
+// configuration. Returns "" when the member is absent or alone.
+func (r *Ring) SuccessorOf(member string) string {
+	if !r.nodes[member] || len(r.nodes) < 2 {
+		return ""
+	}
+	h := vnodeHash(member, 0)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if p.node != member {
+			return p.node
+		}
+	}
+	return ""
+}
+
 // Successors walks clockwise from the key's position and returns up to
 // n distinct nodes in preference order: the home node first, then the
 // nodes a failover or spill should try, in the order that keeps every

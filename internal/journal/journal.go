@@ -106,6 +106,10 @@ const (
 	// states.
 	EventFailed   EventType = "failed"
 	EventCanceled EventType = "canceled"
+	// EventMigrated records a queued job handed off to another backend
+	// (proactive drain herding): terminal locally, with MigratedTo
+	// naming the node that adopted it.
+	EventMigrated EventType = "migrated"
 )
 
 // Event is one journaled lifecycle transition. Accepted events carry
@@ -128,24 +132,28 @@ type Event struct {
 	FromCache bool            `json:"from_cache,omitempty"`
 	// Error is set on failed and canceled events.
 	Error string `json:"err,omitempty"`
+	// MigratedTo is set on migrated events: the node that adopted the
+	// job.
+	MigratedTo string `json:"migrated_to,omitempty"`
 	// At is the transition's RFC3339Nano timestamp.
 	At string `json:"at,omitempty"`
 }
 
 // JobRecord is one job's full state inside a Snapshot.
 type JobRecord struct {
-	ID        string          `json:"id"`
-	Spec      json.RawMessage `json:"spec"`
-	Key       string          `json:"key"`
-	IdemKey   string          `json:"idem,omitempty"`
-	Tenant    string          `json:"tenant,omitempty"`
-	State     string          `json:"state"`
-	Error     string          `json:"err,omitempty"`
-	Result    json.RawMessage `json:"result,omitempty"`
-	FromCache bool            `json:"from_cache,omitempty"`
-	Submitted string          `json:"submitted,omitempty"`
-	Started   string          `json:"started,omitempty"`
-	Finished  string          `json:"finished,omitempty"`
+	ID         string          `json:"id"`
+	Spec       json.RawMessage `json:"spec"`
+	Key        string          `json:"key"`
+	IdemKey    string          `json:"idem,omitempty"`
+	Tenant     string          `json:"tenant,omitempty"`
+	State      string          `json:"state"`
+	Error      string          `json:"err,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	FromCache  bool            `json:"from_cache,omitempty"`
+	MigratedTo string          `json:"migrated_to,omitempty"`
+	Submitted  string          `json:"submitted,omitempty"`
+	Started    string          `json:"started,omitempty"`
+	Finished   string          `json:"finished,omitempty"`
 }
 
 // Snapshot is the compacted job table written at compaction points and
@@ -422,6 +430,50 @@ func readSnapshot(path string) (*Snapshot, bool) {
 		return nil, true
 	}
 	return &snap, false
+}
+
+// EncodeFrames renders events as a concatenation of CRC-framed,
+// length-prefixed records — the WAL's exact on-disk format, reused as
+// the replication stream's wire format so a replica file is
+// byte-compatible with a WAL segment.
+func EncodeFrames(events []Event) ([]byte, error) {
+	var out []byte
+	for _, ev := range events {
+		payload, err := json.Marshal(ev)
+		if err != nil {
+			return nil, fmt.Errorf("journal: encoding event: %w", err)
+		}
+		out = append(out, frame(payload)...)
+	}
+	return out, nil
+}
+
+// DecodeFrames parses a concatenation of CRC-framed records (the
+// EncodeFrames / WAL format). torn reports a truncated or corrupt tail;
+// the events decoded before it are still returned, mirroring WAL
+// recovery's stop-at-first-bad-frame rule.
+func DecodeFrames(b []byte) (events []Event, torn bool) {
+	for len(b) > 0 {
+		if len(b) < frameHeader {
+			return events, true
+		}
+		length := binary.LittleEndian.Uint32(b[0:4])
+		sum := binary.LittleEndian.Uint32(b[4:8])
+		if length == 0 || length > maxRecord || int64(length) > int64(len(b)-frameHeader) {
+			return events, true
+		}
+		payload := b[frameHeader : frameHeader+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return events, true
+		}
+		var ev Event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return events, true
+		}
+		events = append(events, ev)
+		b = b[frameHeader+int(length):]
+	}
+	return events, false
 }
 
 // frame renders one CRC32-framed, length-prefixed record.

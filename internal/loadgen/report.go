@@ -92,7 +92,28 @@ type Report struct {
 	// Tenants breaks completion latency down per tenant; present only
 	// when the run attributed arrivals to tenants.
 	Tenants map[string]TenantStats `json:"tenants,omitempty"`
-	SLO     SLOResult              `json:"slo"`
+	// Failover is the post-run acked-job reconciliation; present only
+	// when thermload ran with -repl (the failover A/B measures it).
+	Failover *FailoverStats `json:"failover,omitempty"`
+	SLO      SLOResult      `json:"slo"`
+}
+
+// FailoverStats is the fleet-wide zero-acked-loss audit: after the
+// schedule drains, every job id the daemon acknowledged is re-polled
+// through the gateway until it reports a terminal state. Lost counts
+// the ids that never did — acked work a failover actually dropped,
+// the number the replication ack policy exists to drive to zero.
+type FailoverStats struct {
+	// Policy is the replication ack policy the run was driven under.
+	Policy string `json:"policy"`
+	// Acked counts acknowledged submissions (one per ack, so a spec
+	// deduped to an existing job still counts its own ack).
+	Acked int `json:"acked"`
+	// Resolved counts acks whose job reached a terminal state.
+	Resolved int `json:"resolved"`
+	// Lost counts acks whose job is gone or never settled: 404s after
+	// the reconcile deadline, or jobs stuck non-terminal.
+	Lost int `json:"lost"`
 }
 
 // TenantStats is one tenant's slice of the run.
@@ -258,6 +279,10 @@ func (r *Report) Summary() string {
 			fmt.Fprintf(&b, "  tenant %-8s done %d  p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
 				tenant, ts.Done, ts.P50Ms, ts.P95Ms, ts.P99Ms)
 		}
+	}
+	if r.Failover != nil {
+		fmt.Fprintf(&b, "  failover (repl=%s): %d acked, %d resolved terminal, %d lost\n",
+			r.Failover.Policy, r.Failover.Acked, r.Failover.Resolved, r.Failover.Lost)
 	}
 	if r.SLO.Pass {
 		fmt.Fprintf(&b, "  SLO: PASS (error rate %.4f)\n", r.SLO.ErrorRate)

@@ -63,6 +63,13 @@ type RunConfig struct {
 	// it), so thermload treats it like an ack when advancing its resume
 	// frontier rather than replaying it.
 	OnShed func(index int)
+	// OnSubmitted, when set, is called with the daemon-assigned job id
+	// of every acknowledged submission. thermload's failover
+	// reconciliation collects these and re-polls each to a terminal
+	// state after the run — the acked-job-loss audit a replication A/B
+	// is judged on. Like OnAcked it may be called concurrently and out
+	// of order.
+	OnSubmitted func(index int, id string)
 	// Clock supplies the run's time source; nil means the wall clock.
 	// Tests inject a clock.Fake to drive the schedule synchronously.
 	Clock clock.Clock
@@ -199,6 +206,9 @@ func fireOne(ctx context.Context, cfg RunConfig, rec *recorder, sem chan struct{
 	if cfg.OnAcked != nil {
 		cfg.OnAcked(a.idx)
 	}
+	if cfg.OnSubmitted != nil {
+		cfg.OnSubmitted(a.idx, st.ID)
+	}
 	track(rctx, cfg, rec, a, st)
 }
 
@@ -244,6 +254,9 @@ func fireBatch(ctx context.Context, cfg RunConfig, rec *recorder, sem chan struc
 		rec.submitted()
 		if cfg.OnAcked != nil {
 			cfg.OnAcked(a.idx)
+		}
+		if cfg.OnSubmitted != nil {
+			cfg.OnSubmitted(a.idx, item.Status.ID)
 		}
 		wg.Add(1)
 		go func(a arrival, st server.Status) {

@@ -90,7 +90,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		if len(req.Tenants) > 0 && req.Tenants[i] != "" {
 			tenant = req.Tenants[i]
 		}
-		st, code, err := s.admit(spec, idemKey, tenant)
+		st, code, _, err := s.admit(spec, idemKey, tenant)
 		if err != nil {
 			resp.Jobs[i] = BatchItem{Error: err.Error(), Code: code}
 			continue
@@ -124,10 +124,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	var filter State
 	if v := q.Get("status"); v != "" {
 		switch State(v) {
-		case StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+		case StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateMigrated:
 			filter = State(v)
 		default:
-			writeError(w, http.StatusBadRequest, "unknown status %q (want queued, running, done, failed, or canceled)", v)
+			writeError(w, http.StatusBadRequest, "unknown status %q (want queued, running, done, failed, canceled, or migrated)", v)
 			return
 		}
 	}

@@ -187,13 +187,16 @@ func (s Spec) cacheKey() (string, error) {
 type State string
 
 // Job lifecycle: queued → running → done | failed | canceled.
-// Queued jobs may also go straight to canceled.
+// Queued jobs may also go straight to canceled, or — under drain
+// herding — to migrated (terminal locally; the job now lives on the
+// node named by MigratedTo).
 const (
 	StateQueued   State = "queued"
 	StateRunning  State = "running"
 	StateDone     State = "done"
 	StateFailed   State = "failed"
 	StateCanceled State = "canceled"
+	StateMigrated State = "migrated"
 )
 
 // Progress counts completed versus total units of work (workload
@@ -219,14 +222,17 @@ type Status struct {
 	// admission ("short" or "long", empty for jobs answered from cache);
 	// Demoted marks a predicted-short job the scheduler demoted to the
 	// long pool mid-flight for overrunning its class budget.
-	Tenant      string   `json:"tenant,omitempty"`
-	Class       string   `json:"class,omitempty"`
-	Demoted     bool     `json:"demoted,omitempty"`
-	Progress    Progress `json:"progress"`
-	FromCache   bool     `json:"from_cache,omitempty"`
-	SubmittedAt string   `json:"submitted_at"`
-	StartedAt   string   `json:"started_at,omitempty"`
-	FinishedAt  string   `json:"finished_at,omitempty"`
+	Tenant    string   `json:"tenant,omitempty"`
+	Class     string   `json:"class,omitempty"`
+	Demoted   bool     `json:"demoted,omitempty"`
+	Progress  Progress `json:"progress"`
+	FromCache bool     `json:"from_cache,omitempty"`
+	// MigratedTo names the node that adopted this job when its state is
+	// migrated; the gateway chases status polls there.
+	MigratedTo  string `json:"migrated_to,omitempty"`
+	SubmittedAt string `json:"submitted_at"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
 }
 
 // job is the server-side record of one submission.
@@ -259,9 +265,15 @@ type job struct {
 	fromCache bool
 	class     string // "short"/"long", or "" for jobs never classified
 	demoted   bool
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	// migratedTo names the node a migrated job was herded to; adopted
+	// marks a job this node took over from a dead or draining peer (the
+	// /readyz "recovering" frontier is the set of adopted non-terminal
+	// jobs).
+	migratedTo string
+	adopted    bool
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
 }
 
 func newJob(id string, spec Spec, clk clock.Clock) (*job, error) {
@@ -302,6 +314,7 @@ func (j *job) status() Status {
 		Demoted:     j.demoted,
 		Progress:    j.progress,
 		FromCache:   j.fromCache,
+		MigratedTo:  j.migratedTo,
 		SubmittedAt: j.submitted.Format(time.RFC3339Nano),
 	}
 	if !j.started.IsZero() {
@@ -409,6 +422,61 @@ func (j *job) finishFromCache(result json.RawMessage) {
 	j.cancel()
 }
 
+// markMigrated transitions queued → migrated, recording the adopting
+// node; it reports false if the job is no longer queued (a worker beat
+// the herding to it, or it already settled). The settle-once CAS is
+// what makes drain herding loss-free without double-running: a job is
+// either frozen here (and counted migrated after the handoff lands) or
+// stays with this node. The context is deliberately NOT canceled — the
+// revert path needs the job live if the handoff fails.
+//
+//thermlint:settleonce
+func (j *job) markMigrated(target string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateMigrated
+	j.migratedTo = target
+	j.finished = j.clk.Now()
+	return true
+}
+
+// revertMigrated undoes markMigrated when the replica handoff fails,
+// restoring the job to queued so it runs locally after all.
+func (j *job) revertMigrated() {
+	j.mu.Lock()
+	if j.state == StateMigrated {
+		j.state = StateQueued
+		j.migratedTo = ""
+		j.finished = time.Time{}
+	}
+	j.mu.Unlock()
+}
+
+// markAdopted flags a job taken over from a dead or draining peer.
+func (j *job) markAdopted() {
+	j.mu.Lock()
+	j.adopted = true
+	j.mu.Unlock()
+}
+
+// adoptedPending reports whether this is an adopted job that has not
+// yet settled — the /readyz "recovering" frontier.
+func (j *job) adoptedPending() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.adopted {
+		return false
+	}
+	switch j.state {
+	case StateQueued, StateRunning:
+		return true
+	}
+	return false
+}
+
 // cancelQueued transitions queued → canceled; it reports false if the
 // job had already started (the caller then cancels the context
 // instead).
@@ -441,16 +509,17 @@ func (j *job) record(idemKey string) journal.JobRecord {
 	defer j.mu.Unlock()
 	spec, _ := marshalSpec(j.spec)
 	rec := journal.JobRecord{
-		ID:        j.id,
-		Spec:      spec,
-		Key:       j.key,
-		IdemKey:   idemKey,
-		Tenant:    j.tenant,
-		State:     string(j.state),
-		Error:     j.err,
-		Result:    j.result,
-		FromCache: j.fromCache,
-		Submitted: j.submitted.Format(time.RFC3339Nano),
+		ID:         j.id,
+		Spec:       spec,
+		Key:        j.key,
+		IdemKey:    idemKey,
+		Tenant:     j.tenant,
+		State:      string(j.state),
+		Error:      j.err,
+		Result:     j.result,
+		FromCache:  j.fromCache,
+		MigratedTo: j.migratedTo,
+		Submitted:  j.submitted.Format(time.RFC3339Nano),
 	}
 	if !j.started.IsZero() {
 		rec.Started = j.started.Format(time.RFC3339Nano)
@@ -504,6 +573,10 @@ func newJobFromRecord(rec journal.JobRecord, clk clock.Clock) (*job, error) {
 	case StateDone, StateFailed, StateCanceled:
 		j.state = State(rec.State)
 		j.cancel() // terminal; release the context immediately
+	case StateMigrated:
+		j.state = StateMigrated
+		j.migratedTo = rec.MigratedTo
+		j.cancel() // terminal locally; the adopting node owns it now
 	default:
 		// queued or running: both restart from the queue.
 		j.state = StateQueued

@@ -25,6 +25,7 @@ const (
 	metricJobsPanicsRecovered  = "jobs.panics_recovered"
 	metricJobsDeadlineExceeded = "jobs.deadline_exceeded"
 	metricJobsDeduped          = "jobs.deduped"
+	metricJobsMigrated         = "jobs.migrated"
 
 	// Journal durability metrics: appends/fsyncs count WAL I/O since
 	// boot; replayed/truncated_records/recovered_jobs describe the last
@@ -34,6 +35,17 @@ const (
 	metricJournalReplayed  = "journal.replayed"
 	metricJournalTruncated = "journal.truncated_records"
 	metricJournalRecovered = "journal.recovered_jobs"
+
+	// Replication metrics: the chain ack policy in force, the streamer's
+	// send counters, and the replica store's intake/adoption counters.
+	// policy is "none" (and the counters zero) when replication is off.
+	metricReplPolicy        = "repl.policy"
+	metricReplStreamed      = "repl.streamed"
+	metricReplStreamErrors  = "repl.stream_errors"
+	metricReplDropped       = "repl.dropped"
+	metricReplReplicaEvents = "repl.replica_events"
+	metricReplAdopted       = "repl.adopted"
+	metricReplAliased       = "repl.aliased"
 
 	metricAdmissionBrownoutRejects = "admission.brownout_rejects"
 	metricAdmissionBrownoutActive  = "admission.brownout_active"
@@ -120,11 +132,19 @@ func MetricNames() []string {
 		metricJobsPanicsRecovered,
 		metricJobsDeadlineExceeded,
 		metricJobsDeduped,
+		metricJobsMigrated,
 		metricJournalAppends,
 		metricJournalFsyncs,
 		metricJournalReplayed,
 		metricJournalTruncated,
 		metricJournalRecovered,
+		metricReplPolicy,
+		metricReplStreamed,
+		metricReplStreamErrors,
+		metricReplDropped,
+		metricReplReplicaEvents,
+		metricReplAdopted,
+		metricReplAliased,
 		metricAdmissionBrownoutRejects,
 		metricAdmissionBrownoutActive,
 		metricWorkersPool,

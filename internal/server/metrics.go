@@ -18,7 +18,7 @@ import (
 // explicitly handed off to a later settle), so the reconciliation
 // chaosCheck asserts can never drift by construction.
 //
-//thermlint:identity metrics: submitted = cacheHits + completed + failed + canceled + rejected
+//thermlint:identity metrics: submitted = cacheHits + completed + failed + canceled + rejected + migrated
 type metrics struct {
 	mu sync.Mutex
 
@@ -27,6 +27,10 @@ type metrics struct {
 	failed    stats.Counter
 	canceled  stats.Counter
 	rejected  stats.Counter
+	// migrated settles jobs herded to the ring successor during drain:
+	// locally terminal, adopted (and re-submitted) by the successor, so
+	// fleet-wide reconciliation subtracts migrations from done totals.
+	migrated stats.Counter
 
 	// Resilience sub-counters: panicsRecovered and deadlineExceeded
 	// jobs are also counted in failed; brownoutRejects and quotaRejects
@@ -71,6 +75,7 @@ type tenantCounters struct {
 	failed    stats.Counter
 	canceled  stats.Counter
 	rejected  stats.Counter
+	migrated  stats.Counter
 }
 
 // tcField selects which tenantCounters counter tinc bumps. The same
@@ -78,7 +83,7 @@ type tenantCounters struct {
 // sites instead of the struct fields (tinc's own switch is the single
 // place the fields move).
 //
-//thermlint:identity tcField: tcSubmitted = tcHits + tcCompleted + tcFailed + tcCanceled + tcRejected
+//thermlint:identity tcField: tcSubmitted = tcHits + tcCompleted + tcFailed + tcCanceled + tcRejected + tcMigrated
 type tcField int
 
 const (
@@ -88,6 +93,7 @@ const (
 	tcFailed
 	tcCanceled
 	tcRejected
+	tcMigrated
 )
 
 // maxTenantCounters bounds the per-tenant metric map against tenant
@@ -154,6 +160,8 @@ func (m *metrics) tinc(tenant string, f tcField) {
 		tc.canceled.Inc()
 	case tcRejected:
 		tc.rejected.Inc()
+	case tcMigrated:
+		tc.migrated.Inc()
 	}
 	m.mu.Unlock()
 }
@@ -201,6 +209,15 @@ type gauges struct {
 	journalReplayed  uint64
 	journalTruncated uint64
 	journalRecovered uint64
+	// Replication gauges; the policy string is "none" and the counters
+	// zero when no streamer is configured (keys always emitted).
+	replPolicy        string
+	replStreamed      uint64
+	replStreamErrors  uint64
+	replDropped       uint64
+	replReplicaEvents uint64
+	replAdopted       uint64
+	replAliased       uint64
 }
 
 // snapshot renders the metrics as the /metrics JSON document. The
@@ -253,6 +270,7 @@ func (m *metrics) snapshot(g gauges) map[string]any {
 		metricJobsFailed:           m.failed.Value(),
 		metricJobsCanceled:         m.canceled.Value(),
 		metricJobsRejected:         m.rejected.Value(),
+		metricJobsMigrated:         m.migrated.Value(),
 		metricJobsPanicsRecovered:  m.panicsRecovered.Value(),
 		metricJobsDeadlineExceeded: m.deadlineExceeded.Value(),
 		metricJobsDeduped:          m.deduped.Value(),
@@ -262,6 +280,14 @@ func (m *metrics) snapshot(g gauges) map[string]any {
 		metricJournalReplayed:  g.journalReplayed,
 		metricJournalTruncated: g.journalTruncated,
 		metricJournalRecovered: g.journalRecovered,
+
+		metricReplPolicy:        g.replPolicy,
+		metricReplStreamed:      g.replStreamed,
+		metricReplStreamErrors:  g.replStreamErrors,
+		metricReplDropped:       g.replDropped,
+		metricReplReplicaEvents: g.replReplicaEvents,
+		metricReplAdopted:       g.replAdopted,
+		metricReplAliased:       g.replAliased,
 
 		metricAdmissionBrownoutRejects: m.brownoutRejects.Value(),
 		metricAdmissionBrownoutActive:  g.brownoutActive,
@@ -315,5 +341,6 @@ func (tc *tenantCounters) doc() map[string]any {
 		"failed":    tc.failed.Value(),
 		"canceled":  tc.canceled.Value(),
 		"rejected":  tc.rejected.Value(),
+		"migrated":  tc.migrated.Value(),
 	}
 }

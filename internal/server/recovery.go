@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"thermalherd/internal/journal"
+	"thermalherd/internal/replication"
 )
 
 // This file is the server side of crash recovery: applyReplay folds
@@ -14,17 +15,25 @@ import (
 // helpers around it (logEvent, snapshotJobs, compactMaybe,
 // closeJournal) keep the journal in step with the table afterwards.
 
-// logEvent journals one lifecycle transition, stamping the timestamp.
-// It is a no-op without a journal. Admission treats a failure as a
-// rejection (the durability promise is the ack); later transitions
-// call it best-effort — a lost terminal event only means the job
-// re-runs after a crash, which content-addressed execution makes safe.
+// logEvent journals one lifecycle transition, stamping the timestamp,
+// then replicates it to the ring successor per the configured policy.
+// It is a no-op with neither a journal nor a streamer. Admission treats
+// a failure as a rejection (the durability promise is the ack) — under
+// the sync policy that includes the successor's append, which is
+// exactly the zero-acked-loss guarantee; later transitions call it
+// best-effort — a lost terminal event only means the job re-runs after
+// a crash, which content-addressed execution makes safe.
 func (s *Server) logEvent(ev journal.Event) error {
-	if s.journal == nil {
+	if s.journal == nil && s.cfg.Repl.Policy() == replication.PolicyNone {
 		return nil
 	}
 	ev.At = s.cfg.Clock.Now().Format(time.RFC3339Nano)
-	return s.journal.Append(ev)
+	if s.journal != nil {
+		if err := s.journal.Append(ev); err != nil {
+			return err
+		}
+	}
+	return s.cfg.Repl.Replicate(ev)
 }
 
 // applyReplay rebuilds the job table from the journal's snapshot plus
@@ -42,11 +51,94 @@ func (s *Server) applyReplay() {
 	}
 	s.replay = nil // one-shot; free the buffered events
 
+	var requeued uint64
+	for _, rec := range foldEvents(rep.Snapshot, rep.Events) {
+		j, err := newJobFromRecord(*rec, s.cfg.Clock)
+		if err != nil {
+			continue // undecodable record; drop rather than refuse to boot
+		}
+		s.register(j, rec.IdemKey)
+		// Rebuild the counters the recovered jobs would have produced
+		// live — global and per-tenant — preserving submitted == hits +
+		// terminal + rejected on both axes.
+		s.metrics.inc(&s.metrics.submitted)
+		s.metrics.tinc(j.tenant, tcSubmitted)
+		//thermlint:handoff -- the unfinished (default) arm re-enqueues: the requeued job settles when it runs
+		switch State(rec.State) {
+		case StateDone:
+			if rec.FromCache {
+				s.metrics.inc(&s.metrics.cacheHits)
+				s.metrics.tinc(j.tenant, tcHits)
+			} else {
+				s.metrics.inc(&s.metrics.cacheMisses)
+				s.metrics.inc(&s.metrics.completed)
+				s.metrics.tinc(j.tenant, tcCompleted)
+			}
+			if len(rec.Result) > 0 && rec.Key != "" {
+				// Warm the result cache so resubmissions of recovered
+				// work stay hits across the restart.
+				s.cache.put(rec.Key, rec.Result)
+			}
+		case StateFailed:
+			s.metrics.inc(&s.metrics.cacheMisses)
+			s.metrics.inc(&s.metrics.failed)
+			s.metrics.tinc(j.tenant, tcFailed)
+		case StateCanceled:
+			s.metrics.inc(&s.metrics.cacheMisses)
+			s.metrics.inc(&s.metrics.canceled)
+			s.metrics.tinc(j.tenant, tcCanceled)
+		case StateMigrated:
+			s.metrics.inc(&s.metrics.cacheMisses)
+			s.metrics.inc(&s.metrics.migrated)
+			s.metrics.tinc(j.tenant, tcMigrated)
+		default:
+			s.metrics.inc(&s.metrics.cacheMisses)
+			// Re-classify at requeue time: the predictor may have trained
+			// since this job was first admitted (or be empty after a cold
+			// restart, defaulting the class to short).
+			j.setClass(s.predictor.Predict(j.pkey))
+			if err := s.sched.requeue(j); err != nil {
+				if j.cancelQueued("recovery requeue failed: " + err.Error()) {
+					s.metrics.inc(&s.metrics.canceled)
+					s.metrics.tinc(j.tenant, tcCanceled)
+				}
+				//thermlint:handoff -- settled just above under the cancelQueued settle-once guard
+				continue
+			}
+			requeued++
+		}
+	}
+
+	// Resume id minting past every recovered id so new jobs never
+	// collide with journaled ones.
+	s.mu.Lock()
+	for id := range s.jobs {
+		if n, ok := parseJobID(id); ok && n > s.nextID {
+			s.nextID = n
+		}
+	}
+	s.mu.Unlock()
+
+	s.replayStats.replayed = uint64(len(rep.Events))
+	s.replayStats.truncated = uint64(rep.TruncatedRecords)
+	s.replayStats.recovered = requeued
+}
+
+// foldEvents rebuilds job records from a snapshot plus WAL events, in
+// first-seen order. Application is idempotent: an accepted event for a
+// known id, or any event on an already-terminal record, is skipped —
+// so a record set folded from overlapping sources (a snapshot and the
+// WAL behind it, or a retried replica stream) converges on the same
+// state. Shared by the node's own crash recovery (applyReplay) and by
+// replica adoption (adoptOrigin), which is what makes a successor's
+// view of a dead peer's jobs agree with what the peer itself would
+// have recovered.
+func foldEvents(snap *journal.Snapshot, events []journal.Event) []*journal.JobRecord {
 	recs := make(map[string]*journal.JobRecord)
 	var order []string
-	if rep.Snapshot != nil {
-		for i := range rep.Snapshot.Jobs {
-			rec := rep.Snapshot.Jobs[i]
+	if snap != nil {
+		for i := range snap.Jobs {
+			rec := snap.Jobs[i]
 			if _, ok := recs[rec.ID]; !ok {
 				order = append(order, rec.ID)
 			}
@@ -55,12 +147,12 @@ func (s *Server) applyReplay() {
 	}
 	terminal := func(state string) bool {
 		switch State(state) {
-		case StateDone, StateFailed, StateCanceled:
+		case StateDone, StateFailed, StateCanceled, StateMigrated:
 			return true
 		}
 		return false
 	}
-	for _, ev := range rep.Events {
+	for _, ev := range events {
 		switch ev.Type {
 		case journal.EventAccepted:
 			if _, ok := recs[ev.ID]; ok {
@@ -96,77 +188,19 @@ func (s *Server) applyReplay() {
 				rec.Error = ev.Error
 				rec.Finished = ev.At
 			}
+		case journal.EventMigrated:
+			if rec, ok := recs[ev.ID]; ok && !terminal(rec.State) {
+				rec.State = string(StateMigrated)
+				rec.MigratedTo = ev.MigratedTo
+				rec.Finished = ev.At
+			}
 		}
 	}
-
-	var requeued uint64
+	out := make([]*journal.JobRecord, 0, len(order))
 	for _, id := range order {
-		rec := recs[id]
-		j, err := newJobFromRecord(*rec, s.cfg.Clock)
-		if err != nil {
-			continue // undecodable record; drop rather than refuse to boot
-		}
-		s.register(j, rec.IdemKey)
-		// Rebuild the counters the recovered jobs would have produced
-		// live — global and per-tenant — preserving submitted == hits +
-		// terminal + rejected on both axes.
-		s.metrics.inc(&s.metrics.submitted)
-		s.metrics.tinc(j.tenant, tcSubmitted)
-		//thermlint:handoff -- the unfinished (default) arm re-enqueues: the requeued job settles when it runs
-		switch State(rec.State) {
-		case StateDone:
-			if rec.FromCache {
-				s.metrics.inc(&s.metrics.cacheHits)
-				s.metrics.tinc(j.tenant, tcHits)
-			} else {
-				s.metrics.inc(&s.metrics.cacheMisses)
-				s.metrics.inc(&s.metrics.completed)
-				s.metrics.tinc(j.tenant, tcCompleted)
-			}
-			if len(rec.Result) > 0 && rec.Key != "" {
-				// Warm the result cache so resubmissions of recovered
-				// work stay hits across the restart.
-				s.cache.put(rec.Key, rec.Result)
-			}
-		case StateFailed:
-			s.metrics.inc(&s.metrics.cacheMisses)
-			s.metrics.inc(&s.metrics.failed)
-			s.metrics.tinc(j.tenant, tcFailed)
-		case StateCanceled:
-			s.metrics.inc(&s.metrics.cacheMisses)
-			s.metrics.inc(&s.metrics.canceled)
-			s.metrics.tinc(j.tenant, tcCanceled)
-		default:
-			s.metrics.inc(&s.metrics.cacheMisses)
-			// Re-classify at requeue time: the predictor may have trained
-			// since this job was first admitted (or be empty after a cold
-			// restart, defaulting the class to short).
-			j.setClass(s.predictor.Predict(j.pkey))
-			if err := s.sched.requeue(j); err != nil {
-				if j.cancelQueued("recovery requeue failed: " + err.Error()) {
-					s.metrics.inc(&s.metrics.canceled)
-					s.metrics.tinc(j.tenant, tcCanceled)
-				}
-				//thermlint:handoff -- settled just above under the cancelQueued settle-once guard
-				continue
-			}
-			requeued++
-		}
+		out = append(out, recs[id])
 	}
-
-	// Resume id minting past every recovered id so new jobs never
-	// collide with journaled ones.
-	s.mu.Lock()
-	for id := range s.jobs {
-		if n, ok := parseJobID(id); ok && n > s.nextID {
-			s.nextID = n
-		}
-	}
-	s.mu.Unlock()
-
-	s.replayStats.replayed = uint64(len(rep.Events))
-	s.replayStats.truncated = uint64(rep.TruncatedRecords)
-	s.replayStats.recovered = requeued
+	return out
 }
 
 // parseJobID extracts the numeric suffix of a "job-%06d" id.

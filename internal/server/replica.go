@@ -1,0 +1,445 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"thermalherd/internal/journal"
+)
+
+// This file is the herd-failover surface of the server: the replica
+// store holds peers' streamed journal records (POST /v1/replica/{origin}),
+// adoption replays them into the live job table under the "<id>@<origin>"
+// alias namespace (POST /v1/replica/{origin}/adopt), and migration is
+// the proactive inverse — a draining node herds its queued jobs to the
+// successor before exiting (POST /v1/migrate).
+
+// replicaStore buffers peers' streamed journal events until adoption.
+// With a journal directory it is file-backed (replica-<origin>.log,
+// the journal's own CRC frame format), so a successor's copy of its
+// peers' records survives the successor's own restart; without one it
+// is memory-only — the same durability the node's own jobs get.
+type replicaStore struct {
+	mu     sync.Mutex
+	dir    string
+	events map[string][]journal.Event
+	recv   uint64
+}
+
+// newReplicaStore loads any replica files already in dir (tolerating a
+// torn tail exactly like WAL replay does); noRecover discards them
+// instead, mirroring the journal's own -no-recover semantics.
+func newReplicaStore(dir string, noRecover bool) *replicaStore {
+	rs := &replicaStore{dir: dir, events: make(map[string][]journal.Event)}
+	if dir == "" {
+		return rs
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return rs // journal.Open created dir; unreadable means no replicas
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "replica-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		if noRecover {
+			os.Remove(path)
+			continue
+		}
+		origin, err := url.PathUnescape(strings.TrimSuffix(strings.TrimPrefix(name, "replica-"), ".log"))
+		if err != nil || origin == "" {
+			continue
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		if events, _ := journal.DecodeFrames(b); len(events) > 0 {
+			rs.events[origin] = events
+		}
+	}
+	return rs
+}
+
+func (rs *replicaStore) path(origin string) string {
+	return filepath.Join(rs.dir, "replica-"+url.PathEscape(origin)+".log")
+}
+
+// append stores one decoded batch, persisting the already-framed bytes
+// verbatim when file-backed (the wire format IS the file format).
+func (rs *replicaStore) append(origin string, events []journal.Event, frames []byte) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.dir != "" {
+		f, err := os.OpenFile(rs.path(origin), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		_, werr := f.Write(frames)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	rs.events[origin] = append(rs.events[origin], events...)
+	rs.recv += uint64(len(events))
+	return nil
+}
+
+// take removes and returns everything buffered for origin; adoption is
+// the only caller. The file is removed too — adopted jobs are now in
+// the successor's own journal, which supersedes the replica copy.
+func (rs *replicaStore) take(origin string) []journal.Event {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	events := rs.events[origin]
+	delete(rs.events, origin)
+	if rs.dir != "" {
+		os.Remove(rs.path(origin))
+	}
+	return events
+}
+
+// receivedEvents counts events accepted into the store since boot.
+func (rs *replicaStore) receivedEvents() uint64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.recv
+}
+
+// handleReplicaAppend accepts one framed batch from a peer's streamer.
+// A torn frame set is rejected whole (400) so the sender's error count
+// reflects it; under the sync policy that withholds the peer's ack.
+func (s *Server) handleReplicaAppend(w http.ResponseWriter, r *http.Request) {
+	origin := r.PathValue("origin")
+	if origin == "" {
+		writeError(w, http.StatusBadRequest, "missing replica origin")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading replica body: %v", err)
+		return
+	}
+	events, torn := journal.DecodeFrames(body)
+	if torn {
+		writeError(w, http.StatusBadRequest, "torn replica frame from %q", origin)
+		return
+	}
+	if err := s.replica.append(origin, events, body); err != nil {
+		writeError(w, http.StatusInternalServerError, "replica append: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": len(events)})
+}
+
+// handleReplicaAdopt replays origin's buffered replica records into the
+// live job table. The gateway calls it on the successor after the
+// takeover deadline (origin is dead) or as the second leg of migration
+// (origin is draining). Idempotent: re-adoption of already-known ids
+// changes nothing, so a retried takeover is safe.
+func (s *Server) handleReplicaAdopt(w http.ResponseWriter, r *http.Request) {
+	origin := r.PathValue("origin")
+	if origin == "" {
+		writeError(w, http.StatusBadRequest, "missing replica origin")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining; cannot adopt jobs")
+		return
+	}
+	adopted, aliased, requeued := s.adoptOrigin(origin)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"origin":   origin,
+		"adopted":  adopted,
+		"aliased":  aliased,
+		"requeued": requeued,
+	})
+}
+
+// adoptOrigin folds origin's replica stream into job records (the same
+// fold crash recovery uses, so the successor's view agrees with what
+// the dead peer would have recovered) and takes each one over under
+// the "<id>@<origin>" namespace: records whose Idempotency-Key already
+// maps to a local job only gain an alias (the dedup that keeps adopted
+// work from double-executing); the rest are registered — and, when
+// unfinished, re-enqueued — as this node's own jobs, counted through
+// the same accounting identity as recovery. Admission controls
+// (quotas, brownout) deliberately do not apply: these jobs were
+// admitted fleet-wide already.
+func (s *Server) adoptOrigin(origin string) (adopted, aliased, requeued int) {
+	for _, rec := range foldEvents(nil, s.replica.take(origin)) {
+		localID := rec.ID + "@" + origin
+		s.mu.Lock()
+		_, known := s.jobs[localID]
+		if !known {
+			_, known = s.aliases[localID]
+		}
+		var existing string
+		if !known && rec.IdemKey != "" {
+			existing = s.idem[rec.IdemKey]
+		}
+		if !known && existing != "" {
+			s.aliases[localID] = existing
+		}
+		s.mu.Unlock()
+		if known {
+			continue // re-adoption; already ours
+		}
+		if existing != "" {
+			// Alias only: the original id keeps resolving, the work is
+			// not re-registered. deduped attributes the absorption.
+			s.metrics.inc(&s.metrics.deduped)
+			s.aliasedJobs.Add(1)
+			aliased++
+			continue
+		}
+		recCopy := *rec
+		recCopy.ID = localID
+		j, err := newJobFromRecord(recCopy, s.cfg.Clock)
+		if err != nil {
+			continue // undecodable record; drop rather than refuse the rest
+		}
+		j.markAdopted()
+		s.register(j, rec.IdemKey)
+		s.adoptedJobs.Add(1)
+		adopted++
+		s.metrics.inc(&s.metrics.submitted)
+		s.metrics.tinc(j.tenant, tcSubmitted)
+		//thermlint:handoff -- the unfinished (default) arm re-enqueues: the adopted job settles when it runs
+		switch State(recCopy.State) {
+		case StateDone:
+			if recCopy.FromCache {
+				s.metrics.inc(&s.metrics.cacheHits)
+				s.metrics.tinc(j.tenant, tcHits)
+			} else {
+				s.metrics.inc(&s.metrics.cacheMisses)
+				s.metrics.inc(&s.metrics.completed)
+				s.metrics.tinc(j.tenant, tcCompleted)
+			}
+			if len(recCopy.Result) > 0 && recCopy.Key != "" {
+				s.cache.put(recCopy.Key, recCopy.Result)
+			}
+		case StateFailed:
+			s.metrics.inc(&s.metrics.cacheMisses)
+			s.metrics.inc(&s.metrics.failed)
+			s.metrics.tinc(j.tenant, tcFailed)
+		case StateCanceled:
+			s.metrics.inc(&s.metrics.cacheMisses)
+			s.metrics.inc(&s.metrics.canceled)
+			s.metrics.tinc(j.tenant, tcCanceled)
+		case StateMigrated:
+			s.metrics.inc(&s.metrics.cacheMisses)
+			s.metrics.inc(&s.metrics.migrated)
+			s.metrics.tinc(j.tenant, tcMigrated)
+		default:
+			s.metrics.inc(&s.metrics.cacheMisses)
+			j.setClass(s.predictor.Predict(j.pkey))
+			if err := s.sched.requeue(j); err != nil {
+				if j.cancelQueued("adoption requeue failed: " + err.Error()) {
+					s.metrics.inc(&s.metrics.canceled)
+					s.metrics.tinc(j.tenant, tcCanceled)
+				}
+				//thermlint:handoff -- settled just above under the cancelQueued settle-once guard
+				continue
+			}
+			requeued++
+		}
+		// Best-effort durability + onward chain replication: the adopted
+		// job enters OUR journal (and streams to OUR successor), so a
+		// second failure down the chain still loses nothing acked.
+		s.logEvent(acceptedEvent(j, rec.IdemKey))
+		switch State(recCopy.State) {
+		case StateDone:
+			s.logEvent(journal.Event{Type: journal.EventCompleted, ID: j.id, Result: recCopy.Result, FromCache: recCopy.FromCache})
+		case StateFailed:
+			s.logEvent(journal.Event{Type: journal.EventFailed, ID: j.id, Error: recCopy.Error})
+		case StateCanceled:
+			s.logEvent(journal.Event{Type: journal.EventCanceled, ID: j.id, Error: recCopy.Error})
+		case StateMigrated:
+			s.logEvent(journal.Event{Type: journal.EventMigrated, ID: j.id, MigratedTo: recCopy.MigratedTo})
+		}
+	}
+	if requeued > 0 {
+		s.watchAdopted()
+	}
+	return adopted, aliased, requeued
+}
+
+// watchAdopted reports "recovering" on /readyz until the adopted
+// frontier settles — every adopted job has reached a terminal state.
+// The gateway treats recovering as non-routable, so a successor
+// digesting a dead peer's backlog is ejected from new placements until
+// it catches up. Single-flight: one watcher covers later adoptions
+// too, since it re-scans the whole table each tick.
+func (s *Server) watchAdopted() {
+	if !s.adoptWatch.CompareAndSwap(false, true) {
+		return
+	}
+	s.recovering.Store(true)
+	// Deliberately NOT on s.wg: Drain waits on the worker pool, and this
+	// watcher must be free to exit via watchdogStop after that wait.
+	//thermlint:goroutine -- exits when the adopted frontier settles, or at drain via watchdogStop
+	go func() {
+		defer s.adoptWatch.Store(false)
+		for {
+			select {
+			case <-s.watchdogStop:
+				return
+			case <-s.cfg.Clock.After(100 * time.Millisecond):
+			}
+			if !s.anyAdoptedPending() {
+				s.recovering.Store(false)
+				return
+			}
+		}
+	}()
+}
+
+// anyAdoptedPending reports whether any adopted job is still queued or
+// running.
+func (s *Server) anyAdoptedPending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.adoptedPending() {
+			return true
+		}
+	}
+	return false
+}
+
+// migrateRequest is the POST /v1/migrate payload: the successor this
+// node should herd its queued jobs to.
+type migrateRequest struct {
+	TargetName string `json:"target_name"`
+	TargetURL  string `json:"target_url"`
+}
+
+// migrateClient ships migration batches; short timeout — the gateway
+// retries a failed drain-migration, and the revert path below makes a
+// failure loss-free.
+var migrateClient = &http.Client{Timeout: 5 * time.Second}
+
+// handleMigrate herds every still-queued job to the target node: each
+// is frozen with the markMigrated settle-once CAS (a worker that pops
+// it afterwards skips it), their acceptance records are shipped to the
+// target's replica store and adopted there, and only then are they
+// settled as migrated here. If the handoff fails everything reverts to
+// queued and runs locally — a failed migration degrades to a normal
+// drain, it never loses a job. Jobs that slipped into running before
+// the CAS stay and finish here.
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req migrateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad migrate payload: %v", err)
+		return
+	}
+	if req.TargetName == "" || req.TargetURL == "" {
+		writeError(w, http.StatusBadRequest, "migrate requires target_name and target_url")
+		return
+	}
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	idemByID := make(map[string]string, len(s.idem))
+	for key, id := range s.idem {
+		idemByID[id] = key
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+
+	var marked []*job
+	var events []journal.Event
+	now := s.cfg.Clock.Now().Format(time.RFC3339Nano)
+	for _, j := range jobs {
+		if j.markMigrated(req.TargetName) {
+			marked = append(marked, j)
+			ev := acceptedEvent(j, idemByID[j.id])
+			ev.At = now
+			events = append(events, ev)
+		}
+	}
+	if len(marked) == 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"migrated": 0, "target": req.TargetName})
+		return
+	}
+	if err := shipMigration(req.TargetURL, s.cfg.NodeName, events); err != nil {
+		// Revert: back to queued, and re-push in case a worker popped
+		// (and skipped) a frozen job during the window. A duplicate
+		// queue entry is benign — tryStart's CAS absorbs the second pop.
+		for _, j := range marked {
+			j.revertMigrated()
+			if perr := s.sched.push(j); perr != nil {
+				if j.cancelQueued("migration revert requeue failed: " + perr.Error()) {
+					s.metrics.inc(&s.metrics.canceled)
+					s.metrics.tinc(j.tenant, tcCanceled)
+					s.logEvent(journal.Event{Type: journal.EventCanceled, ID: j.id, Error: "migration revert requeue failed"})
+				}
+			}
+		}
+		writeError(w, http.StatusBadGateway, "migration to %s failed: %v", req.TargetName, err)
+		return
+	}
+	for _, j := range marked {
+		s.metrics.inc(&s.metrics.migrated)   //thermlint:settled -- markMigrated's settle-once CAS admitted this job to marked exactly once; counting waited on the replica handoff
+		s.metrics.tinc(j.tenant, tcMigrated) //thermlint:settled -- same settle-once CAS as the line above
+		s.logEvent(journal.Event{Type: journal.EventMigrated, ID: j.id, MigratedTo: req.TargetName})
+		j.cancel() // terminal locally now that the handoff is confirmed
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"migrated": len(marked), "target": req.TargetName})
+}
+
+// shipMigration POSTs the frozen jobs' acceptance records to the
+// target's replica store, then triggers adoption — the two legs of a
+// drain-herding handoff.
+func shipMigration(targetURL, origin string, events []journal.Event) error {
+	if origin == "" {
+		origin = "unnamed"
+	}
+	frames, err := journal.EncodeFrames(events)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(targetURL, "/")
+	resp, err := migrateClient.Post(base+"/v1/replica/"+url.PathEscape(origin),
+		"application/octet-stream", bytes.NewReader(frames))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica append: HTTP %d", resp.StatusCode)
+	}
+	resp, err = migrateClient.Post(base+"/v1/replica/"+url.PathEscape(origin)+"/adopt",
+		"application/json", nil)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("adopt: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}

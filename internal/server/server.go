@@ -48,6 +48,7 @@ import (
 	"thermalherd/internal/faultinject"
 	"thermalherd/internal/journal"
 	"thermalherd/internal/qos"
+	"thermalherd/internal/replication"
 	"thermalherd/internal/trace"
 )
 
@@ -58,6 +59,12 @@ const TenantHeader = "X-Tenant-ID"
 
 // DefaultTenant buckets submissions that carry no X-Tenant-ID.
 const DefaultTenant = "default"
+
+// DedupHeader marks a submit response answered by Idempotency-Key
+// dedup — the job was already accepted by an earlier attempt. The
+// gateway uses it to count failover retries whose first send was acked
+// by a backend that died before responding.
+const DedupHeader = "X-Thermherd-Dedup"
 
 // tenantOrDefault normalizes a raw X-Tenant-ID value: trimmed,
 // bounded, defaulted.
@@ -169,6 +176,16 @@ type Config struct {
 	// of replaying it.
 	NoRecover bool
 
+	// NodeName is this backend's herd name; it keys the replica streams
+	// peers send us and suffixes adopted job ids ("<id>@<origin>").
+	// Empty is fine for a standalone daemon.
+	NodeName string
+	// Repl streams every journaled event to the ring successor per its
+	// ack policy (nil disables replication). Under the sync policy a
+	// failed replica append withholds the submit ack. The server takes
+	// ownership: Drain closes the streamer.
+	Repl *replication.Streamer
+
 	// Faults is the chaos-testing fault-injection registry; nil (the
 	// production default) costs one atomic load per fault point.
 	Faults *faultinject.Registry
@@ -204,6 +221,20 @@ type Server struct {
 	// across a restart) is answered with the original job instead of
 	// re-executing. Guarded by mu; rebuilt from the journal on recovery.
 	idem map[string]string
+	// aliases maps adopted job ids (a dead peer's "<id>@<origin>"
+	// namespace) to the local job id that already covers them via
+	// Idempotency-Key dedup, so the old ids keep resolving without
+	// double-registering the work; lookup follows the chain. Guarded by
+	// mu.
+	aliases map[string]string
+
+	// replica stores peers' streamed journal events until adoption;
+	// adoptWatch single-flights the adopted-frontier settle watcher, and
+	// the adopted/aliased counters feed the repl.* gauges.
+	replica     *replicaStore
+	adoptWatch  atomic.Bool
+	adoptedJobs atomic.Uint64
+	aliasedJobs atomic.Uint64
 
 	// journal is the write-ahead log (nil when durability is off);
 	// replay holds what Open recovered until Start applies it, and
@@ -272,6 +303,7 @@ func New(cfg Config) (*Server, error) {
 		quotas:       qos.NewBuckets(cfg.TenantRate, cfg.TenantBurst),
 		jobs:         make(map[string]*job),
 		idem:         make(map[string]string),
+		aliases:      make(map[string]string),
 		watchdogStop: make(chan struct{}),
 		exec:         runSpec,
 	}
@@ -314,6 +346,10 @@ func New(cfg Config) (*Server, error) {
 		// Not ready until Start replays; /readyz reports "recovering".
 		s.recovering.Store(true)
 	}
+	// The replica store is file-backed alongside the journal (memory-only
+	// without one), so a successor's copy of its peers' records survives
+	// the successor's own restart too.
+	s.replica = newReplicaStore(cfg.JournalDir, cfg.NoRecover)
 	// Anchor the readiness condition at boot so the first /readyz probe
 	// already carries a meaningful "since".
 	s.readyReason = ""
@@ -406,6 +442,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.cfg.Repl.Close()
 		s.closeJournal()
 		return nil
 	case <-ctx.Done():
@@ -420,6 +457,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.mu.Unlock()
 		//thermlint:blocking -- every job was just canceled; workers check ctx between phases and the watchdog retires slots that ignore it, so done closes promptly
 		<-done
+		s.cfg.Repl.Close()
 		s.closeJournal()
 		return ctx.Err()
 	}
@@ -585,12 +623,24 @@ func (s *Server) unregister(j *job, idemKey string) {
 	s.mu.Unlock()
 }
 
-// lookup finds a job by id.
+// lookup finds a job by id, following the adoption alias table: an
+// adopted id whose work was already covered by a local job (same
+// Idempotency-Key) resolves through the chain. The hop bound guards
+// against a cyclic table, which no write path can produce.
 func (s *Server) lookup(id string) (*job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	return j, ok
+	for hops := 0; hops < 8; hops++ {
+		if j, ok := s.jobs[id]; ok {
+			return j, true
+		}
+		next, ok := s.aliases[id]
+		if !ok {
+			return nil, false
+		}
+		id = next
+	}
+	return nil, false
 }
 
 // newID mints a monotonically increasing job id.
@@ -628,6 +678,12 @@ func (s *Server) Metrics() map[string]any {
 		st := s.journal.Stats()
 		g.journalAppends, g.journalFsyncs = st.Appends, st.Fsyncs
 	}
+	g.replPolicy = string(s.cfg.Repl.Policy())
+	rst := s.cfg.Repl.Stats()
+	g.replStreamed, g.replStreamErrors, g.replDropped = rst.Streamed, rst.StreamErrors, rst.Dropped
+	g.replReplicaEvents = s.replica.receivedEvents()
+	g.replAdopted = s.adoptedJobs.Load()
+	g.replAliased = s.aliasedJobs.Load()
 	return s.metrics.snapshot(g)
 }
 
@@ -646,6 +702,15 @@ func (s *Server) routes() {
 	})
 	s.route("/v1/jobs/{id}/result", map[string]http.HandlerFunc{
 		http.MethodGet: s.handleResult,
+	})
+	s.route("/v1/replica/{origin}", map[string]http.HandlerFunc{
+		http.MethodPost: s.handleReplicaAppend,
+	})
+	s.route("/v1/replica/{origin}/adopt", map[string]http.HandlerFunc{
+		http.MethodPost: s.handleReplicaAdopt,
+	})
+	s.route("/v1/migrate", map[string]http.HandlerFunc{
+		http.MethodPost: s.handleMigrate,
 	})
 	s.route("/v1/workloads", map[string]http.HandlerFunc{http.MethodGet: s.handleWorkloads})
 	s.route("/v1/configs", map[string]http.HandlerFunc{http.MethodGet: s.handleConfigs})
@@ -766,10 +831,13 @@ func setRetryAfter(w http.ResponseWriter, err error) {
 // the submission to its (normalized) tenant so the accounting identity
 // holds per tenant as well as globally. It returns the job's status
 // plus the HTTP code to report: 200 on a cache hit or dedup, 202 when
-// queued, 400/429/503 (with err set) on rejection.
-func (s *Server) admit(spec Spec, idemKey, tenant string) (Status, int, error) {
+// queued, 400/429/503 (with err set) on rejection. dedup is true only
+// on the Idempotency-Key path — the signal a retrying gateway uses to
+// count a failover whose first attempt was acked before the backend
+// died.
+func (s *Server) admit(spec Spec, idemKey, tenant string) (st Status, code int, dedup bool, err error) {
 	if err := spec.normalize(); err != nil {
-		return Status{}, http.StatusBadRequest, fmt.Errorf("invalid job: %w", err)
+		return Status{}, http.StatusBadRequest, false, fmt.Errorf("invalid job: %w", err)
 	}
 	tenant = tenantOrDefault(tenant)
 	// Idempotency-key dedup: a resubmission of a key we have already
@@ -793,12 +861,12 @@ func (s *Server) admit(spec Spec, idemKey, tenant string) (Status, int, error) {
 			s.metrics.inc(&s.metrics.deduped)
 			s.metrics.tinc(tenant, tcSubmitted)
 			s.metrics.tinc(tenant, tcHits)
-			return j.status(), http.StatusOK, nil
+			return j.status(), http.StatusOK, true, nil
 		}
 	}
 	j, err := newJob(s.newID(), spec, s.cfg.Clock)
 	if err != nil {
-		return Status{}, http.StatusBadRequest, fmt.Errorf("invalid job: %w", err)
+		return Status{}, http.StatusBadRequest, false, fmt.Errorf("invalid job: %w", err)
 	}
 	j.tenant = tenant
 	s.metrics.inc(&s.metrics.submitted)
@@ -812,7 +880,7 @@ func (s *Server) admit(spec Spec, idemKey, tenant string) (Status, int, error) {
 		// result, so losing this record costs only post-restart dedup.
 		s.logEvent(acceptedEvent(j, idemKey))
 		s.logEvent(journal.Event{Type: journal.EventCompleted, ID: j.id, Result: res, FromCache: true})
-		return j.status(), http.StatusOK, nil
+		return j.status(), http.StatusOK, false, nil
 	}
 	s.metrics.inc(&s.metrics.cacheMisses)
 	// Per-tenant quota: a tenant over its token bucket is shed with
@@ -822,13 +890,13 @@ func (s *Server) admit(spec Spec, idemKey, tenant string) (Status, int, error) {
 		s.metrics.inc(&s.metrics.rejected)
 		s.metrics.inc(&s.metrics.quotaRejects)
 		s.metrics.tinc(tenant, tcRejected)
-		return Status{}, http.StatusTooManyRequests, &quotaError{tenant: tenant, retryAfter: 1}
+		return Status{}, http.StatusTooManyRequests, false, &quotaError{tenant: tenant, retryAfter: 1}
 	}
 	if ok, retry := s.quotas.Take(tenant, s.cfg.Clock.Now()); !ok {
 		s.metrics.inc(&s.metrics.rejected)
 		s.metrics.inc(&s.metrics.quotaRejects)
 		s.metrics.tinc(tenant, tcRejected)
-		return Status{}, http.StatusTooManyRequests,
+		return Status{}, http.StatusTooManyRequests, false,
 			&quotaError{tenant: tenant, retryAfter: int(retry/time.Second) + 1}
 	}
 	// Brownout sheds queue-bound work while admission is still
@@ -838,13 +906,13 @@ func (s *Server) admit(spec Spec, idemKey, tenant string) (Status, int, error) {
 		s.metrics.inc(&s.metrics.rejected)
 		s.metrics.inc(&s.metrics.brownoutRejects)
 		s.metrics.tinc(tenant, tcRejected)
-		return Status{}, http.StatusTooManyRequests,
+		return Status{}, http.StatusTooManyRequests, false,
 			&brownoutError{wait: s.sched.oldestWait(), retryAfter: retryAfter}
 	}
 	if err := s.faults.Fire(FaultAdmit); err != nil {
 		s.metrics.inc(&s.metrics.rejected)
 		s.metrics.tinc(tenant, tcRejected)
-		return Status{}, http.StatusServiceUnavailable, err
+		return Status{}, http.StatusServiceUnavailable, false, err
 	}
 	// Classify for the scheduler: the cost predictor's verdict rides on
 	// the job into the queue (and into its visible status).
@@ -862,7 +930,7 @@ func (s *Server) admit(spec Spec, idemKey, tenant string) (Status, int, error) {
 		s.unregister(j, idemKey)
 		s.metrics.inc(&s.metrics.rejected)
 		s.metrics.tinc(tenant, tcRejected)
-		return Status{}, http.StatusServiceUnavailable,
+		return Status{}, http.StatusServiceUnavailable, false,
 			fmt.Errorf("journal write failed; job not accepted: %w", err)
 	}
 	if err := s.sched.push(j); err != nil {
@@ -875,10 +943,10 @@ func (s *Server) admit(spec Spec, idemKey, tenant string) (Status, int, error) {
 		s.unregister(j, idemKey)
 		s.metrics.inc(&s.metrics.rejected)
 		s.metrics.tinc(tenant, tcRejected)
-		return Status{}, http.StatusServiceUnavailable, err
+		return Status{}, http.StatusServiceUnavailable, false, err
 	}
 	//thermlint:handoff -- the 202 hands the obligation to the worker: runJob (or the watchdog) settles it via finishRunning
-	return j.status(), http.StatusAccepted, nil
+	return j.status(), http.StatusAccepted, false, nil
 }
 
 // acceptedEvent renders a job's admission for the journal.
@@ -906,11 +974,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job payload: %v", err)
 		return
 	}
-	st, code, err := s.admit(spec, r.Header.Get("Idempotency-Key"), tenant)
+	st, code, dedup, err := s.admit(spec, r.Header.Get("Idempotency-Key"), tenant)
 	if err != nil {
 		setRetryAfter(w, err)
 		writeError(w, code, "%v", err)
 		return
+	}
+	if dedup {
+		// Tells a retrying gateway the first attempt of this submission
+		// was already acked here — the failover-dedup accounting signal.
+		w.Header().Set(DedupHeader, "1")
 	}
 	s.respond(w, code, st)
 }
